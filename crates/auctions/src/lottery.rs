@@ -1,0 +1,201 @@
+//! The lottery advisory from the paper's Discussion section.
+//!
+//! A lottery sells `x` valid raffle tickets; fake tickets circulate in some
+//! geographic areas. The lottery company (the game inventor — it profits
+//! from sales) can advise participants to avoid the tainted areas, with a
+//! *checkable proof*: the per-area valid/fake counts, committed to by
+//! signature (see `ra-authority::audit`). The advisory lets buyers keep
+//! their winning chance at `1/x` while revealing only the minimum — which
+//! areas to avoid — matching the paper's "information disclosure is minimal
+//! but very useful" point.
+
+use ra_exact::Rational;
+
+/// Ticket counts for one sales area.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Area {
+    /// Genuine tickets on sale in this area.
+    pub valid: u64,
+    /// Fake (never-winning) tickets mixed into this area.
+    pub fake: u64,
+}
+
+/// The lottery model: total valid tickets and the per-area composition.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Lottery {
+    /// Total number of genuine tickets `x` (across all areas).
+    pub total_valid: u64,
+    /// Sales areas.
+    pub areas: Vec<Area>,
+}
+
+impl Lottery {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-area valid counts do not sum to `total_valid`, or
+    /// if there are no sellable tickets somewhere.
+    pub fn new(areas: Vec<Area>) -> Lottery {
+        assert!(!areas.is_empty(), "lottery needs at least one area");
+        assert!(
+            areas.iter().all(|a| a.valid + a.fake > 0),
+            "every area must sell something"
+        );
+        let total_valid = areas.iter().map(|a| a.valid).sum();
+        assert!(total_valid > 0, "no genuine tickets at all");
+        Lottery { total_valid, areas }
+    }
+
+    /// Probability that a uniformly-chosen ticket bought in `area` wins:
+    /// `(valid / (valid + fake)) · (1 / x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is out of range.
+    pub fn win_probability(&self, area: usize) -> Rational {
+        let a = &self.areas[area];
+        Rational::new(a.valid as i64, (a.valid + a.fake) as i64)
+            * Rational::new(1, self.total_valid as i64)
+    }
+
+    /// The fair-lottery baseline `1/x`.
+    pub fn fair_probability(&self) -> Rational {
+        Rational::new(1, self.total_valid as i64)
+    }
+}
+
+/// The company's advisory: areas to avoid, with the committed counts as the
+/// proof.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LotteryAdvisory {
+    /// Area indices the company claims are tainted.
+    pub avoid: Vec<usize>,
+    /// The committed model backing the claim.
+    pub model: Lottery,
+}
+
+/// Rejection reasons for lottery advisories.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LotteryAdvisoryError {
+    /// An avoid-listed area actually has no fake tickets.
+    CleanAreaDefamed {
+        /// The falsely accused area.
+        area: usize,
+    },
+    /// A tainted area was left off the avoid list — the advisory would
+    /// leave buyers exposed.
+    TaintedAreaOmitted {
+        /// The omitted tainted area.
+        area: usize,
+    },
+    /// An index is out of range.
+    OutOfRange,
+}
+
+impl std::fmt::Display for LotteryAdvisoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LotteryAdvisoryError::CleanAreaDefamed { area } => {
+                write!(f, "area {area} has no fake tickets but was advised against")
+            }
+            LotteryAdvisoryError::TaintedAreaOmitted { area } => {
+                write!(f, "area {area} sells fakes but is missing from the advisory")
+            }
+            LotteryAdvisoryError::OutOfRange => write!(f, "area index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LotteryAdvisoryError {}
+
+/// Verifies an advisory against the committed model: the avoid list must be
+/// exactly the set of areas whose win probability falls below the fair
+/// `1/x` (i.e. areas selling fakes).
+///
+/// # Errors
+///
+/// See [`LotteryAdvisoryError`].
+pub fn verify_lottery_advisory(advisory: &LotteryAdvisory) -> Result<(), LotteryAdvisoryError> {
+    let model = &advisory.model;
+    if advisory.avoid.iter().any(|&a| a >= model.areas.len()) {
+        return Err(LotteryAdvisoryError::OutOfRange);
+    }
+    for (idx, area) in model.areas.iter().enumerate() {
+        let listed = advisory.avoid.contains(&idx);
+        let tainted = area.fake > 0;
+        if listed && !tainted {
+            return Err(LotteryAdvisoryError::CleanAreaDefamed { area: idx });
+        }
+        if !listed && tainted {
+            return Err(LotteryAdvisoryError::TaintedAreaOmitted { area: idx });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+
+    fn example() -> Lottery {
+        Lottery::new(vec![
+            Area { valid: 50, fake: 0 },
+            Area { valid: 30, fake: 30 },
+            Area { valid: 20, fake: 0 },
+        ])
+    }
+
+    #[test]
+    fn win_probabilities() {
+        let lottery = example();
+        assert_eq!(lottery.total_valid, 100);
+        assert_eq!(lottery.fair_probability(), rat(1, 100));
+        assert_eq!(lottery.win_probability(0), rat(1, 100));
+        // Area 1: half the tickets are fake — chance halves.
+        assert_eq!(lottery.win_probability(1), rat(1, 200));
+        assert_eq!(lottery.win_probability(2), rat(1, 100));
+    }
+
+    #[test]
+    fn honest_advisory_verifies() {
+        let advisory = LotteryAdvisory { avoid: vec![1], model: example() };
+        assert!(verify_lottery_advisory(&advisory).is_ok());
+        // Following the advisory preserves the fair chance.
+        for &area in &[0usize, 2] {
+            assert_eq!(advisory.model.win_probability(area), advisory.model.fair_probability());
+        }
+    }
+
+    #[test]
+    fn defamation_caught() {
+        // Claiming a clean area is tainted (e.g. to steer buyers) fails.
+        let advisory = LotteryAdvisory { avoid: vec![0, 1], model: example() };
+        assert_eq!(
+            verify_lottery_advisory(&advisory),
+            Err(LotteryAdvisoryError::CleanAreaDefamed { area: 0 })
+        );
+    }
+
+    #[test]
+    fn omission_caught() {
+        let advisory = LotteryAdvisory { avoid: vec![], model: example() };
+        assert_eq!(
+            verify_lottery_advisory(&advisory),
+            Err(LotteryAdvisoryError::TaintedAreaOmitted { area: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_caught() {
+        let advisory = LotteryAdvisory { avoid: vec![7], model: example() };
+        assert_eq!(verify_lottery_advisory(&advisory), Err(LotteryAdvisoryError::OutOfRange));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one area")]
+    fn empty_lottery_rejected() {
+        let _ = Lottery::new(vec![]);
+    }
+}

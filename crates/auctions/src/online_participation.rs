@@ -1,0 +1,292 @@
+//! On-line participation (§5, "On-line Participation").
+//!
+//! Firms decide sequentially; the inventor watches who has already entered
+//! and advises the *last* firm with a degenerate probability `p ∈ {0, 1}`:
+//! enter iff exactly `k − 1` entrants are missing for the prize to
+//! materialise (for `k = 2`: iff exactly one other firm has entered).
+//! Following the advice is provably optimal given the entry count; flipping
+//! it "will result in a loss" — both facts are checkable by the firm.
+//!
+//! The paper's expected-gain comparison (random arrival order, `n = 3`,
+//! `c/v = 3/8`): offline equilibrium play yields `v/16` per firm, online
+//! advice at least `1/3 · 5v/8 = 5v/24`. The exact value computed here is
+//! `21v/64`, comfortably above the paper's lower bound.
+
+use rand::Rng;
+
+use ra_exact::{binomial_pmf, Rational};
+use ra_solvers::ParticipationParams;
+
+/// Advice to the last-deciding firm, given the observed entry count.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LastMoverAdvice {
+    /// Whether to participate (`p = 1`) or not (`p = 0`).
+    pub participate: bool,
+    /// The inventor's claim about how many firms have already entered —
+    /// auditable against the signed statistics stream (`ra-authority`).
+    pub claimed_prior_entrants: usize,
+}
+
+/// Computes the optimal last-mover action for `prior_entrants` entrants.
+pub fn last_mover_advice(params: &ParticipationParams, prior_entrants: usize) -> LastMoverAdvice {
+    let k = params.k as usize;
+    // Entering yields v−c if total (= prior + 1) ≥ k, else −c.
+    let enter_gain = if prior_entrants + 1 >= k { &params.v - &params.c } else { -&params.c };
+    // Staying out yields v if prior ≥ k, else 0.
+    let stay_gain =
+        if prior_entrants >= k { params.v.clone() } else { Rational::zero() };
+    LastMoverAdvice { participate: enter_gain > stay_gain, claimed_prior_entrants: prior_entrants }
+}
+
+/// The gain the last mover receives by taking `participate` with
+/// `prior_entrants` already in.
+pub fn last_mover_gain(
+    params: &ParticipationParams,
+    prior_entrants: usize,
+    participate: bool,
+) -> Rational {
+    let k = params.k as usize;
+    if participate {
+        if prior_entrants + 1 >= k {
+            &params.v - &params.c
+        } else {
+            -&params.c
+        }
+    } else if prior_entrants >= k {
+        params.v.clone()
+    } else {
+        Rational::zero()
+    }
+}
+
+/// Verification of last-mover advice (the agent's side): given the claimed
+/// entry count, re-derive the optimal action and check the advice matches;
+/// returns the guaranteed gain. Also demonstrates the paper's warning — the
+/// flipped advice is returned with its (strictly smaller) gain.
+///
+/// # Errors
+///
+/// Returns `Err((advised_gain, flipped_gain))` when the advice is *not*
+/// optimal for the claimed count (a dishonest inventor).
+// The error carries both gains so the agent can show exactly what the bad
+// advice would have cost; the path is cold.
+#[allow(clippy::result_large_err)]
+pub fn verify_last_mover_advice(
+    params: &ParticipationParams,
+    advice: &LastMoverAdvice,
+) -> Result<Rational, (Rational, Rational)> {
+    let advised = last_mover_gain(params, advice.claimed_prior_entrants, advice.participate);
+    let flipped = last_mover_gain(params, advice.claimed_prior_entrants, !advice.participate);
+    if advised >= flipped {
+        Ok(advised)
+    } else {
+        Err((advised, flipped))
+    }
+}
+
+/// Exact expected gain of a designated firm under the online mechanism with
+/// a uniformly random arrival order: non-last firms play the offline
+/// symmetric probability `p_offline`; the last firm follows the inventor's
+/// advice. Only `k = 2` semantics are implemented for the non-last payoff
+/// accounting (the paper's running case).
+///
+/// # Panics
+///
+/// Panics if `params.k != 2` or `p_offline ∉ [0, 1]`.
+pub fn exact_online_expected_gain(
+    params: &ParticipationParams,
+    p_offline: &Rational,
+) -> Rational {
+    assert_eq!(params.k, 2, "closed-form online analysis implemented for k = 2");
+    assert!(
+        !p_offline.is_negative() && p_offline <= &Rational::one(),
+        "probability out of range"
+    );
+    let n = params.n as usize;
+    let v = &params.v;
+    let c = &params.c;
+    let one = Rational::one();
+    let pr_last = Rational::new(1, n as i64);
+
+    // Case A: the designated firm is last (probability 1/n). The other
+    // n−1 firms entered independently with p_offline; advice: enter iff
+    // exactly one entered (k−1 = 1), stay out if ≥ 2 (free ride) or 0.
+    let mut gain_last = Rational::zero();
+    for j in 0..n {
+        let pr_j = binomial_pmf((n - 1) as u64, j as u64, p_offline);
+        let advice = last_mover_advice(params, j);
+        gain_last += &(&pr_j * &last_mover_gain(params, j, advice.participate));
+    }
+
+    // Case B: the designated firm is not last (probability (n−1)/n). It
+    // plays p_offline; among the other firms, n−2 are non-last (play
+    // p_offline) and one is the advised last mover.
+    // Enumerate the firm's own action and the count j of entrants among the
+    // other n−2 offline players; the last mover reacts to (own + j).
+    let mut gain_nonlast = Rational::zero();
+    for own in [true, false] {
+        let pr_own = if own { p_offline.clone() } else { &one - p_offline };
+        for j in 0..=(n - 2) {
+            let pr_j = binomial_pmf((n - 2) as u64, j as u64, p_offline);
+            let prior = j + usize::from(own);
+            let last_enters = last_mover_advice(params, prior).participate;
+            let total = prior + usize::from(last_enters);
+            let gain = if own {
+                if total >= 2 {
+                    v - c
+                } else {
+                    -c
+                }
+            } else if total >= 2 {
+                v.clone()
+            } else {
+                Rational::zero()
+            };
+            gain_nonlast += &(&pr_own * &pr_j * &gain);
+        }
+    }
+
+    &pr_last * &gain_last + (&one - &pr_last) * &gain_nonlast
+}
+
+/// Monte-Carlo cross-check of [`exact_online_expected_gain`].
+pub fn simulate_online_expected_gain(
+    params: &ParticipationParams,
+    p_offline: &Rational,
+    rounds: usize,
+    rng: &mut dyn rand::RngCore,
+) -> f64 {
+    assert_eq!(params.k, 2, "simulation implemented for k = 2");
+    let n = params.n as usize;
+    let p = p_offline.to_f64();
+    let v = params.v.to_f64();
+    let c = params.c.to_f64();
+    let mut total = 0.0;
+    for _ in 0..rounds {
+        // The designated firm is index 0; draw a uniformly random arrival
+        // order by picking its position.
+        let pos = rng.random_range(0..n);
+        let mut entered = 0usize;
+        let mut own_entered = false;
+        for slot in 0..n {
+            let is_designated = slot == pos;
+            let is_last = slot == n - 1;
+            let enters = if is_last {
+                last_mover_advice(params, entered).participate
+            } else {
+                rng.random_bool(p)
+            };
+            if is_designated {
+                own_entered = enters;
+            }
+            if enters {
+                entered += 1;
+            }
+        }
+        total += if own_entered {
+            if entered >= 2 {
+                v - c
+            } else {
+                -c
+            }
+        } else if entered >= 2 {
+            v
+        } else {
+            0.0
+        };
+    }
+    total / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use rand::SeedableRng;
+
+    fn paper() -> ParticipationParams {
+        ParticipationParams::paper_example()
+    }
+
+    #[test]
+    fn advice_matches_paper_cases() {
+        let params = paper();
+        // Nobody entered: stay out (p = 0), gain 0.
+        let a0 = last_mover_advice(&params, 0);
+        assert!(!a0.participate);
+        assert_eq!(last_mover_gain(&params, 0, false), rat(0, 1));
+        // One entered: enter (p = 1), gain v − c = 5v/8 = 5 for v = 8.
+        let a1 = last_mover_advice(&params, 1);
+        assert!(a1.participate);
+        assert_eq!(last_mover_gain(&params, 1, true), rat(5, 1));
+        // Two entered: free-ride (p = 0), gain v = 8.
+        let a2 = last_mover_advice(&params, 2);
+        assert!(!a2.participate);
+        assert_eq!(last_mover_gain(&params, 2, false), rat(8, 1));
+    }
+
+    #[test]
+    fn flipped_advice_is_a_loss() {
+        // The paper: "false advice to the last agent, i.e., a flip of the
+        // value of p, will result in a loss!"
+        let params = paper();
+        for prior in 0..3 {
+            let honest = last_mover_advice(&params, prior);
+            let honest_gain = last_mover_gain(&params, prior, honest.participate);
+            let flipped_gain = last_mover_gain(&params, prior, !honest.participate);
+            assert!(flipped_gain < honest_gain, "prior = {prior}");
+            // Verifier accepts honest advice and rejects flipped.
+            assert!(verify_last_mover_advice(&params, &honest).is_ok());
+            let dishonest = LastMoverAdvice {
+                participate: !honest.participate,
+                claimed_prior_entrants: prior,
+            };
+            assert!(verify_last_mover_advice(&params, &dishonest).is_err());
+        }
+    }
+
+    #[test]
+    fn exact_expected_gain_beats_paper_bound_and_offline() {
+        let params = paper();
+        let gain = exact_online_expected_gain(&params, &rat(1, 4));
+        // Exact value 21v/64 with v = 8: 21/8.
+        assert_eq!(gain, rat(21, 8));
+        // Paper's lower bound 5v/24 = 5/3, offline value v/16 = 1/2.
+        assert!(gain > rat(5, 3), "beats the paper's 5v/24 bound");
+        assert!(gain > rat(1, 2), "beats the offline v/16");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let params = paper();
+        let exact = exact_online_expected_gain(&params, &rat(1, 4)).to_f64();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
+        let simulated = simulate_online_expected_gain(&params, &rat(1, 4), 200_000, &mut rng);
+        assert!(
+            (simulated - exact).abs() < 0.05,
+            "simulated {simulated} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn larger_n_still_beats_offline() {
+        // n = 5, c/v = 1/10 (k = 2): offline equilibrium gain vs online.
+        let params = ParticipationParams::new(5, 2, Rational::from(10), Rational::from(1)).unwrap();
+        let roots =
+            ra_solvers::solve_participation_equilibrium(&params, &rat(1, 1 << 22)).unwrap();
+        let p = roots[0].value();
+        let online = exact_online_expected_gain(&params, &p);
+        // Offline gain at the (bracketed) equilibrium ≈ v·C_k; compare via
+        // the participation game's expected payoff.
+        let game = crate::ParticipationGame::new(params);
+        let offline = game.expected_gain_at(&p);
+        assert!(online > offline, "online {online} vs offline {offline}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 2")]
+    fn general_k_not_supported_in_closed_form() {
+        let params = ParticipationParams::new(5, 3, Rational::from(10), Rational::from(1)).unwrap();
+        let _ = exact_online_expected_gain(&params, &rat(1, 4));
+    }
+}

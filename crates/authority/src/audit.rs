@@ -1,0 +1,203 @@
+//! Signed statistics stream and audit trail (§6 footnote 3).
+//!
+//! "The system can require the inventor to publish the average loads with
+//! its signature at each round … then the inventor is kept responsible when
+//! found cheating." The [`StatisticsLedger`] is a hash-chained, signed
+//! sequence of statistics records: appending is cheap, tampering with any
+//! historical record (or re-ordering) breaks the chain, and every record is
+//! attributable to the inventor's key.
+
+use ra_exact::Rational;
+
+use crate::crypto::{sha256, Digest, Signature, SigningKey};
+
+/// One signed statistics record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatisticsRecord {
+    /// Round number (strictly increasing).
+    pub round: u64,
+    /// The published statistic (e.g. average observed load, link loads).
+    pub values: Vec<Rational>,
+    /// Hash of the previous record (zeros for the first).
+    pub prev_hash: Digest,
+    /// The inventor's signature over (round, values, prev_hash).
+    pub signature: Signature,
+}
+
+impl StatisticsRecord {
+    fn message_bytes(round: u64, values: &[Rational], prev_hash: &Digest) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&round.to_be_bytes());
+        for v in values {
+            bytes.extend_from_slice(v.to_string().as_bytes());
+            bytes.push(b'|');
+        }
+        bytes.extend_from_slice(prev_hash);
+        bytes
+    }
+
+    /// Hash of this record (chains into the next).
+    pub fn hash(&self) -> Digest {
+        let mut bytes = Self::message_bytes(self.round, &self.values, &self.prev_hash);
+        bytes.extend_from_slice(&self.signature.0);
+        sha256(&bytes)
+    }
+}
+
+/// A hash-chained ledger of signed statistics.
+#[derive(Clone, Debug, Default)]
+pub struct StatisticsLedger {
+    records: Vec<StatisticsRecord>,
+}
+
+/// Audit failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditError {
+    /// A signature does not verify under the inventor's key.
+    BadSignature {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// A record's `prev_hash` does not match its predecessor.
+    BrokenChain {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// Rounds are not strictly increasing.
+    NonMonotoneRounds {
+        /// Index of the offending record.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::BadSignature { index } => write!(f, "record {index}: bad signature"),
+            AuditError::BrokenChain { index } => write!(f, "record {index}: hash chain broken"),
+            AuditError::NonMonotoneRounds { index } => {
+                write!(f, "record {index}: round numbers not increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl StatisticsLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> StatisticsLedger {
+        StatisticsLedger::default()
+    }
+
+    /// Appends a signed record for `round` with the given statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` does not exceed the last recorded round.
+    pub fn publish(&mut self, key: &SigningKey, round: u64, values: Vec<Rational>) {
+        if let Some(last) = self.records.last() {
+            assert!(round > last.round, "rounds must strictly increase");
+        }
+        let prev_hash = self.records.last().map_or([0u8; 32], StatisticsRecord::hash);
+        let message = StatisticsRecord::message_bytes(round, &values, &prev_hash);
+        let signature = key.sign(&message);
+        self.records.push(StatisticsRecord { round, values, prev_hash, signature });
+    }
+
+    /// The records, oldest first.
+    pub fn records(&self) -> &[StatisticsRecord] {
+        &self.records
+    }
+
+    /// Full audit: every signature verifies under `key`, the hash chain is
+    /// intact, and rounds strictly increase.
+    ///
+    /// # Errors
+    ///
+    /// The first [`AuditError`] found.
+    pub fn audit(&self, key: &SigningKey) -> Result<(), AuditError> {
+        let mut prev_hash = [0u8; 32];
+        let mut prev_round: Option<u64> = None;
+        for (index, record) in self.records.iter().enumerate() {
+            if record.prev_hash != prev_hash {
+                return Err(AuditError::BrokenChain { index });
+            }
+            if prev_round.is_some_and(|r| record.round <= r) {
+                return Err(AuditError::NonMonotoneRounds { index });
+            }
+            let message =
+                StatisticsRecord::message_bytes(record.round, &record.values, &record.prev_hash);
+            if !key.verify(&message, &record.signature) {
+                return Err(AuditError::BadSignature { index });
+            }
+            prev_hash = record.hash();
+            prev_round = Some(record.round);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+
+    fn sample_ledger(key: &SigningKey) -> StatisticsLedger {
+        let mut ledger = StatisticsLedger::new();
+        ledger.publish(key, 1, vec![rat(500, 1), rat(3, 2)]);
+        ledger.publish(key, 2, vec![rat(503, 1), rat(5, 2)]);
+        ledger.publish(key, 3, vec![rat(498, 1), rat(7, 2)]);
+        ledger
+    }
+
+    #[test]
+    fn honest_ledger_audits_clean() {
+        let key = SigningKey::derive("inventor-0");
+        let ledger = sample_ledger(&key);
+        assert!(ledger.audit(&key).is_ok());
+        assert_eq!(ledger.records().len(), 3);
+    }
+
+    #[test]
+    fn tampered_value_detected() {
+        let key = SigningKey::derive("inventor-0");
+        let mut ledger = sample_ledger(&key);
+        ledger.records[1].values[0] = rat(999, 1);
+        // Either the signature breaks (record 1) or the chain (record 2) —
+        // the signature is checked against the tampered message first.
+        assert_eq!(ledger.audit(&key), Err(AuditError::BadSignature { index: 1 }));
+    }
+
+    #[test]
+    fn truncation_from_middle_detected() {
+        let key = SigningKey::derive("inventor-0");
+        let mut ledger = sample_ledger(&key);
+        ledger.records.remove(1);
+        assert_eq!(ledger.audit(&key), Err(AuditError::BrokenChain { index: 1 }));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let key = SigningKey::derive("inventor-0");
+        let ledger = sample_ledger(&key);
+        let other = SigningKey::derive("impostor");
+        assert_eq!(ledger.audit(&other), Err(AuditError::BadSignature { index: 0 }));
+    }
+
+    #[test]
+    fn reordering_detected() {
+        let key = SigningKey::derive("inventor-0");
+        let mut ledger = sample_ledger(&key);
+        ledger.records.swap(1, 2);
+        assert!(ledger.audit(&key).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_monotone_publish_panics() {
+        let key = SigningKey::derive("inventor-0");
+        let mut ledger = sample_ledger(&key);
+        ledger.publish(&key, 3, vec![]);
+    }
+}

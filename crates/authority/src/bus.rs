@@ -1,0 +1,246 @@
+//! The simulated network bus.
+//!
+//! An in-process stand-in for the distributed deployment of Fig. 1:
+//! parties register endpoints, messages are serialized to real bytes
+//! (so Lemma 1's communication claims are measured), delivered through
+//! unbounded channels, and logged centrally. Fault injection (drop rules)
+//! supports the dishonest-party experiments.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::messages::{Message, Party};
+use crate::wire::Wire;
+
+/// A delivery record for the audit log and byte accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Sender.
+    pub from: Party,
+    /// Recipient.
+    pub to: Party,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Whether the message was actually delivered (or dropped by fault
+    /// injection).
+    pub delivered: bool,
+}
+
+/// Errors from bus operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BusError {
+    /// The destination party has no registered endpoint.
+    UnknownParty(Party),
+    /// The destination endpoint was dropped.
+    Disconnected(Party),
+}
+
+impl std::fmt::Display for BusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusError::UnknownParty(p) => write!(f, "no endpoint registered for {p}"),
+            BusError::Disconnected(p) => write!(f, "endpoint for {p} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// A receiving endpoint handed to a registered party.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// The party this endpoint belongs to.
+    pub party: Party,
+    receiver: Receiver<(Party, Message)>,
+}
+
+impl Endpoint {
+    /// Receives the next message if one is queued: `(sender, message)`.
+    pub fn try_recv(&self) -> Option<(Party, Message)> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Drains all queued messages.
+    pub fn drain(&self) -> Vec<(Party, Message)> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+/// The simulated network.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::{Bus, Message, Party};
+///
+/// let bus = Bus::new();
+/// let inventor = Party::Inventor(0);
+/// let agent = Party::Agent(0);
+/// bus.register(inventor);
+/// let agent_ep = bus.register(agent);
+/// bus.send(inventor, agent, Message::AdviceRequest { game_id: 1 }).unwrap();
+/// let (from, msg) = agent_ep.try_recv().unwrap();
+/// assert_eq!(from, inventor);
+/// assert_eq!(msg, Message::AdviceRequest { game_id: 1 });
+/// assert!(bus.total_bytes() > 0);
+/// ```
+#[derive(Default)]
+pub struct Bus {
+    endpoints: Mutex<HashMap<Party, Sender<(Party, Message)>>>,
+    log: Mutex<Vec<DeliveryRecord>>,
+    /// Fault injection: `(from, to)` pairs whose messages are dropped.
+    drop_rules: Mutex<Vec<(Party, Party)>>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Bus {
+        Bus::default()
+    }
+
+    /// Registers a party; returns its receiving endpoint. Re-registering
+    /// replaces the old endpoint.
+    pub fn register(&self, party: Party) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.endpoints.lock().insert(party, tx);
+        Endpoint { party, receiver: rx }
+    }
+
+    /// Sends `message` from `from` to `to`, accounting its serialized size.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::UnknownParty`] if `to` is not registered.
+    pub fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
+        let bytes = message.encoded_len();
+        let dropped = self
+            .drop_rules
+            .lock()
+            .iter()
+            .any(|&(f, t)| f == from && t == to);
+        let result = if dropped {
+            Ok(())
+        } else {
+            let endpoints = self.endpoints.lock();
+            let tx = endpoints.get(&to).ok_or(BusError::UnknownParty(to))?;
+            tx.send((from, message)).map_err(|_| BusError::Disconnected(to))
+        };
+        self.log.lock().push(DeliveryRecord { from, to, bytes, delivered: !dropped });
+        result
+    }
+
+    /// Injects a drop rule: all messages `from → to` are silently dropped.
+    pub fn drop_link(&self, from: Party, to: Party) {
+        self.drop_rules.lock().push((from, to));
+    }
+
+    /// Removes all drop rules.
+    pub fn heal(&self) {
+        self.drop_rules.lock().clear();
+    }
+
+    /// Total bytes put on the wire (delivered or not).
+    pub fn total_bytes(&self) -> usize {
+        self.log.lock().iter().map(|r| r.bytes).sum()
+    }
+
+    /// Bytes sent from `from` to `to`.
+    pub fn bytes_between(&self, from: Party, to: Party) -> usize {
+        self.log
+            .lock()
+            .iter()
+            .filter(|r| r.from == from && r.to == to)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// A copy of the full delivery log.
+    pub fn delivery_log(&self) -> Vec<DeliveryRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Number of messages sent (delivered or dropped).
+    pub fn message_count(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_and_accounting() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let ep_b = bus.register(b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 7 }).unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 8 }).unwrap();
+        let drained = ep_b.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(bus.message_count(), 2);
+        assert_eq!(bus.total_bytes(), bus.bytes_between(a, b));
+        assert!(bus.total_bytes() >= 4);
+    }
+
+    #[test]
+    fn unknown_party_rejected() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        bus.register(a);
+        assert_eq!(
+            bus.send(a, Party::Verifier(9), Message::AdviceRequest { game_id: 1 }),
+            Err(BusError::UnknownParty(Party::Verifier(9)))
+        );
+    }
+
+    #[test]
+    fn fault_injection_drops_silently() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let ep_b = bus.register(b);
+        bus.drop_link(a, b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 }).unwrap();
+        assert!(ep_b.try_recv().is_none());
+        let log = bus.delivery_log();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].delivered);
+        bus.heal();
+        bus.send(a, b, Message::AdviceRequest { game_id: 2 }).unwrap();
+        assert!(ep_b.try_recv().is_some());
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        use std::sync::Arc;
+        let bus = Arc::new(Bus::new());
+        let hub = Party::Verifier(0);
+        let ep = bus.register(hub);
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let bus = Arc::clone(&bus);
+            handles.push(std::thread::spawn(move || {
+                let me = Party::Agent(i);
+                bus.register(me);
+                for g in 0..50 {
+                    bus.send(me, hub, Message::AdviceRequest { game_id: g }).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ep.drain().len(), 400);
+        assert_eq!(bus.message_count(), 400);
+    }
+}

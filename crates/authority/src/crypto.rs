@@ -1,0 +1,255 @@
+//! Minimal cryptographic substrate: SHA-256, HMAC and commitments.
+//!
+//! §6 footnote 3 of the paper has the inventor "publish the average loads
+//! with its signature at each round", so dishonest statistics can later be
+//! blamed on it. No cryptography crate is in the approved dependency set,
+//! so this module implements SHA-256 (FIPS 180-4) and HMAC (RFC 2104) from
+//! scratch; signatures are simulated as HMACs under a key registered with
+//! the audit authority — binding and attributable within the simulation,
+//! which is all the audit trail needs.
+
+/// Output of SHA-256: 32 bytes.
+pub type Digest = [u8; 32];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Computes SHA-256 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::sha256;
+///
+/// let digest = sha256(b"abc");
+/// assert_eq!(
+///     hex(&digest),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+///
+/// fn hex(d: &[u8]) -> String {
+///     d.iter().map(|b| format!("{b:02x}")).collect()
+/// }
+/// ```
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = H0;
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut padded = data.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+    for chunk in padded.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// HMAC-SHA256 (RFC 2104).
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    let mut outer = Vec::with_capacity(BLOCK + 32);
+    for &b in &key_block {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let inner_digest = sha256(&inner);
+    for &b in &key_block {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&inner_digest);
+    sha256(&outer)
+}
+
+/// A simulated signing key (HMAC key shared with the audit authority).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SigningKey(pub [u8; 32]);
+
+impl SigningKey {
+    /// Derives a key deterministically from a seed label (simulation only).
+    pub fn derive(label: &str) -> SigningKey {
+        SigningKey(sha256(label.as_bytes()))
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.0, message))
+    }
+
+    /// Verifies a signature.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        self.sign(message) == *signature
+    }
+}
+
+/// A simulated signature (HMAC tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature(pub Digest);
+
+/// A hash commitment with an explicit nonce (hiding in the random-oracle
+/// sense; binding by collision resistance).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Commitment(pub Digest);
+
+impl Commitment {
+    /// Commits to `payload` under `nonce`.
+    pub fn commit(payload: &[u8], nonce: &[u8; 16]) -> Commitment {
+        let mut data = Vec::with_capacity(payload.len() + 16);
+        data.extend_from_slice(nonce);
+        data.extend_from_slice(payload);
+        Commitment(sha256(&data))
+    }
+
+    /// Opens the commitment: checks `payload`/`nonce` against it.
+    pub fn open(&self, payload: &[u8], nonce: &[u8; 16]) -> bool {
+        Commitment::commit(payload, nonce) == *self
+    }
+}
+
+/// Hex rendering of a digest (for logs and audit reports).
+pub fn to_hex(digest: &Digest) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vectors() {
+        // FIPS 180-4 / NIST test vectors.
+        assert_eq!(
+            to_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One block of exactly 64 bytes exercises the length-padding path.
+        let block = [0x61u8; 64];
+        assert_eq!(
+            to_hex(&sha256(&block)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn hmac_known_vectors() {
+        // RFC 4231 test case 2.
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn hmac_long_key_path() {
+        let key = [0xaau8; 131];
+        // RFC 4231 test case 6.
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn signatures_round_trip() {
+        let key = SigningKey::derive("inventor-7");
+        let sig = key.sign(b"average load = 503.2 at round 17");
+        assert!(key.verify(b"average load = 503.2 at round 17", &sig));
+        assert!(!key.verify(b"average load = 999.9 at round 17", &sig));
+        let other = SigningKey::derive("inventor-8");
+        assert!(!other.verify(b"average load = 503.2 at round 17", &sig));
+    }
+
+    #[test]
+    fn commitments_bind_and_open() {
+        let nonce = [7u8; 16];
+        let c = Commitment::commit(b"support = {1, 3}", &nonce);
+        assert!(c.open(b"support = {1, 3}", &nonce));
+        assert!(!c.open(b"support = {0, 3}", &nonce));
+        assert!(!c.open(b"support = {1, 3}", &[8u8; 16]));
+    }
+}

@@ -1,0 +1,233 @@
+//! Game inventors — honest and biased.
+//!
+//! The inventor is *not trusted*: it "may possibly gain revenues from the
+//! game" and may misadvise. The honest implementation runs the `ra-solvers`
+//! machinery and packages certificates; the dishonest variants produce the
+//! specific corruptions the paper worries about, so the end-to-end tests can
+//! show each one being caught by verification.
+
+use ra_exact::{rat, Rational};
+use ra_games::{BimatrixGame, StrategicGame};
+use ra_proofs::{
+    honest_online_advice, prove_is_nash, ParticipationCertificate, PureNashCertificate,
+    SupportCertificate,
+};
+use ra_solvers::{
+    analyze_pure_nash, find_one_equilibrium, solve_participation_equilibrium, EquilibriumRoot,
+    ParticipationParams,
+};
+
+use crate::messages::{Advice, Party};
+
+/// The game being consulted about, as the session layer sees it.
+#[derive(Clone, Debug)]
+pub enum GameSpec {
+    /// A §3 strategic-form game; advice = a pure profile with kernel proof.
+    Strategic(StrategicGame),
+    /// A §4 bimatrix game; advice = a P1 support certificate.
+    Bimatrix(BimatrixGame),
+    /// The §5 participation game; advice = the equilibrium probability.
+    Participation(ParticipationParams),
+    /// A §6 parallel-links arrival; advice = a link with its equilibrium
+    /// assignment.
+    ParallelLinks {
+        /// Published link loads at arrival time.
+        current_loads: Vec<Rational>,
+        /// The arriving agent's load.
+        own_load: Rational,
+        /// Expected per-agent future load (running average).
+        expected_future_load: Rational,
+        /// Agents still expected.
+        expected_future_agents: usize,
+    },
+}
+
+/// How the inventor behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InventorBehavior {
+    /// Computes genuine equilibria and honest certificates.
+    Honest,
+    /// Produces deliberately corrupted advice (wrong profile / perturbed
+    /// support / perturbed probability / rerouted link).
+    Corrupt,
+    /// Refuses to answer (models an unavailable inventor).
+    Silent,
+}
+
+/// A game inventor.
+#[derive(Clone, Debug)]
+pub struct Inventor {
+    /// Protocol identity.
+    pub id: Party,
+    /// Behaviour under test.
+    pub behavior: InventorBehavior,
+}
+
+impl Inventor {
+    /// Creates an inventor with the given identity number and behaviour.
+    pub fn new(id: u64, behavior: InventorBehavior) -> Inventor {
+        Inventor { id: Party::Inventor(id), behavior }
+    }
+
+    /// Produces advice for a game (or `None` if silent / no equilibrium
+    /// could be produced).
+    pub fn advise(&self, spec: &GameSpec) -> Option<Advice> {
+        match self.behavior {
+            InventorBehavior::Silent => None,
+            InventorBehavior::Honest => self.advise_honestly(spec),
+            InventorBehavior::Corrupt => self.advise_corruptly(spec),
+        }
+    }
+
+    fn advise_honestly(&self, spec: &GameSpec) -> Option<Advice> {
+        match spec {
+            GameSpec::Strategic(game) => {
+                let analysis = analyze_pure_nash(game);
+                let profile = analysis.equilibria.into_iter().next()?;
+                Some(Advice::PureNash(PureNashCertificate {
+                    proof: prove_is_nash(profile.clone()),
+                    profile,
+                }))
+            }
+            GameSpec::Bimatrix(game) => {
+                let eq = find_one_equilibrium(game)?;
+                Some(Advice::Support(SupportCertificate {
+                    row_support: eq.row_support,
+                    col_support: eq.col_support,
+                }))
+            }
+            GameSpec::Participation(params) => {
+                let roots = solve_participation_equilibrium(params, &rat(1, 1 << 30)).ok()?;
+                Some(Advice::Participation(ParticipationCertificate {
+                    params: params.clone(),
+                    root: roots.into_iter().next()?,
+                }))
+            }
+            GameSpec::ParallelLinks {
+                current_loads,
+                own_load,
+                expected_future_load,
+                expected_future_agents,
+            } => Some(Advice::Online(honest_online_advice(
+                current_loads,
+                own_load,
+                expected_future_load,
+                *expected_future_agents,
+            ))),
+        }
+    }
+
+    /// Corruption strategies, one per case study. Each is the "most
+    /// tempting" lie: small, plausible, and profitable if undetected.
+    fn advise_corruptly(&self, spec: &GameSpec) -> Option<Advice> {
+        match spec {
+            GameSpec::Strategic(game) => {
+                // Advise a non-equilibrium profile, with a (doomed) proof.
+                let profile = game.profiles().find(|p| !game.is_pure_nash(p))?;
+                Some(Advice::PureNash(PureNashCertificate {
+                    proof: prove_is_nash(profile.clone()),
+                    profile,
+                }))
+            }
+            GameSpec::Bimatrix(game) => {
+                // Take the real equilibrium's supports and flip one column
+                // membership.
+                let eq = find_one_equilibrium(game)?;
+                let mut col = eq.col_support.clone();
+                match col.iter().position(|&j| j == 0) {
+                    Some(pos) if col.len() > 1 => {
+                        col.remove(pos);
+                    }
+                    _ => {
+                        if !col.contains(&0) {
+                            col.insert(0, 0);
+                        } else {
+                            // Single-column support containing 0: move it.
+                            col = vec![1 % game.cols()];
+                        }
+                    }
+                }
+                Some(Advice::Support(SupportCertificate {
+                    row_support: eq.row_support,
+                    col_support: col,
+                }))
+            }
+            GameSpec::Participation(params) => {
+                // Perturb the true probability by a small amount.
+                let roots = solve_participation_equilibrium(params, &rat(1, 1 << 30)).ok()?;
+                let root = match roots.into_iter().next()? {
+                    EquilibriumRoot::Exact(p) => EquilibriumRoot::Exact(p + rat(1, 50)),
+                    EquilibriumRoot::Bracket { lo, hi } => EquilibriumRoot::Bracket {
+                        lo: lo + rat(1, 50),
+                        hi: hi + rat(1, 50),
+                    },
+                };
+                Some(Advice::Participation(ParticipationCertificate {
+                    params: params.clone(),
+                    root,
+                }))
+            }
+            GameSpec::ParallelLinks {
+                current_loads,
+                own_load,
+                expected_future_load,
+                expected_future_agents,
+            } => {
+                // Honest assignment but reroute the suggestion — steering
+                // the agent onto a worse link.
+                let mut cert = honest_online_advice(
+                    current_loads,
+                    own_load,
+                    expected_future_load,
+                    *expected_future_agents,
+                );
+                cert.suggested_link = (cert.suggested_link + 1) % current_loads.len();
+                Some(Advice::Online(cert))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_games::named::{matching_pennies, prisoners_dilemma};
+
+    #[test]
+    fn honest_strategic_advice() {
+        let inventor = Inventor::new(0, InventorBehavior::Honest);
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        match inventor.advise(&spec) {
+            Some(Advice::PureNash(cert)) => {
+                assert_eq!(cert.profile, vec![1, 1].into());
+            }
+            other => panic!("unexpected advice {other:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_declines_when_no_pure_equilibrium() {
+        let inventor = Inventor::new(0, InventorBehavior::Honest);
+        let spec = GameSpec::Strategic(matching_pennies().to_strategic());
+        assert!(inventor.advise(&spec).is_none());
+    }
+
+    #[test]
+    fn silent_inventor_says_nothing() {
+        let inventor = Inventor::new(0, InventorBehavior::Silent);
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        assert!(inventor.advise(&spec).is_none());
+    }
+
+    #[test]
+    fn corrupt_advice_differs_from_honest() {
+        let honest = Inventor::new(0, InventorBehavior::Honest);
+        let corrupt = Inventor::new(1, InventorBehavior::Corrupt);
+        let spec = GameSpec::Bimatrix(matching_pennies());
+        let h = honest.advise(&spec).unwrap();
+        let c = corrupt.advise(&spec).unwrap();
+        assert_ne!(h, c);
+        let spec = GameSpec::Participation(ParticipationParams::paper_example());
+        assert_ne!(honest.advise(&spec).unwrap(), corrupt.advise(&spec).unwrap());
+    }
+}

@@ -1,0 +1,46 @@
+//! # ra-authority — the rationality authority infrastructure
+//!
+//! The distributed-system layer of the paper (Fig. 1): separation of
+//! **inventors** (untrusted advice producers), **agents** (advice
+//! consumers) and **verifiers** (trusted-by-reputation procedure
+//! providers), wired together over a byte-accounted message bus.
+//!
+//! * [`Bus`] / [`Message`] / [`Wire`] — the simulated network with exact
+//!   wire encodings (Lemma 1's bits are measured, not asserted);
+//! * [`Inventor`] / [`VerifierService`] — honest and faulty behaviours for
+//!   every case study of the paper;
+//! * [`ReputationStore`] — majority voting and reputation updates
+//!   ("the reputation of the verifiers can be updated according to the
+//!   majority of their results");
+//! * [`StatisticsLedger`] — the signed, hash-chained statistics stream of
+//!   §6 footnote 3;
+//! * [`RationalityAuthority`] — end-to-end consultation sessions;
+//! * [`sha256`] / [`SigningKey`] / [`Commitment`] — the from-scratch crypto
+//!   substrate (see DESIGN.md for the substitution rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod bus;
+mod crypto;
+mod inventor;
+mod messages;
+mod private_session;
+mod reputation;
+mod session;
+mod verifier;
+mod wire;
+
+pub use audit::{AuditError, StatisticsLedger, StatisticsRecord};
+pub use bus::{Bus, BusError, DeliveryRecord, Endpoint};
+pub use crypto::{
+    hmac_sha256, sha256, to_hex, Commitment, Digest, Signature, SigningKey,
+};
+pub use inventor::{GameSpec, Inventor, InventorBehavior};
+pub use messages::{Advice, Message, Party};
+pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
+pub use reputation::{MajorityOutcome, ReputationStore};
+pub use session::{RationalityAuthority, SessionOutcome};
+pub use verifier::{VerifierBehavior, VerifierService};
+pub use wire::{get_varint, put_varint, Wire, WireError};

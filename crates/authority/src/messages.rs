@@ -1,0 +1,789 @@
+//! Protocol messages of the rationality authority, with exact wire
+//! encodings.
+//!
+//! The flows mirror Fig. 1 of the paper: the inventor announces a game and
+//! sends advice-with-proof to agents; agents fetch verification procedures
+//! from verifiers (modelled as verdict requests/responses since procedures
+//! are code); verdicts are reported for reputation updates. Every payload —
+//! including recursive §3 proof trees — encodes to real bytes so the bus
+//! can account for communication exactly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ra_exact::Rational;
+use ra_games::{Dominance, MixedStrategy, StrategyProfile};
+use ra_proofs::kernel::{NotAboveWitness, Proof, ProfileVerdict, Prop, Term};
+use ra_proofs::{
+    OnlineAdviceCertificate, P2Advice, ParticipationCertificate, PureNashCertificate,
+    SupportCertificate,
+};
+use ra_solvers::{EquilibriumRoot, ParticipationParams};
+
+use crate::wire::{get_varint, put_varint, Wire, WireError};
+
+/// Identity of a protocol party.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Party {
+    /// A game inventor.
+    Inventor(u64),
+    /// A participating agent.
+    Agent(u64),
+    /// A verification-procedure provider.
+    Verifier(u64),
+}
+
+impl std::fmt::Display for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Party::Inventor(i) => write!(f, "inventor-{i}"),
+            Party::Agent(i) => write!(f, "agent-{i}"),
+            Party::Verifier(i) => write!(f, "verifier-{i}"),
+        }
+    }
+}
+
+impl Wire for Party {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Party::Inventor(i) => {
+                buf.put_u8(0);
+                put_varint(buf, *i);
+            }
+            Party::Agent(i) => {
+                buf.put_u8(1);
+                put_varint(buf, *i);
+            }
+            Party::Verifier(i) => {
+                buf.put_u8(2);
+                put_varint(buf, *i);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Party, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let tag = buf.get_u8();
+        let id = get_varint(buf)?;
+        match tag {
+            0 => Ok(Party::Inventor(id)),
+            1 => Ok(Party::Agent(id)),
+            2 => Ok(Party::Verifier(id)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Advice payloads, one per case-study certificate family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// §3: a pure-profile advice with a kernel proof.
+    PureNash(PureNashCertificate),
+    /// §4 P1: the two supports.
+    Support(SupportCertificate),
+    /// §4 P2: the agent's own data plus λ values.
+    Private(P2Advice),
+    /// §5: the participation probability.
+    Participation(ParticipationCertificate),
+    /// §6: online link advice with its equilibrium assignment.
+    Online(OnlineAdviceCertificate),
+    /// Auctions: a dominant-strategy claim.
+    Dominant {
+        /// The agent being advised.
+        agent: usize,
+        /// The claimed dominant strategy.
+        strategy: usize,
+        /// Strict or weak.
+        strict: bool,
+    },
+}
+
+/// A protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Inventor → everyone: a new game exists; `commitment` binds the
+    /// inventor to the game description (opened on demand).
+    GameAnnouncement {
+        /// Game identifier.
+        game_id: u64,
+        /// Human-readable description.
+        description: String,
+        /// SHA-256 commitment to the full game data.
+        commitment: Vec<u64>,
+    },
+    /// Agent → inventor: request advice for a game.
+    AdviceRequest {
+        /// Which game.
+        game_id: u64,
+    },
+    /// Inventor → agent: advice plus proof.
+    AdviceWithProof {
+        /// Which game.
+        game_id: u64,
+        /// The advice payload.
+        advice: Box<Advice>,
+    },
+    /// Agent → verifier: please check this advice.
+    VerdictRequest {
+        /// Which game.
+        game_id: u64,
+        /// The advice to check.
+        advice: Box<Advice>,
+    },
+    /// Verifier → agent: verdict.
+    Verdict {
+        /// Which game.
+        game_id: u64,
+        /// Accept or reject.
+        accepted: bool,
+        /// Reason (for rejections and audits).
+        detail: String,
+    },
+    /// Agent → reputation system: report a verifier's verdict for audit.
+    VerdictReport {
+        /// The reporting agent's view of the verifier.
+        verifier: Party,
+        /// Which game.
+        game_id: u64,
+        /// The verdict reported.
+        accepted: bool,
+    },
+    /// Agent → inventor (P2): "is this pure strategy in my opponent's
+    /// support?" — the Fig. 4 oracle query.
+    SupportQuery {
+        /// Which game.
+        game_id: u64,
+        /// The queried strategy index.
+        index: usize,
+    },
+    /// Inventor → agent (P2): the one-bit oracle answer.
+    SupportAnswer {
+        /// Which game.
+        game_id: u64,
+        /// The queried strategy index.
+        index: usize,
+        /// Membership bit.
+        in_support: bool,
+    },
+}
+
+// ---- Wire impls for foreign certificate types -------------------------------
+
+impl Wire for StrategyProfile {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.strategies().to_vec().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<StrategyProfile, WireError> {
+        Ok(StrategyProfile::new(Vec::<usize>::decode(buf)?))
+    }
+}
+
+impl Wire for MixedStrategy {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.probs().to_vec().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<MixedStrategy, WireError> {
+        let probs = Vec::<Rational>::decode(buf)?;
+        MixedStrategy::try_new(probs)
+            .map_err(|e| WireError::Malformed(format!("mixed strategy: {e}")))
+    }
+}
+
+impl Wire for Term {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Term::Const(v) => {
+                buf.put_u8(0);
+                v.encode(buf);
+            }
+            Term::Utility { agent, profile } => {
+                buf.put_u8(1);
+                agent.encode(buf);
+                profile.encode(buf);
+            }
+            Term::Add(a, b) => {
+                buf.put_u8(2);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Term::Sub(a, b) => {
+                buf.put_u8(3);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Term::Mul(a, b) => {
+                buf.put_u8(4);
+                a.encode(buf);
+                b.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Term, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => Term::Const(Rational::decode(buf)?),
+            1 => Term::Utility { agent: usize::decode(buf)?, profile: StrategyProfile::decode(buf)? },
+            2 => Term::Add(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
+            3 => Term::Sub(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
+            4 => Term::Mul(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Prop {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Prop::Le(a, b) => {
+                buf.put_u8(0);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::Lt(a, b) => {
+                buf.put_u8(1);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::Eq(a, b) => {
+                buf.put_u8(2);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::IsStrat(s) => {
+                buf.put_u8(3);
+                s.encode(buf);
+            }
+            Prop::EqStrat(a, b) => {
+                buf.put_u8(4);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::LeStrat(a, b) => {
+                buf.put_u8(5);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::NoComp(a, b) => {
+                buf.put_u8(6);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Prop::IsNash(s) => {
+                buf.put_u8(7);
+                s.encode(buf);
+            }
+            Prop::NotNash(s) => {
+                buf.put_u8(8);
+                s.encode(buf);
+            }
+            Prop::IsMaxNash(s) => {
+                buf.put_u8(9);
+                s.encode(buf);
+            }
+            Prop::IsMinNash(s) => {
+                buf.put_u8(10);
+                s.encode(buf);
+            }
+            Prop::And(ps) => {
+                buf.put_u8(11);
+                ps.encode(buf);
+            }
+            Prop::Or(ps) => {
+                buf.put_u8(12);
+                ps.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Prop, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => Prop::Le(Term::decode(buf)?, Term::decode(buf)?),
+            1 => Prop::Lt(Term::decode(buf)?, Term::decode(buf)?),
+            2 => Prop::Eq(Term::decode(buf)?, Term::decode(buf)?),
+            3 => Prop::IsStrat(StrategyProfile::decode(buf)?),
+            4 => Prop::EqStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+            5 => Prop::LeStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+            6 => Prop::NoComp(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+            7 => Prop::IsNash(StrategyProfile::decode(buf)?),
+            8 => Prop::NotNash(StrategyProfile::decode(buf)?),
+            9 => Prop::IsMaxNash(StrategyProfile::decode(buf)?),
+            10 => Prop::IsMinNash(StrategyProfile::decode(buf)?),
+            11 => Prop::And(Vec::<Prop>::decode(buf)?),
+            12 => Prop::Or(Vec::<Prop>::decode(buf)?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for ProfileVerdict {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ProfileVerdict::NotNash { agent, strategy } => {
+                buf.put_u8(0);
+                agent.encode(buf);
+                strategy.encode(buf);
+            }
+            ProfileVerdict::NotStrictlyBetter(NotAboveWitness::PrefersCandidate { agent }) => {
+                buf.put_u8(1);
+                agent.encode(buf);
+            }
+            ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate) => {
+                buf.put_u8(2);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<ProfileVerdict, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => ProfileVerdict::NotNash {
+                agent: usize::decode(buf)?,
+                strategy: usize::decode(buf)?,
+            },
+            1 => ProfileVerdict::NotStrictlyBetter(NotAboveWitness::PrefersCandidate {
+                agent: usize::decode(buf)?,
+            }),
+            2 => ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Proof {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Proof::EvalAtom(p) => {
+                buf.put_u8(0);
+                p.encode(buf);
+            }
+            Proof::AndIntro(ps) => {
+                buf.put_u8(1);
+                ps.encode(buf);
+            }
+            Proof::OrIntro { disjuncts, index, witness } => {
+                buf.put_u8(2);
+                disjuncts.encode(buf);
+                index.encode(buf);
+                witness.encode(buf);
+            }
+            Proof::NashIntro { profile } => {
+                buf.put_u8(3);
+                profile.encode(buf);
+            }
+            Proof::NashRefute { profile, agent, strategy } => {
+                buf.put_u8(4);
+                profile.encode(buf);
+                agent.encode(buf);
+                strategy.encode(buf);
+            }
+            Proof::MaxNashIntro { profile, nash, classification } => {
+                buf.put_u8(5);
+                profile.encode(buf);
+                nash.encode(buf);
+                classification.encode(buf);
+            }
+            Proof::MinNashIntro { profile, nash, classification } => {
+                buf.put_u8(6);
+                profile.encode(buf);
+                nash.encode(buf);
+                classification.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Proof, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => Proof::EvalAtom(Prop::decode(buf)?),
+            1 => Proof::AndIntro(Vec::<Proof>::decode(buf)?),
+            2 => Proof::OrIntro {
+                disjuncts: Vec::<Prop>::decode(buf)?,
+                index: usize::decode(buf)?,
+                witness: Box::new(Proof::decode(buf)?),
+            },
+            3 => Proof::NashIntro { profile: StrategyProfile::decode(buf)? },
+            4 => Proof::NashRefute {
+                profile: StrategyProfile::decode(buf)?,
+                agent: usize::decode(buf)?,
+                strategy: usize::decode(buf)?,
+            },
+            5 => Proof::MaxNashIntro {
+                profile: StrategyProfile::decode(buf)?,
+                nash: Box::new(Proof::decode(buf)?),
+                classification: Vec::<ProfileVerdict>::decode(buf)?,
+            },
+            6 => Proof::MinNashIntro {
+                profile: StrategyProfile::decode(buf)?,
+                nash: Box::new(Proof::decode(buf)?),
+                classification: Vec::<ProfileVerdict>::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for ParticipationParams {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n.encode(buf);
+        self.k.encode(buf);
+        self.v.encode(buf);
+        self.c.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<ParticipationParams, WireError> {
+        let n = u64::decode(buf)?;
+        let k = u64::decode(buf)?;
+        let v = Rational::decode(buf)?;
+        let c = Rational::decode(buf)?;
+        ParticipationParams::new(n, k, v, c).map_err(WireError::Malformed)
+    }
+}
+
+impl Wire for EquilibriumRoot {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            EquilibriumRoot::Exact(p) => {
+                buf.put_u8(0);
+                p.encode(buf);
+            }
+            EquilibriumRoot::Bracket { lo, hi } => {
+                buf.put_u8(1);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<EquilibriumRoot, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => EquilibriumRoot::Exact(Rational::decode(buf)?),
+            1 => EquilibriumRoot::Bracket {
+                lo: Rational::decode(buf)?,
+                hi: Rational::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Advice {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Advice::PureNash(c) => {
+                buf.put_u8(0);
+                c.profile.encode(buf);
+                c.proof.encode(buf);
+            }
+            Advice::Support(c) => {
+                buf.put_u8(1);
+                c.row_support.encode(buf);
+                c.col_support.encode(buf);
+            }
+            Advice::Private(a) => {
+                buf.put_u8(2);
+                a.own_strategy.encode(buf);
+                a.lambda_own.encode(buf);
+                a.lambda_opp.encode(buf);
+            }
+            Advice::Participation(c) => {
+                buf.put_u8(3);
+                c.params.encode(buf);
+                c.root.encode(buf);
+            }
+            Advice::Online(c) => {
+                buf.put_u8(4);
+                c.current_loads.encode(buf);
+                c.own_load.encode(buf);
+                c.expected_future_load.encode(buf);
+                c.expected_future_agents.encode(buf);
+                c.assignment.encode(buf);
+                c.suggested_link.encode(buf);
+            }
+            Advice::Dominant { agent, strategy, strict } => {
+                buf.put_u8(5);
+                agent.encode(buf);
+                strategy.encode(buf);
+                strict.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Advice, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => Advice::PureNash(PureNashCertificate {
+                profile: StrategyProfile::decode(buf)?,
+                proof: Proof::decode(buf)?,
+            }),
+            1 => Advice::Support(SupportCertificate {
+                row_support: Vec::<usize>::decode(buf)?,
+                col_support: Vec::<usize>::decode(buf)?,
+            }),
+            2 => Advice::Private(P2Advice {
+                own_strategy: MixedStrategy::decode(buf)?,
+                lambda_own: Rational::decode(buf)?,
+                lambda_opp: Rational::decode(buf)?,
+            }),
+            3 => Advice::Participation(ParticipationCertificate {
+                params: ParticipationParams::decode(buf)?,
+                root: EquilibriumRoot::decode(buf)?,
+            }),
+            4 => Advice::Online(OnlineAdviceCertificate {
+                current_loads: Vec::<Rational>::decode(buf)?,
+                own_load: Rational::decode(buf)?,
+                expected_future_load: Rational::decode(buf)?,
+                expected_future_agents: usize::decode(buf)?,
+                assignment: Vec::<usize>::decode(buf)?,
+                suggested_link: usize::decode(buf)?,
+            }),
+            5 => Advice::Dominant {
+                agent: usize::decode(buf)?,
+                strategy: usize::decode(buf)?,
+                strict: bool::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Advice {
+    /// The dominance kind of a [`Advice::Dominant`] payload.
+    pub fn dominance_kind(strict: bool) -> Dominance {
+        if strict {
+            Dominance::Strict
+        } else {
+            Dominance::Weak
+        }
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Message::GameAnnouncement { game_id, description, commitment } => {
+                buf.put_u8(0);
+                game_id.encode(buf);
+                description.encode(buf);
+                commitment.encode(buf);
+            }
+            Message::AdviceRequest { game_id } => {
+                buf.put_u8(1);
+                game_id.encode(buf);
+            }
+            Message::AdviceWithProof { game_id, advice } => {
+                buf.put_u8(2);
+                game_id.encode(buf);
+                advice.encode(buf);
+            }
+            Message::VerdictRequest { game_id, advice } => {
+                buf.put_u8(3);
+                game_id.encode(buf);
+                advice.encode(buf);
+            }
+            Message::Verdict { game_id, accepted, detail } => {
+                buf.put_u8(4);
+                game_id.encode(buf);
+                accepted.encode(buf);
+                detail.encode(buf);
+            }
+            Message::VerdictReport { verifier, game_id, accepted } => {
+                buf.put_u8(5);
+                verifier.encode(buf);
+                game_id.encode(buf);
+                accepted.encode(buf);
+            }
+            Message::SupportQuery { game_id, index } => {
+                buf.put_u8(6);
+                game_id.encode(buf);
+                index.encode(buf);
+            }
+            Message::SupportAnswer { game_id, index, in_support } => {
+                buf.put_u8(7);
+                game_id.encode(buf);
+                index.encode(buf);
+                in_support.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Message, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => Message::GameAnnouncement {
+                game_id: u64::decode(buf)?,
+                description: String::decode(buf)?,
+                commitment: Vec::<u64>::decode(buf)?,
+            },
+            1 => Message::AdviceRequest { game_id: u64::decode(buf)? },
+            2 => Message::AdviceWithProof {
+                game_id: u64::decode(buf)?,
+                advice: Box::new(Advice::decode(buf)?),
+            },
+            3 => Message::VerdictRequest {
+                game_id: u64::decode(buf)?,
+                advice: Box::new(Advice::decode(buf)?),
+            },
+            4 => Message::Verdict {
+                game_id: u64::decode(buf)?,
+                accepted: bool::decode(buf)?,
+                detail: String::decode(buf)?,
+            },
+            5 => Message::VerdictReport {
+                verifier: Party::decode(buf)?,
+                game_id: u64::decode(buf)?,
+                accepted: bool::decode(buf)?,
+            },
+            6 => Message::SupportQuery {
+                game_id: u64::decode(buf)?,
+                index: usize::decode(buf)?,
+            },
+            7 => Message::SupportAnswer {
+                game_id: u64::decode(buf)?,
+                index: usize::decode(buf)?,
+                in_support: bool::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl<T: Wire> Wire for Box<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Box<T>, WireError> {
+        Ok(Box::new(T::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use ra_proofs::{prove_is_nash, prove_max_nash};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) -> usize {
+        let bytes = v.to_bytes();
+        let mut buf = bytes.clone();
+        let decoded = T::decode(&mut buf).expect("decodes");
+        assert_eq!(decoded, v);
+        assert!(!buf.has_remaining());
+        bytes.len()
+    }
+
+    #[test]
+    fn party_round_trips() {
+        round_trip(Party::Inventor(0));
+        round_trip(Party::Agent(12345));
+        round_trip(Party::Verifier(7));
+    }
+
+    #[test]
+    fn support_certificate_size_matches_lemma1_order() {
+        // The P1 certificate for an n × m game is O(n + m) small on the
+        // wire: a handful of bytes, independent of the payoff values.
+        let cert = SupportCertificate { row_support: vec![0, 2], col_support: vec![1] };
+        let size = round_trip(Advice::Support(cert));
+        assert!(size < 16, "tiny certificate, got {size} bytes");
+    }
+
+    #[test]
+    fn recursive_proofs_round_trip() {
+        let game = ra_games::named::coordination_game(3);
+        let max_proof = prove_max_nash(&game, &vec![2, 2].into()).unwrap();
+        round_trip(max_proof);
+        round_trip(prove_is_nash(vec![0, 1].into()));
+        let or = Proof::OrIntro {
+            disjuncts: vec![
+                Prop::IsNash(vec![0, 0].into()),
+                Prop::Lt(Term::constant(rat(1, 2)), Term::constant(rat(2, 3))),
+            ],
+            index: 1,
+            witness: Box::new(Proof::EvalAtom(Prop::Lt(
+                Term::constant(rat(1, 2)),
+                Term::constant(rat(2, 3)),
+            ))),
+        };
+        round_trip(or);
+    }
+
+    #[test]
+    fn all_advice_variants_round_trip() {
+        round_trip(Advice::PureNash(PureNashCertificate {
+            profile: vec![1, 1].into(),
+            proof: prove_is_nash(vec![1, 1].into()),
+        }));
+        round_trip(Advice::Private(P2Advice {
+            own_strategy: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3)]).unwrap(),
+            lambda_own: rat(5, 8),
+            lambda_opp: rat(-1, 2),
+        }));
+        round_trip(Advice::Participation(ParticipationCertificate {
+            params: ParticipationParams::paper_example(),
+            root: EquilibriumRoot::Exact(rat(1, 4)),
+        }));
+        round_trip(Advice::Participation(ParticipationCertificate {
+            params: ParticipationParams::paper_example(),
+            root: EquilibriumRoot::Bracket { lo: rat(1, 5), hi: rat(2, 5) },
+        }));
+        round_trip(Advice::Online(ra_proofs::honest_online_advice(
+            &[rat(3, 1), rat(1, 2)],
+            &rat(7, 3),
+            &rat(1, 1),
+            2,
+        )));
+        round_trip(Advice::Dominant { agent: 1, strategy: 4, strict: false });
+    }
+
+    #[test]
+    fn all_message_variants_round_trip() {
+        round_trip(Message::GameAnnouncement {
+            game_id: 9,
+            description: "participation auction".into(),
+            commitment: vec![1, 2, 3, 4],
+        });
+        round_trip(Message::AdviceRequest { game_id: 9 });
+        round_trip(Message::AdviceWithProof {
+            game_id: 9,
+            advice: Box::new(Advice::Support(SupportCertificate {
+                row_support: vec![0],
+                col_support: vec![1],
+            })),
+        });
+        round_trip(Message::Verdict {
+            game_id: 9,
+            accepted: false,
+            detail: "indifference system inconsistent".into(),
+        });
+        round_trip(Message::VerdictReport {
+            verifier: Party::Verifier(3),
+            game_id: 9,
+            accepted: true,
+        });
+    }
+
+    #[test]
+    fn corrupted_messages_rejected() {
+        let msg = Message::AdviceRequest { game_id: 1 };
+        let bytes = msg.to_bytes();
+        let mut truncated = bytes.slice(0..bytes.len() - 1);
+        // Either decodes to something else or errors — but with one byte cut
+        // from a varint tail it must error.
+        assert!(Message::decode(&mut truncated).is_err() || truncated.has_remaining());
+        let mut bad_tag = BytesMut::new();
+        bad_tag.put_u8(99);
+        assert!(matches!(
+            Message::decode(&mut bad_tag.freeze()),
+            Err(WireError::BadTag(99))
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! The P2 interactive proof run *over the bus* — §4's private consultation
+//! as an actual protocol, with every query and answer crossing the wire.
+//!
+//! The in-crate [`crate::messages::Message::SupportQuery`] /
+//! [`crate::messages::Message::SupportAnswer`] pair realizes Fig. 4's
+//! oracle; the inventor end answers from its (secret) equilibrium, the
+//! agent end runs the same verification logic as
+//! `ra_proofs::verify_private_advice` but with the oracle remoted. Byte
+//! accounting on the bus then *measures* the privacy claim: the only
+//! opponent information on the wire is the advice-free answer bits.
+
+use rand::Rng;
+
+use ra_games::{BimatrixGame, MixedProfile};
+use ra_proofs::{P2Advice, P2Rejection};
+
+use crate::bus::Bus;
+use crate::messages::{Advice, Message, Party};
+use crate::wire::Wire;
+
+/// The inventor's secret state for a P2 session: the full equilibrium.
+#[derive(Clone, Debug)]
+pub struct P2Prover {
+    /// Protocol identity.
+    pub id: Party,
+    equilibrium: MixedProfile,
+    /// If `true`, the prover lies about every membership query (a maximally
+    /// dishonest oracle, for fault-injection runs).
+    pub lies: bool,
+}
+
+impl P2Prover {
+    /// An honest prover holding the true equilibrium.
+    pub fn honest(id: u64, equilibrium: MixedProfile) -> P2Prover {
+        P2Prover { id: Party::Inventor(id), equilibrium, lies: false }
+    }
+
+    /// A prover that inverts every oracle answer.
+    pub fn lying(id: u64, equilibrium: MixedProfile) -> P2Prover {
+        P2Prover { id: Party::Inventor(id), equilibrium, lies: true }
+    }
+
+    /// The advice message for the row agent (own data + λ values only).
+    pub fn row_advice(&self, game: &BimatrixGame) -> P2Advice {
+        ra_proofs::honest_row_advice(game, &self.equilibrium)
+    }
+
+    fn answer(&self, index: usize) -> bool {
+        let truthful = !self.equilibrium.col.prob(index).is_zero();
+        truthful ^ self.lies
+    }
+}
+
+/// Outcome of a P2 session over the bus.
+#[derive(Clone, Debug)]
+pub struct P2SessionOutcome {
+    /// Accepted / rejected (with the protocol-level reason).
+    pub accepted: bool,
+    /// Rejection reason if any.
+    pub rejection: Option<P2Rejection>,
+    /// Oracle queries that crossed the wire.
+    pub queries: u64,
+    /// Total session bytes on the bus.
+    pub session_bytes: usize,
+    /// Bytes of opponent-revealing traffic (the answer messages).
+    pub opponent_answer_bytes: usize,
+}
+
+/// Runs a full P2 consultation for the **row agent** over `bus`:
+/// advice delivery, then query/answer rounds until `required_conclusive`
+/// conclusive pair tests or `max_queries` queries.
+///
+/// # Panics
+///
+/// Panics if bus endpoints cannot be registered (never, in-process).
+pub fn run_p2_session(
+    bus: &Bus,
+    game: &BimatrixGame,
+    prover: &P2Prover,
+    agent_id: u64,
+    required_conclusive: u64,
+    max_queries: u64,
+    rng: &mut dyn rand::RngCore,
+) -> P2SessionOutcome {
+    let agent = Party::Agent(agent_id);
+    let agent_ep = bus.register(agent);
+    let prover_ep = bus.register(prover.id);
+    let game_id = 1u64;
+    let bytes_before = bus.total_bytes();
+    let mut opponent_answer_bytes = 0usize;
+
+    // 1. Advice delivery (own data + λs — no opponent information).
+    let advice = prover.row_advice(game);
+    bus.send(
+        prover.id,
+        agent,
+        Message::AdviceWithProof { game_id, advice: Box::new(Advice::Private(advice)) },
+    )
+    .expect("agent registered");
+    let Some((_, Message::AdviceWithProof { advice, .. })) = agent_ep.try_recv() else {
+        panic!("advice delivery is synchronous in-process");
+    };
+    let Advice::Private(advice) = *advice else { panic!("P2 advice expected") };
+
+    // Local well-formedness.
+    let m = game.cols();
+    if advice.own_strategy.len() != game.rows() {
+        return P2SessionOutcome {
+            accepted: false,
+            rejection: Some(P2Rejection::MalformedOwnStrategy {
+                reason: "dimension mismatch".to_owned(),
+            }),
+            queries: 0,
+            session_bytes: bus.total_bytes() - bytes_before,
+            opponent_answer_bytes,
+        };
+    }
+
+    // 2. Interactive rounds.
+    let mut conclusive = 0u64;
+    let mut queries = 0u64;
+    let mut rejection: Option<P2Rejection> = None;
+    'outer: while conclusive < required_conclusive && queries + 2 <= max_queries {
+        let pair = [rng.random_range(0..m), rng.random_range(0..m)];
+        let mut answers = [false; 2];
+        for (slot, &j) in pair.iter().enumerate() {
+            bus.send(agent, prover.id, Message::SupportQuery { game_id, index: j })
+                .expect("prover registered");
+            // Prover end: answer the queued query.
+            for (from, msg) in prover_ep.drain() {
+                if let Message::SupportQuery { index, .. } = msg {
+                    let reply = Message::SupportAnswer {
+                        game_id,
+                        index,
+                        in_support: prover.answer(index),
+                    };
+                    opponent_answer_bytes += reply.encoded_len();
+                    bus.send(prover.id, from, reply).expect("agent registered");
+                }
+            }
+            // Agent end: receive the answer.
+            for (_, msg) in agent_ep.drain() {
+                if let Message::SupportAnswer { index, in_support, .. } = msg {
+                    if index == j {
+                        answers[slot] = in_support;
+                    }
+                }
+            }
+            queries += 1;
+        }
+        // Fig. 4 case analysis, exactly as the local verifier.
+        for (&j, &inside) in pair.iter().zip(answers.iter()) {
+            let actual = game.col_payoff_against(&advice.own_strategy, j);
+            if inside && actual != advice.lambda_opp {
+                rejection =
+                    Some(P2Rejection::InSupportPayoffMismatch { index: j, actual });
+                break 'outer;
+            }
+            if !inside && actual > advice.lambda_opp {
+                rejection = Some(P2Rejection::OutsideSupportExceeds { index: j, actual });
+                break 'outer;
+            }
+        }
+        if answers[0] || answers[1] {
+            conclusive += 1;
+        }
+    }
+    P2SessionOutcome {
+        accepted: rejection.is_none() && conclusive >= required_conclusive,
+        rejection,
+        queries,
+        session_bytes: bus.total_bytes() - bytes_before,
+        opponent_answer_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use ra_exact::rat;
+    use ra_games::named::battle_of_the_sexes;
+    use ra_games::MixedStrategy;
+
+    fn bos_equilibrium() -> (BimatrixGame, MixedProfile) {
+        let game = battle_of_the_sexes();
+        let profile = MixedProfile {
+            row: MixedStrategy::try_new(vec![rat(2, 3), rat(1, 3)]).unwrap(),
+            col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3)]).unwrap(),
+        };
+        assert!(game.is_nash(&profile));
+        (game, profile)
+    }
+
+    #[test]
+    fn honest_p2_session_accepts() {
+        let (game, eq) = bos_equilibrium();
+        let bus = Bus::new();
+        let prover = P2Prover::honest(0, eq);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = run_p2_session(&bus, &game, &prover, 0, 3, 100, &mut rng);
+        assert!(outcome.accepted, "{:?}", outcome.rejection);
+        assert!(outcome.queries >= 6);
+        assert!(outcome.session_bytes > 0);
+        // Opponent-revealing traffic is a small fraction of the session —
+        // and every one of those bytes carries exactly one membership bit.
+        assert!(outcome.opponent_answer_bytes < outcome.session_bytes);
+    }
+
+    #[test]
+    fn lying_prover_wrong_lambda_detected_via_wire() {
+        // A prover whose equilibrium does not match its λ claims: use the
+        // true mixed equilibrium for λ but lie on every membership answer.
+        // With full support {0,1}, "all out" answers are only inconclusive —
+        // so instead lie about a dominated-column game (index 2 earns less).
+        let game = BimatrixGame::from_i64_tables(
+            &[&[2, 0, 0], &[0, 1, 0]],
+            &[&[1, 0, -1], &[0, 2, -1]],
+        );
+        let eq = MixedProfile {
+            row: MixedStrategy::try_new(vec![rat(2, 3), rat(1, 3)]).unwrap(),
+            col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3), rat(0, 1)]).unwrap(),
+        };
+        assert!(game.is_nash(&eq));
+        let bus = Bus::new();
+        let prover = P2Prover::lying(0, eq);
+        let mut rejections = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = run_p2_session(&bus, &game, &prover, seed, 3, 200, &mut rng);
+            if !outcome.accepted {
+                rejections += 1;
+            }
+        }
+        assert!(rejections >= 15, "lying prover caught in {rejections}/20 sessions");
+    }
+
+    #[test]
+    fn session_is_deterministic_per_seed() {
+        let (game, eq) = bos_equilibrium();
+        let run = |seed: u64| {
+            let bus = Bus::new();
+            let prover = P2Prover::honest(0, eq.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = run_p2_session(&bus, &game, &prover, 0, 3, 100, &mut rng);
+            (o.accepted, o.queries, o.session_bytes)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn query_budget_respected() {
+        let (game, eq) = bos_equilibrium();
+        let bus = Bus::new();
+        let prover = P2Prover::honest(0, eq);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = run_p2_session(&bus, &game, &prover, 0, 50, 4, &mut rng);
+        assert!(!outcome.accepted);
+        assert!(outcome.queries <= 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Verifier reputation and majority voting.
+//!
+//! The paper: "We note the possibility of having several verifiers, such
+//! that their majority is trusted. The reputation of the verifiers can be
+//! updated according to the (majority of their) results." This module
+//! implements exactly that: verdicts are pooled per query, the majority
+//! decides, and each verifier's reputation moves toward or away from the
+//! majority. Persistently deviant verifiers fall below the exclusion
+//! threshold and stop being consulted.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::messages::Party;
+
+/// Reputation bookkeeping for verifiers.
+///
+/// Scores start at [`ReputationStore::INITIAL`] and move by ±1 per pooled
+/// query depending on agreement with the majority; verifiers at or below
+/// [`ReputationStore::EXCLUSION_THRESHOLD`] are excluded.
+#[derive(Debug, Default)]
+pub struct ReputationStore {
+    scores: Mutex<HashMap<Party, i64>>,
+}
+
+/// Outcome of pooling one round of verdicts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MajorityOutcome {
+    /// The majority verdict (ties resolve to `false` — reject, the safe
+    /// side for advice adoption).
+    pub accepted: bool,
+    /// Number of verifiers voting accept.
+    pub accept_votes: usize,
+    /// Number of verifiers voting reject.
+    pub reject_votes: usize,
+    /// Verifiers that disagreed with the majority this round.
+    pub dissenters: Vec<Party>,
+}
+
+impl ReputationStore {
+    /// Starting reputation score.
+    pub const INITIAL: i64 = 10;
+    /// At or below this score a verifier is no longer consulted.
+    pub const EXCLUSION_THRESHOLD: i64 = 0;
+
+    /// Creates an empty store.
+    pub fn new() -> ReputationStore {
+        ReputationStore::default()
+    }
+
+    /// Current score of a verifier (registering it on first touch).
+    pub fn score(&self, verifier: Party) -> i64 {
+        *self.scores.lock().entry(verifier).or_insert(Self::INITIAL)
+    }
+
+    /// Returns `true` if the verifier is still trusted (above the exclusion
+    /// threshold).
+    pub fn is_trusted(&self, verifier: Party) -> bool {
+        self.score(verifier) > Self::EXCLUSION_THRESHOLD
+    }
+
+    /// Pools one round of verdicts `(verifier, accepted)`, updates
+    /// reputations toward the majority, and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verdicts` is empty.
+    pub fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
+        assert!(!verdicts.is_empty(), "pooling requires at least one verdict");
+        let accept_votes = verdicts.iter().filter(|&&(_, a)| a).count();
+        let reject_votes = verdicts.len() - accept_votes;
+        let accepted = accept_votes > reject_votes;
+        let mut scores = self.scores.lock();
+        let mut dissenters = Vec::new();
+        for &(verifier, vote) in verdicts {
+            let entry = scores.entry(verifier).or_insert(Self::INITIAL);
+            if vote == accepted {
+                *entry += 1;
+            } else {
+                *entry -= 1;
+                dissenters.push(verifier);
+            }
+        }
+        MajorityOutcome { accepted, accept_votes, reject_votes, dissenters }
+    }
+
+    /// All verifiers currently trusted, sorted for determinism.
+    pub fn trusted_verifiers(&self) -> Vec<Party> {
+        let scores = self.scores.lock();
+        let mut out: Vec<Party> = scores
+            .iter()
+            .filter(|&(_, &s)| s > Self::EXCLUSION_THRESHOLD)
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> Party {
+        Party::Verifier(i)
+    }
+
+    #[test]
+    fn majority_decides_and_updates() {
+        let store = ReputationStore::new();
+        let outcome = store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        assert!(outcome.accepted);
+        assert_eq!(outcome.accept_votes, 2);
+        assert_eq!(outcome.dissenters, vec![v(2)]);
+        assert_eq!(store.score(v(0)), ReputationStore::INITIAL + 1);
+        assert_eq!(store.score(v(2)), ReputationStore::INITIAL - 1);
+    }
+
+    #[test]
+    fn ties_reject() {
+        let store = ReputationStore::new();
+        let outcome = store.pool_verdicts(&[(v(0), true), (v(1), false)]);
+        assert!(!outcome.accepted, "ties resolve to the safe side");
+    }
+
+    #[test]
+    fn persistent_deviants_get_excluded() {
+        let store = ReputationStore::new();
+        // Verifier 2 always disagrees with the honest majority.
+        for _ in 0..ReputationStore::INITIAL {
+            store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        assert!(!store.is_trusted(v(2)));
+        assert!(store.is_trusted(v(0)));
+        assert_eq!(store.trusted_verifiers(), vec![v(0), v(1)]);
+    }
+
+    #[test]
+    fn recovery_is_possible() {
+        let store = ReputationStore::new();
+        for _ in 0..3 {
+            store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        let before = store.score(v(2));
+        for _ in 0..5 {
+            store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), true)]);
+        }
+        assert!(store.score(v(2)) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verdict")]
+    fn empty_pool_panics() {
+        ReputationStore::new().pool_verdicts(&[]);
+    }
+}

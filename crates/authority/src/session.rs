@@ -1,0 +1,343 @@
+//! End-to-end consultation sessions — the Fig. 1 flow, over the bus.
+//!
+//! One consultation: the agent asks the inventor for advice, receives
+//! advice-with-proof, forwards it to every currently-trusted verifier,
+//! pools the verdicts by majority, updates reputations, and adopts the
+//! advice only on acceptance. Every hop crosses the [`Bus`], so the outcome
+//! carries exact byte counts.
+
+use std::collections::HashMap;
+
+use crate::bus::{Bus, Endpoint};
+use crate::inventor::{GameSpec, Inventor};
+use crate::messages::{Advice, Message, Party};
+use crate::reputation::{MajorityOutcome, ReputationStore};
+use crate::verifier::VerifierService;
+use crate::wire::Wire;
+
+/// Outcome of one consultation.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The advice received (if the inventor answered).
+    pub advice: Option<Advice>,
+    /// The pooled verdict (if advice was received and verifiers exist).
+    pub majority: Option<MajorityOutcome>,
+    /// Whether the agent adopts the advice.
+    pub adopted: bool,
+    /// Wire bytes of the advice message itself (Lemma 1 measurements).
+    pub advice_bytes: usize,
+    /// Total wire bytes of the whole session.
+    pub session_bytes: usize,
+    /// Per-verifier verdict details, for the audit log.
+    pub verdict_details: Vec<(Party, bool, String)>,
+}
+
+/// The assembled infrastructure: bus, reputation store, one inventor and a
+/// panel of verifiers.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::{
+///     GameSpec, Inventor, InventorBehavior, RationalityAuthority, VerifierBehavior,
+/// };
+/// use ra_games::named::prisoners_dilemma;
+///
+/// let mut authority = RationalityAuthority::new(
+///     Inventor::new(0, InventorBehavior::Honest),
+///     &[VerifierBehavior::Honest; 3],
+/// );
+/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+/// let outcome = authority.consult(0, &spec);
+/// assert!(outcome.adopted);
+/// ```
+pub struct RationalityAuthority {
+    bus: Bus,
+    reputation: ReputationStore,
+    inventor: Inventor,
+    verifiers: Vec<VerifierService>,
+    endpoints: HashMap<Party, Endpoint>,
+    next_game_id: u64,
+}
+
+impl RationalityAuthority {
+    /// Builds the infrastructure with one inventor and the given verifier
+    /// panel.
+    pub fn new(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+    ) -> RationalityAuthority {
+        let bus = Bus::new();
+        let mut endpoints = HashMap::new();
+        endpoints.insert(inventor.id, bus.register(inventor.id));
+        let verifiers: Vec<VerifierService> = verifier_behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| VerifierService::new(i as u64, b))
+            .collect();
+        for v in &verifiers {
+            endpoints.insert(v.id, bus.register(v.id));
+        }
+        RationalityAuthority {
+            bus,
+            reputation: ReputationStore::new(),
+            inventor,
+            verifiers,
+            endpoints,
+            next_game_id: 1,
+        }
+    }
+
+    /// The shared reputation store.
+    pub fn reputation(&self) -> &ReputationStore {
+        &self.reputation
+    }
+
+    /// The underlying bus (byte accounting, fault injection).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Runs one full consultation for agent `agent_id` about `spec`.
+    pub fn consult(&mut self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
+        let agent = Party::Agent(agent_id);
+        let agent_ep = self
+            .endpoints
+            .entry(agent)
+            .or_insert_with(|| self.bus.register(agent));
+        let _ = agent_ep;
+        let game_id = self.next_game_id;
+        self.next_game_id += 1;
+        let bytes_before = self.bus.total_bytes();
+
+        // 1. Agent → inventor: request.
+        self.bus
+            .send(agent, self.inventor.id, Message::AdviceRequest { game_id })
+            .expect("inventor registered");
+        // Inventor processes its queue.
+        let inventor_ep = &self.endpoints[&self.inventor.id];
+        let mut advice: Option<Advice> = None;
+        for (from, msg) in inventor_ep.drain() {
+            if let (Message::AdviceRequest { game_id: gid }, true) = (&msg, from == agent) {
+                if *gid == game_id {
+                    advice = self.inventor.advise(spec);
+                }
+            }
+        }
+        let mut advice_bytes = 0;
+        if let Some(a) = &advice {
+            let msg = Message::AdviceWithProof { game_id, advice: Box::new(a.clone()) };
+            advice_bytes = msg.encoded_len();
+            self.bus.send(self.inventor.id, agent, msg).expect("agent registered");
+        }
+        // Agent receives.
+        let received = self.endpoints[&agent].drain().into_iter().find_map(|(_, m)| match m {
+            Message::AdviceWithProof { advice, .. } => Some(*advice),
+            _ => None,
+        });
+        let Some(received_advice) = received else {
+            return SessionOutcome {
+                advice: None,
+                majority: None,
+                adopted: false,
+                advice_bytes: 0,
+                session_bytes: self.bus.total_bytes() - bytes_before,
+                verdict_details: Vec::new(),
+            };
+        };
+
+        // 2. Agent → trusted verifiers: verdict requests (and replies).
+        let mut verdicts: Vec<(Party, bool)> = Vec::new();
+        let mut verdict_details = Vec::new();
+        for verifier in &self.verifiers {
+            if !self.reputation.is_trusted(verifier.id) {
+                continue;
+            }
+            self.bus
+                .send(
+                    agent,
+                    verifier.id,
+                    Message::VerdictRequest {
+                        game_id,
+                        advice: Box::new(received_advice.clone()),
+                    },
+                )
+                .expect("verifier registered");
+            // Verifier processes its queue.
+            for (from, msg) in self.endpoints[&verifier.id].drain() {
+                if let Message::VerdictRequest { advice, .. } = msg {
+                    let (accepted, detail) = verifier.verify(spec, &advice);
+                    self.bus
+                        .send(
+                            verifier.id,
+                            from,
+                            Message::Verdict { game_id, accepted, detail: detail.clone() },
+                        )
+                        .expect("agent registered");
+                    verdict_details.push((verifier.id, accepted, detail));
+                }
+            }
+        }
+        // Agent collects verdicts.
+        for (from, msg) in self.endpoints[&agent].drain() {
+            if let Message::Verdict { accepted, .. } = msg {
+                verdicts.push((from, accepted));
+            }
+        }
+
+        // 3. Majority + reputation update.
+        let majority = if verdicts.is_empty() {
+            None
+        } else {
+            Some(self.reputation.pool_verdicts(&verdicts))
+        };
+        let adopted = majority.as_ref().is_some_and(|m| m.accepted);
+        SessionOutcome {
+            advice: Some(received_advice),
+            majority,
+            adopted,
+            advice_bytes,
+            session_bytes: self.bus.total_bytes() - bytes_before,
+            verdict_details,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventor::InventorBehavior;
+    use crate::verifier::VerifierBehavior;
+    use ra_games::named::{battle_of_the_sexes, prisoners_dilemma};
+    use ra_solvers::ParticipationParams;
+
+    fn all_specs() -> Vec<GameSpec> {
+        use ra_exact::rat;
+        vec![
+            GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+            GameSpec::Bimatrix(battle_of_the_sexes()),
+            GameSpec::Participation(ParticipationParams::paper_example()),
+            GameSpec::ParallelLinks {
+                current_loads: vec![rat(5, 1), rat(2, 1), rat(0, 1)],
+                own_load: rat(3, 1),
+                expected_future_load: rat(2, 1),
+                expected_future_agents: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn honest_end_to_end_adopts_everywhere() {
+        for spec in all_specs() {
+            let mut authority = RationalityAuthority::new(
+                Inventor::new(0, InventorBehavior::Honest),
+                &[VerifierBehavior::Honest; 3],
+            );
+            let outcome = authority.consult(0, &spec);
+            assert!(outcome.adopted, "spec {spec:?}");
+            assert!(outcome.advice_bytes > 0);
+            assert!(outcome.session_bytes >= outcome.advice_bytes);
+            let majority = outcome.majority.unwrap();
+            assert_eq!(majority.accept_votes, 3);
+        }
+    }
+
+    #[test]
+    fn corrupt_inventor_rejected_everywhere() {
+        for spec in all_specs() {
+            let mut authority = RationalityAuthority::new(
+                Inventor::new(0, InventorBehavior::Corrupt),
+                &[VerifierBehavior::Honest; 3],
+            );
+            let outcome = authority.consult(0, &spec);
+            assert!(!outcome.adopted, "spec {spec:?}");
+            assert!(outcome.advice.is_some(), "advice was given but rejected");
+        }
+    }
+
+    #[test]
+    fn silent_inventor_yields_no_adoption() {
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Silent),
+            &[VerifierBehavior::Honest; 3],
+        );
+        let outcome = authority.consult(0, &all_specs()[0]);
+        assert!(!outcome.adopted);
+        assert!(outcome.advice.is_none());
+    }
+
+    #[test]
+    fn minority_of_bad_verifiers_is_outvoted() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        // 3 honest + 2 rubber-stampers, corrupt inventor: majority rejects.
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Corrupt),
+            &[
+                VerifierBehavior::Honest,
+                VerifierBehavior::Honest,
+                VerifierBehavior::Honest,
+                VerifierBehavior::AlwaysAccept,
+                VerifierBehavior::AlwaysAccept,
+            ],
+        );
+        let outcome = authority.consult(0, &spec);
+        assert!(!outcome.adopted);
+        let majority = outcome.majority.unwrap();
+        assert_eq!(majority.accept_votes, 2);
+        assert_eq!(majority.reject_votes, 3);
+    }
+
+    #[test]
+    fn deviant_verifiers_lose_reputation_and_get_excluded() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[
+                VerifierBehavior::Honest,
+                VerifierBehavior::Honest,
+                VerifierBehavior::AlwaysReject,
+            ],
+        );
+        let saboteur = Party::Verifier(2);
+        for round in 0..20 {
+            let outcome = authority.consult(round, &spec);
+            assert!(outcome.adopted, "honest majority keeps adopting");
+        }
+        assert!(!authority.reputation().is_trusted(saboteur));
+        // Once excluded, consultations proceed with the remaining panel.
+        let outcome = authority.consult(99, &spec);
+        assert_eq!(outcome.verdict_details.len(), 2);
+        assert!(outcome.adopted);
+    }
+
+    #[test]
+    fn support_certificate_bytes_are_small() {
+        // Lemma 1, measured end-to-end: the advice message for a bimatrix
+        // game is dominated by framing, not payoffs.
+        let spec = GameSpec::Bimatrix(battle_of_the_sexes());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest],
+        );
+        let outcome = authority.consult(0, &spec);
+        assert!(outcome.adopted);
+        assert!(
+            outcome.advice_bytes < 32,
+            "P1 advice should be tens of bytes, got {}",
+            outcome.advice_bytes
+        );
+    }
+
+    #[test]
+    fn dropped_advice_link_fails_gracefully() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest],
+        );
+        authority.bus().drop_link(Party::Inventor(0), Party::Agent(0));
+        let outcome = authority.consult(0, &spec);
+        assert!(!outcome.adopted);
+        assert!(outcome.advice.is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench: the §4 / Lemma 1 asymmetry — inventor-side equilibrium
+//! computation vs agent-side P1 verification, on the same games.
+//!
+//! Run with `cargo bench -p ra-bench --bench verify_vs_compute`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ra_games::GameGenerator;
+use ra_proofs::{verify_support_certificate, SupportCertificate};
+use ra_solvers::{enumerate_equilibria, lemke_howson, EnumerationOptions};
+
+fn prepared(n: usize) -> (ra_games::BimatrixGame, SupportCertificate) {
+    // Scan seeds for a game whose first equilibrium verifies via P1
+    // (nondegenerate), so every arm benches the same instance.
+    for seed in 0..50u64 {
+        let game = GameGenerator::seeded(7000 + 100 * n as u64 + seed).bimatrix(n, n, -100..=100);
+        let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+        if let Some(eq) = eqs.first() {
+            let cert = SupportCertificate {
+                row_support: eq.row_support.clone(),
+                col_support: eq.col_support.clone(),
+            };
+            if verify_support_certificate(&game, &cert).is_ok() {
+                return (game, cert);
+            }
+        }
+    }
+    panic!("no suitable instance found for n = {n}");
+}
+
+fn bench_verify_vs_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bimatrix");
+    for n in [2usize, 3, 4, 5] {
+        let (game, cert) = prepared(n);
+        group.bench_with_input(BenchmarkId::new("compute/support_enum", n), &n, |b, _| {
+            b.iter(|| {
+                enumerate_equilibria(black_box(&game), &EnumerationOptions::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compute/lemke_howson", n), &n, |b, _| {
+            b.iter(|| lemke_howson(black_box(&game), 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify/p1", n), &n, |b, _| {
+            b.iter(|| verify_support_certificate(black_box(&game), black_box(&cert)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_verify_vs_compute
+}
+criterion_main!(benches);

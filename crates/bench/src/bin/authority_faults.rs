@@ -1,0 +1,111 @@
+//! The end-to-end fault-injection matrix: every inventor behaviour against
+//! every verifier-panel composition, across all four case studies.
+//!
+//! The framework-level claim of the paper: with the verification procedures
+//! in place, agents adopt honest advice and refuse corrupted advice — and
+//! with majority-trusted verifier panels, a minority of broken verifiers
+//! cannot change that.
+//!
+//! Usage: `cargo run -p ra-bench --release --bin authority_faults`
+
+use ra_authority::{
+    GameSpec, Inventor, InventorBehavior, Party, RationalityAuthority, VerifierBehavior,
+};
+use ra_bench::write_csv;
+use ra_exact::rat;
+use ra_games::named::{battle_of_the_sexes, prisoners_dilemma};
+use ra_solvers::ParticipationParams;
+
+fn specs() -> Vec<(&'static str, GameSpec)> {
+    vec![
+        ("strategic(PD)", GameSpec::Strategic(prisoners_dilemma().to_strategic())),
+        ("bimatrix(BoS)", GameSpec::Bimatrix(battle_of_the_sexes())),
+        ("participation", GameSpec::Participation(ParticipationParams::paper_example())),
+        (
+            "parallel-links",
+            GameSpec::ParallelLinks {
+                current_loads: vec![rat(5, 1), rat(2, 1), rat(0, 1)],
+                own_load: rat(3, 1),
+                expected_future_load: rat(2, 1),
+                expected_future_agents: 4,
+            },
+        ),
+    ]
+}
+
+fn panels() -> Vec<(&'static str, Vec<VerifierBehavior>)> {
+    use VerifierBehavior::*;
+    vec![
+        ("3 honest", vec![Honest; 3]),
+        ("3 honest + 2 bought", vec![Honest, Honest, Honest, AlwaysAccept, AlwaysAccept]),
+        ("3 honest + 2 saboteurs", vec![Honest, Honest, Honest, AlwaysReject, AlwaysReject]),
+        ("1 honest + 1 flaky", vec![Honest, Random { accept_per_mille: 500 }]),
+    ]
+}
+
+fn main() {
+    println!("End-to-end fault matrix (adopted? expected: honest yes, corrupt no):\n");
+    println!(
+        "{:<16} {:<24} {:>10} {:>10}",
+        "game", "verifier panel", "honest", "corrupt"
+    );
+    let mut rows = Vec::new();
+    let mut violations = 0;
+    for (game_name, spec) in specs() {
+        for (panel_name, panel) in panels() {
+            let mut outcomes = Vec::new();
+            for behavior in [InventorBehavior::Honest, InventorBehavior::Corrupt] {
+                let mut authority =
+                    RationalityAuthority::new(Inventor::new(0, behavior), &panel);
+                let outcome = authority.consult(0, &spec);
+                outcomes.push(outcome.adopted);
+            }
+            let (honest_ok, corrupt_ok) = (outcomes[0], outcomes[1]);
+            // Majority-honest panels must adopt honest and refuse corrupt;
+            // the tie panel (1 honest + 1 flaky) may legitimately refuse
+            // honest advice (ties reject) but must never adopt corrupt
+            // advice when the honest verifier rejects it... a flaky accept +
+            // honest reject ties → reject. So corrupt adoption is a hard
+            // violation everywhere; honest adoption is required only with
+            // an honest strict majority.
+            let majority_honest = panel_name != "1 honest + 1 flaky";
+            let violation = (majority_honest && !honest_ok) || corrupt_ok;
+            if violation {
+                violations += 1;
+            }
+            println!(
+                "{:<16} {:<24} {:>10} {:>10}{}",
+                game_name,
+                panel_name,
+                if honest_ok { "ADOPT" } else { "refuse" },
+                if corrupt_ok { "ADOPT(!)" } else { "refuse" },
+                if violation { "   <-- VIOLATION" } else { "" }
+            );
+            rows.push(format!("{game_name},{panel_name},{honest_ok},{corrupt_ok}"));
+        }
+    }
+    let path = write_csv("authority_faults", "game,panel,honest_adopted,corrupt_adopted", &rows);
+    println!("\nwrote {}", path.display());
+
+    // Reputation dynamics under repeated consultations.
+    println!("\nreputation after 20 honest consultations with a saboteur on the panel:");
+    let mut authority = RationalityAuthority::new(
+        Inventor::new(0, InventorBehavior::Honest),
+        &[VerifierBehavior::Honest, VerifierBehavior::Honest, VerifierBehavior::AlwaysReject],
+    );
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    for round in 0..20 {
+        authority.consult(round, &spec);
+    }
+    for i in 0..3u64 {
+        let v = Party::Verifier(i);
+        println!(
+            "  {v}: score {:>3} {}",
+            authority.reputation().score(v),
+            if authority.reputation().is_trusted(v) { "(trusted)" } else { "(EXCLUDED)" }
+        );
+    }
+    assert!(!authority.reputation().is_trusted(Party::Verifier(2)));
+    assert_eq!(violations, 0, "framework-level guarantee violated");
+    println!("\npaper check — 0 violations across the whole matrix.");
+}

@@ -1,0 +1,67 @@
+//! Regenerates Figure 7: percentage of iterations in which the inventor's
+//! statistics-informed advice yields a strictly better final makespan than
+//! the greedy least-loaded strategy.
+//!
+//! Default: the sparse "quick" sweep (same agents/loads/iterations as the
+//! paper, 15 representative link counts — minutes of CPU). `--full` runs
+//! every m in 2..=500 like the paper's chart.
+//!
+//! Usage: `cargo run -p ra-bench --release --bin fig7 [--full]`
+
+use ra_bench::write_csv;
+use ra_congestion::{run_fig7, Fig7Config};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { Fig7Config::paper() } else { Fig7Config::quick() };
+    println!(
+        "Fig. 7: {} agents, loads U[{}, {}], {} iterations per point, {} link counts{}",
+        config.num_agents,
+        config.load_range.0,
+        config.load_range.1,
+        config.iterations,
+        config.link_counts.len(),
+        if full { " (FULL sweep)" } else { " (quick sweep; pass --full for 2..=500)" },
+    );
+    println!(
+        "\n{:>5} {:>20} {:>18} {:>8} {:>16}",
+        "m", "inventor better %", "greedy better %", "ties %", "mean ratio g/i"
+    );
+    let points = run_fig7(&config);
+    let mut rows = Vec::new();
+    for p in &points {
+        println!(
+            "{:>5} {:>20.1} {:>18.1} {:>8.1} {:>16.4}",
+            p.m,
+            p.inventor_strictly_better_pct,
+            p.greedy_strictly_better_pct,
+            p.tie_pct,
+            p.mean_makespan_ratio
+        );
+        rows.push(format!(
+            "{},{:.2},{:.2},{:.2},{:.5}",
+            p.m,
+            p.inventor_strictly_better_pct,
+            p.greedy_strictly_better_pct,
+            p.tie_pct,
+            p.mean_makespan_ratio
+        ));
+    }
+    let path = write_csv(
+        "fig7",
+        "m,inventor_strictly_better_pct,greedy_strictly_better_pct,tie_pct,mean_makespan_ratio",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+
+    // The paper's qualitative claims, checked programmatically:
+    let large_m: Vec<_> = points.iter().filter(|p| p.m >= 100).collect();
+    if !large_m.is_empty() {
+        let min_large =
+            large_m.iter().map(|p| p.inventor_strictly_better_pct).fold(f64::MAX, f64::min);
+        println!(
+            "paper check — for m ≥ 100 the inventor wins ≥ {min_large:.0}% of iterations \
+             (paper: 'vast majority', 99-100%)"
+        );
+    }
+}

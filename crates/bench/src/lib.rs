@@ -1,0 +1,118 @@
+//! # ra-bench — experiment regeneration and benchmarks
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index) plus Criterion micro-benchmarks. Shared helpers live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats seconds human-readably (µs/ms/s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Writes CSV rows to `results/<name>.csv` under the workspace root,
+/// returning the path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors — acceptable in experiment binaries.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut contents = String::from(header);
+    contents.push('\n');
+    for row in rows {
+        contents.push_str(row);
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents).expect("write csv");
+    path
+}
+
+/// Constructs an `m × m` bimatrix game whose unique equilibrium mixes
+/// uniformly over the first `support_size` strategies of each agent
+/// (a generalized rock-paper-scissors block padded with strictly dominated
+/// strategies). `support_size` must be odd and `≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `support_size` is even, zero, or exceeds `m`.
+pub fn game_with_support_size(m: usize, support_size: usize) -> ra_games::BimatrixGame {
+    assert!(support_size >= 1 && support_size <= m, "support size in range");
+    assert!(support_size % 2 == 1, "odd support for a unique cyclic equilibrium");
+    use ra_exact::Rational;
+    let s = support_size;
+    let a = ra_exact::Matrix::from_fn(m, m, |i, j| {
+        if i < s && j < s {
+            // Cyclic zero-sum block: beats the next (s-1)/2, loses to the
+            // previous (s-1)/2.
+            let diff = (j + s - i) % s;
+            if diff == 0 {
+                Rational::zero()
+            } else if diff <= (s - 1) / 2 {
+                Rational::from(-1)
+            } else {
+                Rational::from(1)
+            }
+        } else if i >= s {
+            Rational::from(-10) // dominated row
+        } else {
+            Rational::from(10) // column j >= s is bad for the column agent
+        }
+    });
+    let b = ra_exact::Matrix::from_fn(m, m, |i, j| -&a[(i, j)]);
+    ra_games::BimatrixGame::new(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_games::{MixedProfile, MixedStrategy};
+
+    #[test]
+    fn support_game_has_uniform_equilibrium() {
+        for (m, s) in [(5, 3), (8, 5), (6, 1), (7, 7)] {
+            let game = game_with_support_size(m, s);
+            let mut probs = vec![ra_exact::Rational::zero(); m];
+            for p in probs.iter_mut().take(s) {
+                *p = ra_exact::Rational::new(1, s as i64);
+            }
+            let profile = MixedProfile {
+                row: MixedStrategy::try_new(probs.clone()).unwrap(),
+                col: MixedStrategy::try_new(probs).unwrap(),
+            };
+            assert!(game.is_nash(&profile), "m={m} s={s}");
+        }
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+        assert!(fmt_secs(0.0000005).ends_with("µs"));
+        assert!(fmt_secs(0.005).ends_with("ms"));
+        assert!(fmt_secs(2.5).ends_with('s'));
+    }
+}

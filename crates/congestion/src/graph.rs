@@ -1,0 +1,326 @@
+//! Directed networks with load-dependent arc delays (§6).
+//!
+//! A network `N = (V, E, (d_e))` has a non-decreasing delay function per
+//! arc, evaluated on the arc's total load. Delays are exact rationals so the
+//! Fig. 6 analysis and the potential-function arguments are decided exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use ra_exact::Rational;
+
+/// A node identifier (index into the network's node list).
+pub type Node = usize;
+
+/// An arc identifier (index into the network's arc list).
+pub type ArcId = usize;
+
+/// A non-decreasing delay function `d_e : load → delay`.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DelayFn {
+    /// `d(x) = x` — the identity delay of the Fig. 6/7 examples.
+    Identity,
+    /// `d(x) = a·x + b` with `a ≥ 0`.
+    Affine {
+        /// Slope `a ≥ 0`.
+        coeff: Rational,
+        /// Intercept `b`.
+        constant: Rational,
+    },
+    /// `d(x) = c`, load-independent.
+    Constant(Rational),
+}
+
+impl DelayFn {
+    /// Evaluates the delay at the given load.
+    pub fn eval(&self, load: &Rational) -> Rational {
+        match self {
+            DelayFn::Identity => load.clone(),
+            DelayFn::Affine { coeff, constant } => coeff * load + constant,
+            DelayFn::Constant(c) => c.clone(),
+        }
+    }
+}
+
+/// A directed arc with a delay function.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Arc {
+    /// Tail node.
+    pub from: Node,
+    /// Head node.
+    pub to: Node,
+    /// The arc's delay function.
+    pub delay: DelayFn,
+}
+
+/// A directed network with delay functions.
+///
+/// # Examples
+///
+/// ```
+/// use ra_congestion::{DelayFn, Network};
+///
+/// let mut n = Network::new(3);
+/// n.add_arc(0, 1, DelayFn::Identity);
+/// n.add_arc(1, 2, DelayFn::Identity);
+/// assert_eq!(n.num_arcs(), 2);
+/// assert_eq!(n.arcs_from(0).len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Network {
+    num_nodes: usize,
+    arcs: Vec<Arc>,
+    out: Vec<Vec<ArcId>>,
+}
+
+impl Network {
+    /// Creates a network with `num_nodes` nodes and no arcs.
+    pub fn new(num_nodes: usize) -> Network {
+        Network { num_nodes, arcs: Vec::new(), out: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Adds an arc and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_arc(&mut self, from: Node, to: Node, delay: DelayFn) -> ArcId {
+        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { from, to, delay });
+        self.out[from].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id]
+    }
+
+    /// Ids of the arcs leaving `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn arcs_from(&self, node: Node) -> &[ArcId] {
+        &self.out[node]
+    }
+
+    /// Shortest (minimum-delay) path from `source` to `sink` for an agent of
+    /// load `extra`, given the current `loads` on each arc: arc `e` costs
+    /// `d_e(W_e + extra)` (the delay the agent would experience there).
+    ///
+    /// Returns the arc ids along the path and the total delay, or `None` if
+    /// the sink is unreachable. Deterministic tie-breaking (lexicographically
+    /// smallest arc-id path among minimal-delay ones) keeps simulations
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != self.num_arcs()` or a node is out of range.
+    pub fn shortest_path(
+        &self,
+        loads: &[Rational],
+        extra: &Rational,
+        source: Node,
+        sink: Node,
+    ) -> Option<(Vec<ArcId>, Rational)> {
+        assert_eq!(loads.len(), self.arcs.len(), "one load per arc required");
+        assert!(source < self.num_nodes && sink < self.num_nodes, "node out of range");
+        // Dijkstra with exact rational distances. Arc costs are
+        // non-negative for non-decreasing delays on non-negative loads.
+        let mut dist: Vec<Option<Rational>> = vec![None; self.num_nodes];
+        let mut pred: Vec<Option<ArcId>> = vec![None; self.num_nodes];
+        let mut heap: BinaryHeap<Reverse<(Rational, usize)>> = BinaryHeap::new();
+        dist[source] = Some(Rational::zero());
+        heap.push(Reverse((Rational::zero(), source)));
+        while let Some(Reverse((d, node))) = heap.pop() {
+            if dist[node].as_ref() != Some(&d) {
+                continue; // stale entry
+            }
+            if node == sink {
+                break;
+            }
+            for &aid in &self.out[node] {
+                let arc = &self.arcs[aid];
+                let cost = arc.delay.eval(&(&loads[aid] + extra));
+                debug_assert!(!cost.is_negative(), "delays must be non-negative");
+                let cand = &d + &cost;
+                let better = match &dist[arc.to] {
+                    None => true,
+                    Some(cur) => {
+                        &cand < cur
+                            || (&cand == cur
+                                && pred[arc.to].is_some_and(|p| aid < p))
+                    }
+                };
+                if better {
+                    dist[arc.to] = Some(cand.clone());
+                    pred[arc.to] = Some(aid);
+                    heap.push(Reverse((cand, arc.to)));
+                }
+            }
+        }
+        let total = dist[sink].clone()?;
+        let mut path = Vec::new();
+        let mut node = sink;
+        while node != source {
+            let aid = pred[node].expect("predecessor chain reaches source");
+            path.push(aid);
+            node = self.arcs[aid].from;
+        }
+        path.reverse();
+        Some((path, total))
+    }
+
+    /// Total delay of a fixed path under given arc loads (the path user's
+    /// own load is assumed already included in `loads`).
+    pub fn path_delay(&self, path: &[ArcId], loads: &[Rational]) -> Rational {
+        path.iter()
+            .map(|&aid| self.arcs[aid].delay.eval(&loads[aid]))
+            .fold(Rational::zero(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network({} nodes, {} arcs)", self.num_nodes, self.arcs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+
+    fn r(v: i64) -> Rational {
+        Rational::from(v)
+    }
+
+    /// Two parallel two-hop routes from 0 to 3.
+    fn diamond() -> Network {
+        let mut n = Network::new(4);
+        n.add_arc(0, 1, DelayFn::Identity); // 0
+        n.add_arc(1, 3, DelayFn::Identity); // 1
+        n.add_arc(0, 2, DelayFn::Identity); // 2
+        n.add_arc(2, 3, DelayFn::Identity); // 3
+        n
+    }
+
+    #[test]
+    fn delay_functions() {
+        assert_eq!(DelayFn::Identity.eval(&r(7)), r(7));
+        assert_eq!(
+            DelayFn::Affine { coeff: rat(1, 2), constant: r(3) }.eval(&r(4)),
+            r(5)
+        );
+        assert_eq!(DelayFn::Constant(r(9)).eval(&r(100)), r(9));
+    }
+
+    #[test]
+    fn shortest_path_picks_lighter_route() {
+        let n = diamond();
+        let loads = vec![r(5), r(5), r(0), r(0)];
+        let (path, delay) = n.shortest_path(&loads, &r(1), 0, 3).unwrap();
+        assert_eq!(path, vec![2, 3]);
+        assert_eq!(delay, r(2));
+    }
+
+    #[test]
+    fn tie_breaks_toward_lower_arc_ids() {
+        let n = diamond();
+        let loads = vec![r(0); 4];
+        let (path, delay) = n.shortest_path(&loads, &r(1), 0, 3).unwrap();
+        assert_eq!(delay, r(2));
+        assert_eq!(path, vec![0, 1], "deterministic tie-break");
+    }
+
+    #[test]
+    fn unreachable_sink() {
+        let mut n = Network::new(3);
+        n.add_arc(0, 1, DelayFn::Identity);
+        assert!(n.shortest_path(&[r(0)], &r(1), 0, 2).is_none());
+    }
+
+    #[test]
+    fn path_delay_matches_manual_sum() {
+        let n = diamond();
+        let loads = vec![r(3), r(4), r(0), r(0)];
+        assert_eq!(n.path_delay(&[0, 1], &loads), r(7));
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let n = diamond();
+        let (path, delay) = n.shortest_path(&vec![r(0); 4], &r(1), 2, 2).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(delay, r(0));
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bruteforce_on_random_dags() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            // Random layered DAG on 6 nodes.
+            let mut n = Network::new(6);
+            let mut loads = Vec::new();
+            for from in 0..5 {
+                for to in from + 1..6 {
+                    if rng.random_bool(0.6) {
+                        n.add_arc(from, to, DelayFn::Identity);
+                        loads.push(r(rng.random_range(0..10)));
+                    }
+                }
+            }
+            let dij = n.shortest_path(&loads, &r(1), 0, 5);
+            let brute = brute_force_best(&n, &loads, 0, 5);
+            match (dij, brute) {
+                (None, None) => {}
+                (Some((_, d)), Some(b)) => assert_eq!(d, b),
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    fn brute_force_best(n: &Network, loads: &[Rational], s: Node, t: Node) -> Option<Rational> {
+        fn rec(
+            n: &Network,
+            loads: &[Rational],
+            node: Node,
+            t: Node,
+            acc: Rational,
+            best: &mut Option<Rational>,
+        ) {
+            if node == t {
+                if best.is_none() || best.as_ref().unwrap() > &acc {
+                    *best = Some(acc);
+                }
+                return;
+            }
+            for &aid in n.arcs_from(node) {
+                let arc = n.arc(aid);
+                let cost = arc.delay.eval(&(&loads[aid] + &Rational::one()));
+                rec(n, loads, arc.to, t, &acc + &cost, best);
+            }
+        }
+        let mut best = None;
+        rec(n, loads, s, t, Rational::zero(), &mut best);
+        best
+    }
+}

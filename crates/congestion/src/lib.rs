@@ -1,0 +1,36 @@
+//! # ra-congestion — online network congestion games (§6)
+//!
+//! The substrate for the paper's final case study:
+//!
+//! * [`Network`] / [`DelayFn`] — directed networks with load-dependent
+//!   delays and exact Dijkstra routing;
+//! * [`fig6_instance`] / [`fig6_outcome`] — the Fig. 6 example showing
+//!   greedy arrival-time best-replies are not hindsight best-replies;
+//! * [`greedy_assign`] / [`inventor_assign`] — the two competing strategies
+//!   on parallel links, with Lemma 2's `(2 − 1/m)·OPT` guarantee checkable
+//!   via [`opt_makespan_exact`];
+//! * [`run_fig7`] — the headline simulation regenerating Fig. 7;
+//! * [`rosenthal_potential`] — why the offline game always has a pure Nash
+//!   equilibrium (and why best-response dynamics converge).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod online;
+mod parallel;
+mod potential;
+mod simulation;
+
+pub use graph::{Arc, ArcId, DelayFn, Network, Node};
+pub use online::{fig6_instance, fig6_outcome, play_greedy, Configuration, Fig6, Request};
+pub use parallel::{
+    greedy_assign, greedy_satisfies_lemma2, inventor_assign, inventor_suggested_link,
+    lpt_assign, mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound,
+    Assignment,
+};
+pub use potential::{
+    best_response_dynamics_paths, best_response_step, configuration_from_paths,
+    is_path_equilibrium, rosenthal_potential,
+};
+pub use simulation::{fig7_iteration, run_fig7, Fig7Config, Fig7Point};

@@ -1,0 +1,220 @@
+//! The online congestion game of §6: agents arrive one by one and commit to
+//! paths irrevocably.
+//!
+//! Includes the Fig. 6 construction showing that the greedy best-reply at
+//! arrival time need not be a best-reply in hindsight once later agents have
+//! arrived.
+
+use ra_exact::Rational;
+
+use crate::graph::{ArcId, DelayFn, Network, Node};
+
+/// One agent's routing request: where from, where to, how much load, in
+/// arrival order.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Source node `s_i`.
+    pub source: Node,
+    /// Sink node `t_i`.
+    pub sink: Node,
+    /// Load `w_i`.
+    pub load: Rational,
+}
+
+/// The evolving configuration `π(i)`: chosen paths and arc loads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    /// Path (arc ids) chosen by each agent that has arrived, in order.
+    pub paths: Vec<Vec<ArcId>>,
+    /// Current total load `W_e` on each arc.
+    pub arc_loads: Vec<Rational>,
+}
+
+impl Configuration {
+    /// Empty configuration for a network.
+    pub fn new(network: &Network) -> Configuration {
+        Configuration {
+            paths: Vec::new(),
+            arc_loads: vec![Rational::zero(); network.num_arcs()],
+        }
+    }
+
+    /// Commits a path for the next agent.
+    pub fn commit(&mut self, path: Vec<ArcId>, load: &Rational) {
+        for &aid in &path {
+            self.arc_loads[aid] = &self.arc_loads[aid] + load;
+        }
+        self.paths.push(path);
+    }
+
+    /// The delay agent `i` currently experiences: `λ_i(π) = Σ_{e∈π_i} d_e(W_e)`.
+    pub fn agent_delay(&self, network: &Network, agent: usize) -> Rational {
+        network.path_delay(&self.paths[agent], &self.arc_loads)
+    }
+
+    /// Total congestion `Λ(π) = Σ_e d_e(W_e)` — the inventor's objective.
+    pub fn total_congestion(&self, network: &Network) -> Rational {
+        (0..network.num_arcs())
+            .map(|aid| network.arc(aid).delay.eval(&self.arc_loads[aid]))
+            .fold(Rational::zero(), |a, b| a + b)
+    }
+
+    /// The delay agent `agent` (of the given `load`) would experience after
+    /// unilaterally re-routing to `path` in the current configuration.
+    pub fn hindsight_delay_with_load(
+        &self,
+        network: &Network,
+        agent: usize,
+        load: &Rational,
+        path: &[ArcId],
+    ) -> Rational {
+        let mut loads = self.arc_loads.clone();
+        for &aid in &self.paths[agent] {
+            loads[aid] = &loads[aid] - load;
+        }
+        for &aid in path {
+            loads[aid] = &loads[aid] + load;
+        }
+        network.path_delay(path, &loads)
+    }
+}
+
+/// Plays the whole arrival sequence greedily: each agent takes the
+/// minimum-delay path at its arrival time (the "natural" strategy the
+/// inventor's advice competes with).
+///
+/// # Panics
+///
+/// Panics if some request's sink is unreachable.
+pub fn play_greedy(network: &Network, requests: &[Request]) -> Configuration {
+    let mut config = Configuration::new(network);
+    for req in requests {
+        let (path, _) = network
+            .shortest_path(&config.arc_loads, &req.load, req.source, req.sink)
+            .expect("sink reachable");
+        config.commit(path, &req.load);
+    }
+    config
+}
+
+/// The Fig. 6 instance: nodes `a, b, c, d`, identity delays, `2k` unit-load
+/// agents pre-routed so every arc has congestion `k`, then agent `2k+1`
+/// (a → d) and agent `2k+2` (b → d).
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// The four-node network (a=0, b=1, c=2, d=3).
+    pub network: Network,
+    /// Arc ids: a→b, b→d, a→c, c→d.
+    pub arcs: [ArcId; 4],
+    /// The configuration right before agent 2k+1 arrives.
+    pub config: Configuration,
+    /// The parameter k.
+    pub k: u64,
+}
+
+/// Builds the Fig. 6 example for a given `k ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn fig6_instance(k: u64) -> Fig6 {
+    assert!(k >= 1, "Fig. 6 needs k >= 1");
+    let mut network = Network::new(4);
+    let ab = network.add_arc(0, 1, DelayFn::Identity);
+    let bd = network.add_arc(1, 3, DelayFn::Identity);
+    let ac = network.add_arc(0, 2, DelayFn::Identity);
+    let cd = network.add_arc(2, 3, DelayFn::Identity);
+    let mut config = Configuration::new(&network);
+    // k agents a→b→d and k agents a→c→d give every arc congestion k.
+    for _ in 0..k {
+        config.commit(vec![ab, bd], &Rational::one());
+        config.commit(vec![ac, cd], &Rational::one());
+    }
+    Fig6 { network, arcs: [ab, bd, ac, cd], config, k }
+}
+
+/// Plays out the Fig. 6 story and returns
+/// `(delay experienced by agent 2k+1, its hindsight best-reply delay)` —
+/// `(2k+3, 2k+2)` in the paper.
+pub fn fig6_outcome(k: u64) -> (Rational, Rational) {
+    let Fig6 { network, arcs, mut config, .. } = fig6_instance(k);
+    let [_, bd, ac, cd] = arcs;
+    let one = Rational::one();
+    // Agent 2k+1 (a → d) routes greedily; ties break toward a→b→d (lowest
+    // arc ids), exactly the paper's choice.
+    let agent_idx = config.paths.len();
+    let (path, _) = network.shortest_path(&config.arc_loads, &one, 0, 3).expect("reachable");
+    config.commit(path, &one);
+    // Agent 2k+2 (b → d) has a single option.
+    config.commit(vec![bd], &one);
+    let experienced = config.agent_delay(&network, agent_idx);
+    let hindsight =
+        config.hindsight_delay_with_load(&network, agent_idx, &one, &[ac, cd]);
+    (experienced, hindsight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rational {
+        Rational::from(v)
+    }
+
+    #[test]
+    fn fig6_matches_paper_numbers() {
+        for k in 1..8u64 {
+            let (experienced, hindsight) = fig6_outcome(k);
+            assert_eq!(experienced, r(2 * k as i64 + 3), "k = {k}");
+            assert_eq!(hindsight, r(2 * k as i64 + 2), "k = {k}");
+            assert!(hindsight < experienced, "greedy is not hindsight-optimal");
+        }
+    }
+
+    #[test]
+    fn fig6_initial_congestion_is_k() {
+        let fig = fig6_instance(5);
+        for &aid in &fig.arcs {
+            assert_eq!(fig.config.arc_loads[aid], r(5));
+        }
+    }
+
+    #[test]
+    fn greedy_play_commits_all_agents() {
+        let fig = fig6_instance(2);
+        let requests = vec![
+            Request { source: 0, sink: 3, load: Rational::one() },
+            Request { source: 1, sink: 3, load: Rational::one() },
+        ];
+        let config = play_greedy(&fig.network, &requests);
+        assert_eq!(config.paths.len(), 2);
+    }
+
+    #[test]
+    fn total_congestion_accumulates() {
+        let mut n = Network::new(2);
+        n.add_arc(0, 1, DelayFn::Identity);
+        let mut config = Configuration::new(&n);
+        config.commit(vec![0], &r(3));
+        config.commit(vec![0], &r(4));
+        assert_eq!(config.total_congestion(&n), r(7));
+        assert_eq!(config.agent_delay(&n, 0), r(7));
+    }
+
+    #[test]
+    fn hindsight_rerouting_moves_load() {
+        let fig = fig6_instance(1);
+        let mut config = fig.config.clone();
+        let one = Rational::one();
+        let agent = config.paths.len();
+        config.commit(vec![fig.arcs[0], fig.arcs[1]], &one);
+        // Re-route that agent to the c-side: its own load leaves the b-side.
+        let d = config.hindsight_delay_with_load(
+            &fig.network,
+            agent,
+            &one,
+            &[fig.arcs[2], fig.arcs[3]],
+        );
+        assert_eq!(d, r(4)); // (1+1) + (1+1)
+    }
+}

@@ -1,0 +1,199 @@
+//! Rosenthal's potential for atomic unit-load congestion games.
+//!
+//! For unit loads, `Φ(π) = Σ_e Σ_{j=1}^{x_e} d_e(j)` decreases strictly
+//! under every improving unilateral path change, which is why best-response
+//! dynamics converge and why the offline version of the §6 game always has a
+//! pure Nash equilibrium. The tests pin both facts down exactly.
+
+use ra_exact::Rational;
+
+use crate::graph::{ArcId, Network};
+use crate::online::Configuration;
+
+/// Rosenthal potential of a unit-load configuration:
+/// `Φ = Σ_e Σ_{j=1}^{x_e} d_e(j)`.
+///
+/// # Panics
+///
+/// Panics if some arc load is not a non-negative integer (the potential is
+/// defined for atomic unit-load games).
+pub fn rosenthal_potential(network: &Network, config: &Configuration) -> Rational {
+    let mut phi = Rational::zero();
+    for aid in 0..network.num_arcs() {
+        let load = &config.arc_loads[aid];
+        assert!(
+            load.is_integer() && !load.is_negative(),
+            "Rosenthal potential needs non-negative integer arc loads"
+        );
+        let x = load.numer().to_u64().expect("small integer load") as i64;
+        for j in 1..=x {
+            phi += &network.arc(aid).delay.eval(&Rational::from(j));
+        }
+    }
+    phi
+}
+
+/// One step of best-response dynamics on the *offline* game: if some agent
+/// can strictly reduce its delay by re-routing, re-route it and return
+/// `true`; otherwise the configuration is a pure Nash equilibrium.
+///
+/// `requests[i]` must describe agent `i`'s `(source, sink)`; unit loads.
+pub fn best_response_step(
+    network: &Network,
+    config: &mut Configuration,
+    requests: &[(usize, usize)],
+) -> bool {
+    let one = Rational::one();
+    for (agent, &(source, sink)) in requests.iter().enumerate() {
+        // Delay the agent currently experiences.
+        let current = config.agent_delay(network, agent);
+        // Best response: shortest path with the agent's own load removed.
+        let mut loads = config.arc_loads.clone();
+        for &aid in &config.paths[agent] {
+            loads[aid] = &loads[aid] - &one;
+        }
+        let Some((path, delay)) = network.shortest_path(&loads, &one, source, sink) else {
+            continue;
+        };
+        if delay < current {
+            // Commit the move.
+            for &aid in &config.paths[agent] {
+                config.arc_loads[aid] = &config.arc_loads[aid] - &one;
+            }
+            for &aid in &path {
+                config.arc_loads[aid] = &config.arc_loads[aid] + &one;
+            }
+            config.paths[agent] = path;
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs best-response dynamics to convergence; returns the number of
+/// improvement steps. Termination is guaranteed by the potential argument
+/// (`max_steps` is a defensive bound).
+///
+/// # Panics
+///
+/// Panics if the dynamics fail to converge within `max_steps` — which would
+/// disprove Rosenthal's theorem, i.e. indicate a bug.
+pub fn best_response_dynamics_paths(
+    network: &Network,
+    config: &mut Configuration,
+    requests: &[(usize, usize)],
+    max_steps: usize,
+) -> usize {
+    for step in 0..max_steps {
+        if !best_response_step(network, config, requests) {
+            return step;
+        }
+    }
+    panic!("best-response dynamics exceeded {max_steps} steps — potential argument violated");
+}
+
+/// Returns `true` if no agent can strictly improve by re-routing (pure Nash
+/// equilibrium of the offline unit-load game).
+pub fn is_path_equilibrium(
+    network: &Network,
+    config: &Configuration,
+    requests: &[(usize, usize)],
+) -> bool {
+    let one = Rational::one();
+    requests.iter().enumerate().all(|(agent, &(source, sink))| {
+        let current = config.agent_delay(network, agent);
+        let mut loads = config.arc_loads.clone();
+        for &aid in &config.paths[agent] {
+            loads[aid] = &loads[aid] - &one;
+        }
+        match network.shortest_path(&loads, &one, source, sink) {
+            Some((_, best)) => best >= current,
+            None => true,
+        }
+    })
+}
+
+/// Helper: commit explicit unit-load paths for a list of agents.
+pub fn configuration_from_paths(network: &Network, paths: Vec<Vec<ArcId>>) -> Configuration {
+    let mut config = Configuration::new(network);
+    let one = Rational::one();
+    for path in paths {
+        config.commit(path, &one);
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DelayFn;
+    use crate::online::fig6_instance;
+    use ra_exact::rat;
+
+    #[test]
+    fn potential_of_fig6() {
+        // Each of the four identity arcs has load k: Φ = 4·(1+2+…+k).
+        let fig = fig6_instance(3);
+        let phi = rosenthal_potential(&fig.network, &fig.config);
+        assert_eq!(phi, rat(4 * 6, 1));
+    }
+
+    #[test]
+    fn potential_decreases_under_improvement() {
+        // Put both unit agents on the same route; one should move off.
+        let fig = fig6_instance(1);
+        let network = fig.network;
+        let paths = vec![vec![0, 1], vec![0, 1]];
+        let mut config = configuration_from_paths(&network, paths);
+        let requests = vec![(0, 3), (0, 3)];
+        let before = rosenthal_potential(&network, &config);
+        assert!(best_response_step(&network, &mut config, &requests));
+        let after = rosenthal_potential(&network, &config);
+        assert!(after < before, "potential strictly decreases");
+    }
+
+    #[test]
+    fn dynamics_converge_to_equilibrium() {
+        let fig = fig6_instance(2);
+        let network = fig.network;
+        // Six unit agents a→d all piled on the b-route.
+        let paths = vec![vec![0, 1]; 6];
+        let mut config = configuration_from_paths(&network, paths);
+        let requests = vec![(0, 3); 6];
+        let steps = best_response_dynamics_paths(&network, &mut config, &requests, 100);
+        assert!(steps > 0);
+        assert!(is_path_equilibrium(&network, &config, &requests));
+        // Balanced split: 3 agents per route.
+        assert_eq!(config.arc_loads[0], rat(3, 1));
+        assert_eq!(config.arc_loads[2], rat(3, 1));
+    }
+
+    #[test]
+    fn equilibrium_detection() {
+        let fig = fig6_instance(1);
+        let network = fig.network;
+        let balanced = configuration_from_paths(&network, vec![vec![0, 1], vec![2, 3]]);
+        assert!(is_path_equilibrium(&network, &balanced, &[(0, 3), (0, 3)]));
+        let piled = configuration_from_paths(&network, vec![vec![0, 1], vec![0, 1]]);
+        assert!(!is_path_equilibrium(&network, &piled, &[(0, 3), (0, 3)]));
+    }
+
+    #[test]
+    fn potential_with_affine_delays() {
+        let mut network = crate::graph::Network::new(2);
+        network.add_arc(0, 1, DelayFn::Affine { coeff: rat(2, 1), constant: rat(1, 1) });
+        let config = configuration_from_paths(&network, vec![vec![0], vec![0]]);
+        // Φ = d(1) + d(2) = 3 + 5 = 8.
+        assert_eq!(rosenthal_potential(&network, &config), rat(8, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "integer arc loads")]
+    fn fractional_loads_rejected() {
+        let mut network = crate::graph::Network::new(2);
+        network.add_arc(0, 1, DelayFn::Identity);
+        let mut config = Configuration::new(&network);
+        config.commit(vec![0], &rat(1, 2));
+        let _ = rosenthal_potential(&network, &config);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the congestion substrate.
+
+use proptest::prelude::*;
+use ra_congestion::{
+    best_response_dynamics_paths, configuration_from_paths, fig6_instance, fig6_outcome,
+    greedy_assign, greedy_satisfies_lemma2, inventor_assign, is_path_equilibrium, lpt_assign,
+    mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound, rosenthal_potential, DelayFn, Network,
+};
+use ra_exact::Rational;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Lemma 2: greedy is a (2 − 1/m) approximation, verified against exact
+    /// OPT on every random instance.
+    #[test]
+    fn lemma2_never_violated(
+        loads in prop::collection::vec(0u64..200, 1..13),
+        m in 1usize..6,
+    ) {
+        prop_assert!(greedy_satisfies_lemma2(&loads, m));
+    }
+
+    /// All assignment strategies conserve the total load and produce
+    /// makespans at least the OPT lower bound.
+    #[test]
+    fn assignments_conserve_load(
+        loads in prop::collection::vec(0u64..1000, 1..40),
+        m in 1usize..10,
+        p_num in 0u32..=10,
+    ) {
+        let total: u64 = loads.iter().sum();
+        let lower = opt_makespan_lower_bound(&loads, m);
+        let mut rng = StdRng::seed_from_u64(p_num as u64);
+        for a in [
+            greedy_assign(&loads, m),
+            lpt_assign(&loads, m),
+            inventor_assign(&loads, m),
+            mixed_obedience_assign(&loads, m, p_num as f64 / 10.0, &mut rng),
+        ] {
+            prop_assert_eq!(a.link_loads.iter().sum::<u64>(), total);
+            prop_assert!(a.makespan() >= lower);
+            prop_assert_eq!(a.link_of.len(), loads.len());
+            prop_assert!(a.link_of.iter().all(|&l| l < m));
+            // link_loads is consistent with link_of.
+            let mut recomputed = vec![0u64; m];
+            for (i, &l) in a.link_of.iter().enumerate() {
+                recomputed[l] += loads[i];
+            }
+            prop_assert_eq!(recomputed, a.link_loads.clone());
+        }
+    }
+
+    /// LPT is never worse than the worst-case greedy bound and exact OPT is
+    /// a true optimum (≤ every strategy's makespan).
+    #[test]
+    fn exact_opt_is_minimal(
+        loads in prop::collection::vec(0u64..100, 1..11),
+        m in 1usize..5,
+    ) {
+        let opt = opt_makespan_exact(&loads, m);
+        prop_assert!(opt <= greedy_assign(&loads, m).makespan());
+        prop_assert!(opt <= lpt_assign(&loads, m).makespan());
+        prop_assert!(opt <= inventor_assign(&loads, m).makespan());
+        prop_assert!(opt >= opt_makespan_lower_bound(&loads, m));
+    }
+
+    /// Fig. 6 numbers hold for every k.
+    #[test]
+    fn fig6_generalizes(k in 1u64..30) {
+        let (experienced, hindsight) = fig6_outcome(k);
+        prop_assert_eq!(experienced, Rational::from(2 * k as i64 + 3));
+        prop_assert_eq!(hindsight, Rational::from(2 * k as i64 + 2));
+    }
+
+    /// Rosenthal: best-response path dynamics always converge, and the
+    /// final configuration is an equilibrium with potential no larger than
+    /// the start.
+    #[test]
+    fn dynamics_converge_and_potential_drops(pile in 1usize..8, k in 1u64..4) {
+        let fig = fig6_instance(k);
+        let network = fig.network;
+        let paths = vec![vec![0usize, 1]; pile];
+        let mut config = configuration_from_paths(&network, paths);
+        let requests = vec![(0usize, 3usize); pile];
+        let before = rosenthal_potential(&network, &config);
+        best_response_dynamics_paths(&network, &mut config, &requests, 1000);
+        let after = rosenthal_potential(&network, &config);
+        prop_assert!(after <= before);
+        prop_assert!(is_path_equilibrium(&network, &config, &requests));
+    }
+
+    /// Dijkstra's result never exceeds the delay of any explicitly checked
+    /// alternative route in the diamond network.
+    #[test]
+    fn dijkstra_minimality(l0 in 0i64..20, l1 in 0i64..20, l2 in 0i64..20, l3 in 0i64..20) {
+        let mut n = Network::new(4);
+        n.add_arc(0, 1, DelayFn::Identity);
+        n.add_arc(1, 3, DelayFn::Identity);
+        n.add_arc(0, 2, DelayFn::Identity);
+        n.add_arc(2, 3, DelayFn::Identity);
+        let loads: Vec<Rational> = [l0, l1, l2, l3].iter().map(|&v| Rational::from(v)).collect();
+        let one = Rational::one();
+        let (_, best) = n.shortest_path(&loads, &one, 0, 3).unwrap();
+        let via_b = Rational::from(l0 + 1) + Rational::from(l1 + 1);
+        let via_c = Rational::from(l2 + 1) + Rational::from(l3 + 1);
+        prop_assert_eq!(best, via_b.min(via_c));
+    }
+}
+
+/// The §6 obedience interpolation: with p = 1 the mixed model equals the
+/// inventor assignment; monotonicity in expectation is not guaranteed
+/// per-instance, but extremes must match exactly.
+#[test]
+fn obedience_extremes() {
+    let loads: Vec<u64> = (0..150).map(|i| (i * 37 + 11) % 1000).collect();
+    for m in [2usize, 8, 32] {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            mixed_obedience_assign(&loads, m, 1.0, &mut rng),
+            inventor_assign(&loads, m)
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            mixed_obedience_assign(&loads, m, 0.0, &mut rng),
+            greedy_assign(&loads, m)
+        );
+    }
+}
+
+/// Qualitative Fig. 7 shape at small scale: with many links the inventor
+/// advice wins a clear majority of iterations.
+#[test]
+fn inventor_beats_greedy_at_moderate_scale() {
+    let mut inventor_wins = 0;
+    let total = 40;
+    for seed in 0..total {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (greedy, inventor) = ra_congestion::fig7_iteration(300, (0, 1000), 30, &mut rng);
+        if inventor < greedy {
+            inventor_wins += 1;
+        }
+    }
+    assert!(
+        inventor_wins * 100 >= total * 60,
+        "inventor won only {inventor_wins}/{total}"
+    );
+}
+
+/// Greedy equals inventor when the future is empty (single agent) or when
+/// m = 1.
+#[test]
+fn degenerate_cases_coincide() {
+    for loads in [vec![7u64], vec![3, 9, 2]] {
+        assert_eq!(
+            greedy_assign(&loads, 1).makespan(),
+            inventor_assign(&loads, 1).makespan()
+        );
+    }
+    let single = vec![42u64];
+    for m in 1..5 {
+        assert_eq!(greedy_assign(&single, m).link_of, inventor_assign(&single, m).link_of);
+    }
+}
+
+/// Regression: unit-load pile-ups balance to ⌈n/2⌉ / ⌊n/2⌋ in the diamond.
+#[test]
+fn diamond_balancing() {
+    let fig = fig6_instance(1);
+    let network = fig.network;
+    let n = 9;
+    let mut config = configuration_from_paths(&network, vec![vec![0, 1]; n]);
+    let requests = vec![(0usize, 3usize); n];
+    best_response_dynamics_paths(&network, &mut config, &requests, 10_000);
+    let b_side = config.arc_loads[0].clone();
+    let c_side = config.arc_loads[2].clone();
+    let diff = (b_side - c_side).abs();
+    assert!(diff <= Rational::one(), "balanced within one unit");
+}

@@ -1,0 +1,883 @@
+//! Arbitrary-precision signed integers.
+//!
+//! The rationality-authority verifiers must be *sound*: a certificate check
+//! may not accept a false claim because of floating-point round-off. All
+//! verifier-side linear algebra therefore runs over exact rationals, which in
+//! turn need unbounded integers. No big-integer crate is available in the
+//! approved dependency set, so this module implements one from scratch:
+//! sign-magnitude representation with little-endian `u64` limbs, schoolbook
+//! multiplication and Knuth Algorithm D division (sufficient for the limb
+//! counts produced by Gaussian elimination on game-sized systems).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: `mag` has no trailing zero limbs, and `sign == Sign::Zero`
+/// if and only if `mag` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use ra_exact::BigInt;
+///
+/// let a = BigInt::from(1_000_000_007_i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// assert_eq!(&b % &a, BigInt::from(0));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2^64 limbs; empty iff the value is zero.
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> BigInt {
+        BigInt { sign: Sign::Plus, mag: vec![1] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Returns the sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// Number of bits in the magnitude (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&hi) => (self.mag.len() as u64 - 1) * 64 + (64 - hi.leading_zeros() as u64),
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Converts to `f64`, losing precision for large magnitudes.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0_f64;
+        for &limb in self.mag.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        if self.sign == Sign::Minus {
+            -acc
+        } else {
+            acc
+        }
+    }
+
+    /// Converts to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let v = self.mag[0];
+                match self.sign {
+                    Sign::Plus if v <= i64::MAX as u64 => Some(v as i64),
+                    Sign::Minus if v <= 1 << 63 => Some((v as i128).wrapping_neg() as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to `u64` if it fits and is non-negative.
+    pub fn to_u64(&self) -> Option<u64> {
+        match (self.sign, self.mag.len()) {
+            (Sign::Zero, _) => Some(0),
+            (Sign::Plus, 1) => Some(self.mag[0]),
+            _ => None,
+        }
+    }
+
+    /// Greatest common divisor of the absolute values.
+    ///
+    /// `gcd(0, 0)` is `0`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Raises the value to a non-negative integer power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Shifts the magnitude left by `bits` (multiplies by 2^bits, keeping sign).
+    pub fn shl(&self, bits: u32) -> BigInt {
+        if self.is_zero() || bits == 0 {
+            if bits == 0 {
+                return self.clone();
+            }
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut mag = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            mag.extend_from_slice(&self.mag);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.mag {
+                mag.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                mag.push(carry);
+            }
+        }
+        BigInt::from_mag(self.sign, mag)
+    }
+
+    /// Divides by `other`, returning `(quotient, remainder)` with the
+    /// remainder taking the sign of `self` (truncated division, like `i64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero BigInt");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (q_mag, r_mag) = mag_div_rem(&self.mag, &other.mag);
+        let q_sign = if q_mag.iter().all(|&l| l == 0) {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        let r_sign = self.sign;
+        (BigInt::from_mag(q_sign, q_mag), BigInt::from_mag(r_sign, r_mag))
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> BigInt {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let vv = v as i128;
+                match vv.cmp(&0) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt::from_mag(Sign::Plus, u128_limbs(vv as u128)),
+                    Ordering::Less => {
+                        BigInt::from_mag(Sign::Minus, u128_limbs(vv.unsigned_abs()))
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                if v == 0 {
+                    BigInt::zero()
+                } else {
+                    BigInt::from_mag(Sign::Plus, u128_limbs(v as u128))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+fn u128_limbs(v: u128) -> Vec<u64> {
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    if hi == 0 {
+        vec![lo]
+    } else {
+        vec![lo, hi]
+    }
+}
+
+// ---- magnitude arithmetic -------------------------------------------------
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let rhs = if i < short.len() { short[i] } else { 0 };
+        let (s1, c1) = long[i].overflowing_add(rhs);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Requires `a >= b`.
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let rhs = if i < b.len() { b[i] } else { 0 };
+        let (d1, b1) = a[i].overflowing_sub(rhs);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Long division of magnitudes: returns `(quotient, remainder)`.
+fn mag_div_rem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(!b.is_empty());
+    match mag_cmp(a, b) {
+        Ordering::Less => return (Vec::new(), a.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if b.len() == 1 {
+        let (q, r) = mag_div_rem_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    knuth_d(a, b)
+}
+
+fn mag_div_rem_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    (q, rem as u64)
+}
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, base 2^64.
+fn knuth_d(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = b.len();
+    let m = a.len() - n;
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = b[n - 1].leading_zeros();
+    let bn = shl_limbs(b, shift);
+    let mut an = shl_limbs(a, shift);
+    an.resize(a.len() + 1, 0); // extra high limb u[m+n]
+    let mut q = vec![0u64; m + 1];
+    let b_top = bn[n - 1];
+    let b_second = bn[n - 2];
+    // D2..D7: loop over quotient digits.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend limbs.
+        let top = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+        let mut q_hat = top / b_top as u128;
+        let mut r_hat = top % b_top as u128;
+        while q_hat >= 1 << 64
+            || q_hat * b_second as u128 > ((r_hat << 64) | an[j + n - 2] as u128)
+        {
+            q_hat -= 1;
+            r_hat += b_top as u128;
+            if r_hat >= 1 << 64 {
+                break;
+            }
+        }
+        // D4: multiply and subtract.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = q_hat * bn[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (an[j + i] as i128) - (p as u64 as i128) + borrow;
+            an[j + i] = sub as u64;
+            borrow = sub >> 64;
+        }
+        let sub = (an[j + n] as i128) - (carry as i128) + borrow;
+        an[j + n] = sub as u64;
+        // D5/D6: if we subtracted too much, add back.
+        if sub < 0 {
+            q_hat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let (s1, c1) = an[j + i].overflowing_add(bn[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                an[j + i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            an[j + n] = an[j + n].wrapping_add(carry);
+        }
+        q[j] = q_hat as u64;
+    }
+    // D8: denormalize the remainder.
+    let mut r = shr_limbs(&an[..n], shift);
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    while r.last() == Some(&0) {
+        r.pop();
+    }
+    (q, r)
+}
+
+fn shl_limbs(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for &limb in a {
+        out.push((limb << shift) | carry);
+        carry = limb >> (64 - shift);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_limbs(a: &[u64], shift: u32) -> Vec<u64> {
+    if shift == 0 {
+        return a.to_vec();
+    }
+    let mut out = vec![0u64; a.len()];
+    let mut carry = 0u64;
+    for i in (0..a.len()).rev() {
+        out[i] = (a[i] >> shift) | carry;
+        carry = a[i] << (64 - shift);
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+// ---- operator impls --------------------------------------------------------
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Minus => 0u8,
+            Sign::Zero => 1,
+            Sign::Plus => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Plus => mag_cmp(&self.mag, &other.mag),
+                Sign::Minus => mag_cmp(&other.mag, &self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.flip();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &rhs.mag)),
+            _ => match mag_cmp(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_mag(self.sign, mag_sub(&self.mag, &rhs.mag))
+                }
+                Ordering::Less => BigInt::from_mag(rhs.sign, mag_sub(&rhs.mag, &self.mag)),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_mag(sign, mag_mul(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_value_ops {
+    ($($trait:ident::$method:ident),*) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+    )*};
+}
+
+forward_value_ops!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+// ---- formatting and parsing -------------------------------------------------
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.mag.clone();
+        while !mag.is_empty() {
+            let (q, r) = mag_div_rem_limb(&mag, 10_000_000_000_000_000_000);
+            if q.is_empty() {
+                digits.push(format!("{r}"));
+            } else {
+                digits.push(format!("{r:019}"));
+            }
+            mag = q;
+        }
+        let body: String = digits.into_iter().rev().collect();
+        if self.sign == Sign::Minus {
+            write!(f, "-{body}")
+        } else {
+            f.write_str(&body)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] or
+/// [`Rational`](crate::Rational) from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExactError {
+    pub(crate) message: &'static str,
+}
+
+impl fmt::Display for ParseExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseExactError {}
+
+impl FromStr for BigInt {
+    type Err = ParseExactError;
+
+    fn from_str(s: &str) -> Result<BigInt, ParseExactError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(ParseExactError { message: "empty integer literal" });
+        }
+        let mut acc = BigInt::zero();
+        let ten_pow = BigInt::from(10_000_000_000_000_000_000_u64);
+        for chunk in chunks_of_19(body) {
+            if !chunk.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseExactError { message: "invalid digit in integer literal" });
+            }
+            let v: u64 = chunk.parse().map_err(|_| ParseExactError {
+                message: "invalid digit in integer literal",
+            })?;
+            let scale = BigInt::from(10u64).pow(chunk.len() as u32);
+            acc = if chunk.len() == 19 { &acc * &ten_pow } else { &acc * &scale };
+            acc = &acc + &BigInt::from(v);
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+/// Splits decimal text into chunks of at most 19 digits, first chunk shortest.
+fn chunks_of_19(s: &str) -> impl Iterator<Item = &str> {
+    let first = s.len() % 19;
+    let head = if first == 0 { None } else { Some(&s[..first]) };
+    head.into_iter().chain(s.as_bytes()[first..].chunks(19).map(|c| {
+        // SAFETY-free: input was validated as ASCII digits by the caller loop.
+        std::str::from_utf8(c).unwrap_or("")
+    }))
+}
+
+impl serde::Serialize for BigInt {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BigInt {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(BigInt::zero(), bi(0));
+        assert_eq!(BigInt::one(), bi(1));
+        assert_eq!(BigInt::default(), BigInt::zero());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_i128() {
+        let cases = [
+            (0i128, 0i128),
+            (1, -1),
+            (-5, 7),
+            (123456789, 987654321),
+            (i64::MAX as i128, i64::MAX as i128),
+            (-(1i128 << 100), 1i128 << 90),
+        ];
+        for &(a, b) in &cases {
+            assert_eq!(bi(a) + bi(b), bi(a + b), "add {a} {b}");
+            assert_eq!(bi(a) - bi(b), bi(a - b), "sub {a} {b}");
+            if let Some(p) = a.checked_mul(b) {
+                assert_eq!(bi(a) * bi(b), bi(p), "mul {a} {b}");
+            }
+            if b != 0 {
+                assert_eq!(bi(a) / bi(b), bi(a / b), "div {a} {b}");
+                assert_eq!(bi(a) % bi(b), bi(a % b), "rem {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let vals = [-100i128, -1, 0, 1, 99, 1 << 70];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a3".parse::<BigInt>().is_err());
+        assert!("1 2".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn large_mul_div_round_trip() {
+        let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+        let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        assert_eq!(&p / &a, b);
+        assert_eq!(&p / &b, a);
+        assert!((&p % &a).is_zero());
+        let (q, r) = p.div_rem(&(&b + &BigInt::one()));
+        assert_eq!(&q * &(&b + &BigInt::one()) + &r, p);
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Constructed so the q̂ estimate needs the rare D6 correction path:
+        // dividend top limbs equal divisor top limbs.
+        let b = BigInt::from_mag(Sign::Plus, vec![0, 0, 1, u64::MAX >> 1]);
+        let a = &(&b * &BigInt::from(u64::MAX)) - &BigInt::one();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(0).gcd(&bi(0)), bi(0));
+        let a = bi(2).pow(120);
+        let b = bi(2).pow(90) * bi(3);
+        assert_eq!(a.gcd(&b), bi(2).pow(90));
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(bi(2).pow(0), bi(1));
+        assert_eq!(bi(2).pow(64), bi(1i128 << 64));
+        assert_eq!(bi(2).pow(64).bits(), 65);
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(bi(3).pow(40), bi(3i128.pow(40)));
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let v: BigInt = "123456789123456789123456789".parse().unwrap();
+        for bits in [0u32, 1, 13, 64, 65, 130] {
+            assert_eq!(v.shl(bits), &v * &bi(2).pow(bits));
+        }
+        assert_eq!((-&v).shl(3), -(v.shl(3)));
+    }
+
+    #[test]
+    fn truncated_division_signs() {
+        assert_eq!(bi(7).div_rem(&bi(2)), (bi(3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(2)), (bi(-3), bi(-1)));
+        assert_eq!(bi(7).div_rem(&bi(-2)), (bi(-3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(-2)), (bi(3), bi(-1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = bi(1).div_rem(&bi(0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(bi(42).to_i64(), Some(42));
+        assert_eq!(bi(-42).to_i64(), Some(-42));
+        assert_eq!(bi(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!((bi(i64::MAX as i128) + bi(1)).to_i64(), None);
+        assert_eq!(bi(7).to_u64(), Some(7));
+        assert_eq!(bi(-7).to_u64(), None);
+        assert!((bi(1i128 << 80).to_f64() - (1i128 << 80) as f64).abs() < 1e10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        // serde_json is not available offline; exercise the Display-based
+        // serializer through its string form instead.
+        let v: BigInt = "-123456789012345678901234567890".parse().unwrap();
+        assert_eq!(v.to_string().parse::<BigInt>().unwrap(), v);
+    }
+}

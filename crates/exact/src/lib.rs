@@ -1,0 +1,46 @@
+//! # ra-exact — exact arithmetic substrate
+//!
+//! Arbitrary-precision integers, exact rationals, dense linear algebra,
+//! polynomials and binomial combinatorics over ℚ.
+//!
+//! This crate exists because the rationality-authority verifiers (the
+//! `ra-proofs` consumers) must be *sound*: accepting a certificate is a
+//! mathematical statement, so no floating-point rounding may occur on the
+//! verification path. Everything an inventor claims — mixed strategy
+//! probabilities, equilibrium payoffs λ, participation probabilities — is
+//! expressed and re-checked in exact rational arithmetic.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ra_exact::{rat, Matrix, solve_linear_system};
+//!
+//! // Indifference system for a 2-support mixed equilibrium.
+//! let a = Matrix::from_rows(vec![
+//!     vec![rat(1, 1), rat(3, 1)],
+//!     vec![rat(1, 1), rat(1, 1)],
+//! ]);
+//! let x = solve_linear_system(&a, &[rat(2, 1), rat(1, 1)])
+//!     .unique()
+//!     .unwrap();
+//! assert_eq!(x, vec![rat(1, 2), rat(1, 2)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod binomial;
+mod linalg;
+mod lp;
+mod polynomial;
+mod rational;
+
+pub use bigint::{BigInt, ParseExactError, Sign};
+pub use binomial::{
+    binomial, binomial_pmf, binomial_tail_at_least, binomial_tail_at_most, factorial,
+};
+pub use linalg::{solve_linear_system, LinearSolution, Matrix};
+pub use lp::{maximize, LpError, LpResult};
+pub use polynomial::{bisect, BisectError, BisectionResult, Polynomial};
+pub use rational::{rat, Rational};

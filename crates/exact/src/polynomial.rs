@@ -1,0 +1,331 @@
+//! Univariate polynomials over [`Rational`] and exact bisection.
+//!
+//! The participation game of §5 defines its symmetric equilibrium as the root
+//! of a polynomial equation in the participation probability `p`
+//! (`c = v·(n−1)·p·(1−p)^{n−2}` for `k = 2`). The *inventor* isolates the
+//! root; the *verifier* merely evaluates the polynomial at the advised `p`,
+//! which is where the compute/verify asymmetry of the paper comes from.
+
+use std::fmt;
+
+use crate::rational::Rational;
+
+/// A univariate polynomial with rational coefficients, `coeffs[i]` being the
+/// coefficient of `x^i`.
+///
+/// # Examples
+///
+/// ```
+/// use ra_exact::{Polynomial, rat};
+///
+/// // 2x^2 - 3x + 1
+/// let p = Polynomial::new(vec![rat(1, 1), rat(-3, 1), rat(2, 1)]);
+/// assert_eq!(p.eval(&rat(1, 1)), rat(0, 1));
+/// assert_eq!(p.eval(&rat(1, 2)), rat(0, 1));
+/// assert_eq!(p.degree(), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coeffs: Vec<Rational>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (constant term first); trailing
+    /// zero coefficients are trimmed.
+    pub fn new(mut coeffs: Vec<Rational>) -> Polynomial {
+        while coeffs.last().is_some_and(Rational::is_zero) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Polynomial {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Rational) -> Polynomial {
+        Polynomial::new(vec![c])
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient of `x^i` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Rational {
+        self.coeffs.get(i).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: &Rational) -> Rational {
+        let mut acc = Rational::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, c)| Rational::from(i) * c)
+                .collect(),
+        )
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Polynomial::new((0..n).map(|i| self.coeff(i) + rhs.coeff(i)).collect())
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Polynomial::new((0..n).map(|i| self.coeff(i) - rhs.coeff(i)).collect())
+    }
+
+    /// Polynomial multiplication.
+    pub fn mul(&self, rhs: &Polynomial) -> Polynomial {
+        if self.coeffs.is_empty() || rhs.coeffs.is_empty() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![Rational::zero(); self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += &(a * b);
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Scales by a rational constant.
+    pub fn scale(&self, k: &Rational) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|c| c * k).collect())
+    }
+
+    /// `(1 - x)^n`, a recurring factor in the participation-game equations.
+    pub fn one_minus_x_pow(n: u32) -> Polynomial {
+        let base = Polynomial::new(vec![Rational::one(), Rational::from(-1)]);
+        let mut acc = Polynomial::constant(Rational::one());
+        for _ in 0..n {
+            acc = acc.mul(&base);
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial(")?;
+        if self.coeffs.is_empty() {
+            write!(f, "0")?;
+        }
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if i < self.coeffs.len() - 1 {
+                write!(f, " + ")?;
+            }
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "({c})x")?,
+                _ => write!(f, "({c})x^{i}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Result of an exact bisection search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BisectionResult {
+    /// Lower bound of the bracketing interval.
+    pub lo: Rational,
+    /// Upper bound of the bracketing interval.
+    pub hi: Rational,
+    /// Number of bisection iterations performed.
+    pub iterations: u32,
+}
+
+impl BisectionResult {
+    /// Interval midpoint — the advised root approximation.
+    pub fn midpoint(&self) -> Rational {
+        (&self.lo + &self.hi) * crate::rat(1, 2)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> Rational {
+        &self.hi - &self.lo
+    }
+}
+
+/// Errors from [`bisect`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BisectError {
+    /// `f(lo)` and `f(hi)` do not have opposite signs.
+    NoSignChange,
+    /// The requested interval is empty or reversed.
+    EmptyInterval,
+}
+
+impl fmt::Display for BisectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BisectError::NoSignChange => {
+                write!(f, "bisection requires a sign change over the interval")
+            }
+            BisectError::EmptyInterval => write!(f, "bisection interval is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BisectError {}
+
+/// Exact bisection: narrows a sign-changing interval of `f` until its width
+/// is at most `tolerance`.
+///
+/// All arithmetic is rational, so the returned bracket is a *certificate*:
+/// anyone can re-evaluate `f` at `lo` and `hi` and confirm the sign change.
+///
+/// # Errors
+///
+/// Returns [`BisectError::NoSignChange`] if `f(lo)·f(hi) > 0`, and
+/// [`BisectError::EmptyInterval`] if `lo >= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use ra_exact::{bisect, rat, Rational};
+///
+/// // Root of x^2 - 2 in [1, 2]: narrows toward sqrt(2).
+/// let f = |x: &Rational| x * x - Rational::from(2);
+/// let res = bisect(f, rat(1, 1), rat(2, 1), &rat(1, 1024)).unwrap();
+/// assert!(res.width() <= rat(1, 1024));
+/// ```
+pub fn bisect(
+    f: impl Fn(&Rational) -> Rational,
+    mut lo: Rational,
+    mut hi: Rational,
+    tolerance: &Rational,
+) -> Result<BisectionResult, BisectError> {
+    if lo >= hi {
+        return Err(BisectError::EmptyInterval);
+    }
+    let mut f_lo = f(&lo);
+    let f_hi = f(&hi);
+    if f_lo.is_zero() {
+        return Ok(BisectionResult { hi: lo.clone(), lo, iterations: 0 });
+    }
+    if f_hi.is_zero() {
+        return Ok(BisectionResult { lo: hi.clone(), hi, iterations: 0 });
+    }
+    if f_lo.is_negative() == f_hi.is_negative() {
+        return Err(BisectError::NoSignChange);
+    }
+    let half = crate::rat(1, 2);
+    let mut iterations = 0;
+    while &(&hi - &lo) > tolerance {
+        let mid = (&lo + &hi) * &half;
+        let f_mid = f(&mid);
+        iterations += 1;
+        if f_mid.is_zero() {
+            return Ok(BisectionResult { lo: mid.clone(), hi: mid, iterations });
+        }
+        if f_mid.is_negative() == f_lo.is_negative() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(BisectionResult { lo, hi, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    #[test]
+    fn eval_and_derivative() {
+        // p(x) = x^3 - 2x + 5
+        let p = Polynomial::new(vec![rat(5, 1), rat(-2, 1), rat(0, 1), rat(1, 1)]);
+        assert_eq!(p.eval(&rat(2, 1)), rat(9, 1));
+        assert_eq!(p.derivative(), Polynomial::new(vec![rat(-2, 1), rat(0, 1), rat(3, 1)]));
+        assert_eq!(Polynomial::zero().derivative(), Polynomial::zero());
+        assert_eq!(p.degree(), Some(3));
+        assert_eq!(Polynomial::zero().degree(), None);
+    }
+
+    #[test]
+    fn trimming() {
+        let p = Polynomial::new(vec![rat(1, 1), rat(0, 1), rat(0, 1)]);
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(Polynomial::new(vec![rat(0, 1)]), Polynomial::zero());
+    }
+
+    #[test]
+    fn ring_operations() {
+        let p = Polynomial::new(vec![rat(1, 1), rat(1, 1)]); // 1 + x
+        let q = Polynomial::new(vec![rat(-1, 1), rat(1, 1)]); // -1 + x
+        assert_eq!(p.mul(&q), Polynomial::new(vec![rat(-1, 1), rat(0, 1), rat(1, 1)]));
+        assert_eq!(p.add(&q), Polynomial::new(vec![rat(0, 1), rat(2, 1)]));
+        assert_eq!(p.sub(&p), Polynomial::zero());
+        assert_eq!(p.scale(&rat(3, 1)), Polynomial::new(vec![rat(3, 1), rat(3, 1)]));
+    }
+
+    #[test]
+    fn one_minus_x_pow_expansion() {
+        // (1-x)^2 = 1 - 2x + x^2
+        assert_eq!(
+            Polynomial::one_minus_x_pow(2),
+            Polynomial::new(vec![rat(1, 1), rat(-2, 1), rat(1, 1)])
+        );
+        assert_eq!(Polynomial::one_minus_x_pow(0), Polynomial::constant(rat(1, 1)));
+    }
+
+    #[test]
+    fn bisect_finds_participation_equilibrium() {
+        // §5 worked example: v(n-1)p(1-p)^{n-2} - c with v=1, c=3/8, n=3.
+        // Smallest root is exactly 1/4.
+        let f = |p: &Rational| {
+            Rational::from(2) * p * (Rational::one() - p) - rat(3, 8)
+        };
+        let res = bisect(f, rat(0, 1), rat(1, 2), &rat(1, 1 << 20)).unwrap();
+        let mid = res.midpoint();
+        assert!((mid - rat(1, 4)).abs() < rat(1, 1 << 19));
+    }
+
+    #[test]
+    fn bisect_exact_hit() {
+        let f = |x: &Rational| x - &rat(1, 2);
+        let res = bisect(f, rat(0, 1), rat(1, 1), &rat(1, 1024)).unwrap();
+        assert_eq!(res.lo, rat(1, 2));
+        assert_eq!(res.hi, rat(1, 2));
+    }
+
+    #[test]
+    fn bisect_errors() {
+        let f = |x: &Rational| x.clone();
+        assert_eq!(
+            bisect(f, rat(1, 1), rat(2, 1), &rat(1, 2)),
+            Err(BisectError::NoSignChange)
+        );
+        assert_eq!(
+            bisect(f, rat(2, 1), rat(1, 1), &rat(1, 2)),
+            Err(BisectError::EmptyInterval)
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! §6 certificates: verifiable link advice for online parallel-link games.
+//!
+//! The inventor observes the current link loads (published, signed — see
+//! `ra-authority::audit`), knows the arriving agent's load and how many
+//! agents are still expected, and computes a Nash-equilibrium assignment of
+//! the agent's load plus the expected future loads (greatest load first onto
+//! least-loaded links). The advice is "take the link your load got in that
+//! assignment", and the *proof* is the assignment itself: the agent verifies
+//! the Nash property of the assignment locally — no trust in the inventor's
+//! computation needed.
+
+use std::fmt;
+
+use ra_exact::Rational;
+
+/// A §6 advice certificate for one arriving agent on `m` parallel links.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OnlineAdviceCertificate {
+    /// Link loads at the agent's arrival time (the inventor's published
+    /// statistics).
+    pub current_loads: Vec<Rational>,
+    /// The arriving agent's own load `w_i`.
+    pub own_load: Rational,
+    /// The inventor's estimate of each future agent's load (the running
+    /// average `w̄_i` in the paper's second model).
+    pub expected_future_load: Rational,
+    /// Number of agents still expected to arrive (`n − i`).
+    pub expected_future_agents: usize,
+    /// The claimed equilibrium assignment: entry 0 is the link assigned to
+    /// the agent's own load; entries `1..` are links for the expected
+    /// future loads.
+    pub assignment: Vec<usize>,
+    /// The advised link (must equal `assignment[0]`).
+    pub suggested_link: usize,
+}
+
+/// Rejection reasons for online advice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OnlineAdviceError {
+    /// No links, negative loads, or assignment of the wrong length.
+    Malformed {
+        /// Description.
+        reason: String,
+    },
+    /// The advised link differs from the assignment's own-load entry.
+    SuggestionMismatch,
+    /// The assignment is not a Nash equilibrium of the induced
+    /// load-balancing game: some assigned load would strictly reduce its
+    /// completion delay by moving.
+    NotEquilibrium {
+        /// Index into the assignment (0 = own load).
+        load_index: usize,
+        /// A strictly better link for that load.
+        better_link: usize,
+    },
+}
+
+impl fmt::Display for OnlineAdviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineAdviceError::Malformed { reason } => write!(f, "malformed advice: {reason}"),
+            OnlineAdviceError::SuggestionMismatch => {
+                write!(f, "suggested link differs from the assignment's own-load link")
+            }
+            OnlineAdviceError::NotEquilibrium { load_index, better_link } => write!(
+                f,
+                "assignment not an equilibrium: load #{load_index} prefers link {better_link}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OnlineAdviceError {}
+
+/// Verified online advice: the link to take plus the final loads the
+/// equilibrium assignment predicts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnlineAdviceVerified {
+    /// The advised link.
+    pub link: usize,
+    /// Predicted final load per link under the certified assignment.
+    pub predicted_loads: Vec<Rational>,
+    /// Predicted delay the agent will experience (its link's final load,
+    /// identity delay functions as in Fig. 7's setting).
+    pub predicted_own_delay: Rational,
+}
+
+/// Verifies a §6 advice certificate.
+///
+/// The Nash property checked is the standard one for load balancing on
+/// identical (equispeed) links: no single assigned load can move to another
+/// link and end up with a strictly smaller completed load
+/// (`target + w < source`, i.e. the move lowers the delay the moved load
+/// experiences). The check costs `O((1 + future) · m)` — independent of how
+/// the inventor *found* the assignment.
+///
+/// # Errors
+///
+/// See [`OnlineAdviceError`].
+pub fn verify_online_advice(
+    certificate: &OnlineAdviceCertificate,
+) -> Result<OnlineAdviceVerified, OnlineAdviceError> {
+    let m = certificate.current_loads.len();
+    if m == 0 {
+        return Err(OnlineAdviceError::Malformed { reason: "no links".to_owned() });
+    }
+    if certificate.current_loads.iter().any(Rational::is_negative) {
+        return Err(OnlineAdviceError::Malformed { reason: "negative link load".to_owned() });
+    }
+    if certificate.own_load.is_negative() || certificate.expected_future_load.is_negative() {
+        return Err(OnlineAdviceError::Malformed { reason: "negative agent load".to_owned() });
+    }
+    if certificate.assignment.len() != 1 + certificate.expected_future_agents {
+        return Err(OnlineAdviceError::Malformed {
+            reason: format!(
+                "assignment covers {} loads, expected {}",
+                certificate.assignment.len(),
+                1 + certificate.expected_future_agents
+            ),
+        });
+    }
+    if certificate.assignment.iter().any(|&l| l >= m) {
+        return Err(OnlineAdviceError::Malformed {
+            reason: "assignment refers to a non-existent link".to_owned(),
+        });
+    }
+    if certificate.suggested_link != certificate.assignment[0] {
+        return Err(OnlineAdviceError::SuggestionMismatch);
+    }
+    // Predicted final loads.
+    let mut final_loads = certificate.current_loads.clone();
+    let load_of = |idx: usize| -> &Rational {
+        if idx == 0 {
+            &certificate.own_load
+        } else {
+            &certificate.expected_future_load
+        }
+    };
+    for (idx, &link) in certificate.assignment.iter().enumerate() {
+        final_loads[link] = &final_loads[link] + load_of(idx);
+    }
+    // Nash property: no assigned load strictly gains by moving.
+    for (idx, &link) in certificate.assignment.iter().enumerate() {
+        let w = load_of(idx);
+        if w.is_zero() {
+            continue;
+        }
+        let here = final_loads[link].clone();
+        for (target, target_load) in final_loads.iter().enumerate() {
+            if target == link {
+                continue;
+            }
+            if (target_load + w) < here {
+                return Err(OnlineAdviceError::NotEquilibrium {
+                    load_index: idx,
+                    better_link: target,
+                });
+            }
+        }
+    }
+    let link = certificate.suggested_link;
+    let predicted_own_delay = final_loads[link].clone();
+    Ok(OnlineAdviceVerified { link, predicted_loads: final_loads, predicted_own_delay })
+}
+
+/// The honest inventor's construction: LPT/greedy Nash assignment of the
+/// agent's load plus `future` expected loads onto the current link loads
+/// (each load, greatest first, goes to the least-loaded link — ties to the
+/// lowest index).
+///
+/// This is exactly the strategy of the Fig. 7 simulation; the returned
+/// certificate always verifies.
+pub fn honest_online_advice(
+    current_loads: &[Rational],
+    own_load: &Rational,
+    expected_future_load: &Rational,
+    expected_future_agents: usize,
+) -> OnlineAdviceCertificate {
+    // Order loads greatest-first; remember which is the agent's own.
+    let mut items: Vec<(usize, Rational)> = Vec::with_capacity(1 + expected_future_agents);
+    items.push((0, own_load.clone()));
+    for k in 0..expected_future_agents {
+        items.push((k + 1, expected_future_load.clone()));
+    }
+    items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut loads = current_loads.to_vec();
+    let mut assignment = vec![0usize; 1 + expected_future_agents];
+    for (idx, w) in items {
+        let best = (0..loads.len())
+            .min_by(|&a, &b| loads[a].cmp(&loads[b]).then(a.cmp(&b)))
+            .expect("at least one link");
+        assignment[idx] = best;
+        loads[best] = &loads[best] + &w;
+    }
+    OnlineAdviceCertificate {
+        current_loads: current_loads.to_vec(),
+        own_load: own_load.clone(),
+        expected_future_load: expected_future_load.clone(),
+        expected_future_agents,
+        assignment: assignment.clone(),
+        suggested_link: assignment[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+
+    fn r(v: i64) -> Rational {
+        Rational::from(v)
+    }
+
+    #[test]
+    fn honest_advice_verifies() {
+        let cert = honest_online_advice(&[r(3), r(1), r(2)], &r(4), &r(2), 3);
+        let verified = verify_online_advice(&cert).unwrap();
+        assert_eq!(verified.link, cert.suggested_link);
+        // Total predicted load conserved: 6 existing + 4 + 3·2 = 16.
+        let total: Rational = verified.predicted_loads.iter().fold(Rational::zero(), |a, b| a + b);
+        assert_eq!(total, r(16));
+    }
+
+    #[test]
+    fn lpt_places_big_load_on_least_loaded() {
+        // Own load 10 dominates: goes to the emptiest link (index 1).
+        let cert = honest_online_advice(&[r(3), r(0), r(2)], &r(10), &r(1), 2);
+        assert_eq!(cert.suggested_link, 1);
+        assert!(verify_online_advice(&cert).is_ok());
+    }
+
+    #[test]
+    fn tampered_suggestion_rejected() {
+        let mut cert = honest_online_advice(&[r(5), r(0)], &r(1), &r(1), 1);
+        let other = 1 - cert.suggested_link;
+        cert.suggested_link = other;
+        assert_eq!(
+            verify_online_advice(&cert),
+            Err(OnlineAdviceError::SuggestionMismatch)
+        );
+    }
+
+    #[test]
+    fn non_equilibrium_assignment_rejected() {
+        // Force the agent's load onto the heavily loaded link.
+        let cert = OnlineAdviceCertificate {
+            current_loads: vec![r(10), r(0)],
+            own_load: r(2),
+            expected_future_load: r(0),
+            expected_future_agents: 0,
+            assignment: vec![0],
+            suggested_link: 0,
+        };
+        assert_eq!(
+            verify_online_advice(&cert),
+            Err(OnlineAdviceError::NotEquilibrium { load_index: 0, better_link: 1 })
+        );
+    }
+
+    #[test]
+    fn malformed_certificates_rejected() {
+        let good = honest_online_advice(&[r(1), r(2)], &r(1), &r(1), 1);
+        let mut no_links = good.clone();
+        no_links.current_loads.clear();
+        assert!(matches!(
+            verify_online_advice(&no_links),
+            Err(OnlineAdviceError::Malformed { .. })
+        ));
+        let mut short = good.clone();
+        short.assignment.pop();
+        assert!(matches!(
+            verify_online_advice(&short),
+            Err(OnlineAdviceError::Malformed { .. })
+        ));
+        let mut bad_link = good.clone();
+        bad_link.assignment[0] = 9;
+        assert!(matches!(
+            verify_online_advice(&bad_link),
+            Err(OnlineAdviceError::Malformed { .. })
+        ));
+        let mut negative = good;
+        negative.own_load = r(-1);
+        assert!(matches!(
+            verify_online_advice(&negative),
+            Err(OnlineAdviceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_future_agents_is_last_mover() {
+        // Last mover: pure least-loaded placement, trivially an equilibrium.
+        let cert = honest_online_advice(&[r(7), r(3), r(5)], &r(2), &r(0), 0);
+        assert_eq!(cert.suggested_link, 1);
+        let v = verify_online_advice(&cert).unwrap();
+        assert_eq!(v.predicted_own_delay, r(5));
+    }
+
+    #[test]
+    fn fractional_loads() {
+        let cert = honest_online_advice(&[rat(1, 2), rat(3, 4)], &rat(5, 4), &rat(1, 3), 2);
+        assert!(verify_online_advice(&cert).is_ok());
+    }
+
+    #[test]
+    fn equilibria_other_than_lpt_also_accepted() {
+        // The verifier checks the Nash property, not LPT provenance:
+        // swapping two equal future loads keeps the equilibrium.
+        let mut cert = honest_online_advice(&[r(0), r(0)], &r(2), &r(2), 1);
+        cert.assignment.swap(0, 1);
+        cert.suggested_link = cert.assignment[0];
+        assert!(verify_online_advice(&cert).is_ok());
+    }
+}

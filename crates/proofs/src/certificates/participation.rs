@@ -1,0 +1,282 @@
+//! §5 certificates: verifiable advice for the participation game.
+//!
+//! The inventor ships the equilibrium participation probability `p` (hard to
+//! find); the verifier re-checks the indifference condition Eq. (5) — a
+//! handful of exact binomial evaluations. Irrational roots are shipped as
+//! sign-change *bracket* certificates, which are just as checkable.
+//!
+//! The paper also notes that with multiple symmetric equilibria a dishonest
+//! prover could send different (individually valid) probabilities to
+//! different firms; [`cross_check_advice`] implements the players'
+//! cross-check.
+
+use std::fmt;
+
+use ra_exact::{binomial_tail_at_least, binomial_tail_at_most, Rational};
+use ra_solvers::{EquilibriumRoot, ParticipationParams};
+
+/// The §5 certificate sent to each firm.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParticipationCertificate {
+    /// The game parameters (public).
+    pub params: ParticipationParams,
+    /// The advised equilibrium probability.
+    pub root: EquilibriumRoot,
+}
+
+/// Successful verification: the advice plus the Eq. (5) quantities the
+/// verifier recomputed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParticipationVerified {
+    /// The advised probability (bracket midpoint for brackets).
+    pub p: Rational,
+    /// `A_k` = Pr[at least k − 1 others participate] (participant wins).
+    pub a_k: Rational,
+    /// `B_k` = Pr[at most k − 2 others participate] (participant loses fee).
+    pub b_k: Rational,
+    /// `C_k` = Pr[at least k others participate] (non-participant wins).
+    pub c_k: Rational,
+    /// `D_k` = Pr[at most k − 1 others participate] (non-participant gets 0).
+    pub d_k: Rational,
+    /// The firm's expected equilibrium gain
+    /// `(v−c)·A_k − c·B_k` (= `v·C_k` at an exact equilibrium).
+    pub expected_gain: Rational,
+}
+
+/// Rejection reasons for participation certificates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParticipationError {
+    /// `p` (or a bracket endpoint) is outside `[0, 1]`.
+    ProbabilityOutOfRange,
+    /// An exact certificate fails the indifference equation.
+    IndifferenceViolated {
+        /// The (non-zero) value of the indifference function at `p`.
+        residual: Rational,
+    },
+    /// A bracket certificate's endpoints do not straddle a sign change.
+    BracketWithoutSignChange,
+    /// A bracket certificate is wider than the verifier's tolerance.
+    BracketTooWide {
+        /// The bracket width.
+        width: Rational,
+        /// The verifier's tolerance.
+        tolerance: Rational,
+    },
+}
+
+impl fmt::Display for ParticipationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParticipationError::ProbabilityOutOfRange => {
+                write!(f, "advised probability outside [0, 1]")
+            }
+            ParticipationError::IndifferenceViolated { residual } => {
+                write!(f, "indifference equation violated (residual {residual})")
+            }
+            ParticipationError::BracketWithoutSignChange => {
+                write!(f, "bracket endpoints do not straddle a sign change")
+            }
+            ParticipationError::BracketTooWide { width, tolerance } => {
+                write!(f, "bracket width {width} exceeds tolerance {tolerance}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParticipationError {}
+
+/// Verifies a participation certificate: Eq. (5) for exact roots, the
+/// sign-change property (plus a width bound) for brackets.
+///
+/// # Errors
+///
+/// See [`ParticipationError`].
+///
+/// # Examples
+///
+/// ```
+/// use ra_exact::rat;
+/// use ra_proofs::{verify_participation_certificate, ParticipationCertificate};
+/// use ra_solvers::{EquilibriumRoot, ParticipationParams};
+///
+/// // The paper's worked example: p = 1/4 for c/v = 3/8, n = 3.
+/// let cert = ParticipationCertificate {
+///     params: ParticipationParams::paper_example(),
+///     root: EquilibriumRoot::Exact(rat(1, 4)),
+/// };
+/// let verified = verify_participation_certificate(&cert, &rat(1, 1_000_000)).unwrap();
+/// // Expected equilibrium gain is v/16 = 8/16 = 1/2.
+/// assert_eq!(verified.expected_gain, rat(1, 2));
+/// ```
+pub fn verify_participation_certificate(
+    certificate: &ParticipationCertificate,
+    tolerance: &Rational,
+) -> Result<ParticipationVerified, ParticipationError> {
+    let params = &certificate.params;
+    let in_unit = |p: &Rational| !p.is_negative() && p <= &Rational::one();
+    let p = match &certificate.root {
+        EquilibriumRoot::Exact(p) => {
+            if !in_unit(p) {
+                return Err(ParticipationError::ProbabilityOutOfRange);
+            }
+            let residual = params.indifference_fn(p);
+            if !residual.is_zero() {
+                return Err(ParticipationError::IndifferenceViolated { residual });
+            }
+            p.clone()
+        }
+        EquilibriumRoot::Bracket { lo, hi } => {
+            if !in_unit(lo) || !in_unit(hi) || lo >= hi {
+                return Err(ParticipationError::ProbabilityOutOfRange);
+            }
+            let width = hi - lo;
+            if &width > tolerance {
+                return Err(ParticipationError::BracketTooWide {
+                    width,
+                    tolerance: tolerance.clone(),
+                });
+            }
+            let g_lo = params.indifference_fn(lo);
+            let g_hi = params.indifference_fn(hi);
+            if g_lo.is_zero() || g_hi.is_zero() {
+                // An endpoint is itself a root: fine.
+            } else if g_lo.is_negative() == g_hi.is_negative() {
+                return Err(ParticipationError::BracketWithoutSignChange);
+            }
+            certificate.root.value()
+        }
+    };
+    // Recompute the Eq. (5) conditional probabilities at the advised p.
+    let others = params.n - 1;
+    let a_k = binomial_tail_at_least(others, params.k - 1, &p);
+    let b_k = binomial_tail_at_most(others, params.k.saturating_sub(2), &p);
+    let c_k = binomial_tail_at_least(others, params.k, &p);
+    let d_k = binomial_tail_at_most(others, params.k - 1, &p);
+    let expected_gain = (&params.v - &params.c) * &a_k - &params.c * &b_k;
+    Ok(ParticipationVerified { p, a_k, b_k, c_k, d_k, expected_gain })
+}
+
+/// The firms' cross-check (end of §5): with several symmetric equilibria a
+/// dishonest prover might advise different firms different probabilities.
+/// Returns `true` iff all advised roots are identical.
+pub fn cross_check_advice(certificates: &[ParticipationCertificate]) -> bool {
+    certificates
+        .windows(2)
+        .all(|w| w[0].root == w[1].root && w[0].params == w[1].params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use ra_solvers::solve_participation_equilibrium;
+
+    fn paper_cert() -> ParticipationCertificate {
+        ParticipationCertificate {
+            params: ParticipationParams::paper_example(),
+            root: EquilibriumRoot::Exact(rat(1, 4)),
+        }
+    }
+
+    #[test]
+    fn paper_numbers_check_out() {
+        let v = verify_participation_certificate(&paper_cert(), &rat(1, 1024)).unwrap();
+        // With p = 1/4 and two other firms:
+        assert_eq!(v.a_k, rat(7, 16)); // ≥1 other participates
+        assert_eq!(v.b_k, rat(9, 16)); // no other participates
+        assert_eq!(v.c_k, rat(1, 16)); // ≥2 others participate
+        assert_eq!(v.d_k, rat(15, 16));
+        // Expected gain v/16 = 1/2 for v = 8 — and equals v·C_k exactly.
+        assert_eq!(v.expected_gain, rat(1, 2));
+        assert_eq!(v.expected_gain, rat(8, 1) * &v.c_k);
+        // Tails are complementary.
+        assert_eq!(&v.a_k + &v.b_k, Rational::one());
+        assert_eq!(&v.c_k + &v.d_k, Rational::one());
+    }
+
+    #[test]
+    fn wrong_p_rejected() {
+        let mut cert = paper_cert();
+        cert.root = EquilibriumRoot::Exact(rat(1, 3));
+        assert!(matches!(
+            verify_participation_certificate(&cert, &rat(1, 1024)),
+            Err(ParticipationError::IndifferenceViolated { .. })
+        ));
+        cert.root = EquilibriumRoot::Exact(rat(5, 4));
+        assert!(matches!(
+            verify_participation_certificate(&cert, &rat(1, 1024)),
+            Err(ParticipationError::ProbabilityOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn second_equilibrium_also_verifies() {
+        let mut cert = paper_cert();
+        cert.root = EquilibriumRoot::Exact(rat(3, 4));
+        assert!(verify_participation_certificate(&cert, &rat(1, 1024)).is_ok());
+    }
+
+    #[test]
+    fn bracket_certificates() {
+        // Irrational roots: n = 5, k = 2, v = 10, c = 1.
+        let params = ParticipationParams::new(5, 2, Rational::from(10), Rational::from(1)).unwrap();
+        let tol = rat(1, 1 << 20);
+        let roots = solve_participation_equilibrium(&params, &tol).unwrap();
+        for root in roots {
+            let cert = ParticipationCertificate { params: params.clone(), root };
+            assert!(verify_participation_certificate(&cert, &tol).is_ok());
+        }
+    }
+
+    #[test]
+    fn bad_brackets_rejected() {
+        let params = ParticipationParams::paper_example();
+        // No sign change across [0.3, 0.5] (g > 0 on both: 16·0.3·0.7=3.36>3,
+        // 16·0.5·0.5=4>3).
+        let cert = ParticipationCertificate {
+            params: params.clone(),
+            root: EquilibriumRoot::Bracket { lo: rat(3, 10), hi: rat(1, 2) },
+        };
+        assert!(matches!(
+            verify_participation_certificate(&cert, &rat(1, 1)),
+            Err(ParticipationError::BracketWithoutSignChange)
+        ));
+        // Too wide for the verifier's tolerance.
+        let cert = ParticipationCertificate {
+            params,
+            root: EquilibriumRoot::Bracket { lo: rat(1, 10), hi: rat(1, 2) },
+        };
+        assert!(matches!(
+            verify_participation_certificate(&cert, &rat(1, 100)),
+            Err(ParticipationError::BracketTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_check_detects_split_advice() {
+        let a = paper_cert();
+        let mut b = paper_cert();
+        assert!(cross_check_advice(&[a.clone(), b.clone(), a.clone()]));
+        // Both 1/4 and 3/4 verify individually — only the cross-check
+        // catches the prover playing firms against each other.
+        b.root = EquilibriumRoot::Exact(rat(3, 4));
+        assert!(verify_participation_certificate(&b, &rat(1, 1024)).is_ok());
+        assert!(!cross_check_advice(&[a, b]));
+    }
+
+    #[test]
+    fn solver_to_verifier_round_trip() {
+        for (n, k, v, c) in [(4u64, 2u64, 12i64, 2i64), (6, 3, 20, 3), (8, 2, 9, 1)] {
+            let params =
+                ParticipationParams::new(n, k, Rational::from(v), Rational::from(c)).unwrap();
+            let tol = rat(1, 1 << 22);
+            if let Ok(roots) = solve_participation_equilibrium(&params, &tol) {
+                for root in roots {
+                    let cert = ParticipationCertificate { params: params.clone(), root };
+                    verify_participation_certificate(&cert, &tol)
+                        .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+                }
+            }
+        }
+    }
+}

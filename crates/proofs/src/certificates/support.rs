@@ -1,0 +1,380 @@
+//! The P1 interactive proof (§4, Fig. 3, Lemma 1).
+//!
+//! The prover (inventor) sends each agent *both supports* of the claimed
+//! mixed equilibrium — `O(n + m)` bits as two index masks. The verifier
+//! reconstructs the equilibrium by solving the indifference linear system
+//! exactly and re-checks every Nash condition, so a dishonest support claim
+//! can never be accepted.
+
+use std::fmt;
+
+use ra_exact::{solve_linear_system, LinearSolution, Matrix, Rational};
+use ra_games::{BimatrixGame, MixedProfile, MixedStrategy};
+
+use crate::transcript::{Disclosure, Transcript};
+
+/// The P1 certificate: just the two supports (Fig. 3's prover message).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SupportCertificate {
+    /// Claimed support of the row agent (sorted, non-empty).
+    pub row_support: Vec<usize>,
+    /// Claimed support of the column agent (sorted, non-empty).
+    pub col_support: Vec<usize>,
+}
+
+impl SupportCertificate {
+    /// The certificate's wire size in bits: one membership bit per pure
+    /// strategy of each agent — Lemma 1's `O(n + m)`.
+    pub fn encoded_bits(&self, game: &BimatrixGame) -> u64 {
+        (game.rows() + game.cols()) as u64
+    }
+}
+
+/// Successful P1 verification: the reconstructed equilibrium and the
+/// evidence trail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct P1Verified {
+    /// The reconstructed mixed equilibrium.
+    pub profile: MixedProfile,
+    /// Row agent's equilibrium payoff λ₁.
+    pub lambda1: Rational,
+    /// Column agent's equilibrium payoff λ₂.
+    pub lambda2: Rational,
+    /// Communication transcript (for the Lemma 1 measurements).
+    pub transcript: Transcript,
+}
+
+/// Reasons P1 verification rejects a certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum P1Error {
+    /// A support is empty or contains out-of-range indices.
+    MalformedSupport {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The indifference system has no solution: the claimed supports cannot
+    /// carry an equilibrium.
+    IndifferenceInconsistent,
+    /// The indifference system is underdetermined (degenerate game); P1
+    /// cannot pin down the equilibrium from supports alone.
+    Degenerate,
+    /// A reconstructed probability is negative or zero on the claimed
+    /// support.
+    InvalidProbability {
+        /// Which agent's distribution is broken (0 = row, 1 = column).
+        agent: usize,
+        /// The offending strategy index.
+        index: usize,
+    },
+    /// A strategy outside the support would earn more than λ — the claimed
+    /// profile is not an equilibrium.
+    OutsideSupportImproves {
+        /// Which agent could deviate (0 = row, 1 = column).
+        agent: usize,
+        /// The profitable strategy outside the support.
+        strategy: usize,
+    },
+}
+
+impl fmt::Display for P1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P1Error::MalformedSupport { reason } => write!(f, "malformed support: {reason}"),
+            P1Error::IndifferenceInconsistent => {
+                write!(f, "indifference system inconsistent for the claimed supports")
+            }
+            P1Error::Degenerate => write!(
+                f,
+                "indifference system underdetermined: degenerate game, supports do not determine the equilibrium"
+            ),
+            P1Error::InvalidProbability { agent, index } => {
+                write!(f, "reconstructed probability invalid for agent {agent}, strategy {index}")
+            }
+            P1Error::OutsideSupportImproves { agent, strategy } => write!(
+                f,
+                "agent {agent} would profit by deviating to out-of-support strategy {strategy}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for P1Error {}
+
+/// Runs the P1 verifier (both agents' sides) on a support certificate.
+///
+/// Follows Fig. 3: solve the `(k+1) × (k+1)` linear system (1) for the
+/// opponent's probabilities and λ, check `0 ≤ y ≤ 1`, and check that every
+/// out-of-support strategy earns at most λ. All arithmetic is exact.
+///
+/// # Errors
+///
+/// See [`P1Error`]; every rejection pinpoints the failed condition.
+///
+/// # Examples
+///
+/// ```
+/// use ra_games::named::matching_pennies;
+/// use ra_proofs::{verify_support_certificate, SupportCertificate};
+///
+/// let cert = SupportCertificate { row_support: vec![0, 1], col_support: vec![0, 1] };
+/// let verified = verify_support_certificate(&matching_pennies(), &cert).unwrap();
+/// assert_eq!(verified.lambda1, ra_exact::rat(0, 1));
+///
+/// // Lying about the support is caught.
+/// let bogus = SupportCertificate { row_support: vec![0], col_support: vec![0, 1] };
+/// assert!(verify_support_certificate(&matching_pennies(), &bogus).is_err());
+/// ```
+pub fn verify_support_certificate(
+    game: &BimatrixGame,
+    certificate: &SupportCertificate,
+) -> Result<P1Verified, P1Error> {
+    validate_support(&certificate.row_support, game.rows(), "row")?;
+    validate_support(&certificate.col_support, game.cols(), "column")?;
+    let mut transcript = Transcript::new();
+    transcript.prover_message(
+        game.rows() as u64,
+        Disclosure::OwnData,
+        "row support mask (S1)",
+    );
+    transcript.prover_message(
+        game.cols() as u64,
+        Disclosure::OpponentData,
+        "column support mask (S2)",
+    );
+
+    // Row agent's verifier: reconstruct the column agent's probabilities y
+    // and λ1 from the indifference of rows in S1 (Fig. 3, system (1)).
+    let (y, lambda1) = solve_side(
+        &certificate.row_support,
+        &certificate.col_support,
+        |i, j| game.a(i, j).clone(),
+        game.cols(),
+        0,
+    )?;
+    // Outside-support condition for the row agent: every i ∉ S1 earns ≤ λ1.
+    for i in 0..game.rows() {
+        if certificate.row_support.contains(&i) {
+            continue;
+        }
+        if game.row_payoff_against(i, &y) > lambda1 {
+            return Err(P1Error::OutsideSupportImproves { agent: 0, strategy: i });
+        }
+    }
+
+    // Column agent's verifier (symmetric, "easy to state" per the paper).
+    let (x, lambda2) = solve_side(
+        &certificate.col_support,
+        &certificate.row_support,
+        |j, i| game.b(i, j).clone(),
+        game.rows(),
+        1,
+    )?;
+    for j in 0..game.cols() {
+        if certificate.col_support.contains(&j) {
+            continue;
+        }
+        if game.col_payoff_against(&x, j) > lambda2 {
+            return Err(P1Error::OutsideSupportImproves { agent: 1, strategy: j });
+        }
+    }
+
+    let profile = MixedProfile { row: x, col: y };
+    debug_assert!(game.is_nash(&profile), "P1 acceptance implies Nash");
+    Ok(P1Verified { profile, lambda1, lambda2, transcript })
+}
+
+fn validate_support(support: &[usize], bound: usize, who: &str) -> Result<(), P1Error> {
+    if support.is_empty() {
+        return Err(P1Error::MalformedSupport { reason: format!("{who} support is empty") });
+    }
+    if support.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(P1Error::MalformedSupport {
+            reason: format!("{who} support not strictly sorted"),
+        });
+    }
+    if support.iter().any(|&i| i >= bound) {
+        return Err(P1Error::MalformedSupport {
+            reason: format!("{who} support index out of range"),
+        });
+    }
+    Ok(())
+}
+
+/// Solves the indifference system for one side: probabilities of the
+/// `opp_support` strategies (over the opponent's full strategy space of size
+/// `opp_total`) making every `own_support` strategy earn the same λ.
+fn solve_side(
+    own_support: &[usize],
+    opp_support: &[usize],
+    payoff: impl Fn(usize, usize) -> Rational,
+    opp_total: usize,
+    agent: usize,
+) -> Result<(MixedStrategy, Rational), P1Error> {
+    let k = opp_support.len();
+    let rows = own_support.len() + 1;
+    let a = Matrix::from_fn(rows, k + 1, |r, c| {
+        if r < own_support.len() {
+            if c < k {
+                payoff(own_support[r], opp_support[c])
+            } else {
+                Rational::from(-1)
+            }
+        } else if c < k {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    });
+    let mut b = vec![Rational::zero(); rows];
+    b[own_support.len()] = Rational::one();
+    let solution = match solve_linear_system(&a, &b) {
+        LinearSolution::Unique(x) => x,
+        LinearSolution::Underdetermined { .. } => return Err(P1Error::Degenerate),
+        LinearSolution::Inconsistent => return Err(P1Error::IndifferenceInconsistent),
+    };
+    let lambda = solution[k].clone();
+    let mut probs = vec![Rational::zero(); opp_total];
+    for (idx, &j) in opp_support.iter().enumerate() {
+        let p = &solution[idx];
+        // Strictly positive on the claimed support, ≤ 1 implicitly via the
+        // simplex sum; Fig. 3 asks for 0 ≤ y_t ≤ 1, strictness pins the
+        // support exactly.
+        if !p.is_positive() || p > &Rational::one() {
+            return Err(P1Error::InvalidProbability { agent, index: j });
+        }
+        probs[j] = p.clone();
+    }
+    let mixed = MixedStrategy::try_new(probs)
+        .map_err(|_| P1Error::InvalidProbability { agent, index: opp_support[0] })?;
+    Ok((mixed, lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use ra_games::named::{battle_of_the_sexes, matching_pennies, prisoners_dilemma};
+    use ra_games::GameGenerator;
+    use ra_solvers::{enumerate_equilibria, EnumerationOptions};
+
+    #[test]
+    fn verifies_matching_pennies() {
+        let cert = SupportCertificate { row_support: vec![0, 1], col_support: vec![0, 1] };
+        let v = verify_support_certificate(&matching_pennies(), &cert).unwrap();
+        assert_eq!(v.profile.row, MixedStrategy::uniform(2));
+        assert_eq!(v.lambda1, rat(0, 1));
+        assert_eq!(v.lambda2, rat(0, 1));
+        assert_eq!(cert.encoded_bits(&matching_pennies()), 4);
+    }
+
+    #[test]
+    fn verifies_pure_support() {
+        let cert = SupportCertificate { row_support: vec![1], col_support: vec![1] };
+        let v = verify_support_certificate(&prisoners_dilemma(), &cert).unwrap();
+        assert_eq!(v.profile.row, MixedStrategy::pure(2, 1));
+        assert_eq!(v.lambda1, rat(-2, 1));
+    }
+
+    #[test]
+    fn rejects_wrong_supports() {
+        // (cooperate, cooperate) is not an equilibrium of the PD.
+        let cert = SupportCertificate { row_support: vec![0], col_support: vec![0] };
+        let err = verify_support_certificate(&prisoners_dilemma(), &cert).unwrap_err();
+        assert!(matches!(err, P1Error::OutsideSupportImproves { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_supports() {
+        let g = matching_pennies();
+        for (r, c) in [
+            (vec![], vec![0]),
+            (vec![0, 0], vec![0]),
+            (vec![1, 0], vec![0]),
+            (vec![0, 7], vec![0]),
+        ] {
+            let cert = SupportCertificate { row_support: r, col_support: c };
+            assert!(matches!(
+                verify_support_certificate(&g, &cert),
+                Err(P1Error::MalformedSupport { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_infeasible_mixed_support() {
+        // Battle of the sexes: claiming support {0,1}×{0} is inconsistent —
+        // the row agent cannot be indifferent between 2 and 0 against pure
+        // column 0.
+        let cert = SupportCertificate { row_support: vec![0, 1], col_support: vec![0] };
+        let err = verify_support_certificate(&battle_of_the_sexes(), &cert).unwrap_err();
+        assert!(matches!(
+            err,
+            P1Error::IndifferenceInconsistent | P1Error::InvalidProbability { .. }
+        ));
+    }
+
+    #[test]
+    fn transcript_matches_lemma1_bits() {
+        let game = GameGenerator::seeded(5).bimatrix(4, 6, -9..=9);
+        let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+        let eq = &eqs[0];
+        let cert = SupportCertificate {
+            row_support: eq.row_support.clone(),
+            col_support: eq.col_support.clone(),
+        };
+        let v = verify_support_certificate(&game, &cert).unwrap();
+        // Prover messages: n + m bits exactly (two masks); no queries in P1.
+        assert_eq!(v.transcript.total_bits(), 10);
+        assert_eq!(v.transcript.num_queries(), 0);
+        // P1 reveals the opponent's support to the row agent.
+        assert_eq!(v.transcript.opponent_bits_disclosed(), 6);
+    }
+
+    #[test]
+    fn round_trip_with_solvers_on_random_games() {
+        let mut accepted = 0;
+        for seed in 0..60 {
+            let game = GameGenerator::seeded(seed).bimatrix(3, 3, -12..=12);
+            let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+            for eq in &eqs {
+                let cert = SupportCertificate {
+                    row_support: eq.row_support.clone(),
+                    col_support: eq.col_support.clone(),
+                };
+                match verify_support_certificate(&game, &cert) {
+                    Ok(v) => {
+                        accepted += 1;
+                        assert_eq!(v.profile, eq.profile, "seed {seed}");
+                        assert_eq!(v.lambda1, eq.lambda1, "seed {seed}");
+                        assert_eq!(v.lambda2, eq.lambda2, "seed {seed}");
+                    }
+                    // Degenerate supports are allowed to be rejected as such.
+                    Err(P1Error::Degenerate) => {}
+                    Err(other) => panic!("seed {seed}: unexpected rejection {other}"),
+                }
+            }
+        }
+        assert!(accepted > 50, "most enumerated equilibria verify via P1");
+    }
+
+    #[test]
+    fn acceptance_implies_nash_fuzz() {
+        // Feed arbitrary support claims; every acceptance must be a genuine
+        // equilibrium (soundness).
+        let mut accepted = 0;
+        for seed in 0..200u64 {
+            let game = GameGenerator::seeded(seed).bimatrix(3, 3, -6..=6);
+            let r_mask = 1 + (seed % 7) as usize;
+            let c_mask = 1 + ((seed / 7) % 7) as usize;
+            let cert = SupportCertificate {
+                row_support: (0..3).filter(|i| r_mask & (1 << i) != 0).collect(),
+                col_support: (0..3).filter(|j| c_mask & (1 << j) != 0).collect(),
+            };
+            if let Ok(v) = verify_support_certificate(&game, &cert) {
+                accepted += 1;
+                assert!(game.is_nash(&v.profile), "seed {seed}");
+            }
+        }
+        assert!(accepted > 0, "some random support guesses hit equilibria");
+    }
+}

@@ -1,0 +1,17 @@
+//! The proof kernel: terms, propositions, proof rules and the trusted
+//! checker.
+//!
+//! This is the workspace's stand-in for the paper's use of Coq (§3): a
+//! small, auditable core that checks inventor-supplied proof objects. The
+//! LCF discipline is encoded in the type system — [`CheckedProp`] values can
+//! only be minted by [`check`].
+
+mod checker;
+mod proof;
+mod prop;
+mod term;
+
+pub use checker::{check, check_prehashed, game_fingerprint, CheckCost, CheckedProp, ProofError};
+pub use proof::{NotAboveWitness, Proof, ProfileVerdict};
+pub use prop::Prop;
+pub use term::{Term, TermError};

@@ -1,0 +1,126 @@
+//! Propositions of the proof language — the Fig. 2 vocabulary.
+//!
+//! Propositions are *closed* statements about one fixed game. Universal
+//! statements over the (finite) profile space are handled by dedicated proof
+//! rules rather than binders, keeping the trusted checker small.
+
+use std::fmt;
+
+use ra_games::StrategyProfile;
+
+use super::term::Term;
+
+/// A closed proposition about a fixed strategic game.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Prop {
+    /// `lhs ≤ rhs`.
+    Le(Term, Term),
+    /// `lhs < rhs`.
+    Lt(Term, Term),
+    /// `lhs = rhs`.
+    Eq(Term, Term),
+    /// Fig. 2 `isStrat`: the profile is well-formed for the game.
+    IsStrat(StrategyProfile),
+    /// Fig. 2 `eqStrat`: the two profiles are identical.
+    EqStrat(StrategyProfile, StrategyProfile),
+    /// Fig. 2 `leStrat`: `s1 ≤u s2` (every agent weakly prefers `s2`).
+    LeStrat(StrategyProfile, StrategyProfile),
+    /// Fig. 2 `noComp`: the profiles are `≤u`-incomparable.
+    NoComp(StrategyProfile, StrategyProfile),
+    /// Fig. 2 `isNash`: the profile is a pure Nash equilibrium.
+    IsNash(StrategyProfile),
+    /// Negation of `isNash` (established by a deviation witness).
+    NotNash(StrategyProfile),
+    /// Fig. 2 `isMaxNash`: a Nash equilibrium not strictly `≤u`-below any
+    /// other Nash equilibrium.
+    IsMaxNash(StrategyProfile),
+    /// Minimal-equilibrium variant (footnote 1).
+    IsMinNash(StrategyProfile),
+    /// Conjunction.
+    And(Vec<Prop>),
+    /// Disjunction.
+    Or(Vec<Prop>),
+}
+
+impl Prop {
+    /// Returns `true` for the *atomic* propositions that the kernel's
+    /// `EvalAtom` rule may decide by direct evaluation: those whose cost is
+    /// bounded by a constant number of term evaluations / profile scans —
+    /// crucially *not* the quantified predicates (`IsNash`, `IsMaxNash`),
+    /// which need structured proofs.
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Prop::Le(..)
+                | Prop::Lt(..)
+                | Prop::Eq(..)
+                | Prop::IsStrat(..)
+                | Prop::EqStrat(..)
+                | Prop::LeStrat(..)
+                | Prop::NoComp(..)
+        )
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::Le(a, b) => write!(f, "{a} <= {b}"),
+            Prop::Lt(a, b) => write!(f, "{a} < {b}"),
+            Prop::Eq(a, b) => write!(f, "{a} = {b}"),
+            Prop::IsStrat(s) => write!(f, "isStrat({s})"),
+            Prop::EqStrat(a, b) => write!(f, "eqStrat({a}, {b})"),
+            Prop::LeStrat(a, b) => write!(f, "leStrat({a}, {b})"),
+            Prop::NoComp(a, b) => write!(f, "noComp({a}, {b})"),
+            Prop::IsNash(s) => write!(f, "isNash({s})"),
+            Prop::NotNash(s) => write!(f, "¬isNash({s})"),
+            Prop::IsMaxNash(s) => write!(f, "isMaxNash({s})"),
+            Prop::IsMinNash(s) => write!(f, "isMinNash({s})"),
+            Prop::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Prop::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+
+    #[test]
+    fn atomicity_classification() {
+        let s: StrategyProfile = vec![0, 0].into();
+        assert!(Prop::IsStrat(s.clone()).is_atomic());
+        assert!(Prop::LeStrat(s.clone(), s.clone()).is_atomic());
+        assert!(!Prop::IsNash(s.clone()).is_atomic());
+        assert!(!Prop::IsMaxNash(s.clone()).is_atomic());
+        assert!(!Prop::And(vec![]).is_atomic());
+        let t = Term::constant(rat(1, 1));
+        assert!(Prop::Le(t.clone(), t.clone()).is_atomic());
+    }
+
+    #[test]
+    fn display_round() {
+        let s: StrategyProfile = vec![1, 0].into();
+        let p = Prop::And(vec![Prop::IsNash(s.clone()), Prop::IsStrat(s)]);
+        assert_eq!(format!("{p}"), "(isNash((1, 0)) ∧ isStrat((1, 0)))");
+    }
+}

@@ -1,0 +1,69 @@
+//! # ra-proofs — certificates, interactive proofs and the proof kernel
+//!
+//! This crate is the heart of the rationality authority: everything an agent
+//! needs to *verify* advice without trusting the (possibly biased) game
+//! inventor who produced it.
+//!
+//! Three layers:
+//!
+//! 1. **Kernel** ([`kernel`]) — a minimal LCF-style proof checker over the
+//!    Fig. 2 vocabulary (`isStrat`, `isNash`, `isMaxNash`, `≤u`, …). The
+//!    checker is the stand-in for the paper's use of Coq;
+//!    [`kernel::CheckedProp`] values can only be minted by [`kernel::check`].
+//! 2. **Certificates** — one verifiable advice format per case study: §3
+//!    enumeration proofs, §4's P1 support certificates and P2 private
+//!    interactive proofs, §5 participation-probability certificates, §6
+//!    online congestion advice, and dominant-strategy claims for auctions.
+//! 3. **Transcripts** ([`Transcript`]) — bit-level communication and
+//!    disclosure accounting, so Lemma 1's `O(n + m)` bits and Remark 2/3's
+//!    privacy claims are *measured*, not asserted.
+//!
+//! ## Example: verify advice without trusting the inventor
+//!
+//! ```
+//! use ra_games::named::prisoners_dilemma;
+//! use ra_proofs::{PureNashCertificate, prove_is_nash};
+//!
+//! let game = prisoners_dilemma().to_strategic();
+//! // Inventor side (untrusted): claims (defect, defect) is an equilibrium.
+//! let cert = PureNashCertificate {
+//!     profile: vec![1, 1].into(),
+//!     proof: prove_is_nash(vec![1, 1].into()),
+//! };
+//! // Agent side (trusted kernel): re-check the claim.
+//! let theorem = cert.verify(&game).expect("honest certificate");
+//! assert!(theorem.applies_to(&game));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Rejections deliberately carry the full offending proposition/profile so
+// agents can audit *why* advice was refused; the error path is cold.
+#![allow(clippy::result_large_err)]
+
+mod certificates;
+pub mod kernel;
+mod transcript;
+
+pub use certificates::dominant::{
+    verify_dominance_certificate, DominanceCertificate, DominanceError,
+};
+pub use certificates::online_advice::{
+    honest_online_advice, verify_online_advice, OnlineAdviceCertificate, OnlineAdviceError,
+    OnlineAdviceVerified,
+};
+pub use certificates::participation::{
+    cross_check_advice, verify_participation_certificate, ParticipationCertificate,
+    ParticipationError, ParticipationVerified,
+};
+pub use certificates::private::{
+    honest_row_advice, verify_private_advice, HonestOracle, LyingOracle, P2Advice, P2Config,
+    P2Outcome, P2Rejection, SupportOracle,
+};
+pub use certificates::pure_nash::{
+    prove_is_nash, prove_max_nash, prove_min_nash, prove_not_nash, PureNashCertificate,
+};
+pub use certificates::support::{
+    verify_support_certificate, P1Error, P1Verified, SupportCertificate,
+};
+pub use transcript::{Disclosure, Transcript, TranscriptEvent};

@@ -1,0 +1,150 @@
+//! Best-response dynamics.
+//!
+//! Repeatedly lets some agent with a profitable deviation switch to a best
+//! response. On potential games (e.g. the congestion games of §6) this is
+//! guaranteed to reach a pure Nash equilibrium; on general games it may
+//! cycle, which the driver detects and reports.
+
+use std::collections::HashSet;
+
+use ra_games::{StrategicGame, StrategyProfile};
+
+/// Outcome of running best-response dynamics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynamicsOutcome {
+    /// Converged to a pure Nash equilibrium.
+    Converged {
+        /// The equilibrium reached.
+        equilibrium: StrategyProfile,
+        /// Number of improvement steps taken.
+        steps: usize,
+    },
+    /// A profile repeated: the dynamics cycle (no potential function).
+    Cycled {
+        /// The first profile seen twice.
+        repeated: StrategyProfile,
+        /// Steps taken before the repeat.
+        steps: usize,
+    },
+    /// The step budget ran out first.
+    OutOfBudget,
+}
+
+/// Runs best-response dynamics from `start`, letting the lowest-indexed
+/// improvable agent move to its (lowest-indexed) best response each step.
+///
+/// # Panics
+///
+/// Panics if `start` is not a valid profile for `game`.
+///
+/// # Examples
+///
+/// ```
+/// use ra_games::named::coordination_game;
+/// use ra_solvers::{best_response_dynamics, DynamicsOutcome};
+///
+/// let g = coordination_game(3);
+/// match best_response_dynamics(&g, vec![0, 2].into(), 100) {
+///     DynamicsOutcome::Converged { equilibrium, .. } => {
+///         assert!(g.is_pure_nash(&equilibrium));
+///     }
+///     other => panic!("expected convergence, got {other:?}"),
+/// }
+/// ```
+pub fn best_response_dynamics(
+    game: &StrategicGame,
+    start: StrategyProfile,
+    max_steps: usize,
+) -> DynamicsOutcome {
+    assert!(
+        start.is_valid_for(game.strategy_counts()),
+        "start profile invalid for game"
+    );
+    let mut current = start;
+    let mut seen: HashSet<StrategyProfile> = HashSet::new();
+    seen.insert(current.clone());
+    for step in 0..max_steps {
+        let deviation = (0..game.num_agents()).find_map(|agent| {
+            let best = game.best_responses(agent, &current);
+            let cur_u = game.payoff(agent, &current);
+            let target = best.first().copied()?;
+            let target_u = game.payoff(agent, &current.with_strategy(agent, target));
+            (target_u > cur_u).then_some((agent, target))
+        });
+        match deviation {
+            None => {
+                debug_assert!(game.is_pure_nash(&current));
+                return DynamicsOutcome::Converged { equilibrium: current, steps: step };
+            }
+            Some((agent, s)) => {
+                current = current.with_strategy(agent, s);
+                if !seen.insert(current.clone()) {
+                    return DynamicsOutcome::Cycled { repeated: current, steps: step + 1 };
+                }
+            }
+        }
+    }
+    // One last check: the budget may end exactly at an equilibrium.
+    if game.is_pure_nash(&current) {
+        return DynamicsOutcome::Converged { equilibrium: current, steps: max_steps };
+    }
+    DynamicsOutcome::OutOfBudget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_games::named::{coordination_game, matching_pennies, stag_hunt};
+    use ra_games::GameGenerator;
+
+    #[test]
+    fn converges_on_coordination() {
+        let g = coordination_game(4);
+        for start in g.profiles() {
+            match best_response_dynamics(&g, start.clone(), 50) {
+                DynamicsOutcome::Converged { equilibrium, .. } => {
+                    assert!(g.is_pure_nash(&equilibrium), "from {start}");
+                }
+                other => panic!("from {start}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_on_matching_pennies() {
+        let g = matching_pennies().to_strategic();
+        match best_response_dynamics(&g, vec![0, 0].into(), 100) {
+            DynamicsOutcome::Cycled { steps, .. } => assert!(steps <= 5),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn immediate_equilibrium_is_zero_steps() {
+        let g = stag_hunt(3);
+        let eq: StrategyProfile = vec![1, 1, 1].into();
+        assert_eq!(
+            best_response_dynamics(&g, eq.clone(), 10),
+            DynamicsOutcome::Converged { equilibrium: eq, steps: 0 }
+        );
+    }
+
+    #[test]
+    fn random_games_never_return_false_equilibria() {
+        for seed in 0..50 {
+            let g = GameGenerator::seeded(seed).strategic(vec![3, 3], -10..=10);
+            if let DynamicsOutcome::Converged { equilibrium, .. } =
+                best_response_dynamics(&g, vec![0, 0].into(), 200)
+            {
+                assert!(g.is_pure_nash(&equilibrium), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start profile invalid")]
+    fn invalid_start_panics() {
+        let g = coordination_game(2);
+        let _ = best_response_dynamics(&g, vec![5, 5].into(), 10);
+    }
+}

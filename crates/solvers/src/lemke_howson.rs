@@ -1,0 +1,386 @@
+//! The Lemke–Howson algorithm with exact rational pivoting.
+//!
+//! This is the classic complementary-pivoting path-following algorithm for
+//! finding one mixed Nash equilibrium of a bimatrix game. It is the
+//! inventor's workhorse for §4: worst-case exponential (and PPAD-complete in
+//! general), yet it terminates on every game thanks to the lexicographic
+//! ratio test used here — so the honest inventor can always *produce* the
+//! advice whose verification P1/P2 make cheap.
+//!
+//! Implementation notes: two tableaux, one per best-response polytope
+//! (`Ay ≤ 1` and `Bᵀx ≤ 1`), payoffs shifted to be strictly positive (which
+//! leaves the equilibrium set unchanged), variables labelled `0..n` for row
+//! strategies and `n..n+m` for column strategies. All arithmetic is over
+//! [`Rational`], so degeneracy is handled exactly rather than by epsilon.
+
+use std::fmt;
+
+use ra_exact::Rational;
+use ra_games::{BimatrixGame, MixedProfile, MixedStrategy};
+
+/// Error returned by [`lemke_howson`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LemkeHowsonError {
+    /// The initial dropped label is out of range (`>= rows + cols`).
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of labels in the game (`rows + cols`).
+        num_labels: usize,
+    },
+    /// The pivot loop exceeded its iteration budget. With the lexicographic
+    /// ratio test this should never happen; it is kept as a defensive bound.
+    IterationLimit,
+}
+
+impl fmt::Display for LemkeHowsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LemkeHowsonError::LabelOutOfRange { label, num_labels } => {
+                write!(f, "label {label} out of range (game has {num_labels} labels)")
+            }
+            LemkeHowsonError::IterationLimit => write!(f, "pivot iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LemkeHowsonError {}
+
+/// A simplex-style tableau over the rationals with lexicographic pivoting.
+struct Tableau {
+    /// `coeffs[row][var]` for `var < num_vars`; the RHS is at index
+    /// `num_vars`.
+    coeffs: Vec<Vec<Rational>>,
+    /// Basic variable id of each row (ids double as labels).
+    basis: Vec<usize>,
+    num_vars: usize,
+}
+
+impl Tableau {
+    fn new(rows: Vec<Vec<Rational>>, basis: Vec<usize>, num_vars: usize) -> Tableau {
+        Tableau { coeffs: rows, basis, num_vars }
+    }
+
+    /// Lexicographic minimum-ratio test: returns the pivot row for the
+    /// entering variable, or `None` if the column is non-positive (unbounded
+    /// — impossible for the bounded LH polytopes).
+    fn choose_row(&self, entering: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for r in 0..self.coeffs.len() {
+            let c = &self.coeffs[r][entering];
+            if !c.is_positive() {
+                continue;
+            }
+            best = Some(match best {
+                None => r,
+                Some(b) => {
+                    if self.lex_less(r, b, entering) {
+                        r
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Compares rows `r` and `b` by the lexicographic ratio rule for the
+    /// entering column: first by `rhs/coeff`, then column by column.
+    fn lex_less(&self, r: usize, b: usize, entering: usize) -> bool {
+        let cr = &self.coeffs[r][entering];
+        let cb = &self.coeffs[b][entering];
+        // Compare rhs/cr vs rhs/cb, i.e. rhs_r * cb vs rhs_b * cr (both
+        // denominators positive).
+        for col in std::iter::once(self.num_vars).chain(0..self.num_vars) {
+            let lhs = &self.coeffs[r][col] * cb;
+            let rhs = &self.coeffs[b][col] * cr;
+            if lhs != rhs {
+                return lhs < rhs;
+            }
+        }
+        // Fully identical ratio rows cannot happen for linearly independent
+        // tableau rows; break ties deterministically anyway.
+        r < b
+    }
+
+    /// Pivots `entering` into the basis; returns the label/id of the
+    /// variable that leaves.
+    fn pivot(&mut self, entering: usize) -> usize {
+        let row = self
+            .choose_row(entering)
+            .expect("LH polytope is bounded, pivot column must have a positive entry");
+        let leaving = self.basis[row];
+        let pivot_val = self.coeffs[row][entering].clone();
+        for col in 0..=self.num_vars {
+            let v = self.coeffs[row][col].clone();
+            self.coeffs[row][col] = &v / &pivot_val;
+        }
+        for r in 0..self.coeffs.len() {
+            if r == row || self.coeffs[r][entering].is_zero() {
+                continue;
+            }
+            let factor = self.coeffs[r][entering].clone();
+            for col in 0..=self.num_vars {
+                let sub = &factor * &self.coeffs[row][col];
+                let cur = self.coeffs[r][col].clone();
+                self.coeffs[r][col] = &cur - &sub;
+            }
+        }
+        self.basis[row] = entering;
+        leaving
+    }
+
+    /// Value of basic variable `var` (zero if nonbasic).
+    fn value_of(&self, var: usize) -> Rational {
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b == var {
+                return self.coeffs[r][self.num_vars].clone();
+            }
+        }
+        Rational::zero()
+    }
+}
+
+/// Runs Lemke–Howson on `game`, dropping `initial_label` first
+/// (labels `0..rows` are row strategies, `rows..rows+cols` column
+/// strategies). Returns one exact mixed Nash equilibrium.
+///
+/// # Errors
+///
+/// Returns an error if `initial_label` is out of range or the defensive
+/// iteration bound is hit.
+///
+/// # Examples
+///
+/// ```
+/// use ra_games::named::matching_pennies;
+/// use ra_solvers::lemke_howson;
+///
+/// let eq = lemke_howson(&matching_pennies(), 0).unwrap();
+/// assert!(matching_pennies().is_nash(&eq));
+/// ```
+pub fn lemke_howson(
+    game: &BimatrixGame,
+    initial_label: usize,
+) -> Result<MixedProfile, LemkeHowsonError> {
+    let n = game.rows();
+    let m = game.cols();
+    let num_labels = n + m;
+    if initial_label >= num_labels {
+        return Err(LemkeHowsonError::LabelOutOfRange { label: initial_label, num_labels });
+    }
+    // Shift payoffs to be strictly positive (equilibria are invariant).
+    let mut min_entry = game.a(0, 0).clone();
+    for i in 0..n {
+        for j in 0..m {
+            if game.a(i, j) < &min_entry {
+                min_entry = game.a(i, j).clone();
+            }
+            if game.b(i, j) < &min_entry {
+                min_entry = game.b(i, j).clone();
+            }
+        }
+    }
+    let shift = Rational::one() - &min_entry;
+    let a_pos = |i: usize, j: usize| game.a(i, j) + &shift;
+    let b_pos = |i: usize, j: usize| game.b(i, j) + &shift;
+
+    // Tableau A (row player's constraints on y): r_i + Σ_j A⁺[i,j] y_j = 1.
+    // Variable ids coincide with labels: r_i ↦ i, y_j ↦ n + j.
+    let tab_a_rows: Vec<Vec<Rational>> = (0..n)
+        .map(|i| {
+            let mut row = vec![Rational::zero(); num_labels + 1];
+            row[i] = Rational::one();
+            for j in 0..m {
+                row[n + j] = a_pos(i, j);
+            }
+            row[num_labels] = Rational::one();
+            row
+        })
+        .collect();
+    // Tableau B (column player's constraints on x): s_j + Σ_i B⁺[i,j] x_i = 1.
+    // Variable ids: x_i ↦ i, s_j ↦ n + j.
+    let tab_b_rows: Vec<Vec<Rational>> = (0..m)
+        .map(|j| {
+            let mut row = vec![Rational::zero(); num_labels + 1];
+            row[n + j] = Rational::one();
+            for (i, slot) in row.iter_mut().enumerate().take(n) {
+                *slot = b_pos(i, j);
+            }
+            row[num_labels] = Rational::one();
+            row
+        })
+        .collect();
+    let mut tab_a = Tableau::new(tab_a_rows, (0..n).collect(), num_labels);
+    let mut tab_b = Tableau::new(tab_b_rows, (n..num_labels).collect(), num_labels);
+
+    // The variable with the dropped label enters the tableau where it is a
+    // decision variable: x_k lives in tableau B, y_k in tableau A.
+    let mut in_tableau_b = initial_label < n;
+    let mut entering = initial_label;
+    let max_iters = 64 * (num_labels as u64 + 1) * (num_labels as u64 + 1);
+    let mut iters = 0u64;
+    loop {
+        iters += 1;
+        if iters > max_iters {
+            return Err(LemkeHowsonError::IterationLimit);
+        }
+        let leaving = if in_tableau_b {
+            tab_b.pivot(entering)
+        } else {
+            tab_a.pivot(entering)
+        };
+        if leaving == initial_label {
+            break;
+        }
+        // The twin variable with the same label lives in the other tableau.
+        entering = leaving;
+        in_tableau_b = !in_tableau_b;
+    }
+
+    // Extract and normalize strategies.
+    let x_raw: Vec<Rational> = (0..n).map(|i| tab_b.value_of(i)).collect();
+    let y_raw: Vec<Rational> = (0..m).map(|j| tab_a.value_of(n + j)).collect();
+    let normalize = |raw: Vec<Rational>| -> MixedStrategy {
+        let total: Rational = raw.iter().fold(Rational::zero(), |acc, v| acc + v);
+        debug_assert!(total.is_positive(), "LH produced the artificial equilibrium");
+        MixedStrategy::try_new(raw.into_iter().map(|v| &v / &total).collect())
+            .expect("normalized LH output is a distribution")
+    };
+    Ok(MixedProfile { row: normalize(x_raw), col: normalize(y_raw) })
+}
+
+/// Runs Lemke–Howson from every initial label and returns the distinct
+/// equilibria found (at most `rows + cols`, often fewer).
+pub fn lemke_howson_all(game: &BimatrixGame) -> Vec<MixedProfile> {
+    let mut out: Vec<MixedProfile> = Vec::new();
+    for label in 0..game.rows() + game.cols() {
+        if let Ok(profile) = lemke_howson(game, label) {
+            if !out.contains(&profile) {
+                out.push(profile);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use ra_games::named::{
+        battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma,
+        rock_paper_scissors,
+    };
+    use ra_games::GameGenerator;
+
+    #[test]
+    fn solves_matching_pennies() {
+        for label in 0..4 {
+            let eq = lemke_howson(&matching_pennies(), label).unwrap();
+            assert!(matching_pennies().is_nash(&eq), "label {label}");
+            assert_eq!(eq.row, MixedStrategy::uniform(2));
+        }
+    }
+
+    #[test]
+    fn solves_prisoners_dilemma() {
+        let g = prisoners_dilemma();
+        for label in 0..4 {
+            let eq = lemke_howson(&g, label).unwrap();
+            assert!(g.is_nash(&eq), "label {label}");
+            assert_eq!(eq.row, MixedStrategy::pure(2, 1));
+            assert_eq!(eq.col, MixedStrategy::pure(2, 1));
+        }
+    }
+
+    #[test]
+    fn solves_rock_paper_scissors() {
+        let g = rock_paper_scissors();
+        let eq = lemke_howson(&g, 0).unwrap();
+        assert!(g.is_nash(&eq));
+        assert_eq!(eq.row, MixedStrategy::uniform(3));
+        assert_eq!(eq.col, MixedStrategy::uniform(3));
+    }
+
+    #[test]
+    fn battle_of_sexes_labels_reach_multiple_equilibria() {
+        let g = battle_of_the_sexes();
+        let eqs = lemke_howson_all(&g);
+        assert!(!eqs.is_empty());
+        for eq in &eqs {
+            assert!(g.is_nash(eq));
+        }
+        // LH from different labels finds at least the two pure equilibria.
+        assert!(eqs.len() >= 2);
+    }
+
+    #[test]
+    fn handles_degenerate_fig5() {
+        let g = fig5_game();
+        for label in 0..4 {
+            let eq = lemke_howson(&g, label).unwrap();
+            assert!(g.is_nash(&eq), "label {label}: {eq:?}");
+        }
+    }
+
+    #[test]
+    fn label_out_of_range() {
+        assert_eq!(
+            lemke_howson(&matching_pennies(), 4),
+            Err(LemkeHowsonError::LabelOutOfRange { label: 4, num_labels: 4 })
+        );
+    }
+
+    #[test]
+    fn random_games_always_yield_verified_equilibria() {
+        for seed in 0..60 {
+            let game = GameGenerator::seeded(seed).bimatrix(4, 4, -25..=25);
+            let eq = lemke_howson(&game, (seed % 8) as usize).unwrap();
+            assert!(game.is_nash(&eq), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rectangular_games() {
+        for seed in 0..20 {
+            let game = GameGenerator::seeded(seed).bimatrix(2, 5, -10..=10);
+            let eq = lemke_howson(&game, 0).unwrap();
+            assert!(game.is_nash(&eq), "seed {seed}");
+            let game = GameGenerator::seeded(seed).bimatrix(5, 2, -10..=10);
+            let eq = lemke_howson(&game, 3).unwrap();
+            assert!(game.is_nash(&eq), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_game() {
+        let g = BimatrixGame::from_i64_tables(&[&[7]], &[&[-3]]);
+        let eq = lemke_howson(&g, 0).unwrap();
+        assert_eq!(eq.row.probs(), &[rat(1, 1)]);
+        assert_eq!(eq.col.probs(), &[rat(1, 1)]);
+    }
+
+    #[test]
+    fn agrees_with_support_enumeration_values() {
+        use crate::support_enum::{enumerate_equilibria, EnumerationOptions};
+        for seed in 100..120 {
+            let game = GameGenerator::seeded(seed).bimatrix(3, 3, -10..=10);
+            let lh = lemke_howson(&game, 0).unwrap();
+            // In a nondegenerate game every equilibrium has equal-sized
+            // supports; unequal sizes certify degeneracy (e.g. seed 105 has
+            // a payoff tie creating a continuum of equilibria), where
+            // support enumeration is allowed to return a subset.
+            if lh.row.support().len() != lh.col.support().len() {
+                assert!(game.is_nash(&lh), "seed {seed}");
+                continue;
+            }
+            let (all, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+            assert!(
+                all.iter().any(|e| e.profile == lh),
+                "LH equilibrium must appear in the support enumeration (seed {seed})"
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # ra-solvers — inventor-side equilibrium computation
+//!
+//! The rationality-authority design splits game analysis into an expensive,
+//! untrusted *computation* step (done by the game inventor) and a cheap,
+//! trusted *verification* step (done by agents with verifier-supplied
+//! procedures). This crate is the inventor's toolbox:
+//!
+//! * [`analyze_pure_nash`] — exhaustive pure-equilibrium enumeration with
+//!   maximal/minimal classification (§3);
+//! * [`enumerate_equilibria`] / [`find_one_equilibrium`] — support
+//!   enumeration for bimatrix games (§4);
+//! * [`lemke_howson`] — complementary pivoting with exact arithmetic (§4);
+//! * [`solve_participation_equilibrium`] — root isolation for the
+//!   participation game's symmetric equilibrium (§5);
+//! * [`best_response_dynamics`] — improvement paths (used by the congestion
+//!   case study of §6).
+//!
+//! Nothing in this crate is trusted by agents: its outputs are turned into
+//! certificates by `ra-proofs` and re-checked there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamics;
+mod lemke_howson;
+mod participation;
+mod pure_enum;
+mod support_enum;
+mod zero_sum;
+
+pub use dynamics::{best_response_dynamics, DynamicsOutcome};
+pub use lemke_howson::{lemke_howson, lemke_howson_all, LemkeHowsonError};
+pub use participation::{
+    solve_participation_equilibrium, EquilibriumRoot, ParticipationParams,
+    ParticipationSolveError,
+};
+pub use pure_enum::{analyze_pure_nash, PureNashAnalysis};
+pub use support_enum::{
+    enumerate_equilibria, find_one_equilibrium, EnumerationOptions, EnumerationStats,
+    SupportEquilibrium,
+};
+pub use zero_sum::{solve_zero_sum, MinimaxSolution, ZeroSumError};

@@ -1,0 +1,130 @@
+//! Exhaustive pure-equilibrium search (the §3 inventor-side computation).
+//!
+//! The §3 proof scheme has the inventor enumerate every strategy profile
+//! (`allStrat`), classify each as equilibrium-or-counterexample (`allNash`),
+//! and compare equilibria under `≥u` (`NashMax`). These routines perform the
+//! enumeration and also report how much work it took, so the benchmarks can
+//! contrast it with certificate *checking*.
+
+use ra_games::{StrategicGame, StrategyProfile};
+
+/// Result of an exhaustive pure-Nash analysis of a game.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PureNashAnalysis {
+    /// Every pure Nash equilibrium, in enumeration order.
+    pub equilibria: Vec<StrategyProfile>,
+    /// Equilibria that are maximal under the `≥u` partial order.
+    pub maximal: Vec<StrategyProfile>,
+    /// Equilibria that are minimal under the `≥u` partial order.
+    pub minimal: Vec<StrategyProfile>,
+    /// Number of profiles examined (the full profile space).
+    pub profiles_examined: usize,
+    /// Number of unilateral deviations evaluated during the search.
+    pub deviations_checked: u64,
+}
+
+/// Exhaustively analyses a game: all pure equilibria plus the maximal and
+/// minimal ones.
+///
+/// Cost is `Θ(|A| · Σ_i |A_i|)` payoff lookups, where `|A|` is the profile
+/// space — intractable as games grow, which is precisely why the paper has
+/// the *inventor* do it once and the agents only check certificates.
+///
+/// # Examples
+///
+/// ```
+/// use ra_games::named::coordination_game;
+/// use ra_solvers::analyze_pure_nash;
+///
+/// let analysis = analyze_pure_nash(&coordination_game(3));
+/// assert_eq!(analysis.equilibria.len(), 3);
+/// assert_eq!(analysis.maximal, vec![vec![2, 2].into()]);
+/// assert_eq!(analysis.minimal, vec![vec![0, 0].into()]);
+/// ```
+pub fn analyze_pure_nash(game: &StrategicGame) -> PureNashAnalysis {
+    let mut equilibria = Vec::new();
+    let mut profiles_examined = 0usize;
+    let mut deviations_checked = 0u64;
+    let deviations_per_profile: u64 = game
+        .strategy_counts()
+        .iter()
+        .map(|&c| (c - 1) as u64)
+        .sum();
+    for profile in game.profiles() {
+        profiles_examined += 1;
+        deviations_checked += deviations_per_profile;
+        if game.is_pure_nash(&profile) {
+            equilibria.push(profile);
+        }
+    }
+    let maximal = equilibria
+        .iter()
+        .filter(|e| {
+            equilibria.iter().all(|other| {
+                *e == other || !game.profile_le(e, other) || game.profile_le(other, e)
+            })
+        })
+        .cloned()
+        .collect();
+    let minimal = equilibria
+        .iter()
+        .filter(|e| {
+            equilibria.iter().all(|other| {
+                *e == other || !game.profile_le(other, e) || game.profile_le(e, other)
+            })
+        })
+        .cloned()
+        .collect();
+    PureNashAnalysis {
+        equilibria,
+        maximal,
+        minimal,
+        profiles_examined,
+        deviations_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_games::named::{coordination_game, stag_hunt};
+    use ra_games::GameGenerator;
+
+    #[test]
+    fn coordination_analysis() {
+        let analysis = analyze_pure_nash(&coordination_game(4));
+        assert_eq!(analysis.equilibria.len(), 4);
+        assert_eq!(analysis.maximal.len(), 1);
+        assert_eq!(analysis.minimal.len(), 1);
+        assert_eq!(analysis.profiles_examined, 16);
+        assert_eq!(analysis.deviations_checked, 16 * 6);
+    }
+
+    #[test]
+    fn stag_hunt_analysis() {
+        let analysis = analyze_pure_nash(&stag_hunt(4));
+        assert_eq!(analysis.equilibria.len(), 2);
+        assert_eq!(analysis.maximal, vec![vec![1, 1, 1, 1].into()]);
+        assert_eq!(analysis.minimal, vec![vec![0, 0, 0, 0].into()]);
+    }
+
+    #[test]
+    fn no_equilibrium_game() {
+        // Matching pennies has no PNE.
+        let g = ra_games::named::matching_pennies().to_strategic();
+        let analysis = analyze_pure_nash(&g);
+        assert!(analysis.equilibria.is_empty());
+        assert!(analysis.maximal.is_empty());
+        assert!(analysis.minimal.is_empty());
+        assert_eq!(analysis.profiles_examined, 4);
+    }
+
+    #[test]
+    fn equilibria_match_direct_filter(/* regression vs StrategicGame */) {
+        for seed in 0..30 {
+            let g = GameGenerator::seeded(seed).strategic(vec![3, 3, 2], -5..=5);
+            let analysis = analyze_pure_nash(&g);
+            assert_eq!(analysis.equilibria, g.pure_nash_equilibria(), "seed {seed}");
+        }
+    }
+}

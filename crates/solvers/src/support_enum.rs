@@ -1,0 +1,319 @@
+//! Support enumeration for bimatrix games.
+//!
+//! The inventor-side computation of §4: find mixed Nash equilibria of an
+//! `n × m` bimatrix game by trying candidate support pairs and solving the
+//! indifference linear systems exactly. Worst-case exponential in `n + m` —
+//! the PPAD-hardness of the problem is the whole reason the paper delegates
+//! it to the inventor and gives agents the cheap P1/P2 *verification* path.
+
+use ra_exact::{solve_linear_system, LinearSolution, Matrix, Rational};
+use ra_games::{BimatrixGame, MixedProfile, MixedStrategy};
+
+/// A mixed equilibrium found by [`enumerate_equilibria`], together with the
+/// support data the P1 prover sends to agents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupportEquilibrium {
+    /// The equilibrium profile.
+    pub profile: MixedProfile,
+    /// Row-agent support (sorted indices).
+    pub row_support: Vec<usize>,
+    /// Column-agent support (sorted indices).
+    pub col_support: Vec<usize>,
+    /// Row agent's equilibrium payoff λ₁.
+    pub lambda1: Rational,
+    /// Column agent's equilibrium payoff λ₂.
+    pub lambda2: Rational,
+}
+
+/// Options controlling the enumeration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct EnumerationOptions {
+    /// Stop after this many equilibria (`None` = find all).
+    pub max_equilibria: Option<usize>,
+    /// Only try support pairs of equal cardinality (complete for
+    /// nondegenerate games and much faster).
+    pub equal_sized_supports_only: bool,
+}
+
+
+/// Statistics about an enumeration run (inventor-side effort accounting for
+/// the verify-vs-compute benchmarks).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Support pairs examined.
+    pub support_pairs_tried: u64,
+    /// Linear systems solved.
+    pub linear_systems_solved: u64,
+}
+
+/// Enumerates mixed Nash equilibria of `game` by support enumeration.
+///
+/// Complete for nondegenerate games; for degenerate games it still returns
+/// only genuine equilibria (every candidate is re-checked with
+/// [`BimatrixGame::is_nash`]) but may miss equilibria whose indifference
+/// systems are underdetermined.
+///
+/// # Examples
+///
+/// ```
+/// use ra_games::named::matching_pennies;
+/// use ra_solvers::{enumerate_equilibria, EnumerationOptions};
+///
+/// let (eqs, _) = enumerate_equilibria(&matching_pennies(), &EnumerationOptions::default());
+/// assert_eq!(eqs.len(), 1);
+/// assert_eq!(eqs[0].row_support, vec![0, 1]);
+/// ```
+pub fn enumerate_equilibria(
+    game: &BimatrixGame,
+    options: &EnumerationOptions,
+) -> (Vec<SupportEquilibrium>, EnumerationStats) {
+    let n = game.rows();
+    let m = game.cols();
+    let mut found: Vec<SupportEquilibrium> = Vec::new();
+    let mut stats = EnumerationStats::default();
+    let row_supports = non_empty_subsets(n);
+    let col_supports = non_empty_subsets(m);
+    'outer: for s1 in &row_supports {
+        for s2 in &col_supports {
+            if options.equal_sized_supports_only && s1.len() != s2.len() {
+                continue;
+            }
+            stats.support_pairs_tried += 1;
+            if let Some(eq) = try_support_pair(game, s1, s2, &mut stats) {
+                // Deduplicate identical profiles (degenerate games can
+                // produce the same equilibrium from several support pairs).
+                if !found.iter().any(|f| f.profile == eq.profile) {
+                    found.push(eq);
+                }
+                if let Some(max) = options.max_equilibria {
+                    if found.len() >= max {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    (found, stats)
+}
+
+/// Finds one equilibrium (if any) quickly: equal-sized supports, stop at the
+/// first hit.
+pub fn find_one_equilibrium(game: &BimatrixGame) -> Option<SupportEquilibrium> {
+    let (eqs, _) = enumerate_equilibria(
+        game,
+        &EnumerationOptions { max_equilibria: Some(1), equal_sized_supports_only: false },
+    );
+    eqs.into_iter().next()
+}
+
+fn non_empty_subsets(n: usize) -> Vec<Vec<usize>> {
+    assert!(n < 25, "support enumeration limited to < 25 strategies");
+    let mut out = Vec::with_capacity((1usize << n) - 1);
+    for mask in 1u32..(1u32 << n) {
+        out.push((0..n).filter(|&i| mask & (1 << i) != 0).collect());
+    }
+    // Sort by cardinality so small supports (and hence pure equilibria) are
+    // found first — matching the order a human analyst would try.
+    out.sort_by_key(Vec::len);
+    out
+}
+
+/// Solves the indifference system for a support pair and validates the
+/// result into an equilibrium.
+fn try_support_pair(
+    game: &BimatrixGame,
+    s1: &[usize],
+    s2: &[usize],
+    stats: &mut EnumerationStats,
+) -> Option<SupportEquilibrium> {
+    let m = game.cols();
+    let n = game.rows();
+    // System for the column agent's probabilities y (over s2) and λ1:
+    // for each i ∈ s1: Σ_{j∈s2} A[i,j]·y_j − λ1 = 0; Σ y_j = 1.
+    let y_solution = solve_indifference(
+        s1.len(),
+        s2.len(),
+        |r, c| game.a(s1[r], s2[c]).clone(),
+        stats,
+    )?;
+    // System for the row agent's probabilities x (over s1) and λ2:
+    // for each j ∈ s2: Σ_{i∈s1} B[i,j]·x_i − λ2 = 0; Σ x_i = 1.
+    let x_solution = solve_indifference(
+        s2.len(),
+        s1.len(),
+        |r, c| game.b(s1[c], s2[r]).clone(),
+        stats,
+    )?;
+    let (y_vals, lambda1) = y_solution;
+    let (x_vals, lambda2) = x_solution;
+    // Probabilities must be non-negative, and strictly positive on the
+    // claimed support for it to *be* the support.
+    if y_vals.iter().any(|p| !p.is_positive()) || x_vals.iter().any(|p| !p.is_positive()) {
+        return None;
+    }
+    let mut x = vec![Rational::zero(); n];
+    for (k, &i) in s1.iter().enumerate() {
+        x[i] = x_vals[k].clone();
+    }
+    let mut y = vec![Rational::zero(); m];
+    for (k, &j) in s2.iter().enumerate() {
+        y[j] = y_vals[k].clone();
+    }
+    let profile = MixedProfile {
+        row: MixedStrategy::try_new(x).ok()?,
+        col: MixedStrategy::try_new(y).ok()?,
+    };
+    // Final exact re-check covers the outside-support best-response
+    // conditions (and any degeneracy the linear systems glossed over).
+    if !game.is_nash(&profile) {
+        return None;
+    }
+    Some(SupportEquilibrium {
+        row_support: s1.to_vec(),
+        col_support: s2.to_vec(),
+        lambda1,
+        lambda2,
+        profile,
+    })
+}
+
+/// Solves `Σ_c payoff(r, c)·p_c = λ` for all `r`, `Σ p_c = 1`.
+/// Returns the support probabilities and λ.
+fn solve_indifference(
+    num_eqs: usize,
+    num_probs: usize,
+    payoff: impl Fn(usize, usize) -> Rational,
+    stats: &mut EnumerationStats,
+) -> Option<(Vec<Rational>, Rational)> {
+    // Unknowns: p_0..p_{k-1}, λ. Equations: num_eqs indifference + 1 sum.
+    let unknowns = num_probs + 1;
+    let a = Matrix::from_fn(num_eqs + 1, unknowns, |r, c| {
+        if r < num_eqs {
+            if c < num_probs {
+                payoff(r, c)
+            } else {
+                Rational::from(-1)
+            }
+        } else if c < num_probs {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    });
+    let mut b = vec![Rational::zero(); num_eqs + 1];
+    b[num_eqs] = Rational::one();
+    stats.linear_systems_solved += 1;
+    let solution = match solve_linear_system(&a, &b) {
+        LinearSolution::Unique(x) => x,
+        // Underdetermined systems arise in degenerate games; the particular
+        // solution is still a valid candidate — it just may not be the only
+        // one. Candidates are re-verified afterwards either way.
+        LinearSolution::Underdetermined { particular, .. } => particular,
+        LinearSolution::Inconsistent => return None,
+    };
+    let lambda = solution[num_probs].clone();
+    Some((solution[..num_probs].to_vec(), lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_exact::rat;
+    use ra_games::named::{battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma, rock_paper_scissors};
+    use ra_games::GameGenerator;
+
+    #[test]
+    fn matching_pennies_unique_equilibrium() {
+        let (eqs, stats) = enumerate_equilibria(&matching_pennies(), &EnumerationOptions::default());
+        assert_eq!(eqs.len(), 1);
+        let eq = &eqs[0];
+        assert_eq!(eq.profile.row, MixedStrategy::uniform(2));
+        assert_eq!(eq.profile.col, MixedStrategy::uniform(2));
+        assert_eq!(eq.lambda1, rat(0, 1));
+        assert!(stats.support_pairs_tried <= 9);
+    }
+
+    #[test]
+    fn prisoners_dilemma_pure_only() {
+        let (eqs, _) = enumerate_equilibria(&prisoners_dilemma(), &EnumerationOptions::default());
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].row_support, vec![1]);
+        assert_eq!(eqs[0].col_support, vec![1]);
+        assert_eq!(eqs[0].lambda1, rat(-2, 1));
+    }
+
+    #[test]
+    fn battle_of_sexes_three_equilibria() {
+        let (eqs, _) = enumerate_equilibria(&battle_of_the_sexes(), &EnumerationOptions::default());
+        assert_eq!(eqs.len(), 3);
+        // Two pure + the mixed ((2/3,1/3),(1/3,2/3)).
+        let mixed = eqs.iter().find(|e| e.row_support.len() == 2).unwrap();
+        assert_eq!(mixed.profile.row.probs(), &[rat(2, 3), rat(1, 3)]);
+        assert_eq!(mixed.profile.col.probs(), &[rat(1, 3), rat(2, 3)]);
+        assert_eq!(mixed.lambda1, rat(2, 3));
+    }
+
+    #[test]
+    fn rps_full_support() {
+        let (eqs, _) = enumerate_equilibria(&rock_paper_scissors(), &EnumerationOptions::default());
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].row_support, vec![0, 1, 2]);
+        assert_eq!(eqs[0].profile.row, MixedStrategy::uniform(3));
+    }
+
+    #[test]
+    fn fig5_degenerate_game_has_equilibria() {
+        // Fig. 5 is degenerate (a continuum of equilibria). Enumeration must
+        // return genuine equilibria only; the pure (A, C) one in particular.
+        let (eqs, _) = enumerate_equilibria(&fig5_game(), &EnumerationOptions::default());
+        assert!(!eqs.is_empty());
+        for eq in &eqs {
+            assert!(fig5_game().is_nash(&eq.profile));
+            assert_eq!(eq.lambda1, rat(1, 1));
+        }
+        assert!(eqs
+            .iter()
+            .any(|e| e.row_support == vec![0] && e.col_support == vec![0]));
+    }
+
+    #[test]
+    fn equal_size_restriction_still_finds_nondegenerate() {
+        let options = EnumerationOptions {
+            max_equilibria: None,
+            equal_sized_supports_only: true,
+        };
+        let (eqs, stats) = enumerate_equilibria(&matching_pennies(), &options);
+        assert_eq!(eqs.len(), 1);
+        // 2 singleton pairs^2 = 4, plus the full-support pair = 5.
+        assert_eq!(stats.support_pairs_tried, 5);
+    }
+
+    #[test]
+    fn all_enumerated_equilibria_verify_on_random_games() {
+        for seed in 0..40 {
+            let game = GameGenerator::seeded(seed).bimatrix(3, 3, -10..=10);
+            let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+            for eq in &eqs {
+                assert!(game.is_nash(&eq.profile), "seed {seed}");
+                let (l1, l2) = game.equilibrium_values(&eq.profile);
+                assert_eq!(l1, eq.lambda1, "seed {seed}");
+                assert_eq!(l2, eq.lambda2, "seed {seed}");
+                assert_eq!(eq.profile.row.support(), eq.row_support, "seed {seed}");
+                assert_eq!(eq.profile.col.support(), eq.col_support, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_one_returns_some_for_random_games() {
+        // Nash's theorem: every finite game has a mixed equilibrium. With
+        // full support-pair enumeration we find one for small nondegenerate
+        // games; random integer games are nondegenerate w.h.p.
+        for seed in 0..40 {
+            let game = GameGenerator::seeded(1000 + seed).bimatrix(3, 4, -20..=20);
+            let eq = find_one_equilibrium(&game);
+            assert!(eq.is_some(), "seed {seed}");
+        }
+    }
+}

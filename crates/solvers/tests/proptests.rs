@@ -1,0 +1,153 @@
+//! Property-based tests for the inventor-side solvers.
+//!
+//! The common theme: whatever a solver outputs must pass the *definitional*
+//! equilibrium checks from `ra-games` — the same checks the verification
+//! side re-derives from certificates.
+
+use proptest::prelude::*;
+use ra_exact::{rat, Rational};
+use ra_games::{GameGenerator, ProfileIter};
+use ra_solvers::{
+    analyze_pure_nash, best_response_dynamics, enumerate_equilibria, lemke_howson,
+    solve_participation_equilibrium, DynamicsOutcome, EnumerationOptions, EquilibriumRoot,
+    ParticipationParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemke–Howson always returns a genuine Nash equilibrium, any label,
+    /// any (small) shape, including degenerate games with payoff ties.
+    #[test]
+    fn lemke_howson_sound(seed in 0u64..1000, r in 1usize..5, c in 1usize..5, lo in -3i64..0) {
+        let game = GameGenerator::seeded(seed).bimatrix(r, c, lo..=3);
+        let label = (seed as usize) % (r + c);
+        let eq = lemke_howson(&game, label).unwrap();
+        prop_assert!(game.is_nash(&eq));
+    }
+
+    /// Support enumeration returns only genuine equilibria, with correct
+    /// supports and λ values.
+    #[test]
+    fn support_enumeration_sound(seed in 0u64..500, r in 1usize..4, c in 1usize..4) {
+        let game = GameGenerator::seeded(seed).bimatrix(r, c, -10..=10);
+        let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+        prop_assert!(!eqs.is_empty(), "full enumeration over all support pairs finds at least one equilibrium in games this small");
+        for eq in &eqs {
+            prop_assert!(game.is_nash(&eq.profile));
+            prop_assert_eq!(eq.profile.row.support(), eq.row_support.clone());
+            prop_assert_eq!(eq.profile.col.support(), eq.col_support.clone());
+            let (l1, l2) = game.equilibrium_values(&eq.profile);
+            prop_assert_eq!(&l1, &eq.lambda1);
+            prop_assert_eq!(&l2, &eq.lambda2);
+        }
+    }
+
+    /// Exhaustive PNE analysis: equilibria list matches a from-scratch
+    /// filter; maximal/minimal classifications are internally consistent.
+    #[test]
+    fn pure_analysis_consistent(seed in 0u64..300) {
+        let counts = vec![2usize, 3, 2];
+        let game = GameGenerator::seeded(seed).strategic(counts.clone(), -6..=6);
+        let analysis = analyze_pure_nash(&game);
+        let direct: Vec<_> = ProfileIter::new(counts).filter(|p| game.is_pure_nash(p)).collect();
+        prop_assert_eq!(&analysis.equilibria, &direct);
+        for m in &analysis.maximal {
+            prop_assert!(game.is_maximal_nash(m));
+        }
+        for m in &analysis.minimal {
+            prop_assert!(game.is_minimal_nash(m));
+        }
+        // Every equilibrium is dominated by some maximal one or is maximal.
+        for e in &analysis.equilibria {
+            prop_assert!(
+                analysis.maximal.iter().any(|m| game.profile_le(e, m) || e == m)
+                    || analysis.maximal.is_empty()
+            );
+        }
+    }
+
+    /// Best-response dynamics never claims convergence to a non-equilibrium.
+    #[test]
+    fn dynamics_sound(seed in 0u64..300, budget in 1usize..100) {
+        let game = GameGenerator::seeded(seed).strategic(vec![3, 3], -8..=8);
+        if let DynamicsOutcome::Converged { equilibrium, .. } =
+            best_response_dynamics(&game, vec![0, 0].into(), budget)
+        {
+            prop_assert!(game.is_pure_nash(&equilibrium));
+        }
+    }
+
+    /// Participation-game roots: every root returned satisfies (or brackets)
+    /// the indifference equation, and roots are correctly ordered around the
+    /// peak.
+    #[test]
+    fn participation_roots_sound(n in 2u64..9, k_off in 0u64..7, v_num in 2i64..50, c_num in 1i64..49) {
+        let k = 2 + (k_off % (n.max(2) - 1)).min(n - 2);
+        prop_assume!(k >= 2 && k <= n);
+        prop_assume!(c_num < v_num);
+        let params = ParticipationParams::new(
+            n, k, Rational::from(v_num), Rational::from(c_num),
+        ).unwrap();
+        let tol = rat(1, 1 << 24);
+        match solve_participation_equilibrium(&params, &tol) {
+            Ok(roots) => {
+                prop_assert!(!roots.is_empty());
+                prop_assert!(roots.len() <= 2);
+                for root in &roots {
+                    match root {
+                        EquilibriumRoot::Exact(p) => {
+                            prop_assert_eq!(params.indifference_fn(p), Rational::zero());
+                            prop_assert!(!p.is_negative() && p <= &Rational::one());
+                        }
+                        EquilibriumRoot::Bracket { lo, hi } => {
+                            prop_assert!((hi - lo) <= tol);
+                            let s_lo = params.indifference_fn(lo).is_negative();
+                            let s_hi = params.indifference_fn(hi).is_negative();
+                            prop_assert!(s_lo != s_hi, "bracket must straddle a sign change");
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // No interior equilibrium: the peak value must be negative.
+                prop_assert!(params.indifference_fn(&params.peak()).is_negative());
+            }
+        }
+    }
+}
+
+/// Battle-of-sexes-like games: LH from all labels and support enumeration
+/// must agree on the *set* of equilibrium payoffs for nondegenerate games.
+#[test]
+fn lh_subset_of_enumeration_nondegenerate() {
+    let mut checked = 0;
+    for seed in 0..120u64 {
+        let game = GameGenerator::seeded(seed).bimatrix(3, 3, -50..=50);
+        let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+        // Heuristic nondegeneracy filter: all equilibria have equal-sized
+        // supports and the counts are odd (nondegenerate games have an odd
+        // number of equilibria).
+        if eqs.len() % 2 == 0
+            || eqs.iter().any(|e| e.row_support.len() != e.col_support.len())
+        {
+            continue;
+        }
+        checked += 1;
+        for label in 0..6 {
+            let lh = lemke_howson(&game, label).unwrap();
+            // The LH endpoint itself can expose a degeneracy (payoff tie)
+            // that the enumerated equilibria do not show: unequal support
+            // sizes. Soundness still must hold; containment need not.
+            if lh.row.support().len() != lh.col.support().len() {
+                assert!(game.is_nash(&lh), "seed {seed}, label {label}");
+                continue;
+            }
+            assert!(
+                eqs.iter().any(|e| e.profile == lh),
+                "seed {seed}, label {label}"
+            );
+        }
+    }
+    assert!(checked > 20, "expected plenty of nondegenerate instances, got {checked}");
+}

@@ -1,0 +1,76 @@
+//! Property tests for the zero-sum LP solver: minimax duality and agreement
+//! with the general-purpose machinery.
+
+use proptest::prelude::*;
+use ra_exact::Rational;
+use ra_games::{GameGenerator, MixedStrategy};
+use ra_solvers::{lemke_howson, solve_zero_sum};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LP solution is always a Nash equilibrium, and its value equals
+    /// the game value found via Lemke–Howson (all equilibria of a zero-sum
+    /// game share one value).
+    #[test]
+    fn minimax_is_nash_with_unique_value(seed in 0u64..500, r in 1usize..5, c in 1usize..5) {
+        let game = GameGenerator::seeded(seed).zero_sum(r, c, -15..=15);
+        let solution = solve_zero_sum(&game).unwrap();
+        prop_assert!(game.is_nash(&solution.profile));
+        let lh = lemke_howson(&game, 0).unwrap();
+        prop_assert_eq!(
+            solution.value.clone(),
+            game.expected_row_payoff(&lh.row, &lh.col)
+        );
+    }
+
+    /// Security levels: the row strategy guarantees at least the value
+    /// against EVERY pure column reply, and symmetrically for the column
+    /// strategy (the minimax property itself).
+    #[test]
+    fn strategies_guarantee_the_value(seed in 0u64..500, r in 1usize..4, c in 1usize..4) {
+        let game = GameGenerator::seeded(seed ^ 0xbeef).zero_sum(r, c, -9..=9);
+        let solution = solve_zero_sum(&game).unwrap();
+        let x = &solution.profile.row;
+        let y = &solution.profile.col;
+        for j in 0..c {
+            // Row payoff when the column agent replies with pure j:
+            // −(xᵀB)_j since B = −A.
+            let row_gets = -game.col_payoff_against(x, j);
+            prop_assert!(row_gets >= solution.value, "column reply {j} beats the value");
+        }
+        for i in 0..r {
+            let row_gets = game.row_payoff_against(i, y);
+            prop_assert!(row_gets <= solution.value, "row reply {i} beats the value");
+        }
+    }
+
+    /// Shift invariance: adding a constant to all payoffs shifts the value
+    /// by that constant and preserves optimal strategies' validity.
+    #[test]
+    fn value_shifts_with_payoffs(seed in 0u64..200, shift in -10i64..=10) {
+        let base = GameGenerator::seeded(seed ^ 0x5a5a).zero_sum(3, 3, -9..=9);
+        let shifted = ra_games::BimatrixGame::new(
+            ra_exact::Matrix::from_fn(3, 3, |i, j| base.a(i, j) + &Rational::from(shift)),
+            ra_exact::Matrix::from_fn(3, 3, |i, j| base.b(i, j) - &Rational::from(shift)),
+        );
+        prop_assert!(shifted.is_zero_sum());
+        let v0 = solve_zero_sum(&base).unwrap().value;
+        let v1 = solve_zero_sum(&shifted).unwrap().value;
+        prop_assert_eq!(v1, v0 + Rational::from(shift));
+    }
+}
+
+/// 1×1 and single-row/column degenerate shapes.
+#[test]
+fn degenerate_shapes() {
+    let g = ra_games::BimatrixGame::from_i64_tables(&[&[7]], &[&[-7]]);
+    let s = solve_zero_sum(&g).unwrap();
+    assert_eq!(s.value, Rational::from(7));
+    assert_eq!(s.profile.row, MixedStrategy::pure(1, 0));
+    // Single row: value = max over columns? No — the COLUMN agent picks the
+    // minimizing column.
+    let g = ra_games::BimatrixGame::from_i64_tables(&[&[3, -2, 5]], &[&[-3, 2, -5]]);
+    let s = solve_zero_sum(&g).unwrap();
+    assert_eq!(s.value, Rational::from(-2));
+}

