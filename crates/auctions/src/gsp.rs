@@ -25,7 +25,7 @@ use ra_proofs::DominanceCertificate;
 /// Allocation: bidders sorted by bid (ties toward the lower index) fill the
 /// slots in CTR order; the bidder in slot `s` pays the *next* bid down per
 /// click.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GspAuction {
     /// Click-through rate of each slot, best first (non-increasing),
     /// as exact rationals in `[0, 1]`.
@@ -56,14 +56,20 @@ impl GspAuction {
             "CTRs must be non-increasing"
         );
         assert!(
-            slot_ctrs.iter().all(|c| !c.is_negative() && c <= &Rational::one()),
+            slot_ctrs
+                .iter()
+                .all(|c| !c.is_negative() && c <= &Rational::one()),
             "CTRs must lie in [0, 1]"
         );
         assert!(
             valuations.iter().all(|&v| v <= max_bid),
             "valuations must be expressible as bids"
         );
-        GspAuction { slot_ctrs, valuations, max_bid }
+        GspAuction {
+            slot_ctrs,
+            valuations,
+            max_bid,
+        }
     }
 
     /// Number of bidders.
@@ -130,11 +136,7 @@ mod tests {
     /// The classic EOS counterexample shape: two slots with CTRs 1 and 1/2,
     /// three bidders.
     fn eos_instance() -> GspAuction {
-        GspAuction::new(
-            vec![rat(1, 1), rat(1, 2)],
-            vec![8, 5, 2],
-            10,
-        )
+        GspAuction::new(vec![rat(1, 1), rat(1, 2)], vec![8, 5, 2], 10)
     }
 
     #[test]

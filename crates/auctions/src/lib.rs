@@ -25,12 +25,10 @@ mod participation;
 mod sealed_bid;
 
 pub use gsp::GspAuction;
-pub use lottery::{
-    verify_lottery_advisory, Area, Lottery, LotteryAdvisory, LotteryAdvisoryError,
-};
+pub use lottery::{verify_lottery_advisory, Area, Lottery, LotteryAdvisory, LotteryAdvisoryError};
 pub use online_participation::{
-    exact_online_expected_gain, last_mover_advice, last_mover_gain,
-    simulate_online_expected_gain, verify_last_mover_advice, LastMoverAdvice,
+    exact_online_expected_gain, last_mover_advice, last_mover_gain, simulate_online_expected_gain,
+    verify_last_mover_advice, LastMoverAdvice,
 };
 pub use participation::ParticipationGame;
 pub use sealed_bid::{AuctionRule, SealedBidAuction};

@@ -12,7 +12,7 @@
 use ra_exact::Rational;
 
 /// Ticket counts for one sales area.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Area {
     /// Genuine tickets on sale in this area.
     pub valid: u64,
@@ -21,7 +21,7 @@ pub struct Area {
 }
 
 /// The lottery model: total valid tickets and the per-area composition.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Lottery {
     /// Total number of genuine tickets `x` (across all areas).
     pub total_valid: u64,
@@ -67,7 +67,7 @@ impl Lottery {
 
 /// The company's advisory: areas to avoid, with the committed counts as the
 /// proof.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LotteryAdvisory {
     /// Area indices the company claims are tainted.
     pub avoid: Vec<usize>,
@@ -100,7 +100,10 @@ impl std::fmt::Display for LotteryAdvisoryError {
                 write!(f, "area {area} has no fake tickets but was advised against")
             }
             LotteryAdvisoryError::TaintedAreaOmitted { area } => {
-                write!(f, "area {area} sells fakes but is missing from the advisory")
+                write!(
+                    f,
+                    "area {area} sells fakes but is missing from the advisory"
+                )
             }
             LotteryAdvisoryError::OutOfRange => write!(f, "area index out of range"),
         }
@@ -142,7 +145,10 @@ mod tests {
     fn example() -> Lottery {
         Lottery::new(vec![
             Area { valid: 50, fake: 0 },
-            Area { valid: 30, fake: 30 },
+            Area {
+                valid: 30,
+                fake: 30,
+            },
             Area { valid: 20, fake: 0 },
         ])
     }
@@ -160,18 +166,27 @@ mod tests {
 
     #[test]
     fn honest_advisory_verifies() {
-        let advisory = LotteryAdvisory { avoid: vec![1], model: example() };
+        let advisory = LotteryAdvisory {
+            avoid: vec![1],
+            model: example(),
+        };
         assert!(verify_lottery_advisory(&advisory).is_ok());
         // Following the advisory preserves the fair chance.
         for &area in &[0usize, 2] {
-            assert_eq!(advisory.model.win_probability(area), advisory.model.fair_probability());
+            assert_eq!(
+                advisory.model.win_probability(area),
+                advisory.model.fair_probability()
+            );
         }
     }
 
     #[test]
     fn defamation_caught() {
         // Claiming a clean area is tainted (e.g. to steer buyers) fails.
-        let advisory = LotteryAdvisory { avoid: vec![0, 1], model: example() };
+        let advisory = LotteryAdvisory {
+            avoid: vec![0, 1],
+            model: example(),
+        };
         assert_eq!(
             verify_lottery_advisory(&advisory),
             Err(LotteryAdvisoryError::CleanAreaDefamed { area: 0 })
@@ -180,7 +195,10 @@ mod tests {
 
     #[test]
     fn omission_caught() {
-        let advisory = LotteryAdvisory { avoid: vec![], model: example() };
+        let advisory = LotteryAdvisory {
+            avoid: vec![],
+            model: example(),
+        };
         assert_eq!(
             verify_lottery_advisory(&advisory),
             Err(LotteryAdvisoryError::TaintedAreaOmitted { area: 1 })
@@ -189,8 +207,14 @@ mod tests {
 
     #[test]
     fn out_of_range_caught() {
-        let advisory = LotteryAdvisory { avoid: vec![7], model: example() };
-        assert_eq!(verify_lottery_advisory(&advisory), Err(LotteryAdvisoryError::OutOfRange));
+        let advisory = LotteryAdvisory {
+            avoid: vec![7],
+            model: example(),
+        };
+        assert_eq!(
+            verify_lottery_advisory(&advisory),
+            Err(LotteryAdvisoryError::OutOfRange)
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use ra_exact::{binomial_pmf, Rational};
 use ra_solvers::ParticipationParams;
 
 /// Advice to the last-deciding firm, given the observed entry count.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LastMoverAdvice {
     /// Whether to participate (`p = 1`) or not (`p = 0`).
     pub participate: bool,
@@ -31,11 +31,21 @@ pub struct LastMoverAdvice {
 pub fn last_mover_advice(params: &ParticipationParams, prior_entrants: usize) -> LastMoverAdvice {
     let k = params.k as usize;
     // Entering yields v−c if total (= prior + 1) ≥ k, else −c.
-    let enter_gain = if prior_entrants + 1 >= k { &params.v - &params.c } else { -&params.c };
+    let enter_gain = if prior_entrants + 1 >= k {
+        &params.v - &params.c
+    } else {
+        -&params.c
+    };
     // Staying out yields v if prior ≥ k, else 0.
-    let stay_gain =
-        if prior_entrants >= k { params.v.clone() } else { Rational::zero() };
-    LastMoverAdvice { participate: enter_gain > stay_gain, claimed_prior_entrants: prior_entrants }
+    let stay_gain = if prior_entrants >= k {
+        params.v.clone()
+    } else {
+        Rational::zero()
+    };
+    LastMoverAdvice {
+        participate: enter_gain > stay_gain,
+        claimed_prior_entrants: prior_entrants,
+    }
 }
 
 /// The gain the last mover receives by taking `participate` with
@@ -93,11 +103,11 @@ pub fn verify_last_mover_advice(
 /// # Panics
 ///
 /// Panics if `params.k != 2` or `p_offline ∉ [0, 1]`.
-pub fn exact_online_expected_gain(
-    params: &ParticipationParams,
-    p_offline: &Rational,
-) -> Rational {
-    assert_eq!(params.k, 2, "closed-form online analysis implemented for k = 2");
+pub fn exact_online_expected_gain(params: &ParticipationParams, p_offline: &Rational) -> Rational {
+    assert_eq!(
+        params.k, 2,
+        "closed-form online analysis implemented for k = 2"
+    );
     assert!(
         !p_offline.is_negative() && p_offline <= &Rational::one(),
         "probability out of range"
@@ -125,7 +135,11 @@ pub fn exact_online_expected_gain(
     // other n−2 offline players; the last mover reacts to (own + j).
     let mut gain_nonlast = Rational::zero();
     for own in [true, false] {
-        let pr_own = if own { p_offline.clone() } else { &one - p_offline };
+        let pr_own = if own {
+            p_offline.clone()
+        } else {
+            &one - p_offline
+        };
         for j in 0..=(n - 2) {
             let pr_j = binomial_pmf((n - 2) as u64, j as u64, p_offline);
             let prior = j + usize::from(own);
@@ -272,8 +286,7 @@ mod tests {
     fn larger_n_still_beats_offline() {
         // n = 5, c/v = 1/10 (k = 2): offline equilibrium gain vs online.
         let params = ParticipationParams::new(5, 2, Rational::from(10), Rational::from(1)).unwrap();
-        let roots =
-            ra_solvers::solve_participation_equilibrium(&params, &rat(1, 1 << 22)).unwrap();
+        let roots = ra_solvers::solve_participation_equilibrium(&params, &rat(1, 1 << 22)).unwrap();
         let p = roots[0].value();
         let online = exact_online_expected_gain(&params, &p);
         // Offline gain at the (bracketed) equilibrium ≈ v·C_k; compare via

@@ -10,9 +10,7 @@
 use ra_exact::Rational;
 use ra_games::SymmetricBinaryGame;
 use ra_proofs::ParticipationCertificate;
-use ra_solvers::{
-    solve_participation_equilibrium, ParticipationParams, ParticipationSolveError,
-};
+use ra_solvers::{solve_participation_equilibrium, ParticipationParams, ParticipationSolveError};
 
 /// The participation game: parameters plus the induced symmetric game.
 #[derive(Clone, Debug)]
@@ -76,7 +74,10 @@ impl ParticipationGame {
         let roots = solve_participation_equilibrium(&self.params, tolerance)?;
         Ok(ParticipationCertificate {
             params: self.params.clone(),
-            root: roots.into_iter().next().expect("solver returns at least one root"),
+            root: roots
+                .into_iter()
+                .next()
+                .expect("solver returns at least one root"),
         })
     }
 
@@ -116,7 +117,12 @@ mod tests {
     fn indifference_derivations_agree() {
         // The symmetric-game expectation and the Eq. (4)/(5) closed form
         // must agree everywhere, for several parameterisations.
-        for (n, k, v, c) in [(3u64, 2u64, 8i64, 3i64), (5, 2, 10, 1), (6, 4, 16, 1), (4, 4, 9, 2)] {
+        for (n, k, v, c) in [
+            (3u64, 2u64, 8i64, 3i64),
+            (5, 2, 10, 1),
+            (6, 4, 16, 1),
+            (4, 4, 9, 2),
+        ] {
             let params =
                 ParticipationParams::new(n, k, Rational::from(v), Rational::from(c)).unwrap();
             let game = ParticipationGame::new(params);
@@ -138,7 +144,9 @@ mod tests {
         let game = ParticipationGame::new(params);
         assert!(game.inventor_advice(&rat(1, 1024)).is_err());
         // p = 0 remains an equilibrium of the symmetric game.
-        assert!(game.symmetric_game().is_symmetric_equilibrium(&Rational::zero()));
+        assert!(game
+            .symmetric_game()
+            .is_symmetric_equilibrium(&Rational::zero()));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use ra_games::{Dominance, StrategicGame};
 use ra_proofs::DominanceCertificate;
 
 /// Payment rule of a sealed-bid auction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AuctionRule {
     /// Winner pays its own bid.
     FirstPrice,
@@ -22,7 +22,7 @@ pub enum AuctionRule {
 
 /// A sealed-bid auction instance with integer private valuations and bid
 /// levels `0..=max_bid`. Ties are broken toward the lowest bidder index.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SealedBidAuction {
     /// Each bidder's (privately known) valuation.
     pub valuations: Vec<u64>,
@@ -45,7 +45,11 @@ impl SealedBidAuction {
             valuations.iter().all(|&v| v <= max_bid),
             "valuations must be expressible as bids"
         );
-        SealedBidAuction { valuations, max_bid, rule }
+        SealedBidAuction {
+            valuations,
+            max_bid,
+            rule,
+        }
     }
 
     /// Number of bidders.
@@ -149,8 +153,11 @@ mod tests {
             let max = 7;
             let auction = SealedBidAuction::new(valuations.clone(), max, AuctionRule::SecondPrice);
             let game = auction.to_strategic();
-            let truthful: ra_games::StrategyProfile =
-                valuations.iter().map(|&v| v as usize).collect::<Vec<_>>().into();
+            let truthful: ra_games::StrategyProfile = valuations
+                .iter()
+                .map(|&v| v as usize)
+                .collect::<Vec<_>>()
+                .into();
             assert!(game.is_pure_nash(&truthful), "valuations {valuations:?}");
         }
     }
@@ -161,7 +168,10 @@ mod tests {
         let game = auction.to_strategic();
         for agent in 0..3 {
             let cert = auction.truthful_dominance_certificate(agent);
-            assert!(verify_dominance_certificate(&game, &cert).is_ok(), "agent {agent}");
+            assert!(
+                verify_dominance_certificate(&game, &cert).is_ok(),
+                "agent {agent}"
+            );
         }
     }
 

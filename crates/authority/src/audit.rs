@@ -99,10 +99,18 @@ impl StatisticsLedger {
         if let Some(last) = self.records.last() {
             assert!(round > last.round, "rounds must strictly increase");
         }
-        let prev_hash = self.records.last().map_or([0u8; 32], StatisticsRecord::hash);
+        let prev_hash = self
+            .records
+            .last()
+            .map_or([0u8; 32], StatisticsRecord::hash);
         let message = StatisticsRecord::message_bytes(round, &values, &prev_hash);
         let signature = key.sign(&message);
-        self.records.push(StatisticsRecord { round, values, prev_hash, signature });
+        self.records.push(StatisticsRecord {
+            round,
+            values,
+            prev_hash,
+            signature,
+        });
     }
 
     /// The records, oldest first.
@@ -166,7 +174,10 @@ mod tests {
         ledger.records[1].values[0] = rat(999, 1);
         // Either the signature breaks (record 1) or the chain (record 2) —
         // the signature is checked against the tampered message first.
-        assert_eq!(ledger.audit(&key), Err(AuditError::BadSignature { index: 1 }));
+        assert_eq!(
+            ledger.audit(&key),
+            Err(AuditError::BadSignature { index: 1 })
+        );
     }
 
     #[test]
@@ -174,7 +185,10 @@ mod tests {
         let key = SigningKey::derive("inventor-0");
         let mut ledger = sample_ledger(&key);
         ledger.records.remove(1);
-        assert_eq!(ledger.audit(&key), Err(AuditError::BrokenChain { index: 1 }));
+        assert_eq!(
+            ledger.audit(&key),
+            Err(AuditError::BrokenChain { index: 1 })
+        );
     }
 
     #[test]
@@ -182,7 +196,10 @@ mod tests {
         let key = SigningKey::derive("inventor-0");
         let ledger = sample_ledger(&key);
         let other = SigningKey::derive("impostor");
-        assert_eq!(ledger.audit(&other), Err(AuditError::BadSignature { index: 0 }));
+        assert_eq!(
+            ledger.audit(&other),
+            Err(AuditError::BadSignature { index: 0 })
+        );
     }
 
     #[test]

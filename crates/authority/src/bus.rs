@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 
 use crate::messages::{Message, Party};
 use crate::wire::Wire;
@@ -107,9 +107,15 @@ impl Bus {
     /// Registers a party; returns its receiving endpoint. Re-registering
     /// replaces the old endpoint.
     pub fn register(&self, party: Party) -> Endpoint {
-        let (tx, rx) = unbounded();
-        self.endpoints.lock().insert(party, tx);
-        Endpoint { party, receiver: rx }
+        let (tx, rx) = channel();
+        self.endpoints
+            .lock()
+            .expect("bus lock poisoned")
+            .insert(party, tx);
+        Endpoint {
+            party,
+            receiver: rx,
+        }
     }
 
     /// Sends `message` from `from` to `to`, accounting its serialized size.
@@ -122,38 +128,57 @@ impl Bus {
         let dropped = self
             .drop_rules
             .lock()
+            .expect("bus lock poisoned")
             .iter()
             .any(|&(f, t)| f == from && t == to);
         let result = if dropped {
             Ok(())
         } else {
-            let endpoints = self.endpoints.lock();
+            let endpoints = self.endpoints.lock().expect("bus lock poisoned");
             let tx = endpoints.get(&to).ok_or(BusError::UnknownParty(to))?;
-            tx.send((from, message)).map_err(|_| BusError::Disconnected(to))
+            tx.send((from, message))
+                .map_err(|_| BusError::Disconnected(to))
         };
-        self.log.lock().push(DeliveryRecord { from, to, bytes, delivered: !dropped });
+        self.log
+            .lock()
+            .expect("bus lock poisoned")
+            .push(DeliveryRecord {
+                from,
+                to,
+                bytes,
+                delivered: !dropped,
+            });
         result
     }
 
     /// Injects a drop rule: all messages `from → to` are silently dropped.
     pub fn drop_link(&self, from: Party, to: Party) {
-        self.drop_rules.lock().push((from, to));
+        self.drop_rules
+            .lock()
+            .expect("bus lock poisoned")
+            .push((from, to));
     }
 
     /// Removes all drop rules.
     pub fn heal(&self) {
-        self.drop_rules.lock().clear();
+        self.drop_rules.lock().expect("bus lock poisoned").clear();
     }
 
     /// Total bytes put on the wire (delivered or not).
     pub fn total_bytes(&self) -> usize {
-        self.log.lock().iter().map(|r| r.bytes).sum()
+        self.log
+            .lock()
+            .expect("bus lock poisoned")
+            .iter()
+            .map(|r| r.bytes)
+            .sum()
     }
 
     /// Bytes sent from `from` to `to`.
     pub fn bytes_between(&self, from: Party, to: Party) -> usize {
         self.log
             .lock()
+            .expect("bus lock poisoned")
             .iter()
             .filter(|r| r.from == from && r.to == to)
             .map(|r| r.bytes)
@@ -162,12 +187,12 @@ impl Bus {
 
     /// A copy of the full delivery log.
     pub fn delivery_log(&self) -> Vec<DeliveryRecord> {
-        self.log.lock().clone()
+        self.log.lock().expect("bus lock poisoned").clone()
     }
 
     /// Number of messages sent (delivered or dropped).
     pub fn message_count(&self) -> usize {
-        self.log.lock().len()
+        self.log.lock().expect("bus lock poisoned").len()
     }
 }
 
@@ -182,8 +207,10 @@ mod tests {
         let b = Party::Agent(2);
         bus.register(a);
         let ep_b = bus.register(b);
-        bus.send(a, b, Message::AdviceRequest { game_id: 7 }).unwrap();
-        bus.send(a, b, Message::AdviceRequest { game_id: 8 }).unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 7 })
+            .unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 8 })
+            .unwrap();
         let drained = ep_b.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(bus.message_count(), 2);
@@ -210,13 +237,15 @@ mod tests {
         bus.register(a);
         let ep_b = bus.register(b);
         bus.drop_link(a, b);
-        bus.send(a, b, Message::AdviceRequest { game_id: 1 }).unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 })
+            .unwrap();
         assert!(ep_b.try_recv().is_none());
         let log = bus.delivery_log();
         assert_eq!(log.len(), 1);
         assert!(!log[0].delivered);
         bus.heal();
-        bus.send(a, b, Message::AdviceRequest { game_id: 2 }).unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 2 })
+            .unwrap();
         assert!(ep_b.try_recv().is_some());
     }
 
@@ -233,7 +262,8 @@ mod tests {
                 let me = Party::Agent(i);
                 bus.register(me);
                 for g in 0..50 {
-                    bus.send(me, hub, Message::AdviceRequest { game_id: g }).unwrap();
+                    bus.send(me, hub, Message::AdviceRequest { game_id: g })
+                        .unwrap();
                 }
             }));
         }

@@ -66,7 +66,10 @@ pub struct Inventor {
 impl Inventor {
     /// Creates an inventor with the given identity number and behaviour.
     pub fn new(id: u64, behavior: InventorBehavior) -> Inventor {
-        Inventor { id: Party::Inventor(id), behavior }
+        Inventor {
+            id: Party::Inventor(id),
+            behavior,
+        }
     }
 
     /// Produces advice for a game (or `None` if silent / no equilibrium
@@ -228,6 +231,9 @@ mod tests {
         let c = corrupt.advise(&spec).unwrap();
         assert_ne!(h, c);
         let spec = GameSpec::Participation(ParticipationParams::paper_example());
-        assert_ne!(honest.advise(&spec).unwrap(), corrupt.advise(&spec).unwrap());
+        assert_ne!(
+            honest.advise(&spec).unwrap(),
+            corrupt.advise(&spec).unwrap()
+        );
     }
 }

@@ -34,13 +34,11 @@ mod wire;
 
 pub use audit::{AuditError, StatisticsLedger, StatisticsRecord};
 pub use bus::{Bus, BusError, DeliveryRecord, Endpoint};
-pub use crypto::{
-    hmac_sha256, sha256, to_hex, Commitment, Digest, Signature, SigningKey,
-};
+pub use crypto::{hmac_sha256, sha256, to_hex, Commitment, Digest, Signature, SigningKey};
 pub use inventor::{GameSpec, Inventor, InventorBehavior};
 pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
 pub use reputation::{MajorityOutcome, ReputationStore};
 pub use session::{RationalityAuthority, SessionOutcome};
 pub use verifier::{VerifierBehavior, VerifierService};
-pub use wire::{get_varint, put_varint, Wire, WireError};
+pub use wire::{get_varint, put_varint, Wire, WireBytes, WireError};

@@ -8,18 +8,16 @@
 //! including recursive §3 proof trees — encodes to real bytes so the bus
 //! can account for communication exactly.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use ra_exact::Rational;
 use ra_games::{Dominance, MixedStrategy, StrategyProfile};
-use ra_proofs::kernel::{NotAboveWitness, Proof, ProfileVerdict, Prop, Term};
+use ra_proofs::kernel::{NotAboveWitness, ProfileVerdict, Proof, Prop, Term};
 use ra_proofs::{
     OnlineAdviceCertificate, P2Advice, ParticipationCertificate, PureNashCertificate,
     SupportCertificate,
 };
 use ra_solvers::{EquilibriumRoot, ParticipationParams};
 
-use crate::wire::{get_varint, put_varint, Wire, WireError};
+use crate::wire::{get_varint, put_varint, Wire, WireBytes, WireError};
 
 /// Identity of a protocol party.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,23 +41,23 @@ impl std::fmt::Display for Party {
 }
 
 impl Wire for Party {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Party::Inventor(i) => {
-                buf.put_u8(0);
+                buf.push(0);
                 put_varint(buf, *i);
             }
             Party::Agent(i) => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_varint(buf, *i);
             }
             Party::Verifier(i) => {
-                buf.put_u8(2);
+                buf.push(2);
                 put_varint(buf, *i);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Party, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Party, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -169,20 +167,161 @@ pub enum Message {
 
 // ---- Wire impls for foreign certificate types -------------------------------
 
+/// Maximum nesting depth accepted when decoding the recursive proof payloads
+/// (`Term`/`Prop`/`Proof`). Honest certificates are a handful of levels deep;
+/// without a cap, hostile wire bytes (e.g. millions of repeated `Term::Add`
+/// tags) would abort the process via stack overflow instead of returning a
+/// [`WireError`].
+const MAX_PROOF_NESTING: u32 = 256;
+
+fn deeper(depth: u32) -> Result<u32, WireError> {
+    if depth >= MAX_PROOF_NESTING {
+        Err(WireError::Malformed(format!(
+            "proof nesting deeper than {MAX_PROOF_NESTING}"
+        )))
+    } else {
+        Ok(depth + 1)
+    }
+}
+
+/// Length-prefixed sequence of depth-tracked elements (same hostile-length
+/// cap as `Vec::<T>::decode`, via the shared prefix reader).
+fn decode_seq<T>(
+    buf: &mut WireBytes,
+    depth: u32,
+    elem: impl Fn(&mut WireBytes, u32) -> Result<T, WireError>,
+) -> Result<Vec<T>, WireError> {
+    let len = crate::wire::get_len_prefix(buf)?;
+    let mut out = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        out.push(elem(buf, depth)?);
+    }
+    Ok(out)
+}
+
+fn decode_term(buf: &mut WireBytes, depth: u32) -> Result<Term, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEnd);
+    }
+    Ok(match buf.get_u8() {
+        0 => Term::Const(Rational::decode(buf)?),
+        1 => Term::Utility {
+            agent: usize::decode(buf)?,
+            profile: StrategyProfile::decode(buf)?,
+        },
+        2 => {
+            let d = deeper(depth)?;
+            Term::Add(
+                Box::new(decode_term(buf, d)?),
+                Box::new(decode_term(buf, d)?),
+            )
+        }
+        3 => {
+            let d = deeper(depth)?;
+            Term::Sub(
+                Box::new(decode_term(buf, d)?),
+                Box::new(decode_term(buf, d)?),
+            )
+        }
+        4 => {
+            let d = deeper(depth)?;
+            Term::Mul(
+                Box::new(decode_term(buf, d)?),
+                Box::new(decode_term(buf, d)?),
+            )
+        }
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn decode_prop(buf: &mut WireBytes, depth: u32) -> Result<Prop, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEnd);
+    }
+    Ok(match buf.get_u8() {
+        0 => {
+            let d = deeper(depth)?;
+            Prop::Le(decode_term(buf, d)?, decode_term(buf, d)?)
+        }
+        1 => {
+            let d = deeper(depth)?;
+            Prop::Lt(decode_term(buf, d)?, decode_term(buf, d)?)
+        }
+        2 => {
+            let d = deeper(depth)?;
+            Prop::Eq(decode_term(buf, d)?, decode_term(buf, d)?)
+        }
+        3 => Prop::IsStrat(StrategyProfile::decode(buf)?),
+        4 => Prop::EqStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+        5 => Prop::LeStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+        6 => Prop::NoComp(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
+        7 => Prop::IsNash(StrategyProfile::decode(buf)?),
+        8 => Prop::NotNash(StrategyProfile::decode(buf)?),
+        9 => Prop::IsMaxNash(StrategyProfile::decode(buf)?),
+        10 => Prop::IsMinNash(StrategyProfile::decode(buf)?),
+        11 => Prop::And(decode_seq(buf, deeper(depth)?, decode_prop)?),
+        12 => Prop::Or(decode_seq(buf, deeper(depth)?, decode_prop)?),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn decode_proof(buf: &mut WireBytes, depth: u32) -> Result<Proof, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEnd);
+    }
+    Ok(match buf.get_u8() {
+        0 => Proof::EvalAtom(decode_prop(buf, deeper(depth)?)?),
+        1 => Proof::AndIntro(decode_seq(buf, deeper(depth)?, decode_proof)?),
+        2 => {
+            let d = deeper(depth)?;
+            Proof::OrIntro {
+                disjuncts: decode_seq(buf, d, decode_prop)?,
+                index: usize::decode(buf)?,
+                witness: Box::new(decode_proof(buf, d)?),
+            }
+        }
+        3 => Proof::NashIntro {
+            profile: StrategyProfile::decode(buf)?,
+        },
+        4 => Proof::NashRefute {
+            profile: StrategyProfile::decode(buf)?,
+            agent: usize::decode(buf)?,
+            strategy: usize::decode(buf)?,
+        },
+        5 => {
+            let d = deeper(depth)?;
+            Proof::MaxNashIntro {
+                profile: StrategyProfile::decode(buf)?,
+                nash: Box::new(decode_proof(buf, d)?),
+                classification: Vec::<ProfileVerdict>::decode(buf)?,
+            }
+        }
+        6 => {
+            let d = deeper(depth)?;
+            Proof::MinNashIntro {
+                profile: StrategyProfile::decode(buf)?,
+                nash: Box::new(decode_proof(buf, d)?),
+                classification: Vec::<ProfileVerdict>::decode(buf)?,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
 impl Wire for StrategyProfile {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         self.strategies().to_vec().encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Result<StrategyProfile, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<StrategyProfile, WireError> {
         Ok(StrategyProfile::new(Vec::<usize>::decode(buf)?))
     }
 }
 
 impl Wire for MixedStrategy {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         self.probs().to_vec().encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Result<MixedStrategy, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<MixedStrategy, WireError> {
         let probs = Vec::<Rational>::decode(buf)?;
         MixedStrategy::try_new(probs)
             .map_err(|e| WireError::Malformed(format!("mixed strategy: {e}")))
@@ -190,153 +329,125 @@ impl Wire for MixedStrategy {
 }
 
 impl Wire for Term {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Term::Const(v) => {
-                buf.put_u8(0);
+                buf.push(0);
                 v.encode(buf);
             }
             Term::Utility { agent, profile } => {
-                buf.put_u8(1);
+                buf.push(1);
                 agent.encode(buf);
                 profile.encode(buf);
             }
             Term::Add(a, b) => {
-                buf.put_u8(2);
+                buf.push(2);
                 a.encode(buf);
                 b.encode(buf);
             }
             Term::Sub(a, b) => {
-                buf.put_u8(3);
+                buf.push(3);
                 a.encode(buf);
                 b.encode(buf);
             }
             Term::Mul(a, b) => {
-                buf.put_u8(4);
+                buf.push(4);
                 a.encode(buf);
                 b.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Term, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::UnexpectedEnd);
-        }
-        Ok(match buf.get_u8() {
-            0 => Term::Const(Rational::decode(buf)?),
-            1 => Term::Utility { agent: usize::decode(buf)?, profile: StrategyProfile::decode(buf)? },
-            2 => Term::Add(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
-            3 => Term::Sub(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
-            4 => Term::Mul(Box::new(Term::decode(buf)?), Box::new(Term::decode(buf)?)),
-            t => return Err(WireError::BadTag(t)),
-        })
+    fn decode(buf: &mut WireBytes) -> Result<Term, WireError> {
+        decode_term(buf, 0)
     }
 }
 
 impl Wire for Prop {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Prop::Le(a, b) => {
-                buf.put_u8(0);
+                buf.push(0);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::Lt(a, b) => {
-                buf.put_u8(1);
+                buf.push(1);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::Eq(a, b) => {
-                buf.put_u8(2);
+                buf.push(2);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::IsStrat(s) => {
-                buf.put_u8(3);
+                buf.push(3);
                 s.encode(buf);
             }
             Prop::EqStrat(a, b) => {
-                buf.put_u8(4);
+                buf.push(4);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::LeStrat(a, b) => {
-                buf.put_u8(5);
+                buf.push(5);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::NoComp(a, b) => {
-                buf.put_u8(6);
+                buf.push(6);
                 a.encode(buf);
                 b.encode(buf);
             }
             Prop::IsNash(s) => {
-                buf.put_u8(7);
+                buf.push(7);
                 s.encode(buf);
             }
             Prop::NotNash(s) => {
-                buf.put_u8(8);
+                buf.push(8);
                 s.encode(buf);
             }
             Prop::IsMaxNash(s) => {
-                buf.put_u8(9);
+                buf.push(9);
                 s.encode(buf);
             }
             Prop::IsMinNash(s) => {
-                buf.put_u8(10);
+                buf.push(10);
                 s.encode(buf);
             }
             Prop::And(ps) => {
-                buf.put_u8(11);
+                buf.push(11);
                 ps.encode(buf);
             }
             Prop::Or(ps) => {
-                buf.put_u8(12);
+                buf.push(12);
                 ps.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Prop, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::UnexpectedEnd);
-        }
-        Ok(match buf.get_u8() {
-            0 => Prop::Le(Term::decode(buf)?, Term::decode(buf)?),
-            1 => Prop::Lt(Term::decode(buf)?, Term::decode(buf)?),
-            2 => Prop::Eq(Term::decode(buf)?, Term::decode(buf)?),
-            3 => Prop::IsStrat(StrategyProfile::decode(buf)?),
-            4 => Prop::EqStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
-            5 => Prop::LeStrat(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
-            6 => Prop::NoComp(StrategyProfile::decode(buf)?, StrategyProfile::decode(buf)?),
-            7 => Prop::IsNash(StrategyProfile::decode(buf)?),
-            8 => Prop::NotNash(StrategyProfile::decode(buf)?),
-            9 => Prop::IsMaxNash(StrategyProfile::decode(buf)?),
-            10 => Prop::IsMinNash(StrategyProfile::decode(buf)?),
-            11 => Prop::And(Vec::<Prop>::decode(buf)?),
-            12 => Prop::Or(Vec::<Prop>::decode(buf)?),
-            t => return Err(WireError::BadTag(t)),
-        })
+    fn decode(buf: &mut WireBytes) -> Result<Prop, WireError> {
+        decode_prop(buf, 0)
     }
 }
 
 impl Wire for ProfileVerdict {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             ProfileVerdict::NotNash { agent, strategy } => {
-                buf.put_u8(0);
+                buf.push(0);
                 agent.encode(buf);
                 strategy.encode(buf);
             }
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::PrefersCandidate { agent }) => {
-                buf.put_u8(1);
+                buf.push(1);
                 agent.encode(buf);
             }
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate) => {
-                buf.put_u8(2);
+                buf.push(2);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<ProfileVerdict, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<ProfileVerdict, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -355,87 +466,75 @@ impl Wire for ProfileVerdict {
 }
 
 impl Wire for Proof {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Proof::EvalAtom(p) => {
-                buf.put_u8(0);
+                buf.push(0);
                 p.encode(buf);
             }
             Proof::AndIntro(ps) => {
-                buf.put_u8(1);
+                buf.push(1);
                 ps.encode(buf);
             }
-            Proof::OrIntro { disjuncts, index, witness } => {
-                buf.put_u8(2);
+            Proof::OrIntro {
+                disjuncts,
+                index,
+                witness,
+            } => {
+                buf.push(2);
                 disjuncts.encode(buf);
                 index.encode(buf);
                 witness.encode(buf);
             }
             Proof::NashIntro { profile } => {
-                buf.put_u8(3);
+                buf.push(3);
                 profile.encode(buf);
             }
-            Proof::NashRefute { profile, agent, strategy } => {
-                buf.put_u8(4);
+            Proof::NashRefute {
+                profile,
+                agent,
+                strategy,
+            } => {
+                buf.push(4);
                 profile.encode(buf);
                 agent.encode(buf);
                 strategy.encode(buf);
             }
-            Proof::MaxNashIntro { profile, nash, classification } => {
-                buf.put_u8(5);
+            Proof::MaxNashIntro {
+                profile,
+                nash,
+                classification,
+            } => {
+                buf.push(5);
                 profile.encode(buf);
                 nash.encode(buf);
                 classification.encode(buf);
             }
-            Proof::MinNashIntro { profile, nash, classification } => {
-                buf.put_u8(6);
+            Proof::MinNashIntro {
+                profile,
+                nash,
+                classification,
+            } => {
+                buf.push(6);
                 profile.encode(buf);
                 nash.encode(buf);
                 classification.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Proof, WireError> {
-        if !buf.has_remaining() {
-            return Err(WireError::UnexpectedEnd);
-        }
-        Ok(match buf.get_u8() {
-            0 => Proof::EvalAtom(Prop::decode(buf)?),
-            1 => Proof::AndIntro(Vec::<Proof>::decode(buf)?),
-            2 => Proof::OrIntro {
-                disjuncts: Vec::<Prop>::decode(buf)?,
-                index: usize::decode(buf)?,
-                witness: Box::new(Proof::decode(buf)?),
-            },
-            3 => Proof::NashIntro { profile: StrategyProfile::decode(buf)? },
-            4 => Proof::NashRefute {
-                profile: StrategyProfile::decode(buf)?,
-                agent: usize::decode(buf)?,
-                strategy: usize::decode(buf)?,
-            },
-            5 => Proof::MaxNashIntro {
-                profile: StrategyProfile::decode(buf)?,
-                nash: Box::new(Proof::decode(buf)?),
-                classification: Vec::<ProfileVerdict>::decode(buf)?,
-            },
-            6 => Proof::MinNashIntro {
-                profile: StrategyProfile::decode(buf)?,
-                nash: Box::new(Proof::decode(buf)?),
-                classification: Vec::<ProfileVerdict>::decode(buf)?,
-            },
-            t => return Err(WireError::BadTag(t)),
-        })
+    fn decode(buf: &mut WireBytes) -> Result<Proof, WireError> {
+        decode_proof(buf, 0)
     }
 }
 
 impl Wire for ParticipationParams {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         self.n.encode(buf);
         self.k.encode(buf);
         self.v.encode(buf);
         self.c.encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Result<ParticipationParams, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<ParticipationParams, WireError> {
         let n = u64::decode(buf)?;
         let k = u64::decode(buf)?;
         let v = Rational::decode(buf)?;
@@ -445,20 +544,20 @@ impl Wire for ParticipationParams {
 }
 
 impl Wire for EquilibriumRoot {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             EquilibriumRoot::Exact(p) => {
-                buf.put_u8(0);
+                buf.push(0);
                 p.encode(buf);
             }
             EquilibriumRoot::Bracket { lo, hi } => {
-                buf.put_u8(1);
+                buf.push(1);
                 lo.encode(buf);
                 hi.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<EquilibriumRoot, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<EquilibriumRoot, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -474,31 +573,31 @@ impl Wire for EquilibriumRoot {
 }
 
 impl Wire for Advice {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Advice::PureNash(c) => {
-                buf.put_u8(0);
+                buf.push(0);
                 c.profile.encode(buf);
                 c.proof.encode(buf);
             }
             Advice::Support(c) => {
-                buf.put_u8(1);
+                buf.push(1);
                 c.row_support.encode(buf);
                 c.col_support.encode(buf);
             }
             Advice::Private(a) => {
-                buf.put_u8(2);
+                buf.push(2);
                 a.own_strategy.encode(buf);
                 a.lambda_own.encode(buf);
                 a.lambda_opp.encode(buf);
             }
             Advice::Participation(c) => {
-                buf.put_u8(3);
+                buf.push(3);
                 c.params.encode(buf);
                 c.root.encode(buf);
             }
             Advice::Online(c) => {
-                buf.put_u8(4);
+                buf.push(4);
                 c.current_loads.encode(buf);
                 c.own_load.encode(buf);
                 c.expected_future_load.encode(buf);
@@ -506,15 +605,19 @@ impl Wire for Advice {
                 c.assignment.encode(buf);
                 c.suggested_link.encode(buf);
             }
-            Advice::Dominant { agent, strategy, strict } => {
-                buf.put_u8(5);
+            Advice::Dominant {
+                agent,
+                strategy,
+                strict,
+            } => {
+                buf.push(5);
                 agent.encode(buf);
                 strategy.encode(buf);
                 strict.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Advice, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Advice, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -566,54 +669,70 @@ impl Advice {
 }
 
 impl Wire for Message {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Message::GameAnnouncement { game_id, description, commitment } => {
-                buf.put_u8(0);
+            Message::GameAnnouncement {
+                game_id,
+                description,
+                commitment,
+            } => {
+                buf.push(0);
                 game_id.encode(buf);
                 description.encode(buf);
                 commitment.encode(buf);
             }
             Message::AdviceRequest { game_id } => {
-                buf.put_u8(1);
+                buf.push(1);
                 game_id.encode(buf);
             }
             Message::AdviceWithProof { game_id, advice } => {
-                buf.put_u8(2);
+                buf.push(2);
                 game_id.encode(buf);
                 advice.encode(buf);
             }
             Message::VerdictRequest { game_id, advice } => {
-                buf.put_u8(3);
+                buf.push(3);
                 game_id.encode(buf);
                 advice.encode(buf);
             }
-            Message::Verdict { game_id, accepted, detail } => {
-                buf.put_u8(4);
+            Message::Verdict {
+                game_id,
+                accepted,
+                detail,
+            } => {
+                buf.push(4);
                 game_id.encode(buf);
                 accepted.encode(buf);
                 detail.encode(buf);
             }
-            Message::VerdictReport { verifier, game_id, accepted } => {
-                buf.put_u8(5);
+            Message::VerdictReport {
+                verifier,
+                game_id,
+                accepted,
+            } => {
+                buf.push(5);
                 verifier.encode(buf);
                 game_id.encode(buf);
                 accepted.encode(buf);
             }
             Message::SupportQuery { game_id, index } => {
-                buf.put_u8(6);
+                buf.push(6);
                 game_id.encode(buf);
                 index.encode(buf);
             }
-            Message::SupportAnswer { game_id, index, in_support } => {
-                buf.put_u8(7);
+            Message::SupportAnswer {
+                game_id,
+                index,
+                in_support,
+            } => {
+                buf.push(7);
                 game_id.encode(buf);
                 index.encode(buf);
                 in_support.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Message, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Message, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -623,7 +742,9 @@ impl Wire for Message {
                 description: String::decode(buf)?,
                 commitment: Vec::<u64>::decode(buf)?,
             },
-            1 => Message::AdviceRequest { game_id: u64::decode(buf)? },
+            1 => Message::AdviceRequest {
+                game_id: u64::decode(buf)?,
+            },
             2 => Message::AdviceWithProof {
                 game_id: u64::decode(buf)?,
                 advice: Box::new(Advice::decode(buf)?),
@@ -657,10 +778,10 @@ impl Wire for Message {
 }
 
 impl<T: Wire> Wire for Box<T> {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         (**self).encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Result<Box<T>, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Box<T>, WireError> {
         Ok(Box::new(T::decode(buf)?))
     }
 }
@@ -691,7 +812,10 @@ mod tests {
     fn support_certificate_size_matches_lemma1_order() {
         // The P1 certificate for an n × m game is O(n + m) small on the
         // wire: a handful of bytes, independent of the payoff values.
-        let cert = SupportCertificate { row_support: vec![0, 2], col_support: vec![1] };
+        let cert = SupportCertificate {
+            row_support: vec![0, 2],
+            col_support: vec![1],
+        };
         let size = round_trip(Advice::Support(cert));
         assert!(size < 16, "tiny certificate, got {size} bytes");
     }
@@ -733,7 +857,10 @@ mod tests {
         }));
         round_trip(Advice::Participation(ParticipationCertificate {
             params: ParticipationParams::paper_example(),
-            root: EquilibriumRoot::Bracket { lo: rat(1, 5), hi: rat(2, 5) },
+            root: EquilibriumRoot::Bracket {
+                lo: rat(1, 5),
+                hi: rat(2, 5),
+            },
         }));
         round_trip(Advice::Online(ra_proofs::honest_online_advice(
             &[rat(3, 1), rat(1, 2)],
@@ -741,7 +868,11 @@ mod tests {
             &rat(1, 1),
             2,
         )));
-        round_trip(Advice::Dominant { agent: 1, strategy: 4, strict: false });
+        round_trip(Advice::Dominant {
+            agent: 1,
+            strategy: 4,
+            strict: false,
+        });
     }
 
     #[test]
@@ -772,6 +903,43 @@ mod tests {
     }
 
     #[test]
+    fn hostile_nesting_rejected_not_crashing() {
+        // A flood of Term::Add tags used to blow the stack; it must now be
+        // a clean decode error. Depth-first, each 0x02 opens another level.
+        let mut attack = WireBytes::from(vec![2u8; 2_000_000]);
+        assert!(matches!(
+            Term::decode(&mut attack),
+            Err(WireError::Malformed(_))
+        ));
+        // Same shape through Prop (And-of-And) and Proof (AndIntro chains):
+        // tag 11 + varint length 1, repeated.
+        let mut and_chain = Vec::new();
+        for _ in 0..100_000 {
+            and_chain.extend_from_slice(&[11u8, 1]);
+        }
+        let mut attack = WireBytes::from(and_chain);
+        assert!(matches!(
+            Prop::decode(&mut attack),
+            Err(WireError::Malformed(_))
+        ));
+        let mut proof_chain = Vec::new();
+        for _ in 0..100_000 {
+            proof_chain.extend_from_slice(&[1u8, 1]);
+        }
+        let mut attack = WireBytes::from(proof_chain);
+        assert!(matches!(
+            Proof::decode(&mut attack),
+            Err(WireError::Malformed(_))
+        ));
+        // Legitimately deep-but-bounded trees still round-trip.
+        let mut term = Term::constant(rat(1, 1));
+        for _ in 0..200 {
+            term = Term::Add(Box::new(term), Box::new(Term::constant(rat(1, 1))));
+        }
+        round_trip(Prop::Le(term, Term::constant(rat(500, 1))));
+    }
+
+    #[test]
     fn corrupted_messages_rejected() {
         let msg = Message::AdviceRequest { game_id: 1 };
         let bytes = msg.to_bytes();
@@ -779,10 +947,9 @@ mod tests {
         // Either decodes to something else or errors — but with one byte cut
         // from a varint tail it must error.
         assert!(Message::decode(&mut truncated).is_err() || truncated.has_remaining());
-        let mut bad_tag = BytesMut::new();
-        bad_tag.put_u8(99);
+        let mut bad_tag = WireBytes::from(vec![99u8]);
         assert!(matches!(
-            Message::decode(&mut bad_tag.freeze()),
+            Message::decode(&mut bad_tag),
             Err(WireError::BadTag(99))
         ));
     }

@@ -32,12 +32,20 @@ pub struct P2Prover {
 impl P2Prover {
     /// An honest prover holding the true equilibrium.
     pub fn honest(id: u64, equilibrium: MixedProfile) -> P2Prover {
-        P2Prover { id: Party::Inventor(id), equilibrium, lies: false }
+        P2Prover {
+            id: Party::Inventor(id),
+            equilibrium,
+            lies: false,
+        }
     }
 
     /// A prover that inverts every oracle answer.
     pub fn lying(id: u64, equilibrium: MixedProfile) -> P2Prover {
-        P2Prover { id: Party::Inventor(id), equilibrium, lies: true }
+        P2Prover {
+            id: Party::Inventor(id),
+            equilibrium,
+            lies: true,
+        }
     }
 
     /// The advice message for the row agent (own data + λ values only).
@@ -94,13 +102,18 @@ pub fn run_p2_session(
     bus.send(
         prover.id,
         agent,
-        Message::AdviceWithProof { game_id, advice: Box::new(Advice::Private(advice)) },
+        Message::AdviceWithProof {
+            game_id,
+            advice: Box::new(Advice::Private(advice)),
+        },
     )
     .expect("agent registered");
     let Some((_, Message::AdviceWithProof { advice, .. })) = agent_ep.try_recv() else {
         panic!("advice delivery is synchronous in-process");
     };
-    let Advice::Private(advice) = *advice else { panic!("P2 advice expected") };
+    let Advice::Private(advice) = *advice else {
+        panic!("P2 advice expected")
+    };
 
     // Local well-formedness.
     let m = game.cols();
@@ -124,8 +137,12 @@ pub fn run_p2_session(
         let pair = [rng.random_range(0..m), rng.random_range(0..m)];
         let mut answers = [false; 2];
         for (slot, &j) in pair.iter().enumerate() {
-            bus.send(agent, prover.id, Message::SupportQuery { game_id, index: j })
-                .expect("prover registered");
+            bus.send(
+                agent,
+                prover.id,
+                Message::SupportQuery { game_id, index: j },
+            )
+            .expect("prover registered");
             // Prover end: answer the queued query.
             for (from, msg) in prover_ep.drain() {
                 if let Message::SupportQuery { index, .. } = msg {
@@ -140,7 +157,10 @@ pub fn run_p2_session(
             }
             // Agent end: receive the answer.
             for (_, msg) in agent_ep.drain() {
-                if let Message::SupportAnswer { index, in_support, .. } = msg {
+                if let Message::SupportAnswer {
+                    index, in_support, ..
+                } = msg
+                {
                     if index == j {
                         answers[slot] = in_support;
                     }
@@ -152,8 +172,7 @@ pub fn run_p2_session(
         for (&j, &inside) in pair.iter().zip(answers.iter()) {
             let actual = game.col_payoff_against(&advice.own_strategy, j);
             if inside && actual != advice.lambda_opp {
-                rejection =
-                    Some(P2Rejection::InSupportPayoffMismatch { index: j, actual });
+                rejection = Some(P2Rejection::InSupportPayoffMismatch { index: j, actual });
                 break 'outer;
             }
             if !inside && actual > advice.lambda_opp {
@@ -215,10 +234,8 @@ mod tests {
         // true mixed equilibrium for λ but lie on every membership answer.
         // With full support {0,1}, "all out" answers are only inconclusive —
         // so instead lie about a dominated-column game (index 2 earns less).
-        let game = BimatrixGame::from_i64_tables(
-            &[&[2, 0, 0], &[0, 1, 0]],
-            &[&[1, 0, -1], &[0, 2, -1]],
-        );
+        let game =
+            BimatrixGame::from_i64_tables(&[&[2, 0, 0], &[0, 1, 0]], &[&[1, 0, -1], &[0, 2, -1]]);
         let eq = MixedProfile {
             row: MixedStrategy::try_new(vec![rat(2, 3), rat(1, 3)]).unwrap(),
             col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3), rat(0, 1)]).unwrap(),
@@ -234,7 +251,10 @@ mod tests {
                 rejections += 1;
             }
         }
-        assert!(rejections >= 15, "lying prover caught in {rejections}/20 sessions");
+        assert!(
+            rejections >= 15,
+            "lying prover caught in {rejections}/20 sessions"
+        );
     }
 
     #[test]

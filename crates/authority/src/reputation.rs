@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::messages::Party;
 
@@ -51,7 +51,12 @@ impl ReputationStore {
 
     /// Current score of a verifier (registering it on first touch).
     pub fn score(&self, verifier: Party) -> i64 {
-        *self.scores.lock().entry(verifier).or_insert(Self::INITIAL)
+        *self
+            .scores
+            .lock()
+            .expect("reputation lock poisoned")
+            .entry(verifier)
+            .or_insert(Self::INITIAL)
     }
 
     /// Returns `true` if the verifier is still trusted (above the exclusion
@@ -67,11 +72,14 @@ impl ReputationStore {
     ///
     /// Panics if `verdicts` is empty.
     pub fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
-        assert!(!verdicts.is_empty(), "pooling requires at least one verdict");
+        assert!(
+            !verdicts.is_empty(),
+            "pooling requires at least one verdict"
+        );
         let accept_votes = verdicts.iter().filter(|&&(_, a)| a).count();
         let reject_votes = verdicts.len() - accept_votes;
         let accepted = accept_votes > reject_votes;
-        let mut scores = self.scores.lock();
+        let mut scores = self.scores.lock().expect("reputation lock poisoned");
         let mut dissenters = Vec::new();
         for &(verifier, vote) in verdicts {
             let entry = scores.entry(verifier).or_insert(Self::INITIAL);
@@ -82,12 +90,17 @@ impl ReputationStore {
                 dissenters.push(verifier);
             }
         }
-        MajorityOutcome { accepted, accept_votes, reject_votes, dissenters }
+        MajorityOutcome {
+            accepted,
+            accept_votes,
+            reject_votes,
+            dissenters,
+        }
     }
 
     /// All verifiers currently trusted, sorted for determinism.
     pub fn trusted_verifiers(&self) -> Vec<Party> {
-        let scores = self.scores.lock();
+        let scores = self.scores.lock().expect("reputation lock poisoned");
         let mut out: Vec<Party> = scores
             .iter()
             .filter(|&(_, &s)| s > Self::EXCLUSION_THRESHOLD)

@@ -126,15 +126,23 @@ impl RationalityAuthority {
         }
         let mut advice_bytes = 0;
         if let Some(a) = &advice {
-            let msg = Message::AdviceWithProof { game_id, advice: Box::new(a.clone()) };
+            let msg = Message::AdviceWithProof {
+                game_id,
+                advice: Box::new(a.clone()),
+            };
             advice_bytes = msg.encoded_len();
-            self.bus.send(self.inventor.id, agent, msg).expect("agent registered");
+            self.bus
+                .send(self.inventor.id, agent, msg)
+                .expect("agent registered");
         }
         // Agent receives.
-        let received = self.endpoints[&agent].drain().into_iter().find_map(|(_, m)| match m {
-            Message::AdviceWithProof { advice, .. } => Some(*advice),
-            _ => None,
-        });
+        let received = self.endpoints[&agent]
+            .drain()
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Message::AdviceWithProof { advice, .. } => Some(*advice),
+                _ => None,
+            });
         let Some(received_advice) = received else {
             return SessionOutcome {
                 advice: None,
@@ -171,7 +179,11 @@ impl RationalityAuthority {
                         .send(
                             verifier.id,
                             from,
-                            Message::Verdict { game_id, accepted, detail: detail.clone() },
+                            Message::Verdict {
+                                game_id,
+                                accepted,
+                                detail: detail.clone(),
+                            },
                         )
                         .expect("agent registered");
                     verdict_details.push((verifier.id, accepted, detail));
@@ -335,7 +347,9 @@ mod tests {
             Inventor::new(0, InventorBehavior::Honest),
             &[VerifierBehavior::Honest],
         );
-        authority.bus().drop_link(Party::Inventor(0), Party::Agent(0));
+        authority
+            .bus()
+            .drop_link(Party::Inventor(0), Party::Agent(0));
         let outcome = authority.consult(0, &spec);
         assert!(!outcome.adopted);
         assert!(outcome.advice.is_none());

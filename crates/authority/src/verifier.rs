@@ -47,7 +47,10 @@ pub struct VerifierService {
 impl VerifierService {
     /// Creates a verifier with the given identity number and behaviour.
     pub fn new(id: u64, behavior: VerifierBehavior) -> VerifierService {
-        VerifierService { id: Party::Verifier(id), behavior }
+        VerifierService {
+            id: Party::Verifier(id),
+            behavior,
+        }
     }
 
     /// Checks `advice` for `spec`; returns `(accepted, detail)`.
@@ -91,7 +94,10 @@ fn honest_verdict(spec: &GameSpec, advice: &Advice) -> (bool, String) {
             match verify_support_certificate(game, cert) {
                 Ok(verified) => (
                     true,
-                    format!("P1 verified, λ1 = {}, λ2 = {}", verified.lambda1, verified.lambda2),
+                    format!(
+                        "P1 verified, λ1 = {}, λ2 = {}",
+                        verified.lambda1, verified.lambda2
+                    ),
                 ),
                 Err(e) => (false, format!("P1 rejected: {e}")),
             }
@@ -101,20 +107,28 @@ fn honest_verdict(spec: &GameSpec, advice: &Advice) -> (bool, String) {
                 return (false, "certificate for different parameters".to_owned());
             }
             match verify_participation_certificate(cert, &rat(1, 1 << 20)) {
-                Ok(verified) => {
-                    (true, format!("Eq.(5) verified, expected gain {}", verified.expected_gain))
-                }
+                Ok(verified) => (
+                    true,
+                    format!("Eq.(5) verified, expected gain {}", verified.expected_gain),
+                ),
                 Err(e) => (false, format!("participation advice rejected: {e}")),
             }
         }
         (
-            GameSpec::ParallelLinks { current_loads, own_load, .. },
+            GameSpec::ParallelLinks {
+                current_loads,
+                own_load,
+                ..
+            },
             Advice::Online(cert),
         ) => {
             // The certificate must match the published statistics the agent
             // observed (they are signed — see audit.rs).
             if &cert.current_loads != current_loads || &cert.own_load != own_load {
-                return (false, "certificate statistics differ from published ones".to_owned());
+                return (
+                    false,
+                    "certificate statistics differ from published ones".to_owned(),
+                );
             }
             match verify_online_advice(cert) {
                 Ok(verified) => (
@@ -188,10 +202,14 @@ mod tests {
     #[test]
     fn broken_behaviors() {
         let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-        let advice = Inventor::new(0, InventorBehavior::Corrupt).advise(&spec).unwrap();
+        let advice = Inventor::new(0, InventorBehavior::Corrupt)
+            .advise(&spec)
+            .unwrap();
         let (a, _) = VerifierService::new(1, VerifierBehavior::AlwaysAccept).verify(&spec, &advice);
         assert!(a, "bought verifier rubber-stamps garbage");
-        let honest_advice = Inventor::new(0, InventorBehavior::Honest).advise(&spec).unwrap();
+        let honest_advice = Inventor::new(0, InventorBehavior::Honest)
+            .advise(&spec)
+            .unwrap();
         let (r, _) =
             VerifierService::new(2, VerifierBehavior::AlwaysReject).verify(&spec, &honest_advice);
         assert!(!r);
@@ -200,8 +218,15 @@ mod tests {
     #[test]
     fn random_verifier_is_deterministic_per_advice() {
         let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-        let advice = Inventor::new(0, InventorBehavior::Honest).advise(&spec).unwrap();
-        let flaky = VerifierService::new(3, VerifierBehavior::Random { accept_per_mille: 500 });
+        let advice = Inventor::new(0, InventorBehavior::Honest)
+            .advise(&spec)
+            .unwrap();
+        let flaky = VerifierService::new(
+            3,
+            VerifierBehavior::Random {
+                accept_per_mille: 500,
+            },
+        );
         let first = flaky.verify(&spec, &advice);
         let second = flaky.verify(&spec, &advice);
         assert_eq!(first, second);

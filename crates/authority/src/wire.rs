@@ -6,10 +6,155 @@
 //! a small hand-rolled format: varint-length-prefixed fields, composed
 //! structurally. Encoding and decoding round-trip exactly (tested), and the
 //! byte counts feed the experiment tables.
+//!
+//! Encoding appends to a plain `Vec<u8>`; decoding consumes a [`WireBytes`]
+//! cursor — an `Arc`-backed, cheaply cloneable byte window that replaces the
+//! `bytes::Bytes` dependency with `std`-only machinery.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 use ra_exact::Rational;
+
+/// An immutable, cheaply cloneable window of bytes with cursor semantics.
+///
+/// Reads (`get_u8`, [`WireBytes::split_to`]) advance the window's start, so
+/// `len()` always reports the bytes *remaining*, exactly like the
+/// `bytes::Bytes` type this replaces.
+#[derive(Clone)]
+pub struct WireBytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl WireBytes {
+    /// An empty byte window.
+    pub fn new() -> WireBytes {
+        WireBytes {
+            data: Arc::from([] as [u8; 0]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Remaining bytes in the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Remaining bytes (alias kept for `bytes::Buf` familiarity).
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// Whether at least one byte remains.
+    pub fn has_remaining(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// Consumes and returns the next byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty; decoders check `has_remaining` first.
+    pub fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty WireBytes");
+        let byte = self.data[self.start];
+        self.start += 1;
+        byte
+    }
+
+    /// Splits off and returns the first `n` remaining bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> WireBytes {
+        assert!(n <= self.len(), "split_to past end of WireBytes");
+        let head = WireBytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// A sub-window of the remaining bytes (indices relative to the cursor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> WireBytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        WireBytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for WireBytes {
+    fn default() -> WireBytes {
+        WireBytes::new()
+    }
+}
+
+impl From<Vec<u8>> for WireBytes {
+    fn from(v: Vec<u8>) -> WireBytes {
+        let end = v.len();
+        WireBytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for WireBytes {
+    fn from(v: &[u8]) -> WireBytes {
+        WireBytes::from(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for WireBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for WireBytes {
+    fn eq(&self, other: &WireBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WireBytes {}
+
+impl std::fmt::Debug for WireBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WireBytes({:02x?})", self.as_slice())
+    }
+}
 
 /// Errors from decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,19 +182,19 @@ impl std::error::Error for WireError {}
 /// Types that can be encoded to and decoded from the wire format.
 pub trait Wire: Sized {
     /// Appends the encoding of `self` to `buf`.
-    fn encode(&self, buf: &mut BytesMut);
+    fn encode(&self, buf: &mut Vec<u8>);
     /// Decodes a value, consuming bytes from `buf`.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] on truncated or malformed input.
-    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+    fn decode(buf: &mut WireBytes) -> Result<Self, WireError>;
 
     /// Convenience: full encoding as bytes.
-    fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+    fn to_bytes(&self) -> WireBytes {
+        let mut buf = Vec::new();
         self.encode(&mut buf);
-        buf.freeze()
+        WireBytes::from(buf)
     }
 
     /// Encoded size in bytes.
@@ -59,15 +204,15 @@ pub trait Wire: Sized {
 }
 
 /// LEB128-style unsigned varint.
-pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
@@ -77,7 +222,7 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
 ///
 /// [`WireError::UnexpectedEnd`] on truncation, [`WireError::Malformed`] on
 /// overlong encodings.
-pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
+pub fn get_varint(buf: &mut WireBytes) -> Result<u64, WireError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -97,28 +242,28 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
 }
 
 impl Wire for u64 {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, *self);
     }
-    fn decode(buf: &mut Bytes) -> Result<u64, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<u64, WireError> {
         get_varint(buf)
     }
 }
 
 impl Wire for usize {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, *self as u64);
     }
-    fn decode(buf: &mut Bytes) -> Result<usize, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<usize, WireError> {
         Ok(get_varint(buf)? as usize)
     }
 }
 
 impl Wire for bool {
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u8(u8::from(*self));
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
     }
-    fn decode(buf: &mut Bytes) -> Result<bool, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<bool, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -131,11 +276,11 @@ impl Wire for bool {
 }
 
 impl Wire for String {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, self.len() as u64);
-        buf.put_slice(self.as_bytes());
+        buf.extend_from_slice(self.as_bytes());
     }
-    fn decode(buf: &mut Bytes) -> Result<String, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<String, WireError> {
         let len = get_varint(buf)? as usize;
         if buf.remaining() < len {
             return Err(WireError::UnexpectedEnd);
@@ -146,19 +291,27 @@ impl Wire for String {
     }
 }
 
+/// Reads a sequence-length prefix, applying the defensive cap against
+/// hostile length values (shared by every length-prefixed decoder).
+pub(crate) fn get_len_prefix(buf: &mut WireBytes) -> Result<usize, WireError> {
+    let len = get_varint(buf)? as usize;
+    if len > 1 << 24 {
+        return Err(WireError::Malformed(format!(
+            "vector length {len} too large"
+        )));
+    }
+    Ok(len)
+}
+
 impl<T: Wire> Wire for Vec<T> {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, self.len() as u64);
         for item in self {
             item.encode(buf);
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Vec<T>, WireError> {
-        let len = get_varint(buf)? as usize;
-        // Defensive cap against hostile length prefixes.
-        if len > 1 << 24 {
-            return Err(WireError::Malformed(format!("vector length {len} too large")));
-        }
+    fn decode(buf: &mut WireBytes) -> Result<Vec<T>, WireError> {
+        let len = get_len_prefix(buf)?;
         let mut out = Vec::with_capacity(len.min(1024));
         for _ in 0..len {
             out.push(T::decode(buf)?);
@@ -168,16 +321,16 @@ impl<T: Wire> Wire for Vec<T> {
 }
 
 impl<T: Wire> Wire for Option<T> {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            None => buf.put_u8(0),
+            None => buf.push(0),
             Some(v) => {
-                buf.put_u8(1);
+                buf.push(1);
                 v.encode(buf);
             }
         }
     }
-    fn decode(buf: &mut Bytes) -> Result<Option<T>, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Option<T>, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -190,13 +343,13 @@ impl<T: Wire> Wire for Option<T> {
 }
 
 impl Wire for Rational {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut Vec<u8>) {
         // Sign byte + decimal magnitudes (arbitrary precision survives).
-        buf.put_u8(u8::from(self.is_negative()));
+        buf.push(u8::from(self.is_negative()));
         self.numer().abs().to_string().encode(buf);
         self.denom().to_string().encode(buf);
     }
-    fn decode(buf: &mut Bytes) -> Result<Rational, WireError> {
+    fn decode(buf: &mut WireBytes) -> Result<Rational, WireError> {
         if !buf.has_remaining() {
             return Err(WireError::UnexpectedEnd);
         }
@@ -271,23 +424,41 @@ mod tests {
         let bytes = String::from("hello").to_bytes();
         let mut short = bytes.slice(0..3);
         assert_eq!(String::decode(&mut short), Err(WireError::UnexpectedEnd));
-        let mut empty = Bytes::new();
+        let mut empty = WireBytes::new();
         assert_eq!(u64::decode(&mut empty), Err(WireError::UnexpectedEnd));
     }
 
     #[test]
     fn bad_tags_detected() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(7);
-        let mut bytes = buf.freeze();
+        let mut bytes = WireBytes::from(vec![7u8]);
         assert_eq!(bool::decode(&mut bytes), Err(WireError::BadTag(7)));
     }
 
     #[test]
     fn hostile_length_rejected() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         put_varint(&mut buf, u64::MAX);
-        let mut bytes = buf.freeze();
-        assert!(matches!(Vec::<u64>::decode(&mut bytes), Err(WireError::Malformed(_))));
+        let mut bytes = WireBytes::from(buf);
+        assert!(matches!(
+            Vec::<u64>::decode(&mut bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wire_bytes_window_semantics() {
+        let mut w = WireBytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.get_u8(), 1);
+        assert_eq!(w.len(), 4);
+        let head = w.split_to(2);
+        assert_eq!(head.as_slice(), &[2, 3]);
+        assert_eq!(w.as_slice(), &[4, 5]);
+        assert_eq!(w.slice(1..2).as_slice(), &[5]);
+        // Clones share the backing allocation but cursor independently.
+        let mut c = w.clone();
+        c.get_u8();
+        assert_eq!(w.len(), 2);
+        assert_eq!(c.len(), 1);
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based tests for the authority infrastructure: wire-format
 //! round-trips and fuzz, reputation dynamics, ledger tampering.
 
-use bytes::Bytes;
 use proptest::prelude::*;
+use ra_authority::WireBytes;
 use ra_authority::{
     Advice, Bus, Message, Party, ReputationStore, SigningKey, StatisticsLedger, Wire,
 };
@@ -19,13 +19,18 @@ fn arb_party() -> impl Strategy<Value = Party> {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), ".{0,40}", prop::collection::vec(any::<u64>(), 0..6)).prop_map(
-            |(game_id, description, commitment)| Message::GameAnnouncement {
-                game_id,
-                description,
-                commitment,
-            }
-        ),
+        (
+            any::<u64>(),
+            ".{0,40}",
+            prop::collection::vec(any::<u64>(), 0..6)
+        )
+            .prop_map(
+                |(game_id, description, commitment)| Message::GameAnnouncement {
+                    game_id,
+                    description,
+                    commitment,
+                }
+            ),
         any::<u64>().prop_map(|game_id| Message::AdviceRequest { game_id }),
         (
             any::<u64>(),
@@ -48,10 +53,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 }
             }),
         (any::<u64>(), any::<bool>(), ".{0,60}").prop_map(|(game_id, accepted, detail)| {
-            Message::Verdict { game_id, accepted, detail }
+            Message::Verdict {
+                game_id,
+                accepted,
+                detail,
+            }
         }),
         (arb_party(), any::<u64>(), any::<bool>()).prop_map(|(verifier, game_id, accepted)| {
-            Message::VerdictReport { verifier, game_id, accepted }
+            Message::VerdictReport {
+                verifier,
+                game_id,
+                accepted,
+            }
         }),
     ]
 }
@@ -71,7 +84,7 @@ proptest! {
     /// value that re-encodes to a prefix-consistent message.
     #[test]
     fn decoder_is_total(raw in prop::collection::vec(any::<u8>(), 0..200)) {
-        let mut buf = Bytes::from(raw);
+        let mut buf = WireBytes::from(raw);
         let _ = Message::decode(&mut buf); // must not panic
     }
 

@@ -46,12 +46,13 @@ fn bench_kernel(c: &mut Criterion) {
 fn bench_participation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec5");
     for n in [5u64, 10, 20, 40] {
-        let params =
-            ParticipationParams::new(n, 2, Rational::from(10), Rational::from(1)).unwrap();
+        let params = ParticipationParams::new(n, 2, Rational::from(10), Rational::from(1)).unwrap();
         let tol = rat(1, 1 << 24);
         let roots = solve_participation_equilibrium(&params, &tol).unwrap();
-        let cert =
-            ParticipationCertificate { params: params.clone(), root: roots[0].clone() };
+        let cert = ParticipationCertificate {
+            params: params.clone(),
+            root: roots[0].clone(),
+        };
         group.bench_with_input(BenchmarkId::new("solve/bisection", n), &n, |b, _| {
             b.iter(|| solve_participation_equilibrium(black_box(&params), &tol).unwrap())
         });

@@ -60,13 +60,17 @@ fn bench_wire(c: &mut Criterion) {
     let proof = ra_proofs::prove_max_nash(&game, &vec![3, 3].into()).unwrap();
     let msg = Message::AdviceWithProof {
         game_id: 7,
-        advice: Box::new(ra_authority::Advice::PureNash(ra_proofs::PureNashCertificate {
-            profile: vec![3, 3].into(),
-            proof,
-        })),
+        advice: Box::new(ra_authority::Advice::PureNash(
+            ra_proofs::PureNashCertificate {
+                profile: vec![3, 3].into(),
+                proof,
+            },
+        )),
     };
     let bytes = msg.to_bytes();
-    group.bench_function("encode_max_proof", |b| b.iter(|| black_box(&msg).to_bytes()));
+    group.bench_function("encode_max_proof", |b| {
+        b.iter(|| black_box(&msg).to_bytes())
+    });
     group.bench_function("decode_max_proof", |b| {
         b.iter(|| {
             let mut buf = bytes.clone();
@@ -124,9 +128,8 @@ fn f64_gauss(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         })
         .collect();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&x, &y| {
-            m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap())?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -34,9 +34,7 @@ fn bench_verify_vs_compute(c: &mut Criterion) {
     for n in [2usize, 3, 4, 5] {
         let (game, cert) = prepared(n);
         group.bench_with_input(BenchmarkId::new("compute/support_enum", n), &n, |b, _| {
-            b.iter(|| {
-                enumerate_equilibria(black_box(&game), &EnumerationOptions::default())
-            })
+            b.iter(|| enumerate_equilibria(black_box(&game), &EnumerationOptions::default()))
         });
         group.bench_with_input(BenchmarkId::new("compute/lemke_howson", n), &n, |b, _| {
             b.iter(|| lemke_howson(black_box(&game), 0).unwrap())

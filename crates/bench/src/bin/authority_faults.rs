@@ -18,9 +18,15 @@ use ra_solvers::ParticipationParams;
 
 fn specs() -> Vec<(&'static str, GameSpec)> {
     vec![
-        ("strategic(PD)", GameSpec::Strategic(prisoners_dilemma().to_strategic())),
+        (
+            "strategic(PD)",
+            GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+        ),
         ("bimatrix(BoS)", GameSpec::Bimatrix(battle_of_the_sexes())),
-        ("participation", GameSpec::Participation(ParticipationParams::paper_example())),
+        (
+            "participation",
+            GameSpec::Participation(ParticipationParams::paper_example()),
+        ),
         (
             "parallel-links",
             GameSpec::ParallelLinks {
@@ -37,9 +43,23 @@ fn panels() -> Vec<(&'static str, Vec<VerifierBehavior>)> {
     use VerifierBehavior::*;
     vec![
         ("3 honest", vec![Honest; 3]),
-        ("3 honest + 2 bought", vec![Honest, Honest, Honest, AlwaysAccept, AlwaysAccept]),
-        ("3 honest + 2 saboteurs", vec![Honest, Honest, Honest, AlwaysReject, AlwaysReject]),
-        ("1 honest + 1 flaky", vec![Honest, Random { accept_per_mille: 500 }]),
+        (
+            "3 honest + 2 bought",
+            vec![Honest, Honest, Honest, AlwaysAccept, AlwaysAccept],
+        ),
+        (
+            "3 honest + 2 saboteurs",
+            vec![Honest, Honest, Honest, AlwaysReject, AlwaysReject],
+        ),
+        (
+            "1 honest + 1 flaky",
+            vec![
+                Honest,
+                Random {
+                    accept_per_mille: 500,
+                },
+            ],
+        ),
     ]
 }
 
@@ -55,8 +75,7 @@ fn main() {
         for (panel_name, panel) in panels() {
             let mut outcomes = Vec::new();
             for behavior in [InventorBehavior::Honest, InventorBehavior::Corrupt] {
-                let mut authority =
-                    RationalityAuthority::new(Inventor::new(0, behavior), &panel);
+                let mut authority = RationalityAuthority::new(Inventor::new(0, behavior), &panel);
                 let outcome = authority.consult(0, &spec);
                 outcomes.push(outcome.adopted);
             }
@@ -84,14 +103,22 @@ fn main() {
             rows.push(format!("{game_name},{panel_name},{honest_ok},{corrupt_ok}"));
         }
     }
-    let path = write_csv("authority_faults", "game,panel,honest_adopted,corrupt_adopted", &rows);
+    let path = write_csv(
+        "authority_faults",
+        "game,panel,honest_adopted,corrupt_adopted",
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 
     // Reputation dynamics under repeated consultations.
     println!("\nreputation after 20 honest consultations with a saboteur on the panel:");
     let mut authority = RationalityAuthority::new(
         Inventor::new(0, InventorBehavior::Honest),
-        &[VerifierBehavior::Honest, VerifierBehavior::Honest, VerifierBehavior::AlwaysReject],
+        &[
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysReject,
+        ],
     );
     let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
     for round in 0..20 {
@@ -102,7 +129,11 @@ fn main() {
         println!(
             "  {v}: score {:>3} {}",
             authority.reputation().score(v),
-            if authority.reputation().is_trusted(v) { "(trusted)" } else { "(EXCLUDED)" }
+            if authority.reputation().is_trusted(v) {
+                "(trusted)"
+            } else {
+                "(EXCLUDED)"
+            }
         );
     }
     assert!(!authority.reputation().is_trusted(Party::Verifier(2)));

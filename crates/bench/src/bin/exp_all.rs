@@ -22,7 +22,10 @@ fn main() {
         .expect("bin dir")
         .to_path_buf();
     for bin in bins {
-        println!("\n=== {bin} {}\n", "=".repeat(60_usize.saturating_sub(bin.len())));
+        println!(
+            "\n=== {bin} {}\n",
+            "=".repeat(60_usize.saturating_sub(bin.len()))
+        );
         let status = Command::new(exe_dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));

@@ -29,7 +29,11 @@ fn main() {
         "\ninstance sanity (k = 3): {} nodes, {} arcs, initial arc loads {:?}",
         fig.network.num_nodes(),
         fig.network.num_arcs(),
-        fig.config.arc_loads.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        fig.config
+            .arc_loads
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "paper check — agent 2k+1 experiences 2k+3 while its hindsight best reply\n\

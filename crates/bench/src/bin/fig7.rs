@@ -13,7 +13,11 @@ use ra_congestion::{run_fig7, Fig7Config};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let config = if full { Fig7Config::paper() } else { Fig7Config::quick() };
+    let config = if full {
+        Fig7Config::paper()
+    } else {
+        Fig7Config::quick()
+    };
     println!(
         "Fig. 7: {} agents, loads U[{}, {}], {} iterations per point, {} link counts{}",
         config.num_agents,
@@ -21,7 +25,11 @@ fn main() {
         config.load_range.1,
         config.iterations,
         config.link_counts.len(),
-        if full { " (FULL sweep)" } else { " (quick sweep; pass --full for 2..=500)" },
+        if full {
+            " (FULL sweep)"
+        } else {
+            " (quick sweep; pass --full for 2..=500)"
+        },
     );
     println!(
         "\n{:>5} {:>20} {:>18} {:>8} {:>16}",
@@ -57,8 +65,10 @@ fn main() {
     // The paper's qualitative claims, checked programmatically:
     let large_m: Vec<_> = points.iter().filter(|p| p.m >= 100).collect();
     if !large_m.is_empty() {
-        let min_large =
-            large_m.iter().map(|p| p.inventor_strictly_better_pct).fold(f64::MAX, f64::min);
+        let min_large = large_m
+            .iter()
+            .map(|p| p.inventor_strictly_better_pct)
+            .fold(f64::MAX, f64::min);
         println!(
             "paper check — for m ≥ 100 the inventor wins ≥ {min_large:.0}% of iterations \
              (paper: 'vast majority', 99-100%)"

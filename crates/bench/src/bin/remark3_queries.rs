@@ -15,14 +15,15 @@ use rand::SeedableRng;
 use ra_bench::{game_with_support_size, write_csv};
 use ra_exact::Rational;
 use ra_games::{MixedProfile, MixedStrategy};
-use ra_proofs::{
-    honest_row_advice, verify_private_advice, HonestOracle, P2Config, P2Outcome,
-};
+use ra_proofs::{honest_row_advice, verify_private_advice, HonestOracle, P2Config, P2Outcome};
 
 fn main() {
     let m = 51usize;
     let trials = 200u64;
-    let config = P2Config { required_conclusive: 3, max_queries: 100_000 };
+    let config = P2Config {
+        required_conclusive: 3,
+        max_queries: 100_000,
+    };
     println!(
         "Remark 3 — P2 query counts, m = {m} column strategies, {trials} trials, \
          {} conclusive tests required:\n",
@@ -64,10 +65,17 @@ fn main() {
         // per pair, k conclusive pairs needed.
         let p_conclusive = 1.0 - (1.0 - s as f64 / m as f64).powi(2);
         let expected = 2.0 * config.required_conclusive as f64 / p_conclusive;
-        println!("{:>9} {:>14.1} {:>16.1} {:>16}", s, mean, expected, max_queries);
+        println!(
+            "{:>9} {:>14.1} {:>16.1} {:>16}",
+            s, mean, expected, max_queries
+        );
         rows.push(format!("{s},{mean:.3},{expected:.3},{max_queries}"));
     }
-    let path = write_csv("remark3", "support_size,mean_queries,model_queries,max_queries", &rows);
+    let path = write_csv(
+        "remark3",
+        "support_size,mean_queries,model_queries,max_queries",
+        &rows,
+    );
     println!("\nwrote {}", path.display());
     println!(
         "\npaper check — queries are ~constant (≈ 2k) for θ(m) supports and grow only\n\

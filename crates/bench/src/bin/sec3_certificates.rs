@@ -27,8 +27,8 @@ fn main() {
         // ≈ 1 − 1/e; scan seeds until one does.
         let (game, analysis, t_search) = (0..50u64)
             .find_map(|seed| {
-                let game =
-                    GameGenerator::seeded(s as u64 * 100 + seed).strategic(vec![s, s], -1000..=1000);
+                let game = GameGenerator::seeded(s as u64 * 100 + seed)
+                    .strategic(vec![s, s], -1000..=1000);
                 let (analysis, t) = timed(|| analyze_pure_nash(&game));
                 (!analysis.equilibria.is_empty()).then_some((game, analysis, t))
             })

@@ -9,7 +9,9 @@
 //! Usage: `cargo run -p ra-bench --release --bin sec5_numbers`
 #![allow(clippy::result_large_err)]
 
-use ra_auctions::{exact_online_expected_gain, last_mover_advice, last_mover_gain, ParticipationGame};
+use ra_auctions::{
+    exact_online_expected_gain, last_mover_advice, last_mover_gain, ParticipationGame,
+};
 use ra_bench::{timed, write_csv};
 use ra_exact::{rat, Rational};
 use ra_proofs::verify_participation_certificate;
@@ -32,11 +34,26 @@ fn main() {
     let (verified, t_verify) =
         timed(|| verify_participation_certificate(&cert, &rat(1, 1 << 20)).unwrap());
     println!("advised p                 = {}   (paper: 1/4)", verified.p);
-    println!("A_k = Pr[≥1 other | in]   = {}   (paper: 7/16)", verified.a_k);
-    println!("B_k = Pr[0 others | in]   = {}   (paper: 9/16)", verified.b_k);
-    println!("C_k = Pr[≥2 others | out] = {}   (paper: 1/16)", verified.c_k);
-    println!("D_k = Pr[≤1 other | out]  = {}   (paper: 15/16)", verified.d_k);
-    println!("expected gain             = {}   (paper: v/16 = 1/2 at v = 8)", verified.expected_gain);
+    println!(
+        "A_k = Pr[≥1 other | in]   = {}   (paper: 7/16)",
+        verified.a_k
+    );
+    println!(
+        "B_k = Pr[0 others | in]   = {}   (paper: 9/16)",
+        verified.b_k
+    );
+    println!(
+        "C_k = Pr[≥2 others | out] = {}   (paper: 1/16)",
+        verified.c_k
+    );
+    println!(
+        "D_k = Pr[≤1 other | out]  = {}   (paper: 15/16)",
+        verified.d_k
+    );
+    println!(
+        "expected gain             = {}   (paper: v/16 = 1/2 at v = 8)",
+        verified.expected_gain
+    );
     println!(
         "solver time {} vs verifier time {}",
         ra_bench::fmt_secs(t_solve),
@@ -47,7 +64,10 @@ fn main() {
 
     // Online last-mover table.
     println!("\nonline last-mover advice (k = 2):");
-    println!("{:>16} {:>8} {:>12} {:>14}", "prior entrants", "advice", "gain", "flipped gain");
+    println!(
+        "{:>16} {:>8} {:>12} {:>14}",
+        "prior entrants", "advice", "gain", "flipped gain"
+    );
     for prior in 0..3usize {
         let advice = last_mover_advice(&params, prior);
         let gain = last_mover_gain(&params, prior, advice.participate);
@@ -71,7 +91,10 @@ fn main() {
 
     // General-k sweep: solve + verify across parameterisations.
     println!("\ngeneral-k sweep (solver → verifier round trip):");
-    println!("{:>4} {:>4} {:>6} {:>6} {:>14} {:>12} {:>12}", "n", "k", "v", "c", "p (≈)", "solve", "verify");
+    println!(
+        "{:>4} {:>4} {:>6} {:>6} {:>14} {:>12} {:>12}",
+        "n", "k", "v", "c", "p (≈)", "solve", "verify"
+    );
     let mut rows = Vec::new();
     for (n, k, v, c) in [
         (3u64, 2u64, 8i64, 3i64),
@@ -85,7 +108,10 @@ fn main() {
         let tol = rat(1, 1 << 26);
         let (roots, t_solve) = timed(|| solve_participation_equilibrium(&params, &tol));
         let Ok(roots) = roots else {
-            println!("{n:>4} {k:>4} {v:>6} {c:>6} {:>14} {:>12} {:>12}", "none", "-", "-");
+            println!(
+                "{n:>4} {k:>4} {v:>6} {c:>6} {:>14} {:>12} {:>12}",
+                "none", "-", "-"
+            );
             continue;
         };
         let cert = ra_proofs::ParticipationCertificate {
@@ -100,7 +126,9 @@ fn main() {
             ra_bench::fmt_secs(t_solve),
             ra_bench::fmt_secs(t_verify)
         );
-        rows.push(format!("{n},{k},{v},{c},{p_approx:.8},{t_solve:.9},{t_verify:.9}"));
+        rows.push(format!(
+            "{n},{k},{v},{c},{p_approx:.8},{t_solve:.9},{t_verify:.9}"
+        ));
     }
     let path = write_csv("sec5", "n,k,v,c,p,solve_secs,verify_secs", &rows);
     println!("\nwrote {}", path.display());

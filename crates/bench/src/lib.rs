@@ -26,18 +26,31 @@ pub fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// The workspace root: the nearest ancestor of this crate's manifest dir
+/// whose `Cargo.toml` declares `[workspace]`. Falls back to the manifest
+/// dir itself if no workspace manifest is found (e.g. the crate is vendored
+/// standalone), so the crate never panics over directory layout.
+pub fn workspace_root() -> std::path::PathBuf {
+    let manifest_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .ancestors()
+        .find(|dir| {
+            std::fs::read_to_string(dir.join("Cargo.toml"))
+                .map(|manifest| manifest.contains("[workspace]"))
+                .unwrap_or(false)
+        })
+        .unwrap_or(manifest_dir)
+        .to_path_buf()
+}
+
 /// Writes CSV rows to `results/<name>.csv` under the workspace root,
-/// returning the path written.
+/// creating the directory if needed and returning the path written.
 ///
 /// # Panics
 ///
 /// Panics on I/O errors — acceptable in experiment binaries.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root")
-        .join("results");
+    let dir = workspace_root().join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.csv"));
     let mut contents = String::from(header);
@@ -59,8 +72,14 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
 ///
 /// Panics if `support_size` is even, zero, or exceeds `m`.
 pub fn game_with_support_size(m: usize, support_size: usize) -> ra_games::BimatrixGame {
-    assert!(support_size >= 1 && support_size <= m, "support size in range");
-    assert!(support_size % 2 == 1, "odd support for a unique cyclic equilibrium");
+    assert!(
+        support_size >= 1 && support_size <= m,
+        "support size in range"
+    );
+    assert!(
+        support_size % 2 == 1,
+        "odd support for a unique cyclic equilibrium"
+    );
     use ra_exact::Rational;
     let s = support_size;
     let a = ra_exact::Matrix::from_fn(m, m, |i, j| {
@@ -104,6 +123,31 @@ mod tests {
             };
             assert!(game.is_nash(&profile), "m={m} s={s}");
         }
+    }
+
+    #[test]
+    fn workspace_root_has_workspace_manifest() {
+        let root = workspace_root();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest.contains("[workspace]"));
+        // Robust against crate depth: not derived by counting ancestors.
+        assert!(root
+            .join("crates")
+            .join("bench")
+            .join("Cargo.toml")
+            .exists());
+    }
+
+    #[test]
+    fn write_csv_creates_results_dir() {
+        let path = write_csv(
+            "smoke_write_csv",
+            "a,b",
+            &[String::from("1,2"), String::from("3,4")],
+        );
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub type Node = usize;
 pub type ArcId = usize;
 
 /// A non-decreasing delay function `d_e : load → delay`.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DelayFn {
     /// `d(x) = x` — the identity delay of the Fig. 6/7 examples.
     Identity,
@@ -44,7 +44,7 @@ impl DelayFn {
 }
 
 /// A directed arc with a delay function.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Arc {
     /// Tail node.
     pub from: Node,
@@ -77,7 +77,11 @@ pub struct Network {
 impl Network {
     /// Creates a network with `num_nodes` nodes and no arcs.
     pub fn new(num_nodes: usize) -> Network {
-        Network { num_nodes, arcs: Vec::new(), out: vec![Vec::new(); num_nodes] }
+        Network {
+            num_nodes,
+            arcs: Vec::new(),
+            out: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Adds an arc and returns its id.
@@ -86,7 +90,10 @@ impl Network {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_arc(&mut self, from: Node, to: Node, delay: DelayFn) -> ArcId {
-        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
+        assert!(
+            from < self.num_nodes && to < self.num_nodes,
+            "arc endpoint out of range"
+        );
         let id = self.arcs.len();
         self.arcs.push(Arc { from, to, delay });
         self.out[from].push(id);
@@ -141,7 +148,10 @@ impl Network {
         sink: Node,
     ) -> Option<(Vec<ArcId>, Rational)> {
         assert_eq!(loads.len(), self.arcs.len(), "one load per arc required");
-        assert!(source < self.num_nodes && sink < self.num_nodes, "node out of range");
+        assert!(
+            source < self.num_nodes && sink < self.num_nodes,
+            "node out of range"
+        );
         // Dijkstra with exact rational distances. Arc costs are
         // non-negative for non-decreasing delays on non-negative loads.
         let mut dist: Vec<Option<Rational>> = vec![None; self.num_nodes];
@@ -164,9 +174,7 @@ impl Network {
                 let better = match &dist[arc.to] {
                     None => true,
                     Some(cur) => {
-                        &cand < cur
-                            || (&cand == cur
-                                && pred[arc.to].is_some_and(|p| aid < p))
+                        &cand < cur || (&cand == cur && pred[arc.to].is_some_and(|p| aid < p))
                     }
                 };
                 if better {
@@ -199,7 +207,12 @@ impl Network {
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Network({} nodes, {} arcs)", self.num_nodes, self.arcs.len())
+        write!(
+            f,
+            "Network({} nodes, {} arcs)",
+            self.num_nodes,
+            self.arcs.len()
+        )
     }
 }
 
@@ -226,7 +239,11 @@ mod tests {
     fn delay_functions() {
         assert_eq!(DelayFn::Identity.eval(&r(7)), r(7));
         assert_eq!(
-            DelayFn::Affine { coeff: rat(1, 2), constant: r(3) }.eval(&r(4)),
+            DelayFn::Affine {
+                coeff: rat(1, 2),
+                constant: r(3)
+            }
+            .eval(&r(4)),
             r(5)
         );
         assert_eq!(DelayFn::Constant(r(9)).eval(&r(100)), r(9));

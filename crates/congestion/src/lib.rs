@@ -25,9 +25,8 @@ mod simulation;
 pub use graph::{Arc, ArcId, DelayFn, Network, Node};
 pub use online::{fig6_instance, fig6_outcome, play_greedy, Configuration, Fig6, Request};
 pub use parallel::{
-    greedy_assign, greedy_satisfies_lemma2, inventor_assign, inventor_suggested_link,
-    lpt_assign, mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound,
-    Assignment,
+    greedy_assign, greedy_satisfies_lemma2, inventor_assign, inventor_suggested_link, lpt_assign,
+    mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound, Assignment,
 };
 pub use potential::{
     best_response_dynamics_paths, best_response_step, configuration_from_paths,

@@ -11,7 +11,7 @@ use crate::graph::{ArcId, DelayFn, Network, Node};
 
 /// One agent's routing request: where from, where to, how much load, in
 /// arrival order.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Source node `s_i`.
     pub source: Node,
@@ -130,26 +130,37 @@ pub fn fig6_instance(k: u64) -> Fig6 {
         config.commit(vec![ab, bd], &Rational::one());
         config.commit(vec![ac, cd], &Rational::one());
     }
-    Fig6 { network, arcs: [ab, bd, ac, cd], config, k }
+    Fig6 {
+        network,
+        arcs: [ab, bd, ac, cd],
+        config,
+        k,
+    }
 }
 
 /// Plays out the Fig. 6 story and returns
 /// `(delay experienced by agent 2k+1, its hindsight best-reply delay)` —
 /// `(2k+3, 2k+2)` in the paper.
 pub fn fig6_outcome(k: u64) -> (Rational, Rational) {
-    let Fig6 { network, arcs, mut config, .. } = fig6_instance(k);
+    let Fig6 {
+        network,
+        arcs,
+        mut config,
+        ..
+    } = fig6_instance(k);
     let [_, bd, ac, cd] = arcs;
     let one = Rational::one();
     // Agent 2k+1 (a → d) routes greedily; ties break toward a→b→d (lowest
     // arc ids), exactly the paper's choice.
     let agent_idx = config.paths.len();
-    let (path, _) = network.shortest_path(&config.arc_loads, &one, 0, 3).expect("reachable");
+    let (path, _) = network
+        .shortest_path(&config.arc_loads, &one, 0, 3)
+        .expect("reachable");
     config.commit(path, &one);
     // Agent 2k+2 (b → d) has a single option.
     config.commit(vec![bd], &one);
     let experienced = config.agent_delay(&network, agent_idx);
-    let hindsight =
-        config.hindsight_delay_with_load(&network, agent_idx, &one, &[ac, cd]);
+    let hindsight = config.hindsight_delay_with_load(&network, agent_idx, &one, &[ac, cd]);
     (experienced, hindsight)
 }
 
@@ -183,8 +194,16 @@ mod tests {
     fn greedy_play_commits_all_agents() {
         let fig = fig6_instance(2);
         let requests = vec![
-            Request { source: 0, sink: 3, load: Rational::one() },
-            Request { source: 1, sink: 3, load: Rational::one() },
+            Request {
+                source: 0,
+                sink: 3,
+                load: Rational::one(),
+            },
+            Request {
+                source: 1,
+                sink: 3,
+                load: Rational::one(),
+            },
         ];
         let config = play_greedy(&fig.network, &requests);
         assert_eq!(config.paths.len(), 2);

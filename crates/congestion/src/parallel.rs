@@ -43,8 +43,7 @@ pub fn greedy_assign(loads: &[u64], m: usize) -> Assignment {
     assert!(m > 0, "need at least one link");
     let mut link_loads = vec![0u64; m];
     // Min-heap of (load, link index) — O(n log m).
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        (0..m).map(|j| Reverse((0u64, j))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..m).map(|j| Reverse((0u64, j))).collect();
     let mut link_of = Vec::with_capacity(loads.len());
     for &w in loads {
         let Reverse((load, j)) = heap.pop().expect("heap never empties");
@@ -53,7 +52,10 @@ pub fn greedy_assign(loads: &[u64], m: usize) -> Assignment {
         link_loads[j] = new_load;
         heap.push(Reverse((new_load, j)));
     }
-    Assignment { link_of, link_loads }
+    Assignment {
+        link_of,
+        link_loads,
+    }
 }
 
 /// Offline LPT (longest processing time) assignment: sort descending, then
@@ -68,8 +70,7 @@ pub fn lpt_assign(loads: &[u64], m: usize) -> Assignment {
     let mut order: Vec<usize> = (0..loads.len()).collect();
     order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
     let mut link_loads = vec![0u64; m];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        (0..m).map(|j| Reverse((0u64, j))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..m).map(|j| Reverse((0u64, j))).collect();
     let mut link_of = vec![0usize; loads.len()];
     for idx in order {
         let Reverse((load, j)) = heap.pop().expect("heap never empties");
@@ -78,7 +79,10 @@ pub fn lpt_assign(loads: &[u64], m: usize) -> Assignment {
         link_loads[j] = new_load;
         heap.push(Reverse((new_load, j)));
     }
-    Assignment { link_of, link_loads }
+    Assignment {
+        link_of,
+        link_loads,
+    }
 }
 
 /// The inventor's advice for one arriving agent (§6): LPT-assign the agent's
@@ -151,7 +155,10 @@ pub fn inventor_assign(loads: &[u64], m: usize) -> Assignment {
         link_of.push(link);
         link_loads[link] += w;
     }
-    Assignment { link_of, link_loads }
+    Assignment {
+        link_of,
+        link_loads,
+    }
 }
 
 /// Mixed-obedience play (§6's model): each agent independently follows the
@@ -184,7 +191,10 @@ pub fn mixed_obedience_assign(
         link_of.push(link);
         link_loads[link] += w;
     }
-    Assignment { link_of, link_loads }
+    Assignment {
+        link_of,
+        link_loads,
+    }
 }
 
 /// The standard lower bound on the optimum makespan:
@@ -342,7 +352,10 @@ mod tests {
         assert!(inventor as u128 * m as u128 <= (2 * m as u128 - 1) * lower as u128 * 2);
         // Totals conserved.
         let total: u64 = loads.iter().sum();
-        assert_eq!(inventor_assign(&loads, m).link_loads.iter().sum::<u64>(), total);
+        assert_eq!(
+            inventor_assign(&loads, m).link_loads.iter().sum::<u64>(),
+            total
+        );
     }
 
     #[test]

@@ -181,7 +181,14 @@ mod tests {
     #[test]
     fn potential_with_affine_delays() {
         let mut network = crate::graph::Network::new(2);
-        network.add_arc(0, 1, DelayFn::Affine { coeff: rat(2, 1), constant: rat(1, 1) });
+        network.add_arc(
+            0,
+            1,
+            DelayFn::Affine {
+                coeff: rat(2, 1),
+                constant: rat(1, 1),
+            },
+        );
         let config = configuration_from_paths(&network, vec![vec![0], vec![0]]);
         // Φ = d(1) + d(2) = 3 + 5 = 8.
         assert_eq!(rosenthal_potential(&network, &config), rat(8, 1));

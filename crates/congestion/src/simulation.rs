@@ -47,7 +47,9 @@ impl Fig7Config {
         Fig7Config {
             num_agents: 1000,
             load_range: (0, 1000),
-            link_counts: vec![2, 5, 10, 25, 42, 92, 142, 192, 242, 292, 332, 342, 392, 442, 492],
+            link_counts: vec![
+                2, 5, 10, 25, 42, 92, 142, 192, 242, 292, 332, 342, 392, 442, 492,
+            ],
             iterations: 100,
             seed: 2011,
         }
@@ -77,8 +79,9 @@ pub fn fig7_iteration(
     m: usize,
     rng: &mut StdRng,
 ) -> (u64, u64) {
-    let loads: Vec<u64> =
-        (0..num_agents).map(|_| rng.random_range(load_range.0..=load_range.1)).collect();
+    let loads: Vec<u64> = (0..num_agents)
+        .map(|_| rng.random_range(load_range.0..=load_range.1))
+        .collect();
     let greedy = greedy_assign(&loads, m).makespan();
     let inventor = inventor_assign(&loads, m).makespan();
     (greedy, inventor)
@@ -87,31 +90,36 @@ pub fn fig7_iteration(
 /// Runs the full experiment, one point per link count, parallelised across
 /// link counts with scoped threads.
 pub fn run_fig7(config: &Fig7Config) -> Vec<Fig7Point> {
-    let num_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let points: Vec<Fig7Point> = {
-        let mut results: Vec<Option<Fig7Point>> = vec![None; config.link_counts.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_cell: Vec<parking_lot::Mutex<Option<Fig7Point>>> =
-            results.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..num_workers {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= config.link_counts.len() {
-                        break;
-                    }
-                    let m = config.link_counts[idx];
-                    *results_cell[idx].lock() = Some(run_point(config, m));
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-        for (slot, cell) in results.iter_mut().zip(&results_cell) {
-            *slot = cell.lock().take();
+    let num_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cell: Vec<std::sync::Mutex<Option<Fig7Point>>> = config
+        .link_counts
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..num_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= config.link_counts.len() {
+                    break;
+                }
+                let m = config.link_counts[idx];
+                *results_cell[idx].lock().expect("result lock poisoned") =
+                    Some(run_point(config, m));
+            });
         }
-        results.into_iter().map(|p| p.expect("every point computed")).collect()
-    };
-    points
+    });
+    results_cell
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("result lock poisoned")
+                .expect("every point computed")
+        })
+        .collect()
 }
 
 fn run_point(config: &Fig7Config, m: usize) -> Fig7Point {
@@ -121,8 +129,9 @@ fn run_point(config: &Fig7Config, m: usize) -> Fig7Point {
     let mut ratio_sum = 0.0f64;
     for iter in 0..config.iterations {
         // Independent, reproducible stream per (m, iteration).
-        let mut rng =
-            StdRng::seed_from_u64(config.seed ^ (m as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ iter as u64);
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ (m as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ iter as u64,
+        );
         let (greedy, inventor) = fig7_iteration(config.num_agents, config.load_range, m, &mut rng);
         match inventor.cmp(&greedy) {
             std::cmp::Ordering::Less => inventor_wins += 1,

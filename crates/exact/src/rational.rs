@@ -49,7 +49,10 @@ impl Rational {
     pub fn from_bigints(num: BigInt, den: BigInt) -> Rational {
         assert!(!den.is_zero(), "rational with zero denominator");
         if num.is_zero() {
-            return Rational { num: BigInt::zero(), den: BigInt::one() };
+            return Rational {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
         }
         let g = num.gcd(&den);
         let mut num = &num / &g;
@@ -63,12 +66,18 @@ impl Rational {
 
     /// The rational `0`.
     pub fn zero() -> Rational {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational `1`.
     pub fn one() -> Rational {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Returns `true` if the value is zero.
@@ -123,9 +132,15 @@ impl Rational {
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
         if self.num.is_negative() {
-            Rational { num: -&self.den, den: -&self.num }
+            Rational {
+                num: -&self.den,
+                den: -&self.num,
+            }
         } else {
-            Rational { num: self.den.clone(), den: self.num.clone() }
+            Rational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
         }
     }
 
@@ -228,7 +243,10 @@ impl Default for Rational {
 
 impl From<i64> for Rational {
     fn from(v: i64) -> Rational {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -246,13 +264,19 @@ impl From<u32> for Rational {
 
 impl From<usize> for Rational {
     fn from(v: usize) -> Rational {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Rational {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -294,14 +318,20 @@ impl Div for &Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -392,7 +422,9 @@ impl FromStr for Rational {
             let num: BigInt = n.trim().parse()?;
             let den: BigInt = d.trim().parse()?;
             if den.is_zero() {
-                return Err(ParseExactError { message: "zero denominator" });
+                return Err(ParseExactError {
+                    message: "zero denominator",
+                });
             }
             return Ok(Rational::from_bigints(num, den));
         }
@@ -404,7 +436,9 @@ impl FromStr for Rational {
                 int_part.parse()?
             };
             if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
-                return Err(ParseExactError { message: "invalid decimal fraction" });
+                return Err(ParseExactError {
+                    message: "invalid decimal fraction",
+                });
             }
             let frac: BigInt = frac_part.parse()?;
             let scale = BigInt::from(10u8).pow(frac_part.len() as u32);
@@ -413,19 +447,6 @@ impl FromStr for Rational {
             return Ok(Rational::from_bigints(num, scale));
         }
         Ok(Rational::from(s.parse::<BigInt>()?))
-    }
-}
-
-impl serde::Serialize for Rational {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&format!("{}/{}", self.num, self.den))
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Rational {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Rational, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
     }
 }
 

@@ -53,7 +53,7 @@ impl std::error::Error for MixedStrategyError {}
 /// assert_eq!(x.support(), vec![0, 1]);
 /// assert_eq!(MixedStrategy::pure(3, 1).support(), vec![1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct MixedStrategy(Vec<Rational>);
 
 impl MixedStrategy {
@@ -126,7 +126,9 @@ impl MixedStrategy {
 
     /// The support: indices played with non-zero probability (sorted).
     pub fn support(&self) -> Vec<usize> {
-        (0..self.0.len()).filter(|&i| !self.0[i].is_zero()).collect()
+        (0..self.0.len())
+            .filter(|&i| !self.0[i].is_zero())
+            .collect()
     }
 }
 
@@ -144,7 +146,7 @@ impl fmt::Debug for MixedStrategy {
 }
 
 /// A mixed strategy profile for a bimatrix game.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MixedProfile {
     /// Row agent's mixed strategy.
     pub row: MixedStrategy,
@@ -237,7 +239,10 @@ impl BimatrixGame {
     /// Useful because the paper states P1/P2 for the row agent and notes
     /// "it is easy to state the Verifier for the column agent".
     pub fn swap_roles(&self) -> BimatrixGame {
-        BimatrixGame { a: self.b.transpose(), b: self.a.transpose() }
+        BimatrixGame {
+            a: self.b.transpose(),
+            b: self.a.transpose(),
+        }
     }
 
     /// Expected payoff `xᵀ A y` of the row agent.
@@ -416,7 +421,11 @@ mod tests {
         // Fig. 5: A row strategy (pure A) with ANY column mix q_C + q_D = 1,
         // q_D ≤ 1/2 is an equilibrium — the Remark 2 non-identifiability.
         let g = BimatrixGame::from_i64_tables(&[&[1, 1], &[0, 2]], &[&[1, 1], &[1, 0]]);
-        for (qc, qd) in [(rat(1, 1), rat(0, 1)), (rat(1, 2), rat(1, 2)), (rat(3, 4), rat(1, 4))] {
+        for (qc, qd) in [
+            (rat(1, 1), rat(0, 1)),
+            (rat(1, 2), rat(1, 2)),
+            (rat(3, 4), rat(1, 4)),
+        ] {
             let profile = MixedProfile {
                 row: MixedStrategy::pure(2, 0),
                 col: MixedStrategy::try_new(vec![qc, qd]).unwrap(),

@@ -10,7 +10,7 @@ use crate::profile::{Agent, ProfileIter, Strategy, StrategyProfile};
 use crate::strategic::StrategicGame;
 
 /// Kind of dominance being claimed or tested.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dominance {
     /// Strictly better against every opponent profile.
     Strict,
@@ -35,7 +35,10 @@ pub fn dominates(
 ) -> bool {
     assert!(agent < game.num_agents(), "agent out of range");
     let counts = game.strategy_counts();
-    assert!(strategy < counts[agent] && other < counts[agent], "strategy out of range");
+    assert!(
+        strategy < counts[agent] && other < counts[agent],
+        "strategy out of range"
+    );
     if strategy == other {
         // A strategy never strictly dominates itself; it trivially weakly
         // "dominates" itself, but callers almost always mean distinct
@@ -90,8 +93,7 @@ pub fn dominant_strategy_equilibrium(
     kind: Dominance,
 ) -> Option<StrategyProfile> {
     let per_agent = dominant_strategies(game, kind);
-    let choice: Option<Vec<Strategy>> =
-        per_agent.iter().map(|ds| ds.first().copied()).collect();
+    let choice: Option<Vec<Strategy>> = per_agent.iter().map(|ds| ds.first().copied()).collect();
     choice.map(StrategyProfile::new)
 }
 
@@ -143,7 +145,10 @@ mod tests {
             &[vec![r(1), r(-1)], vec![r(-1), r(1)]],
             &[vec![r(-1), r(1)], vec![r(1), r(-1)]],
         );
-        assert_eq!(dominant_strategies(&g, Dominance::Weak), vec![Vec::<usize>::new(); 2]);
+        assert_eq!(
+            dominant_strategies(&g, Dominance::Weak),
+            vec![Vec::<usize>::new(); 2]
+        );
         assert!(dominant_strategy_equilibrium(&g, Dominance::Weak).is_none());
     }
 

@@ -34,7 +34,9 @@ pub struct GameGenerator {
 impl GameGenerator {
     /// Creates a generator from a fixed seed.
     pub fn seeded(seed: u64) -> GameGenerator {
-        GameGenerator { rng: StdRng::seed_from_u64(seed) }
+        GameGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Random bimatrix game with integer payoffs drawn uniformly from
@@ -50,7 +52,8 @@ impl GameGenerator {
         payoff_range: std::ops::RangeInclusive<i64>,
     ) -> BimatrixGame {
         assert!(rows > 0 && cols > 0, "empty bimatrix game");
-        let mut draw = |_: usize, _: usize| Rational::from(self.rng.random_range(payoff_range.clone()));
+        let mut draw =
+            |_: usize, _: usize| Rational::from(self.rng.random_range(payoff_range.clone()));
         let a = Matrix::from_fn(rows, cols, &mut draw);
         let b = Matrix::from_fn(rows, cols, &mut draw);
         BimatrixGame::new(a, b)
@@ -86,7 +89,10 @@ impl GameGenerator {
         strategy_counts: Vec<usize>,
         payoff_range: std::ops::RangeInclusive<i64>,
     ) -> StrategicGame {
-        assert!(strategy_counts.iter().all(|&c| c > 0), "zero-strategy agent");
+        assert!(
+            strategy_counts.iter().all(|&c| c > 0),
+            "zero-strategy agent"
+        );
         let n = strategy_counts.len();
         StrategicGame::from_payoff_fn(strategy_counts, |_| {
             (0..n)
@@ -107,7 +113,10 @@ impl GameGenerator {
         cols: usize,
         planted: (usize, usize),
     ) -> BimatrixGame {
-        assert!(planted.0 < rows && planted.1 < cols, "planted cell out of range");
+        assert!(
+            planted.0 < rows && planted.1 < cols,
+            "planted cell out of range"
+        );
         let mut game = self.bimatrix(rows, cols, -50..=50);
         let bump = Rational::from(101);
         let mut a_rows: Vec<Vec<Rational>> = (0..rows)

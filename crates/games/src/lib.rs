@@ -28,8 +28,7 @@ mod symmetric;
 
 pub use bimatrix::{BimatrixGame, MixedProfile, MixedStrategy, MixedStrategyError};
 pub use dominance::{
-    dominant_strategies, dominant_strategy_equilibrium, dominates, is_dominant_strategy,
-    Dominance,
+    dominant_strategies, dominant_strategy_equilibrium, dominates, is_dominant_strategy, Dominance,
 };
 pub use generators::GameGenerator;
 pub use profile::{Agent, ProfileIter, Strategy, StrategyProfile};

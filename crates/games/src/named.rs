@@ -60,7 +60,11 @@ pub fn coordination_game(k: usize) -> StrategicGame {
     assert!(k > 0, "coordination game needs at least one strategy");
     StrategicGame::from_payoff_fn(vec![k, k], |p| {
         let (i, j) = (p.strategy_of(0), p.strategy_of(1));
-        let v = if i == j { Rational::from((i + 1) as i64) } else { Rational::zero() };
+        let v = if i == j {
+            Rational::from((i + 1) as i64)
+        } else {
+            Rational::zero()
+        };
         vec![v.clone(), v]
     })
 }

@@ -26,7 +26,7 @@ pub type Strategy = usize;
 /// assert_eq!(t.strategies(), &[0, 0, 1]);
 /// assert_eq!(s.strategies(), &[0, 2, 1], "original is unchanged");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StrategyProfile(Vec<Strategy>);
 
 impl StrategyProfile {

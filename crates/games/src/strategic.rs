@@ -65,7 +65,10 @@ impl StrategicGame {
                 u
             })
             .collect();
-        StrategicGame { strategy_counts, payoffs }
+        StrategicGame {
+            strategy_counts,
+            payoffs,
+        }
     }
 
     /// Builds a two-agent game from payoff tables (`a[i][j]`, `b[i][j]`).
@@ -230,9 +233,7 @@ impl StrategicGame {
             return false;
         }
         self.pure_nash_equilibria().iter().all(|other| {
-            other == profile
-                || !self.profile_le(profile, other)
-                || self.profile_le(other, profile)
+            other == profile || !self.profile_le(profile, other) || self.profile_le(other, profile)
         })
     }
 
@@ -242,9 +243,7 @@ impl StrategicGame {
             return false;
         }
         self.pure_nash_equilibria().iter().all(|other| {
-            other == profile
-                || !self.profile_le(other, profile)
-                || self.profile_le(profile, other)
+            other == profile || !self.profile_le(other, profile) || self.profile_le(profile, other)
         })
     }
 }
@@ -305,7 +304,10 @@ mod tests {
         let g = prisoners_dilemma();
         assert!(g.is_pure_nash(&vec![1, 1].into()));
         assert!(!g.is_pure_nash(&vec![0, 0].into()));
-        assert_eq!(g.pure_nash_equilibria(), vec![StrategyProfile::new(vec![1, 1])]);
+        assert_eq!(
+            g.pure_nash_equilibria(),
+            vec![StrategyProfile::new(vec![1, 1])]
+        );
         assert!(matching_pennies().pure_nash_equilibria().is_empty());
     }
 
@@ -326,10 +328,7 @@ mod tests {
     #[test]
     fn best_responses_collects_ties() {
         // Agent 0 indifferent between both strategies.
-        let g = StrategicGame::from_tables(
-            &[vec![r(1)], vec![r(1)]],
-            &[vec![r(0)], vec![r(0)]],
-        );
+        let g = StrategicGame::from_tables(&[vec![r(1)], vec![r(1)]], &[vec![r(0)], vec![r(0)]]);
         assert_eq!(g.best_responses(0, &vec![0, 0].into()), vec![0, 1]);
     }
 

@@ -229,9 +229,9 @@ mod tests {
         let p = vec![1, 1, 0].into();
         assert_eq!(*s.payoff(0, &p), rat(5, 1)); // v - c = 5
         assert_eq!(*s.payoff(2, &p), rat(8, 1)); // v = 8
-        // Pure profiles where exactly 2 participate are pure equilibria:
-        // participants get v−c=5 > would-be 0 by leaving (then only 1 left);
-        // the outsider gets v=8 > v−c=5 by joining.
+                                                 // Pure profiles where exactly 2 participate are pure equilibria:
+                                                 // participants get v−c=5 > would-be 0 by leaving (then only 1 left);
+                                                 // the outsider gets v=8 > v−c=5 by joining.
         assert!(s.is_pure_nash(&p));
         // Nobody participates: also an equilibrium (joining alone costs c).
         assert!(s.is_pure_nash(&vec![0, 0, 0].into()));

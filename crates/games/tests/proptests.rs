@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use ra_exact::Rational;
 use ra_games::{
-    dominant_strategy_equilibrium, Dominance, GameGenerator, MixedProfile,
-    MixedStrategy, ProfileIter, StrategyProfile, SymmetricBinaryGame,
+    dominant_strategy_equilibrium, Dominance, GameGenerator, MixedProfile, MixedStrategy,
+    ProfileIter, StrategyProfile, SymmetricBinaryGame,
 };
 
 fn arb_counts() -> impl Strategy<Value = Vec<usize>> {
@@ -182,7 +182,11 @@ fn bimatrix_nash_matches_strategic_on_pure_profiles() {
                 row: MixedStrategy::pure(3, p.strategy_of(0)),
                 col: MixedStrategy::pure(3, p.strategy_of(1)),
             };
-            assert_eq!(strategic.is_pure_nash(&p), game.is_nash(&mp), "seed {seed} profile {p}");
+            assert_eq!(
+                strategic.is_pure_nash(&p),
+                game.is_nash(&mp),
+                "seed {seed} profile {p}"
+            );
         }
     }
 }

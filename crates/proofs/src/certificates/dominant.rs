@@ -12,7 +12,7 @@ use std::fmt;
 use ra_games::{Dominance, ProfileIter, StrategicGame, Strategy, StrategyProfile};
 
 /// A claim that `strategy` is a dominant strategy for `agent`.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DominanceCertificate {
     /// The agent the advice is for.
     pub agent: usize,
@@ -41,7 +41,10 @@ impl fmt::Display for DominanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DominanceError::OutOfRange => write!(f, "agent or strategy out of range"),
-            DominanceError::CounterExample { opponents, better_strategy } => write!(
+            DominanceError::CounterExample {
+                opponents,
+                better_strategy,
+            } => write!(
                 f,
                 "dominance fails against {opponents}: strategy {better_strategy} does better"
             ),
@@ -115,7 +118,11 @@ mod tests {
         let game = prisoners_dilemma().to_strategic();
         for agent in 0..2 {
             for kind in [Dominance::Strict, Dominance::Weak] {
-                let cert = DominanceCertificate { agent, strategy: 1, kind };
+                let cert = DominanceCertificate {
+                    agent,
+                    strategy: 1,
+                    kind,
+                };
                 assert!(verify_dominance_certificate(&game, &cert).is_ok());
             }
         }
@@ -124,9 +131,19 @@ mod tests {
     #[test]
     fn counterexample_reported() {
         let game = matching_pennies().to_strategic();
-        let cert = DominanceCertificate { agent: 0, strategy: 0, kind: Dominance::Weak };
+        let cert = DominanceCertificate {
+            agent: 0,
+            strategy: 0,
+            kind: Dominance::Weak,
+        };
         let err = verify_dominance_certificate(&game, &cert).unwrap_err();
-        assert!(matches!(err, DominanceError::CounterExample { better_strategy: 1, .. }));
+        assert!(matches!(
+            err,
+            DominanceError::CounterExample {
+                better_strategy: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -137,8 +154,16 @@ mod tests {
             &[vec![r(1), r(0)], vec![r(1), r(1)]],
             &[vec![r(0), r(0)], vec![r(0), r(0)]],
         );
-        let weak = DominanceCertificate { agent: 0, strategy: 1, kind: Dominance::Weak };
-        let strict = DominanceCertificate { agent: 0, strategy: 1, kind: Dominance::Strict };
+        let weak = DominanceCertificate {
+            agent: 0,
+            strategy: 1,
+            kind: Dominance::Weak,
+        };
+        let strict = DominanceCertificate {
+            agent: 0,
+            strategy: 1,
+            kind: Dominance::Strict,
+        };
         assert!(verify_dominance_certificate(&game, &weak).is_ok());
         assert!(matches!(
             verify_dominance_certificate(&game, &strict),
@@ -149,10 +174,24 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let game = prisoners_dilemma().to_strategic();
-        let cert = DominanceCertificate { agent: 7, strategy: 0, kind: Dominance::Weak };
-        assert_eq!(verify_dominance_certificate(&game, &cert), Err(DominanceError::OutOfRange));
-        let cert = DominanceCertificate { agent: 0, strategy: 9, kind: Dominance::Weak };
-        assert_eq!(verify_dominance_certificate(&game, &cert), Err(DominanceError::OutOfRange));
+        let cert = DominanceCertificate {
+            agent: 7,
+            strategy: 0,
+            kind: Dominance::Weak,
+        };
+        assert_eq!(
+            verify_dominance_certificate(&game, &cert),
+            Err(DominanceError::OutOfRange)
+        );
+        let cert = DominanceCertificate {
+            agent: 0,
+            strategy: 9,
+            kind: Dominance::Weak,
+        };
+        assert_eq!(
+            verify_dominance_certificate(&game, &cert),
+            Err(DominanceError::OutOfRange)
+        );
     }
 
     #[test]
@@ -162,7 +201,11 @@ mod tests {
             for agent in 0..2 {
                 for s in 0..3 {
                     for kind in [Dominance::Strict, Dominance::Weak] {
-                        let cert = DominanceCertificate { agent, strategy: s, kind };
+                        let cert = DominanceCertificate {
+                            agent,
+                            strategy: s,
+                            kind,
+                        };
                         assert_eq!(
                             verify_dominance_certificate(&game, &cert).is_ok(),
                             ra_games::is_dominant_strategy(&game, agent, s, kind),

@@ -14,7 +14,7 @@ use std::fmt;
 use ra_exact::Rational;
 
 /// A §6 advice certificate for one arriving agent on `m` parallel links.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OnlineAdviceCertificate {
     /// Link loads at the agent's arrival time (the inventor's published
     /// statistics).
@@ -60,9 +60,15 @@ impl fmt::Display for OnlineAdviceError {
         match self {
             OnlineAdviceError::Malformed { reason } => write!(f, "malformed advice: {reason}"),
             OnlineAdviceError::SuggestionMismatch => {
-                write!(f, "suggested link differs from the assignment's own-load link")
+                write!(
+                    f,
+                    "suggested link differs from the assignment's own-load link"
+                )
             }
-            OnlineAdviceError::NotEquilibrium { load_index, better_link } => write!(
+            OnlineAdviceError::NotEquilibrium {
+                load_index,
+                better_link,
+            } => write!(
                 f,
                 "assignment not an equilibrium: load #{load_index} prefers link {better_link}"
             ),
@@ -102,13 +108,19 @@ pub fn verify_online_advice(
 ) -> Result<OnlineAdviceVerified, OnlineAdviceError> {
     let m = certificate.current_loads.len();
     if m == 0 {
-        return Err(OnlineAdviceError::Malformed { reason: "no links".to_owned() });
+        return Err(OnlineAdviceError::Malformed {
+            reason: "no links".to_owned(),
+        });
     }
     if certificate.current_loads.iter().any(Rational::is_negative) {
-        return Err(OnlineAdviceError::Malformed { reason: "negative link load".to_owned() });
+        return Err(OnlineAdviceError::Malformed {
+            reason: "negative link load".to_owned(),
+        });
     }
     if certificate.own_load.is_negative() || certificate.expected_future_load.is_negative() {
-        return Err(OnlineAdviceError::Malformed { reason: "negative agent load".to_owned() });
+        return Err(OnlineAdviceError::Malformed {
+            reason: "negative agent load".to_owned(),
+        });
     }
     if certificate.assignment.len() != 1 + certificate.expected_future_agents {
         return Err(OnlineAdviceError::Malformed {
@@ -160,7 +172,11 @@ pub fn verify_online_advice(
     }
     let link = certificate.suggested_link;
     let predicted_own_delay = final_loads[link].clone();
-    Ok(OnlineAdviceVerified { link, predicted_loads: final_loads, predicted_own_delay })
+    Ok(OnlineAdviceVerified {
+        link,
+        predicted_loads: final_loads,
+        predicted_own_delay,
+    })
 }
 
 /// The honest inventor's construction: LPT/greedy Nash assignment of the
@@ -217,7 +233,10 @@ mod tests {
         let verified = verify_online_advice(&cert).unwrap();
         assert_eq!(verified.link, cert.suggested_link);
         // Total predicted load conserved: 6 existing + 4 + 3·2 = 16.
-        let total: Rational = verified.predicted_loads.iter().fold(Rational::zero(), |a, b| a + b);
+        let total: Rational = verified
+            .predicted_loads
+            .iter()
+            .fold(Rational::zero(), |a, b| a + b);
         assert_eq!(total, r(16));
     }
 
@@ -253,7 +272,10 @@ mod tests {
         };
         assert_eq!(
             verify_online_advice(&cert),
-            Err(OnlineAdviceError::NotEquilibrium { load_index: 0, better_link: 1 })
+            Err(OnlineAdviceError::NotEquilibrium {
+                load_index: 0,
+                better_link: 1
+            })
         );
     }
 

@@ -16,7 +16,7 @@ use ra_exact::{binomial_tail_at_least, binomial_tail_at_most, Rational};
 use ra_solvers::{EquilibriumRoot, ParticipationParams};
 
 /// The §5 certificate sent to each firm.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParticipationCertificate {
     /// The game parameters (public).
     pub params: ParticipationParams,
@@ -153,7 +153,14 @@ pub fn verify_participation_certificate(
     let c_k = binomial_tail_at_least(others, params.k, &p);
     let d_k = binomial_tail_at_most(others, params.k - 1, &p);
     let expected_gain = (&params.v - &params.c) * &a_k - &params.c * &b_k;
-    Ok(ParticipationVerified { p, a_k, b_k, c_k, d_k, expected_gain })
+    Ok(ParticipationVerified {
+        p,
+        a_k,
+        b_k,
+        c_k,
+        d_k,
+        expected_gain,
+    })
 }
 
 /// The firms' cross-check (end of §5): with several symmetric equilibria a
@@ -223,7 +230,10 @@ mod tests {
         let tol = rat(1, 1 << 20);
         let roots = solve_participation_equilibrium(&params, &tol).unwrap();
         for root in roots {
-            let cert = ParticipationCertificate { params: params.clone(), root };
+            let cert = ParticipationCertificate {
+                params: params.clone(),
+                root,
+            };
             assert!(verify_participation_certificate(&cert, &tol).is_ok());
         }
     }
@@ -235,7 +245,10 @@ mod tests {
         // 16·0.5·0.5=4>3).
         let cert = ParticipationCertificate {
             params: params.clone(),
-            root: EquilibriumRoot::Bracket { lo: rat(3, 10), hi: rat(1, 2) },
+            root: EquilibriumRoot::Bracket {
+                lo: rat(3, 10),
+                hi: rat(1, 2),
+            },
         };
         assert!(matches!(
             verify_participation_certificate(&cert, &rat(1, 1)),
@@ -244,7 +257,10 @@ mod tests {
         // Too wide for the verifier's tolerance.
         let cert = ParticipationCertificate {
             params,
-            root: EquilibriumRoot::Bracket { lo: rat(1, 10), hi: rat(1, 2) },
+            root: EquilibriumRoot::Bracket {
+                lo: rat(1, 10),
+                hi: rat(1, 2),
+            },
         };
         assert!(matches!(
             verify_participation_certificate(&cert, &rat(1, 100)),
@@ -272,7 +288,10 @@ mod tests {
             let tol = rat(1, 1 << 22);
             if let Ok(roots) = solve_participation_equilibrium(&params, &tol) {
                 for root in roots {
-                    let cert = ParticipationCertificate { params: params.clone(), root };
+                    let cert = ParticipationCertificate {
+                        params: params.clone(),
+                        root,
+                    };
                     verify_participation_certificate(&cert, &tol)
                         .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
                 }

@@ -28,7 +28,7 @@ use crate::transcript::{Disclosure, Transcript};
 
 /// What the P2 prover sends to one agent: its own equilibrium data and the
 /// equilibrium values, nothing about the opponent.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct P2Advice {
     /// The agent's own mixed strategy at the claimed equilibrium.
     pub own_strategy: MixedStrategy,
@@ -56,7 +56,9 @@ pub struct HonestOracle {
 impl HonestOracle {
     /// Creates an oracle for the given true support.
     pub fn new(support: impl IntoIterator<Item = usize>) -> HonestOracle {
-        HonestOracle { support: support.into_iter().collect() }
+        HonestOracle {
+            support: support.into_iter().collect(),
+        }
     }
 }
 
@@ -106,7 +108,10 @@ pub struct P2Config {
 
 impl Default for P2Config {
     fn default() -> P2Config {
-        P2Config { required_conclusive: 3, max_queries: 10_000 }
+        P2Config {
+            required_conclusive: 3,
+            max_queries: 10_000,
+        }
     }
 }
 
@@ -258,7 +263,10 @@ pub fn verify_private_advice(
     let mut queries = 0u64;
     while conclusive < config.required_conclusive {
         if queries + 2 > config.max_queries {
-            return P2Outcome::Undecided { conclusive_tests: conclusive, transcript };
+            return P2Outcome::Undecided {
+                conclusive_tests: conclusive,
+                transcript,
+            };
         }
         let j1 = rng.random_range(0..m);
         let j2 = rng.random_range(0..m);
@@ -293,7 +301,10 @@ pub fn verify_private_advice(
             conclusive += 1;
         }
     }
-    P2Outcome::Accepted { conclusive_tests: conclusive, transcript }
+    P2Outcome::Accepted {
+        conclusive_tests: conclusive,
+        transcript,
+    }
 }
 
 /// The honest prover's advice construction for the row agent, from a full
@@ -352,17 +363,18 @@ mod tests {
         let outcome = run(&game, &advice, &mut oracle, 2);
         assert!(matches!(
             outcome,
-            P2Outcome::Rejected { reason: P2Rejection::InSupportPayoffMismatch { .. }, .. }
+            P2Outcome::Rejected {
+                reason: P2Rejection::InSupportPayoffMismatch { .. },
+                ..
+            }
         ));
     }
 
     /// A 2×3 game whose unique mixed equilibrium leaves column 2 strictly
     /// outside the support (its payoff to the column agent is −1 < λ₂).
     fn game_with_dominated_column() -> (BimatrixGame, MixedProfile) {
-        let game = BimatrixGame::from_i64_tables(
-            &[&[2, 0, 0], &[0, 1, 0]],
-            &[&[1, 0, -1], &[0, 2, -1]],
-        );
+        let game =
+            BimatrixGame::from_i64_tables(&[&[2, 0, 0], &[0, 1, 0]], &[&[1, 0, -1], &[0, 2, -1]]);
         let profile = MixedProfile {
             row: MixedStrategy::try_new(vec![rat(2, 3), rat(1, 3)]).unwrap(),
             col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3), rat(0, 1)]).unwrap(),
@@ -391,7 +403,10 @@ mod tests {
         }
         // Each conclusive pair misses column 2 with probability (2/3)²;
         // three pairs miss it with ≈ 9% probability.
-        assert!(rejections >= 35, "false membership caught in {rejections}/50 runs");
+        assert!(
+            rejections >= 35,
+            "false membership caught in {rejections}/50 runs"
+        );
     }
 
     #[test]
@@ -424,7 +439,10 @@ mod tests {
         let mut oracle = HonestOracle::new([0, 1]);
         assert!(matches!(
             run(&game, &advice, &mut oracle, 3),
-            P2Outcome::Rejected { reason: P2Rejection::MalformedOwnStrategy { .. }, .. }
+            P2Outcome::Rejected {
+                reason: P2Rejection::MalformedOwnStrategy { .. },
+                ..
+            }
         ));
     }
 
@@ -443,7 +461,10 @@ mod tests {
             &advice,
             &mut oracle,
             &mut rng,
-            &P2Config { required_conclusive: 5, max_queries: 2 },
+            &P2Config {
+                required_conclusive: 5,
+                max_queries: 2,
+            },
         );
         assert!(matches!(outcome, P2Outcome::Undecided { .. }));
     }
@@ -478,7 +499,10 @@ mod tests {
             col: MixedStrategy::try_new(vec![rat(1, 3), rat(2, 3)]).unwrap(),
         };
         let swapped = game.swap_roles();
-        let col_view = MixedProfile { row: profile.col.clone(), col: profile.row.clone() };
+        let col_view = MixedProfile {
+            row: profile.col.clone(),
+            col: profile.row.clone(),
+        };
         let advice = honest_row_advice(&swapped, &col_view);
         let mut oracle = HonestOracle::new(col_view.col.support());
         assert!(run(&swapped, &advice, &mut oracle, 5).is_accepted());
@@ -489,7 +513,9 @@ mod tests {
         let mut accepted = 0;
         for seed in 0..30 {
             let game = GameGenerator::seeded(seed).bimatrix(4, 4, -9..=9);
-            let Some(eq) = find_one_equilibrium(&game) else { continue };
+            let Some(eq) = find_one_equilibrium(&game) else {
+                continue;
+            };
             let advice = honest_row_advice(&game, &eq.profile);
             let mut oracle = HonestOracle::new(eq.col_support.clone());
             if run(&game, &advice, &mut oracle, seed).is_accepted() {

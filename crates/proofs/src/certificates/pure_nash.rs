@@ -6,11 +6,11 @@
 
 use ra_games::{StrategicGame, StrategyProfile};
 
-use crate::kernel::{check, CheckedProp, NotAboveWitness, Proof, ProofError, ProfileVerdict};
+use crate::kernel::{check, CheckedProp, NotAboveWitness, ProfileVerdict, Proof, ProofError};
 
 /// A §3 certificate: a claimed equilibrium plus the kernel proof shipped by
 /// the inventor.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PureNashCertificate {
     /// The advised strategy profile.
     pub profile: StrategyProfile,
@@ -53,7 +53,11 @@ pub fn prove_is_nash(profile: StrategyProfile) -> Proof {
 /// Returns `None` if the profile actually is an equilibrium.
 pub fn prove_not_nash(game: &StrategicGame, profile: &StrategyProfile) -> Option<Proof> {
     let (agent, strategy) = game.improving_deviation(profile)?;
-    Some(Proof::NashRefute { profile: profile.clone(), agent, strategy })
+    Some(Proof::NashRefute {
+        profile: profile.clone(),
+        agent,
+        strategy,
+    })
 }
 
 /// Builds the complete Fig. 2-style maximality proof for `candidate`:
@@ -90,7 +94,9 @@ fn prove_extremal(game: &StrategicGame, candidate: &StrategyProfile, max: bool) 
             game.profile_le(candidate, &other)
         };
         if le_holds {
-            classification.push(ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate));
+            classification.push(ProfileVerdict::NotStrictlyBetter(
+                NotAboveWitness::LeCandidate,
+            ));
             continue;
         }
         // Find an agent strictly preferring the required side.
@@ -102,18 +108,29 @@ fn prove_extremal(game: &StrategicGame, candidate: &StrategyProfile, max: bool) 
             }
         });
         match witness {
-            Some(agent) => classification
-                .push(ProfileVerdict::NotStrictlyBetter(NotAboveWitness::PrefersCandidate { agent })),
+            Some(agent) => classification.push(ProfileVerdict::NotStrictlyBetter(
+                NotAboveWitness::PrefersCandidate { agent },
+            )),
             // No witness: `other` strictly dominates (is dominated by) the
             // candidate — the candidate is not maximal (minimal).
             None => return None,
         }
     }
-    let nash = Box::new(Proof::NashIntro { profile: candidate.clone() });
+    let nash = Box::new(Proof::NashIntro {
+        profile: candidate.clone(),
+    });
     Some(if max {
-        Proof::MaxNashIntro { profile: candidate.clone(), nash, classification }
+        Proof::MaxNashIntro {
+            profile: candidate.clone(),
+            nash,
+            classification,
+        }
     } else {
-        Proof::MinNashIntro { profile: candidate.clone(), nash, classification }
+        Proof::MinNashIntro {
+            profile: candidate.clone(),
+            nash,
+            classification,
+        }
     })
 }
 
@@ -198,7 +215,10 @@ mod tests {
             let game = GameGenerator::seeded(seed).strategic(vec![3, 3], -6..=6);
             for profile in game.profiles() {
                 if game.is_pure_nash(&profile) {
-                    assert!(check_ok(&game, &prove_is_nash(profile.clone())), "seed {seed}");
+                    assert!(
+                        check_ok(&game, &prove_is_nash(profile.clone())),
+                        "seed {seed}"
+                    );
                     if game.is_maximal_nash(&profile) {
                         let p = prove_max_nash(&game, &profile).expect("maximal provable");
                         assert!(check_ok(&game, &p), "seed {seed}");

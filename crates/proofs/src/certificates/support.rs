@@ -14,7 +14,7 @@ use ra_games::{BimatrixGame, MixedProfile, MixedStrategy};
 use crate::transcript::{Disclosure, Transcript};
 
 /// The P1 certificate: just the two supports (Fig. 3's prover message).
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SupportCertificate {
     /// Claimed support of the row agent (sorted, non-empty).
     pub row_support: Vec<usize>,
@@ -157,7 +157,10 @@ pub fn verify_support_certificate(
             continue;
         }
         if game.row_payoff_against(i, &y) > lambda1 {
-            return Err(P1Error::OutsideSupportImproves { agent: 0, strategy: i });
+            return Err(P1Error::OutsideSupportImproves {
+                agent: 0,
+                strategy: i,
+            });
         }
     }
 
@@ -174,18 +177,28 @@ pub fn verify_support_certificate(
             continue;
         }
         if game.col_payoff_against(&x, j) > lambda2 {
-            return Err(P1Error::OutsideSupportImproves { agent: 1, strategy: j });
+            return Err(P1Error::OutsideSupportImproves {
+                agent: 1,
+                strategy: j,
+            });
         }
     }
 
     let profile = MixedProfile { row: x, col: y };
     debug_assert!(game.is_nash(&profile), "P1 acceptance implies Nash");
-    Ok(P1Verified { profile, lambda1, lambda2, transcript })
+    Ok(P1Verified {
+        profile,
+        lambda1,
+        lambda2,
+        transcript,
+    })
 }
 
 fn validate_support(support: &[usize], bound: usize, who: &str) -> Result<(), P1Error> {
     if support.is_empty() {
-        return Err(P1Error::MalformedSupport { reason: format!("{who} support is empty") });
+        return Err(P1Error::MalformedSupport {
+            reason: format!("{who} support is empty"),
+        });
     }
     if support.windows(2).any(|w| w[0] >= w[1]) {
         return Err(P1Error::MalformedSupport {
@@ -244,8 +257,10 @@ fn solve_side(
         }
         probs[j] = p.clone();
     }
-    let mixed = MixedStrategy::try_new(probs)
-        .map_err(|_| P1Error::InvalidProbability { agent, index: opp_support[0] })?;
+    let mixed = MixedStrategy::try_new(probs).map_err(|_| P1Error::InvalidProbability {
+        agent,
+        index: opp_support[0],
+    })?;
     Ok((mixed, lambda))
 }
 
@@ -259,7 +274,10 @@ mod tests {
 
     #[test]
     fn verifies_matching_pennies() {
-        let cert = SupportCertificate { row_support: vec![0, 1], col_support: vec![0, 1] };
+        let cert = SupportCertificate {
+            row_support: vec![0, 1],
+            col_support: vec![0, 1],
+        };
         let v = verify_support_certificate(&matching_pennies(), &cert).unwrap();
         assert_eq!(v.profile.row, MixedStrategy::uniform(2));
         assert_eq!(v.lambda1, rat(0, 1));
@@ -269,7 +287,10 @@ mod tests {
 
     #[test]
     fn verifies_pure_support() {
-        let cert = SupportCertificate { row_support: vec![1], col_support: vec![1] };
+        let cert = SupportCertificate {
+            row_support: vec![1],
+            col_support: vec![1],
+        };
         let v = verify_support_certificate(&prisoners_dilemma(), &cert).unwrap();
         assert_eq!(v.profile.row, MixedStrategy::pure(2, 1));
         assert_eq!(v.lambda1, rat(-2, 1));
@@ -278,7 +299,10 @@ mod tests {
     #[test]
     fn rejects_wrong_supports() {
         // (cooperate, cooperate) is not an equilibrium of the PD.
-        let cert = SupportCertificate { row_support: vec![0], col_support: vec![0] };
+        let cert = SupportCertificate {
+            row_support: vec![0],
+            col_support: vec![0],
+        };
         let err = verify_support_certificate(&prisoners_dilemma(), &cert).unwrap_err();
         assert!(matches!(err, P1Error::OutsideSupportImproves { .. }));
     }
@@ -292,7 +316,10 @@ mod tests {
             (vec![1, 0], vec![0]),
             (vec![0, 7], vec![0]),
         ] {
-            let cert = SupportCertificate { row_support: r, col_support: c };
+            let cert = SupportCertificate {
+                row_support: r,
+                col_support: c,
+            };
             assert!(matches!(
                 verify_support_certificate(&g, &cert),
                 Err(P1Error::MalformedSupport { .. })
@@ -305,7 +332,10 @@ mod tests {
         // Battle of the sexes: claiming support {0,1}×{0} is inconsistent —
         // the row agent cannot be indifferent between 2 and 0 against pure
         // column 0.
-        let cert = SupportCertificate { row_support: vec![0, 1], col_support: vec![0] };
+        let cert = SupportCertificate {
+            row_support: vec![0, 1],
+            col_support: vec![0],
+        };
         let err = verify_support_certificate(&battle_of_the_sexes(), &cert).unwrap_err();
         assert!(matches!(
             err,

@@ -15,7 +15,7 @@ use std::fmt;
 
 use ra_games::{StrategicGame, StrategyProfile};
 
-use super::proof::{NotAboveWitness, Proof, ProfileVerdict};
+use super::proof::{NotAboveWitness, ProfileVerdict, Proof};
 use super::prop::Prop;
 use super::term::{Term, TermError};
 
@@ -232,7 +232,11 @@ pub fn check_prehashed(
 ) -> Result<CheckedProp, ProofError> {
     let mut cost = CheckCost::default();
     let prop = check_inner(game, proof, &mut cost)?;
-    Ok(CheckedProp { prop, fingerprint, cost })
+    Ok(CheckedProp {
+        prop,
+        fingerprint,
+        cost,
+    })
 }
 
 fn check_inner(
@@ -259,7 +263,11 @@ fn check_inner(
             }
             Ok(Prop::And(props))
         }
-        Proof::OrIntro { disjuncts, index, witness } => {
+        Proof::OrIntro {
+            disjuncts,
+            index,
+            witness,
+        } => {
             let expected = disjuncts.get(*index).ok_or(ProofError::OrIndexOutOfRange {
                 index: *index,
                 len: disjuncts.len(),
@@ -277,22 +285,38 @@ fn check_inner(
             check_is_nash(game, profile, cost)?;
             Ok(Prop::IsNash(profile.clone()))
         }
-        Proof::NashRefute { profile, agent, strategy } => {
+        Proof::NashRefute {
+            profile,
+            agent,
+            strategy,
+        } => {
             check_refutation(game, profile, *agent, *strategy, cost)?;
             Ok(Prop::NotNash(profile.clone()))
         }
-        Proof::MaxNashIntro { profile, nash, classification } => {
+        Proof::MaxNashIntro {
+            profile,
+            nash,
+            classification,
+        } => {
             check_extremal(game, profile, nash, classification, cost, Extremum::Max)?;
             Ok(Prop::IsMaxNash(profile.clone()))
         }
-        Proof::MinNashIntro { profile, nash, classification } => {
+        Proof::MinNashIntro {
+            profile,
+            nash,
+            classification,
+        } => {
             check_extremal(game, profile, nash, classification, cost, Extremum::Min)?;
             Ok(Prop::IsMinNash(profile.clone()))
         }
     }
 }
 
-fn eval_term(game: &StrategicGame, t: &Term, cost: &mut CheckCost) -> Result<ra_exact::Rational, ProofError> {
+fn eval_term(
+    game: &StrategicGame,
+    t: &Term,
+    cost: &mut CheckCost,
+) -> Result<ra_exact::Rational, ProofError> {
     cost.utility_lookups += t.lookup_count();
     Ok(t.eval(game)?)
 }
@@ -388,9 +412,7 @@ fn check_refutation(
         Ok(())
     } else {
         Err(ProofError::RefutationInvalid {
-            reason: format!(
-                "deviation of agent {agent} to strategy {strategy} does not improve"
-            ),
+            reason: format!("deviation of agent {agent} to strategy {strategy} does not improve"),
         })
     }
 }
@@ -429,7 +451,10 @@ fn check_extremal(
     let expected_prop = Prop::IsNash(candidate.clone());
     let actual = check_inner(game, nash, cost)?;
     if actual != expected_prop {
-        return Err(ProofError::SubProofMismatch { expected: expected_prop, actual });
+        return Err(ProofError::SubProofMismatch {
+            expected: expected_prop,
+            actual,
+        });
     }
     let total = game.num_profiles();
     if classification.len() != total {
@@ -523,21 +548,44 @@ mod tests {
     #[test]
     fn nash_intro_and_refute() {
         let game = pd();
-        assert!(check(&game, &Proof::NashIntro { profile: vec![1, 1].into() }).is_ok());
+        assert!(check(
+            &game,
+            &Proof::NashIntro {
+                profile: vec![1, 1].into()
+            }
+        )
+        .is_ok());
         assert!(matches!(
-            check(&game, &Proof::NashIntro { profile: vec![0, 0].into() }),
-            Err(ProofError::DeviationFound { agent: 0, strategy: 1, .. })
+            check(
+                &game,
+                &Proof::NashIntro {
+                    profile: vec![0, 0].into()
+                }
+            ),
+            Err(ProofError::DeviationFound {
+                agent: 0,
+                strategy: 1,
+                ..
+            })
         ));
         assert!(check(
             &game,
-            &Proof::NashRefute { profile: vec![0, 0].into(), agent: 1, strategy: 1 }
+            &Proof::NashRefute {
+                profile: vec![0, 0].into(),
+                agent: 1,
+                strategy: 1
+            }
         )
         .is_ok());
         // Non-improving witness rejected.
         assert!(matches!(
             check(
                 &game,
-                &Proof::NashRefute { profile: vec![1, 1].into(), agent: 0, strategy: 0 }
+                &Proof::NashRefute {
+                    profile: vec![1, 1].into(),
+                    agent: 0,
+                    strategy: 0
+                }
             ),
             Err(ProofError::RefutationInvalid { .. })
         ));
@@ -553,13 +601,17 @@ mod tests {
         let ok = Proof::OrIntro {
             disjuncts: disjuncts.clone(),
             index: 1,
-            witness: Box::new(Proof::NashIntro { profile: vec![1, 1].into() }),
+            witness: Box::new(Proof::NashIntro {
+                profile: vec![1, 1].into(),
+            }),
         };
         assert!(check(&game, &ok).is_ok());
         let wrong_index = Proof::OrIntro {
             disjuncts: disjuncts.clone(),
             index: 0,
-            witness: Box::new(Proof::NashIntro { profile: vec![1, 1].into() }),
+            witness: Box::new(Proof::NashIntro {
+                profile: vec![1, 1].into(),
+            }),
         };
         assert!(matches!(
             check(&game, &wrong_index),
@@ -568,9 +620,14 @@ mod tests {
         let oob = Proof::OrIntro {
             disjuncts,
             index: 5,
-            witness: Box::new(Proof::NashIntro { profile: vec![1, 1].into() }),
+            witness: Box::new(Proof::NashIntro {
+                profile: vec![1, 1].into(),
+            }),
         };
-        assert!(matches!(check(&game, &oob), Err(ProofError::OrIndexOutOfRange { .. })));
+        assert!(matches!(
+            check(&game, &oob),
+            Err(ProofError::OrIndexOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -583,15 +640,23 @@ mod tests {
             // (0,0): equilibrium but ≤u candidate.
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
             // (1,0): not an equilibrium (agent 0 should match agent 1).
-            ProfileVerdict::NotNash { agent: 0, strategy: 0 },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 0,
+            },
             // (0,1): symmetric.
-            ProfileVerdict::NotNash { agent: 0, strategy: 1 },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 1,
+            },
             // (1,1): the candidate itself — ≤u candidate trivially.
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
         ];
         let proof = Proof::MaxNashIntro {
             profile: candidate.clone(),
-            nash: Box::new(Proof::NashIntro { profile: candidate.clone() }),
+            nash: Box::new(Proof::NashIntro {
+                profile: candidate.clone(),
+            }),
             classification,
         };
         let theorem = check(&game, &proof).unwrap();
@@ -605,27 +670,47 @@ mod tests {
         // Try to claim (0,0) is maximal by mislabelling (1,1).
         let classification = vec![
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
-            ProfileVerdict::NotNash { agent: 0, strategy: 0 },
-            ProfileVerdict::NotNash { agent: 0, strategy: 1 },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 0,
+            },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 1,
+            },
             // (1,1) is an equilibrium strictly above (0,0): every honest
             // verdict fails. LeCandidate is false...
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
         ];
         let proof = Proof::MaxNashIntro {
             profile: candidate.clone(),
-            nash: Box::new(Proof::NashIntro { profile: candidate.clone() }),
+            nash: Box::new(Proof::NashIntro {
+                profile: candidate.clone(),
+            }),
             classification,
         };
         assert!(matches!(
             check(&game, &proof),
-            Err(ProofError::VerdictInvalid { profile_index: 3, .. })
+            Err(ProofError::VerdictInvalid {
+                profile_index: 3,
+                ..
+            })
         ));
         // ...and so is a fake deviation witness.
         let classification = vec![
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
-            ProfileVerdict::NotNash { agent: 0, strategy: 0 },
-            ProfileVerdict::NotNash { agent: 0, strategy: 1 },
-            ProfileVerdict::NotNash { agent: 1, strategy: 0 },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 0,
+            },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 1,
+            },
+            ProfileVerdict::NotNash {
+                agent: 1,
+                strategy: 0,
+            },
         ];
         let proof = Proof::MaxNashIntro {
             profile: candidate.clone(),
@@ -634,7 +719,10 @@ mod tests {
         };
         assert!(matches!(
             check(&game, &proof),
-            Err(ProofError::VerdictInvalid { profile_index: 3, .. })
+            Err(ProofError::VerdictInvalid {
+                profile_index: 3,
+                ..
+            })
         ));
     }
 
@@ -645,11 +733,16 @@ mod tests {
         let proof = Proof::MaxNashIntro {
             profile: candidate.clone(),
             nash: Box::new(Proof::NashIntro { profile: candidate }),
-            classification: vec![ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate)],
+            classification: vec![ProfileVerdict::NotStrictlyBetter(
+                NotAboveWitness::LeCandidate,
+            )],
         };
         assert!(matches!(
             check(&game, &proof),
-            Err(ProofError::ClassificationLength { got: 1, expected: 4 })
+            Err(ProofError::ClassificationLength {
+                got: 1,
+                expected: 4
+            })
         ));
     }
 
@@ -659,8 +752,14 @@ mod tests {
         let candidate: StrategyProfile = vec![0, 0].into();
         let classification = vec![
             ProfileVerdict::NotStrictlyBetter(NotAboveWitness::LeCandidate),
-            ProfileVerdict::NotNash { agent: 0, strategy: 0 },
-            ProfileVerdict::NotNash { agent: 0, strategy: 1 },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 0,
+            },
+            ProfileVerdict::NotNash {
+                agent: 0,
+                strategy: 1,
+            },
             // (1,1): equilibrium, strictly above candidate: for Min proofs
             // PrefersCandidate means "some agent strictly prefers other",
             // i.e. ¬(other ≤u candidate).
@@ -668,7 +767,9 @@ mod tests {
         ];
         let proof = Proof::MinNashIntro {
             profile: candidate.clone(),
-            nash: Box::new(Proof::NashIntro { profile: candidate.clone() }),
+            nash: Box::new(Proof::NashIntro {
+                profile: candidate.clone(),
+            }),
             classification,
         };
         let theorem = check(&game, &proof).unwrap();
@@ -680,7 +781,13 @@ mod tests {
         let g1 = pd();
         let g2 = coordination_game(2);
         assert_ne!(game_fingerprint(&g1), game_fingerprint(&g2));
-        let theorem = check(&g1, &Proof::NashIntro { profile: vec![1, 1].into() }).unwrap();
+        let theorem = check(
+            &g1,
+            &Proof::NashIntro {
+                profile: vec![1, 1].into(),
+            },
+        )
+        .unwrap();
         assert!(theorem.applies_to(&g1));
         assert!(!theorem.applies_to(&g2));
     }
@@ -692,7 +799,13 @@ mod tests {
         let game = ra_games::GameGenerator::seeded(3).strategic(vec![4, 4, 4], -5..=5);
         let eqs = game.pure_nash_equilibria();
         if let Some(eq) = eqs.first() {
-            let theorem = check(&game, &Proof::NashIntro { profile: eq.clone() }).unwrap();
+            let theorem = check(
+                &game,
+                &Proof::NashIntro {
+                    profile: eq.clone(),
+                },
+            )
+            .unwrap();
             assert_eq!(theorem.cost().utility_lookups, 12);
         }
     }

@@ -12,6 +12,6 @@ mod prop;
 mod term;
 
 pub use checker::{check, check_prehashed, game_fingerprint, CheckCost, CheckedProp, ProofError};
-pub use proof::{NotAboveWitness, Proof, ProfileVerdict};
+pub use proof::{NotAboveWitness, ProfileVerdict, Proof};
 pub use prop::Prop;
 pub use term::{Term, TermError};

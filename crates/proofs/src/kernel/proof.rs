@@ -16,7 +16,7 @@ use super::prop::Prop;
 
 /// Witness that a Nash equilibrium `other` does not strictly dominate the
 /// maximality candidate.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NotAboveWitness {
     /// Some agent strictly prefers the candidate to `other`
     /// (hence ¬(candidate ≤u other)).
@@ -30,7 +30,7 @@ pub enum NotAboveWitness {
 }
 
 /// Per-profile verdict inside a maximality/minimality proof.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProfileVerdict {
     /// The profile is not an equilibrium; `(agent, strategy)` is an
     /// improving unilateral deviation.
@@ -47,7 +47,7 @@ pub enum ProfileVerdict {
 }
 
 /// A proof tree.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Proof {
     /// Decide an atomic proposition ([`Prop::is_atomic`]) by direct
     /// evaluation in the kernel.
@@ -125,10 +125,16 @@ impl Proof {
             Proof::EvalAtom(_) | Proof::NashIntro { .. } | Proof::NashRefute { .. } => 1,
             Proof::AndIntro(ps) => 1 + ps.iter().map(Proof::size).sum::<u64>(),
             Proof::OrIntro { witness, .. } => 1 + witness.size(),
-            Proof::MaxNashIntro { nash, classification, .. }
-            | Proof::MinNashIntro { nash, classification, .. } => {
-                1 + nash.size() + classification.len() as u64
+            Proof::MaxNashIntro {
+                nash,
+                classification,
+                ..
             }
+            | Proof::MinNashIntro {
+                nash,
+                classification,
+                ..
+            } => 1 + nash.size() + classification.len() as u64,
         }
     }
 }
@@ -142,7 +148,11 @@ mod tests {
         let s: StrategyProfile = vec![0, 1].into();
         let p = Proof::NashIntro { profile: s.clone() };
         assert_eq!(p.claims(), Prop::IsNash(s.clone()));
-        let r = Proof::NashRefute { profile: s.clone(), agent: 0, strategy: 1 };
+        let r = Proof::NashRefute {
+            profile: s.clone(),
+            agent: 0,
+            strategy: 1,
+        };
         assert_eq!(r.claims(), Prop::NotNash(s.clone()));
         let and = Proof::AndIntro(vec![p, r]);
         assert_eq!(

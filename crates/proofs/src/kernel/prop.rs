@@ -11,7 +11,7 @@ use ra_games::StrategyProfile;
 use super::term::Term;
 
 /// A closed proposition about a fixed strategic game.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Prop {
     /// `lhs ≤ rhs`.
     Le(Term, Term),

@@ -11,7 +11,7 @@ use ra_exact::Rational;
 use ra_games::{StrategicGame, StrategyProfile};
 
 /// A closed arithmetic term over a game's utility tensor.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Term {
     /// A rational constant.
     Const(Rational),

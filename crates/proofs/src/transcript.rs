@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// Who learns a given piece of information.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Disclosure {
     /// Only the advised agent itself learns it (its own data).
     OwnData,
@@ -22,7 +22,7 @@ pub enum Disclosure {
 }
 
 /// One logged protocol event.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TranscriptEvent {
     /// Prover → agent message.
     ProverMessage {
@@ -48,7 +48,7 @@ pub enum TranscriptEvent {
 }
 
 /// A complete record of one interactive verification.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Transcript {
     events: Vec<TranscriptEvent>,
 }
@@ -134,9 +134,11 @@ impl fmt::Display for Transcript {
         )?;
         for e in &self.events {
             match e {
-                TranscriptEvent::ProverMessage { bits, disclosure, label } => {
-                    writeln!(f, "  prover → agent: {label} ({bits} bits, {disclosure:?})")?
-                }
+                TranscriptEvent::ProverMessage {
+                    bits,
+                    disclosure,
+                    label,
+                } => writeln!(f, "  prover → agent: {label} ({bits} bits, {disclosure:?})")?,
                 TranscriptEvent::Query { bits, index } => {
                     writeln!(f, "  agent → prover: query index {index} ({bits} bits)")?
                 }

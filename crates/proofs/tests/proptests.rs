@@ -225,13 +225,21 @@ fn p2_advice_not_transferable() {
     for seed in 0..20 {
         let mut oracle = HonestOracle::new(eq.col_support.clone());
         let mut rng = StdRng::seed_from_u64(seed);
-        let outcome =
-            verify_private_advice(&game_b, &advice, &mut oracle, &mut rng, &P2Config::default());
+        let outcome = verify_private_advice(
+            &game_b,
+            &advice,
+            &mut oracle,
+            &mut rng,
+            &P2Config::default(),
+        );
         if !outcome.is_accepted() {
             rejected += 1;
         }
     }
-    assert!(rejected >= 15, "cross-game advice rejected in {rejected}/20 runs");
+    assert!(
+        rejected >= 15,
+        "cross-game advice rejected in {rejected}/20 runs"
+    );
 }
 
 /// Kernel fingerprints stop cross-game replay of §3 theorems.
@@ -252,7 +260,10 @@ fn paper_section5_numbers() {
     let params = ParticipationParams::paper_example();
     let roots = solve_participation_equilibrium(&params, &rat(1, 1 << 26)).unwrap();
     assert_eq!(roots[0], EquilibriumRoot::Exact(rat(1, 4)));
-    let cert = ParticipationCertificate { params, root: roots[0].clone() };
+    let cert = ParticipationCertificate {
+        params,
+        root: roots[0].clone(),
+    };
     let verified = verify_participation_certificate(&cert, &rat(1, 1024)).unwrap();
     // Expected gain v/16 with v = 8.
     assert_eq!(verified.expected_gain, rat(1, 2));
@@ -264,17 +275,21 @@ fn paper_section5_numbers() {
 #[test]
 fn fig5_remark2_ambiguity() {
     let game = ra_games::named::fig5_game();
-    let advices: Vec<_> = [(rat(1, 1), rat(0, 1)), (rat(3, 4), rat(1, 4)), (rat(1, 2), rat(1, 2))]
-        .into_iter()
-        .map(|(qc, qd)| {
-            let profile = MixedProfile {
-                row: MixedStrategy::pure(2, 0),
-                col: MixedStrategy::try_new(vec![qc, qd]).unwrap(),
-            };
-            assert!(game.is_nash(&profile));
-            honest_row_advice(&game, &profile)
-        })
-        .collect();
+    let advices: Vec<_> = [
+        (rat(1, 1), rat(0, 1)),
+        (rat(3, 4), rat(1, 4)),
+        (rat(1, 2), rat(1, 2)),
+    ]
+    .into_iter()
+    .map(|(qc, qd)| {
+        let profile = MixedProfile {
+            row: MixedStrategy::pure(2, 0),
+            col: MixedStrategy::try_new(vec![qc, qd]).unwrap(),
+        };
+        assert!(game.is_nash(&profile));
+        honest_row_advice(&game, &profile)
+    })
+    .collect();
     // All equilibria in the continuum induce the *identical* row-agent
     // advice — the row agent cannot tell them apart (Remark 2).
     assert!(advices.windows(2).all(|w| w[0] == w[1]));
@@ -289,13 +304,15 @@ fn p1_and_kernel_agree_on_pure_profiles() {
         let strategic = game.to_strategic();
         for i in 0..3 {
             for j in 0..3 {
-                let cert = SupportCertificate { row_support: vec![i], col_support: vec![j] };
+                let cert = SupportCertificate {
+                    row_support: vec![i],
+                    col_support: vec![j],
+                };
                 let p1_ok = verify_support_certificate(&game, &cert).is_ok();
                 let profile = StrategyProfile::new(vec![i, j]);
                 let kernel_ok = check(&strategic, &prove_is_nash(profile.clone())).is_ok();
                 assert_eq!(
-                    p1_ok,
-                    kernel_ok,
+                    p1_ok, kernel_ok,
                     "seed {seed}, profile {profile}: P1 and kernel disagree"
                 );
             }

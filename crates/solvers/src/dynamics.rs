@@ -74,19 +74,28 @@ pub fn best_response_dynamics(
         match deviation {
             None => {
                 debug_assert!(game.is_pure_nash(&current));
-                return DynamicsOutcome::Converged { equilibrium: current, steps: step };
+                return DynamicsOutcome::Converged {
+                    equilibrium: current,
+                    steps: step,
+                };
             }
             Some((agent, s)) => {
                 current = current.with_strategy(agent, s);
                 if !seen.insert(current.clone()) {
-                    return DynamicsOutcome::Cycled { repeated: current, steps: step + 1 };
+                    return DynamicsOutcome::Cycled {
+                        repeated: current,
+                        steps: step + 1,
+                    };
                 }
             }
         }
     }
     // One last check: the budget may end exactly at an equilibrium.
     if game.is_pure_nash(&current) {
-        return DynamicsOutcome::Converged { equilibrium: current, steps: max_steps };
+        return DynamicsOutcome::Converged {
+            equilibrium: current,
+            steps: max_steps,
+        };
     }
     DynamicsOutcome::OutOfBudget
 }
@@ -125,7 +134,10 @@ mod tests {
         let eq: StrategyProfile = vec![1, 1, 1].into();
         assert_eq!(
             best_response_dynamics(&g, eq.clone(), 10),
-            DynamicsOutcome::Converged { equilibrium: eq, steps: 0 }
+            DynamicsOutcome::Converged {
+                equilibrium: eq,
+                steps: 0
+            }
         );
     }
 

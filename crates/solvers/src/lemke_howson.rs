@@ -37,7 +37,10 @@ impl fmt::Display for LemkeHowsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LemkeHowsonError::LabelOutOfRange { label, num_labels } => {
-                write!(f, "label {label} out of range (game has {num_labels} labels)")
+                write!(
+                    f,
+                    "label {label} out of range (game has {num_labels} labels)"
+                )
             }
             LemkeHowsonError::IterationLimit => write!(f, "pivot iteration limit exceeded"),
         }
@@ -58,7 +61,11 @@ struct Tableau {
 
 impl Tableau {
     fn new(rows: Vec<Vec<Rational>>, basis: Vec<usize>, num_vars: usize) -> Tableau {
-        Tableau { coeffs: rows, basis, num_vars }
+        Tableau {
+            coeffs: rows,
+            basis,
+            num_vars,
+        }
     }
 
     /// Lexicographic minimum-ratio test: returns the pivot row for the
@@ -168,7 +175,10 @@ pub fn lemke_howson(
     let m = game.cols();
     let num_labels = n + m;
     if initial_label >= num_labels {
-        return Err(LemkeHowsonError::LabelOutOfRange { label: initial_label, num_labels });
+        return Err(LemkeHowsonError::LabelOutOfRange {
+            label: initial_label,
+            num_labels,
+        });
     }
     // Shift payoffs to be strictly positive (equilibria are invariant).
     let mut min_entry = game.a(0, 0).clone();
@@ -244,11 +254,17 @@ pub fn lemke_howson(
     let y_raw: Vec<Rational> = (0..m).map(|j| tab_a.value_of(n + j)).collect();
     let normalize = |raw: Vec<Rational>| -> MixedStrategy {
         let total: Rational = raw.iter().fold(Rational::zero(), |acc, v| acc + v);
-        debug_assert!(total.is_positive(), "LH produced the artificial equilibrium");
+        debug_assert!(
+            total.is_positive(),
+            "LH produced the artificial equilibrium"
+        );
         MixedStrategy::try_new(raw.into_iter().map(|v| &v / &total).collect())
             .expect("normalized LH output is a distribution")
     };
-    Ok(MixedProfile { row: normalize(x_raw), col: normalize(y_raw) })
+    Ok(MixedProfile {
+        row: normalize(x_raw),
+        col: normalize(y_raw),
+    })
 }
 
 /// Runs Lemke–Howson from every initial label and returns the distinct
@@ -270,8 +286,7 @@ mod tests {
     use super::*;
     use ra_exact::rat;
     use ra_games::named::{
-        battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma,
-        rock_paper_scissors,
+        battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma, rock_paper_scissors,
     };
     use ra_games::GameGenerator;
 
@@ -329,7 +344,10 @@ mod tests {
     fn label_out_of_range() {
         assert_eq!(
             lemke_howson(&matching_pennies(), 4),
-            Err(LemkeHowsonError::LabelOutOfRange { label: 4, num_labels: 4 })
+            Err(LemkeHowsonError::LabelOutOfRange {
+                label: 4,
+                num_labels: 4
+            })
         );
     }
 

@@ -31,8 +31,7 @@ mod zero_sum;
 pub use dynamics::{best_response_dynamics, DynamicsOutcome};
 pub use lemke_howson::{lemke_howson, lemke_howson_all, LemkeHowsonError};
 pub use participation::{
-    solve_participation_equilibrium, EquilibriumRoot, ParticipationParams,
-    ParticipationSolveError,
+    solve_participation_equilibrium, EquilibriumRoot, ParticipationParams, ParticipationSolveError,
 };
 pub use pure_enum::{analyze_pure_nash, PureNashAnalysis};
 pub use support_enum::{

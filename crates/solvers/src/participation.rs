@@ -15,10 +15,10 @@
 
 use std::fmt;
 
-use ra_exact::{bisect, binomial, rat, BisectionResult, Rational};
+use ra_exact::{binomial, bisect, rat, BisectionResult, Rational};
 
 /// Parameters of the §5 participation game.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParticipationParams {
     /// Number of firms `n ≥ 2`.
     pub n: u64,
@@ -80,7 +80,7 @@ impl ParticipationParams {
 /// An equilibrium probability as produced by the inventor: either exactly
 /// rational, or bracketed to a requested tolerance with a sign-change
 /// certificate.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EquilibriumRoot {
     /// `p` satisfies the indifference condition exactly.
     Exact(Rational),
@@ -117,7 +117,10 @@ impl fmt::Display for ParticipationSolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParticipationSolveError::NoInteriorEquilibrium => {
-                write!(f, "no interior symmetric equilibrium: fee exceeds peak incentive")
+                write!(
+                    f,
+                    "no interior symmetric equilibrium: fee exceeds peak incentive"
+                )
             }
         }
     }
@@ -197,7 +200,10 @@ fn finish_root(g: impl Fn(&Rational) -> Rational, res: BisectionResult) -> Equil
     if g(&mid).is_zero() {
         return EquilibriumRoot::Exact(mid);
     }
-    EquilibriumRoot::Bracket { lo: res.lo, hi: res.hi }
+    EquilibriumRoot::Bracket {
+        lo: res.lo,
+        hi: res.hi,
+    }
 }
 
 #[cfg(test)]
@@ -218,7 +224,8 @@ mod tests {
         // For k = 2 the function is v(n−1)p(1−p)^{n−2} − c.
         let params = ParticipationParams::new(5, 2, Rational::from(10), Rational::from(1)).unwrap();
         let p = rat(1, 3);
-        let by_hand = Rational::from(10) * Rational::from(4) * &p * rat(2, 3).pow(3) - Rational::from(1);
+        let by_hand =
+            Rational::from(10) * Rational::from(4) * &p * rat(2, 3).pow(3) - Rational::from(1);
         assert_eq!(params.indifference_fn(&p), by_hand);
     }
 

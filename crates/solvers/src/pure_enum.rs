@@ -45,11 +45,7 @@ pub fn analyze_pure_nash(game: &StrategicGame) -> PureNashAnalysis {
     let mut equilibria = Vec::new();
     let mut profiles_examined = 0usize;
     let mut deviations_checked = 0u64;
-    let deviations_per_profile: u64 = game
-        .strategy_counts()
-        .iter()
-        .map(|&c| (c - 1) as u64)
-        .sum();
+    let deviations_per_profile: u64 = game.strategy_counts().iter().map(|&c| (c - 1) as u64).sum();
     for profile in game.profiles() {
         profiles_examined += 1;
         deviations_checked += deviations_per_profile;
@@ -60,18 +56,18 @@ pub fn analyze_pure_nash(game: &StrategicGame) -> PureNashAnalysis {
     let maximal = equilibria
         .iter()
         .filter(|e| {
-            equilibria.iter().all(|other| {
-                *e == other || !game.profile_le(e, other) || game.profile_le(other, e)
-            })
+            equilibria
+                .iter()
+                .all(|other| *e == other || !game.profile_le(e, other) || game.profile_le(other, e))
         })
         .cloned()
         .collect();
     let minimal = equilibria
         .iter()
         .filter(|e| {
-            equilibria.iter().all(|other| {
-                *e == other || !game.profile_le(other, e) || game.profile_le(e, other)
-            })
+            equilibria
+                .iter()
+                .all(|other| *e == other || !game.profile_le(other, e) || game.profile_le(e, other))
         })
         .cloned()
         .collect();

@@ -26,8 +26,7 @@ pub struct SupportEquilibrium {
 }
 
 /// Options controlling the enumeration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EnumerationOptions {
     /// Stop after this many equilibria (`None` = find all).
     pub max_equilibria: Option<usize>,
@@ -35,7 +34,6 @@ pub struct EnumerationOptions {
     /// nondegenerate games and much faster).
     pub equal_sized_supports_only: bool,
 }
-
 
 /// Statistics about an enumeration run (inventor-side effort accounting for
 /// the verify-vs-compute benchmarks).
@@ -102,7 +100,10 @@ pub fn enumerate_equilibria(
 pub fn find_one_equilibrium(game: &BimatrixGame) -> Option<SupportEquilibrium> {
     let (eqs, _) = enumerate_equilibria(
         game,
-        &EnumerationOptions { max_equilibria: Some(1), equal_sized_supports_only: false },
+        &EnumerationOptions {
+            max_equilibria: Some(1),
+            equal_sized_supports_only: false,
+        },
     );
     eqs.into_iter().next()
 }
@@ -220,12 +221,15 @@ fn solve_indifference(
 mod tests {
     use super::*;
     use ra_exact::rat;
-    use ra_games::named::{battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma, rock_paper_scissors};
+    use ra_games::named::{
+        battle_of_the_sexes, fig5_game, matching_pennies, prisoners_dilemma, rock_paper_scissors,
+    };
     use ra_games::GameGenerator;
 
     #[test]
     fn matching_pennies_unique_equilibrium() {
-        let (eqs, stats) = enumerate_equilibria(&matching_pennies(), &EnumerationOptions::default());
+        let (eqs, stats) =
+            enumerate_equilibria(&matching_pennies(), &EnumerationOptions::default());
         assert_eq!(eqs.len(), 1);
         let eq = &eqs[0];
         assert_eq!(eq.profile.row, MixedStrategy::uniform(2));

@@ -108,7 +108,10 @@ pub fn solve_zero_sum(game: &BimatrixGame) -> Result<MinimaxSolution, ZeroSumErr
 
     let profile = MixedProfile { row: x, col: y };
     let value = game.expected_row_payoff(&profile.row, &profile.col);
-    debug_assert!(game.is_nash(&profile), "minimax profile must be an equilibrium");
+    debug_assert!(
+        game.is_nash(&profile),
+        "minimax profile must be an equilibrium"
+    );
     Ok(MinimaxSolution { value, profile })
 }
 

@@ -129,7 +129,9 @@ fn lh_subset_of_enumeration_nondegenerate() {
         // supports and the counts are odd (nondegenerate games have an odd
         // number of equilibria).
         if eqs.len() % 2 == 0
-            || eqs.iter().any(|e| e.row_support.len() != e.col_support.len())
+            || eqs
+                .iter()
+                .any(|e| e.row_support.len() != e.col_support.len())
         {
             continue;
         }
@@ -149,5 +151,8 @@ fn lh_subset_of_enumeration_nondegenerate() {
             );
         }
     }
-    assert!(checked > 20, "expected plenty of nondegenerate instances, got {checked}");
+    assert!(
+        checked > 20,
+        "expected plenty of nondegenerate instances, got {checked}"
+    );
 }

@@ -24,13 +24,21 @@ fn main() {
     );
 
     // ---- Offline: the inventor's certificate ------------------------------
-    let cert = game.inventor_advice(&rat(1, 1 << 30)).expect("equilibrium exists");
+    let cert = game
+        .inventor_advice(&rat(1, 1 << 30))
+        .expect("equilibrium exists");
     let verified = verify_participation_certificate(&cert, &rat(1, 1 << 20))
         .expect("honest certificate verifies");
-    println!("\n[offline] advised participation probability p = {}", verified.p);
+    println!(
+        "\n[offline] advised participation probability p = {}",
+        verified.p
+    );
     println!("  A_k (≥1 other in | f in)   = {}", verified.a_k);
     println!("  C_k (≥2 others in | f out) = {}", verified.c_k);
-    println!("  expected equilibrium gain  = {}  (the paper's v/16)", verified.expected_gain);
+    println!(
+        "  expected equilibrium gain  = {}  (the paper's v/16)",
+        verified.expected_gain
+    );
 
     // A perturbed p is caught:
     let bogus = ParticipationCertificate {

@@ -71,7 +71,10 @@ fn main() {
         iterations: 30,
         seed: 2011,
     };
-    println!("  {:>5} {:>22} {:>18} {:>8}", "m", "inventor better (%)", "greedy better (%)", "ties (%)");
+    println!(
+        "  {:>5} {:>22} {:>18} {:>8}",
+        "m", "inventor better (%)", "greedy better (%)", "ties (%)"
+    );
     for point in run_fig7(&config) {
         println!(
             "  {:>5} {:>22.1} {:>18.1} {:>8.1}",

@@ -14,8 +14,8 @@ use rand::SeedableRng;
 
 use rationality_authority::games::GameGenerator;
 use rationality_authority::proofs::{
-    honest_row_advice, verify_private_advice, verify_support_certificate, HonestOracle,
-    P2Config, P2Outcome, SupportCertificate,
+    honest_row_advice, verify_private_advice, verify_support_certificate, HonestOracle, P2Config,
+    P2Outcome, SupportCertificate,
 };
 use rationality_authority::solvers::find_one_equilibrium;
 
@@ -55,10 +55,16 @@ fn main() {
         &advice,
         &mut oracle,
         &mut rng,
-        &P2Config { required_conclusive: 3, max_queries: 1000 },
+        &P2Config {
+            required_conclusive: 3,
+            max_queries: 1000,
+        },
     );
     match &outcome {
-        P2Outcome::Accepted { conclusive_tests, transcript } => {
+        P2Outcome::Accepted {
+            conclusive_tests,
+            transcript,
+        } => {
             println!("\n[P2] verification accepted");
             println!("  conclusive pair tests:    {conclusive_tests}");
             println!("  oracle queries:           {}", transcript.num_queries());
@@ -83,8 +89,13 @@ fn main() {
     dishonest.lambda_opp = &dishonest.lambda_opp + &rationality_authority::exact::rat(1, 3);
     let mut oracle = HonestOracle::new(eq.col_support);
     let mut rng = StdRng::seed_from_u64(8);
-    let outcome =
-        verify_private_advice(&game, &dishonest, &mut oracle, &mut rng, &P2Config::default());
+    let outcome = verify_private_advice(
+        &game,
+        &dishonest,
+        &mut oracle,
+        &mut rng,
+        &P2Config::default(),
+    );
     assert!(!outcome.is_accepted());
     println!("A perturbed λ2 was rejected by P2, as it should be.");
 }

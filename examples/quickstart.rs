@@ -27,7 +27,10 @@ fn main() {
     println!("  advice bytes on the wire: {}", outcome.advice_bytes);
     println!("  session bytes total:      {}", outcome.session_bytes);
     for (verifier, accepted, detail) in &outcome.verdict_details {
-        println!("  {verifier}: {} — {detail}", if *accepted { "ACCEPT" } else { "REJECT" });
+        println!(
+            "  {verifier}: {} — {detail}",
+            if *accepted { "ACCEPT" } else { "REJECT" }
+        );
     }
     assert!(outcome.adopted, "honest advice must be adopted");
     println!("  agent adopts the advice: play (defect, defect)");
@@ -40,7 +43,10 @@ fn main() {
     let outcome = authority.consult(0, &GameSpec::Strategic(game));
     println!("\n[corrupt inventor]");
     for (verifier, accepted, detail) in &outcome.verdict_details {
-        println!("  {verifier}: {} — {detail}", if *accepted { "ACCEPT" } else { "REJECT" });
+        println!(
+            "  {verifier}: {} — {detail}",
+            if *accepted { "ACCEPT" } else { "REJECT" }
+        );
     }
     assert!(!outcome.adopted, "corrupt advice must be rejected");
     println!("  agent refuses the advice — the rationality authority did its job");

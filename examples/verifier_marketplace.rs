@@ -25,7 +25,9 @@ fn main() {
         VerifierBehavior::Honest,
         VerifierBehavior::AlwaysAccept,
         VerifierBehavior::AlwaysReject,
-        VerifierBehavior::Random { accept_per_mille: 500 },
+        VerifierBehavior::Random {
+            accept_per_mille: 500,
+        },
     ];
     let mut authority =
         RationalityAuthority::new(Inventor::new(0, InventorBehavior::Honest), &panel);
@@ -58,7 +60,10 @@ fn main() {
     let trusted = authority.reputation().trusted_verifiers();
     println!("\nStill consulted: {trusted:?}");
     assert!(trusted.contains(&Party::Verifier(0)));
-    assert!(!trusted.contains(&Party::Verifier(4)), "saboteur must be excluded");
+    assert!(
+        !trusted.contains(&Party::Verifier(4)),
+        "saboteur must be excluded"
+    );
 
     // ---- The inventor-side audit trail -------------------------------------
     println!("\nSigned statistics ledger (inventor accountability):");

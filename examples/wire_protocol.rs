@@ -72,5 +72,8 @@ fn main() {
     }
     println!("\n[lying prover] caught in {caught}/{runs} sessions");
     assert!(caught >= 7);
-    println!("\nTotal wire traffic across all sessions: {} bytes", bus.total_bytes());
+    println!(
+        "\nTotal wire traffic across all sessions: {} bytes",
+        bus.total_bytes()
+    );
 }

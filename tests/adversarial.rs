@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use rationality_authority::authority::{run_p2_session, Bus, P2Prover};
 use rationality_authority::exact::{rat, Rational};
 use rationality_authority::games::{GameGenerator, MixedProfile, MixedStrategy};
-use rationality_authority::proofs::kernel::{check, NotAboveWitness, Proof, ProfileVerdict};
+use rationality_authority::proofs::kernel::{check, NotAboveWitness, ProfileVerdict, Proof};
 use rationality_authority::proofs::{
     honest_online_advice, prove_max_nash, verify_online_advice, verify_support_certificate,
     SupportCertificate,
@@ -24,7 +24,12 @@ fn max_proof_mutation_fuzz() {
     let candidate: rationality_authority::games::StrategyProfile = vec![2, 2].into();
     let honest = prove_max_nash(&game, &candidate).expect("provable");
     assert!(check(&game, &honest).is_ok());
-    let Proof::MaxNashIntro { profile, nash, classification } = honest else {
+    let Proof::MaxNashIntro {
+        profile,
+        nash,
+        classification,
+    } = honest
+    else {
         panic!("unexpected proof shape");
     };
     let mut rejected = 0;
@@ -106,8 +111,9 @@ fn online_advice_mutation_fuzz() {
     let mut rng = StdRng::seed_from_u64(77);
     for _ in 0..200 {
         let m = rng.random_range(2..6);
-        let current: Vec<Rational> =
-            (0..m).map(|_| Rational::from(rng.random_range(0..100))).collect();
+        let current: Vec<Rational> = (0..m)
+            .map(|_| Rational::from(rng.random_range(0..100)))
+            .collect();
         let own = Rational::from(rng.random_range(1..100));
         let future = Rational::from(rng.random_range(0..50));
         let agents = rng.random_range(0..6);
@@ -135,7 +141,11 @@ fn online_advice_mutation_fuzz() {
             // an equilibrium — re-check the Nash property independently.
             let mut final_loads = corrupted.current_loads.clone();
             for (idx, &link) in corrupted.assignment.iter().enumerate() {
-                let w = if idx == 0 { &corrupted.own_load } else { &corrupted.expected_future_load };
+                let w = if idx == 0 {
+                    &corrupted.own_load
+                } else {
+                    &corrupted.expected_future_load
+                };
                 final_loads[link] = &final_loads[link] + w;
             }
             assert_eq!(verified.predicted_loads, final_loads);
@@ -211,7 +221,10 @@ fn colluding_verifiers_get_ground_down() {
     for round in 0..12 {
         let outcome = authority.consult(round, &spec);
         assert!(!outcome.adopted, "corrupt advice adopted at round {round}");
-        for (i, v) in [Party::Verifier(3), Party::Verifier(4)].into_iter().enumerate() {
+        for (i, v) in [Party::Verifier(3), Party::Verifier(4)]
+            .into_iter()
+            .enumerate()
+        {
             let score = authority.reputation().score(v);
             assert!(score <= last_scores[i], "collider reputation must not rise");
             last_scores[i] = score;

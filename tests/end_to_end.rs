@@ -76,18 +76,21 @@ fn sessions_are_deterministic() {
 fn advice_verifies_after_wire_round_trip() {
     let inventor = Inventor::new(0, InventorBehavior::Honest);
     for spec in all_specs() {
-        let Some(advice) = inventor.advise(&spec) else { continue };
-        let msg = Message::AdviceWithProof { game_id: 1, advice: Box::new(advice) };
+        let Some(advice) = inventor.advise(&spec) else {
+            continue;
+        };
+        let msg = Message::AdviceWithProof {
+            game_id: 1,
+            advice: Box::new(advice),
+        };
         let bytes = msg.to_bytes();
         let mut buf = bytes.clone();
         let decoded = Message::decode(&mut buf).expect("decodes");
         let Message::AdviceWithProof { advice, .. } = decoded else {
             panic!("wrong message kind");
         };
-        let verifier = rationality_authority::authority::VerifierService::new(
-            0,
-            VerifierBehavior::Honest,
-        );
+        let verifier =
+            rationality_authority::authority::VerifierService::new(0, VerifierBehavior::Honest);
         let (accepted, detail) = verifier.verify(&spec, &advice);
         assert!(accepted, "{spec:?}: {detail}");
     }
@@ -103,7 +106,10 @@ fn bitflip_fuzz_on_the_wire() {
     let spec = GameSpec::Strategic(game.clone());
     let inventor = Inventor::new(0, InventorBehavior::Honest);
     let advice = inventor.advise(&spec).unwrap();
-    let msg = Message::AdviceWithProof { game_id: 1, advice: Box::new(advice) };
+    let msg = Message::AdviceWithProof {
+        game_id: 1,
+        advice: Box::new(advice),
+    };
     let bytes = msg.to_bytes();
     let verifier =
         rationality_authority::authority::VerifierService::new(0, VerifierBehavior::Honest);
@@ -112,7 +118,7 @@ fn bitflip_fuzz_on_the_wire() {
         for bit in 0..8 {
             let mut mutated = bytes.to_vec();
             mutated[i] ^= 1 << bit;
-            let mut buf = bytes::Bytes::from(mutated);
+            let mut buf = rationality_authority::authority::WireBytes::from(mutated);
             let Ok(Message::AdviceWithProof { advice, .. }) = Message::decode(&mut buf) else {
                 continue;
             };
@@ -125,14 +131,20 @@ fn bitflip_fuzz_on_the_wire() {
                 // Acceptance must still be sound: the advised profile is a
                 // genuine equilibrium of the game.
                 if let Advice::PureNash(cert) = advice.as_ref() {
-                    assert!(game.is_pure_nash(&cert.profile), "unsound acceptance at byte {i} bit {bit}");
+                    assert!(
+                        game.is_pure_nash(&cert.profile),
+                        "unsound acceptance at byte {i} bit {bit}"
+                    );
                 }
             }
         }
     }
     // Mutants that survive must be semantically identical (or another true
     // statement); there should be very few of them.
-    assert!(accepted_mutants <= 8, "too many accepted mutants: {accepted_mutants}");
+    assert!(
+        accepted_mutants <= 8,
+        "too many accepted mutants: {accepted_mutants}"
+    );
 }
 
 /// §3 maximality proofs flow end-to-end: the inventor can ship an IsMaxNash
@@ -142,7 +154,10 @@ fn maximal_advice_end_to_end() {
     let game = stag_hunt(4);
     let maximal: rationality_authority::games::StrategyProfile = vec![1, 1, 1, 1].into();
     let proof = prove_max_nash(&game, &maximal).expect("all-stag is maximal");
-    let cert = PureNashCertificate { profile: maximal, proof };
+    let cert = PureNashCertificate {
+        profile: maximal,
+        proof,
+    };
     let theorem = cert.verify(&game).expect("verifies");
     assert!(theorem.applies_to(&game));
     // The same certificate fails against a different game.
@@ -160,7 +175,9 @@ fn long_run_reputation_dynamics() {
             VerifierBehavior::Honest,
             VerifierBehavior::Honest,
             VerifierBehavior::Honest,
-            VerifierBehavior::Random { accept_per_mille: 300 },
+            VerifierBehavior::Random {
+                accept_per_mille: 300,
+            },
         ],
     );
     let mut consultations = 0u64;
@@ -170,13 +187,19 @@ fn long_run_reputation_dynamics() {
             continue;
         }
         let outcome = authority.consult(seed, &GameSpec::Strategic(game));
-        assert!(outcome.adopted, "honest majority always adopts (seed {seed})");
+        assert!(
+            outcome.adopted,
+            "honest majority always adopts (seed {seed})"
+        );
         consultations += 1;
         if !authority.reputation().is_trusted(Party::Verifier(3)) {
             break;
         }
     }
-    assert!(consultations >= 5, "ran a meaningful number of consultations");
+    assert!(
+        consultations >= 5,
+        "ran a meaningful number of consultations"
+    );
     assert!(
         !authority.reputation().is_trusted(Party::Verifier(3)),
         "the mostly-rejecting flaky verifier must eventually be excluded"

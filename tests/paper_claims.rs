@@ -25,8 +25,8 @@ use rationality_authority::solvers::{
 #[test]
 fn section5_worked_gain() {
     let v = Rational::from(8);
-    let direct = &v
-        * (Rational::one() - rat(3, 4).pow(2) - Rational::from(2) * rat(1, 4) * rat(3, 4));
+    let direct =
+        &v * (Rational::one() - rat(3, 4).pow(2) - Rational::from(2) * rat(1, 4) * rat(3, 4));
     assert_eq!(direct, &v * &rat(1, 16));
     let game = ParticipationGame::paper_example();
     assert_eq!(game.expected_gain_at(&rat(1, 4)), direct);
@@ -43,7 +43,8 @@ fn section5_eq4_reduction() {
             let p = rat(num, 10);
             // Direct expectation difference == closed form of Eq. (4).
             let gap = game.symmetric_game().indifference_gap(&p);
-            let closed = Rational::from(v) * Rational::from((n - 1) as i64)
+            let closed = Rational::from(v)
+                * Rational::from((n - 1) as i64)
                 * &p
                 * (Rational::one() - &p).pow((n - 2) as i32)
                 - Rational::from(c);
@@ -142,10 +143,18 @@ fn lemma2_bound_and_tightness() {
         loads.push(m as u64);
         let opt = m as u64;
         if loads.len() <= 16 {
-            assert_eq!(opt_makespan_exact(&loads, m), opt, "analytic OPT checked at m={m}");
+            assert_eq!(
+                opt_makespan_exact(&loads, m),
+                opt,
+                "analytic OPT checked at m={m}"
+            );
         }
         let greedy = greedy_assign(&loads, m).makespan();
-        assert_eq!(greedy as u128 * m as u128, (2 * m as u128 - 1) * opt as u128, "tight at m={m}");
+        assert_eq!(
+            greedy as u128 * m as u128,
+            (2 * m as u128 - 1) * opt as u128,
+            "tight at m={m}"
+        );
     }
     // And the bound holds on arbitrary small instances (exact OPT).
     for seed in 0..30u64 {
@@ -187,7 +196,10 @@ fn both_symmetric_equilibria_verify() {
     let roots = solve_participation_equilibrium(&params, &rat(1, 1 << 26)).unwrap();
     assert_eq!(
         roots,
-        vec![EquilibriumRoot::Exact(rat(1, 4)), EquilibriumRoot::Exact(rat(3, 4))]
+        vec![
+            EquilibriumRoot::Exact(rat(1, 4)),
+            EquilibriumRoot::Exact(rat(3, 4))
+        ]
     );
     for root in roots {
         let cert = rationality_authority::proofs::ParticipationCertificate {
