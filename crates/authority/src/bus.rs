@@ -5,8 +5,13 @@
 //! (so Lemma 1's communication claims are measured), delivered through
 //! unbounded channels, and logged centrally. Fault injection (drop rules)
 //! supports the dishonest-party experiments.
+//!
+//! Accounting queries (`total_bytes`, `message_count`, `bytes_between`)
+//! are O(1): the bus maintains running counters and a per-pair byte map
+//! alongside the append-only delivery log, instead of re-scanning the log
+//! on every query. The full log stays available via [`Bus::delivery_log`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
@@ -72,6 +77,15 @@ impl Endpoint {
     }
 }
 
+/// The append-only audit log plus its running aggregates, kept consistent
+/// under one lock.
+#[derive(Default)]
+struct Ledger {
+    records: Vec<DeliveryRecord>,
+    total_bytes: usize,
+    pair_bytes: HashMap<(Party, Party), usize>,
+}
+
 /// The simulated network.
 ///
 /// # Examples
@@ -93,9 +107,9 @@ impl Endpoint {
 #[derive(Default)]
 pub struct Bus {
     endpoints: Mutex<HashMap<Party, Sender<(Party, Message)>>>,
-    log: Mutex<Vec<DeliveryRecord>>,
+    ledger: Mutex<Ledger>,
     /// Fault injection: `(from, to)` pairs whose messages are dropped.
-    drop_rules: Mutex<Vec<(Party, Party)>>,
+    drop_rules: Mutex<HashSet<(Party, Party)>>,
 }
 
 impl Bus {
@@ -105,7 +119,7 @@ impl Bus {
     }
 
     /// Registers a party; returns its receiving endpoint. Re-registering
-    /// replaces the old endpoint.
+    /// replaces the old endpoint: the previous one stops receiving.
     pub fn register(&self, party: Party) -> Endpoint {
         let (tx, rx) = channel();
         self.endpoints
@@ -122,15 +136,15 @@ impl Bus {
     ///
     /// # Errors
     ///
-    /// [`BusError::UnknownParty`] if `to` is not registered.
+    /// [`BusError::UnknownParty`] if `to` is not registered;
+    /// [`BusError::Disconnected`] if `to`'s endpoint was dropped.
     pub fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
         let bytes = message.encoded_len();
         let dropped = self
             .drop_rules
             .lock()
             .expect("bus lock poisoned")
-            .iter()
-            .any(|&(f, t)| f == from && t == to);
+            .contains(&(from, to));
         let result = if dropped {
             Ok(())
         } else {
@@ -139,15 +153,15 @@ impl Bus {
             tx.send((from, message))
                 .map_err(|_| BusError::Disconnected(to))
         };
-        self.log
-            .lock()
-            .expect("bus lock poisoned")
-            .push(DeliveryRecord {
-                from,
-                to,
-                bytes,
-                delivered: !dropped,
-            });
+        let mut ledger = self.ledger.lock().expect("bus lock poisoned");
+        ledger.total_bytes += bytes;
+        *ledger.pair_bytes.entry((from, to)).or_insert(0) += bytes;
+        ledger.records.push(DeliveryRecord {
+            from,
+            to,
+            bytes,
+            delivered: !dropped && result.is_ok(),
+        });
         result
     }
 
@@ -156,7 +170,7 @@ impl Bus {
         self.drop_rules
             .lock()
             .expect("bus lock poisoned")
-            .push((from, to));
+            .insert((from, to));
     }
 
     /// Removes all drop rules.
@@ -164,35 +178,34 @@ impl Bus {
         self.drop_rules.lock().expect("bus lock poisoned").clear();
     }
 
-    /// Total bytes put on the wire (delivered or not).
+    /// Total bytes put on the wire (delivered or not). O(1).
     pub fn total_bytes(&self) -> usize {
-        self.log
-            .lock()
-            .expect("bus lock poisoned")
-            .iter()
-            .map(|r| r.bytes)
-            .sum()
+        self.ledger.lock().expect("bus lock poisoned").total_bytes
     }
 
-    /// Bytes sent from `from` to `to`.
+    /// Bytes sent from `from` to `to`. O(1).
     pub fn bytes_between(&self, from: Party, to: Party) -> usize {
-        self.log
+        self.ledger
             .lock()
             .expect("bus lock poisoned")
-            .iter()
-            .filter(|r| r.from == from && r.to == to)
-            .map(|r| r.bytes)
-            .sum()
+            .pair_bytes
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// A copy of the full delivery log.
     pub fn delivery_log(&self) -> Vec<DeliveryRecord> {
-        self.log.lock().expect("bus lock poisoned").clone()
+        self.ledger
+            .lock()
+            .expect("bus lock poisoned")
+            .records
+            .clone()
     }
 
-    /// Number of messages sent (delivered or dropped).
+    /// Number of messages sent (delivered or dropped). O(1).
     pub fn message_count(&self) -> usize {
-        self.log.lock().expect("bus lock poisoned").len()
+        self.ledger.lock().expect("bus lock poisoned").records.len()
     }
 }
 
@@ -219,6 +232,43 @@ mod tests {
     }
 
     #[test]
+    fn counters_agree_with_log_scan() {
+        // The running aggregates must stay consistent with what a full
+        // scan of the delivery log would compute (the pre-refactor
+        // semantics), including dropped messages and unknown parties.
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        let c = Party::Verifier(3);
+        let _ep_a = bus.register(a);
+        let _ep_b = bus.register(b);
+        let _ep_c = bus.register(c);
+        bus.drop_link(a, c);
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 })
+            .unwrap();
+        bus.send(a, c, Message::AdviceRequest { game_id: 2 })
+            .unwrap();
+        bus.send(b, a, Message::AdviceRequest { game_id: 3 })
+            .unwrap();
+        let _ = bus.send(a, Party::Agent(99), Message::AdviceRequest { game_id: 4 });
+        let log = bus.delivery_log();
+        assert_eq!(bus.message_count(), log.len());
+        assert_eq!(
+            bus.total_bytes(),
+            log.iter().map(|r| r.bytes).sum::<usize>()
+        );
+        for (from, to) in [(a, b), (a, c), (b, a), (b, c)] {
+            assert_eq!(
+                bus.bytes_between(from, to),
+                log.iter()
+                    .filter(|r| r.from == from && r.to == to)
+                    .map(|r| r.bytes)
+                    .sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
     fn unknown_party_rejected() {
         let bus = Bus::new();
         let a = Party::Agent(1);
@@ -230,12 +280,56 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_endpoint_reported() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let ep_b = bus.register(b);
+        drop(ep_b);
+        assert_eq!(
+            bus.send(a, b, Message::AdviceRequest { game_id: 1 }),
+            Err(BusError::Disconnected(b))
+        );
+        // The failed attempt is still accounted in the audit log, and is
+        // recorded as undelivered.
+        assert_eq!(bus.message_count(), 1);
+        assert!(bus.bytes_between(a, b) > 0);
+        assert!(!bus.delivery_log()[0].delivered);
+    }
+
+    #[test]
+    fn reregistration_replaces_old_endpoint() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let old_ep = bus.register(b);
+        let new_ep = bus.register(b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 5 })
+            .unwrap();
+        // The replaced endpoint receives nothing; the new one receives.
+        assert!(old_ep.try_recv().is_none());
+        let (from, msg) = new_ep.try_recv().unwrap();
+        assert_eq!(from, a);
+        assert_eq!(msg, Message::AdviceRequest { game_id: 5 });
+        // Dropping the *old* endpoint must not disconnect the party.
+        drop(old_ep);
+        bus.send(a, b, Message::AdviceRequest { game_id: 6 })
+            .unwrap();
+        assert!(new_ep.try_recv().is_some());
+    }
+
+    #[test]
     fn fault_injection_drops_silently() {
         let bus = Bus::new();
         let a = Party::Agent(1);
         let b = Party::Agent(2);
         bus.register(a);
         let ep_b = bus.register(b);
+        bus.drop_link(a, b);
+        // Duplicate rules are idempotent (set semantics) and heal() still
+        // clears everything.
         bus.drop_link(a, b);
         bus.send(a, b, Message::AdviceRequest { game_id: 1 })
             .unwrap();

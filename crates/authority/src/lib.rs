@@ -14,7 +14,10 @@
 //!   majority of their results");
 //! * [`StatisticsLedger`] — the signed, hash-chained statistics stream of
 //!   §6 footnote 3;
-//! * [`RationalityAuthority`] — end-to-end consultation sessions;
+//! * [`SessionDriver`] / [`RationalityAuthority`] — the per-consultation
+//!   protocol and the single-bus end-to-end sessions built on it;
+//! * [`ShardedAuthority`] — the sharded multi-bus session engine: routed
+//!   single consultations and batched fan-out across shards;
 //! * [`sha256`] / [`SigningKey`] / [`Commitment`] — the from-scratch crypto
 //!   substrate (see DESIGN.md for the substitution rationale).
 
@@ -29,6 +32,7 @@ mod messages;
 mod private_session;
 mod reputation;
 mod session;
+mod shard;
 mod verifier;
 mod wire;
 
@@ -39,6 +43,7 @@ pub use inventor::{GameSpec, Inventor, InventorBehavior};
 pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
 pub use reputation::{MajorityOutcome, ReputationStore};
-pub use session::{RationalityAuthority, SessionOutcome};
+pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
+pub use shard::ShardedAuthority;
 pub use verifier::{VerifierBehavior, VerifierService};
 pub use wire::{get_varint, put_varint, Wire, WireBytes, WireError};

@@ -5,6 +5,14 @@
 //! pools the verdicts by majority, updates reputations, and adopts the
 //! advice only on acceptance. Every hop crosses the [`Bus`], so the outcome
 //! carries exact byte counts.
+//!
+//! Two layers live here. [`SessionDriver`] is the *protocol*: it runs one
+//! Fig. 1 message flow against whatever bus, inventor, verifier panel and
+//! reputation store it was assembled with. [`RationalityAuthority`] is the
+//! single-bus *orchestration* on top: it owns one driver, assigns game ids
+//! and exposes the classic `consult` API. The sharded, multi-bus
+//! orchestration lives in [`crate::ShardedAuthority`], which reuses the
+//! same driver per shard.
 
 use std::collections::HashMap;
 
@@ -32,41 +40,30 @@ pub struct SessionOutcome {
     pub verdict_details: Vec<(Party, bool, String)>,
 }
 
-/// The assembled infrastructure: bus, reputation store, one inventor and a
-/// panel of verifiers.
+/// The reusable per-consultation protocol: one bus, one inventor, one
+/// verifier panel, one reputation store, and the endpoints of every
+/// registered party.
 ///
-/// # Examples
-///
-/// ```
-/// use ra_authority::{
-///     GameSpec, Inventor, InventorBehavior, RationalityAuthority, VerifierBehavior,
-/// };
-/// use ra_games::named::prisoners_dilemma;
-///
-/// let mut authority = RationalityAuthority::new(
-///     Inventor::new(0, InventorBehavior::Honest),
-///     &[VerifierBehavior::Honest; 3],
-/// );
-/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-/// let outcome = authority.consult(0, &spec);
-/// assert!(outcome.adopted);
-/// ```
-pub struct RationalityAuthority {
+/// [`SessionDriver::run`] executes exactly one Fig. 1 flow for an explicit
+/// `game_id`; id assignment and routing are the caller's concern, which is
+/// what lets a single driver serve both the monolithic
+/// [`RationalityAuthority`] and each shard of a
+/// [`crate::ShardedAuthority`].
+pub struct SessionDriver {
     bus: Bus,
     reputation: ReputationStore,
     inventor: Inventor,
     verifiers: Vec<VerifierService>,
     endpoints: HashMap<Party, Endpoint>,
-    next_game_id: u64,
 }
 
-impl RationalityAuthority {
-    /// Builds the infrastructure with one inventor and the given verifier
-    /// panel.
+impl SessionDriver {
+    /// Assembles a driver: registers the inventor and every verifier on a
+    /// fresh bus.
     pub fn new(
         inventor: Inventor,
         verifier_behaviors: &[crate::verifier::VerifierBehavior],
-    ) -> RationalityAuthority {
+    ) -> SessionDriver {
         let bus = Bus::new();
         let mut endpoints = HashMap::new();
         endpoints.insert(inventor.id, bus.register(inventor.id));
@@ -78,17 +75,16 @@ impl RationalityAuthority {
         for v in &verifiers {
             endpoints.insert(v.id, bus.register(v.id));
         }
-        RationalityAuthority {
+        SessionDriver {
             bus,
             reputation: ReputationStore::new(),
             inventor,
             verifiers,
             endpoints,
-            next_game_id: 1,
         }
     }
 
-    /// The shared reputation store.
+    /// The reputation store shared by this driver's sessions.
     pub fn reputation(&self) -> &ReputationStore {
         &self.reputation
     }
@@ -98,16 +94,19 @@ impl RationalityAuthority {
         &self.bus
     }
 
-    /// Runs one full consultation for agent `agent_id` about `spec`.
-    pub fn consult(&mut self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
-        let agent = Party::Agent(agent_id);
-        let agent_ep = self
-            .endpoints
-            .entry(agent)
-            .or_insert_with(|| self.bus.register(agent));
-        let _ = agent_ep;
-        let game_id = self.next_game_id;
-        self.next_game_id += 1;
+    /// Registers the agent's endpoint on first contact; later calls reuse
+    /// the existing endpoint rather than re-registering.
+    pub fn ensure_agent(&mut self, agent: Party) {
+        if !self.endpoints.contains_key(&agent) {
+            let endpoint = self.bus.register(agent);
+            self.endpoints.insert(agent, endpoint);
+        }
+    }
+
+    /// Runs one full Fig. 1 consultation for `agent` about `spec`, under
+    /// the caller-assigned `game_id`.
+    pub fn run(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> SessionOutcome {
+        self.ensure_agent(agent);
         let bytes_before = self.bus.total_bytes();
 
         // 1. Agent → inventor: request.
@@ -212,6 +211,61 @@ impl RationalityAuthority {
             session_bytes: self.bus.total_bytes() - bytes_before,
             verdict_details,
         }
+    }
+}
+
+/// The assembled single-bus infrastructure: one [`SessionDriver`] plus
+/// game-id assignment.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::{
+///     GameSpec, Inventor, InventorBehavior, RationalityAuthority, VerifierBehavior,
+/// };
+/// use ra_games::named::prisoners_dilemma;
+///
+/// let mut authority = RationalityAuthority::new(
+///     Inventor::new(0, InventorBehavior::Honest),
+///     &[VerifierBehavior::Honest; 3],
+/// );
+/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+/// let outcome = authority.consult(0, &spec);
+/// assert!(outcome.adopted);
+/// ```
+pub struct RationalityAuthority {
+    driver: SessionDriver,
+    next_game_id: u64,
+}
+
+impl RationalityAuthority {
+    /// Builds the infrastructure with one inventor and the given verifier
+    /// panel.
+    pub fn new(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+    ) -> RationalityAuthority {
+        RationalityAuthority {
+            driver: SessionDriver::new(inventor, verifier_behaviors),
+            next_game_id: 1,
+        }
+    }
+
+    /// The shared reputation store.
+    pub fn reputation(&self) -> &ReputationStore {
+        self.driver.reputation()
+    }
+
+    /// The underlying bus (byte accounting, fault injection).
+    pub fn bus(&self) -> &Bus {
+        self.driver.bus()
+    }
+
+    /// Runs one full consultation for agent `agent_id` about `spec`.
+    pub fn consult(&mut self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
+        let game_id = self.next_game_id;
+        self.next_game_id += 1;
+        self.driver.run(Party::Agent(agent_id), game_id, spec)
     }
 }
 
@@ -353,5 +407,27 @@ mod tests {
         let outcome = authority.consult(0, &spec);
         assert!(!outcome.adopted);
         assert!(outcome.advice.is_none());
+    }
+
+    #[test]
+    fn driver_runs_with_explicit_game_ids() {
+        // The protocol layer on its own: caller-assigned ids, reused
+        // endpoint across consultations.
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut driver = SessionDriver::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        let agent = Party::Agent(7);
+        let first = driver.run(agent, 100, &spec);
+        let second = driver.run(agent, 101, &spec);
+        assert!(first.adopted && second.adopted);
+        assert_eq!(first.session_bytes, second.session_bytes);
+        // Both consultations flowed over the same agent endpoint: the
+        // request byte count doubles rather than resetting.
+        assert_eq!(
+            driver.bus().bytes_between(agent, Party::Inventor(0)),
+            2 * Message::AdviceRequest { game_id: 100 }.encoded_len()
+        );
     }
 }

@@ -1,0 +1,285 @@
+//! The sharded, multi-bus session engine.
+//!
+//! The paper's Fig. 1 infrastructure is a *service*: many agents consult
+//! the rationality authority concurrently, and Lemma 1's point is that
+//! verification is cheap enough to run at scale. [`ShardedAuthority`]
+//! turns the single-bus [`RationalityAuthority`] into that service: it
+//! owns N independent shards — each with its own [`Bus`],
+//! inventor handle, verifier panel and reputation store — routes agents
+//! to shards by a deterministic hash of their id, and fans batches of
+//! consultations across shards with scoped worker threads.
+//!
+//! Determinism is preserved by construction: a shard processes its
+//! consultations strictly in request order under one lock, so
+//! [`ShardedAuthority::consult_batch`] produces exactly the outcomes of
+//! the equivalent sequence of routed [`ShardedAuthority::consult`] calls,
+//! regardless of how the workers interleave across shards.
+//!
+//! [`Bus`]: crate::Bus
+
+use std::sync::Mutex;
+
+use crate::inventor::{GameSpec, Inventor, InventorBehavior};
+use crate::session::{RationalityAuthority, SessionOutcome};
+use crate::verifier::VerifierBehavior;
+
+/// A multi-bus rationality-authority service.
+///
+/// Each shard is a full single-bus [`RationalityAuthority`]; shard `s`
+/// gets inventor identity `Inventor(s)` and a fresh verifier panel with
+/// the configured behaviours. Agents are pinned to shards by
+/// [`ShardedAuthority::shard_of`], so repeat consultations from the same
+/// agent always hit the same bus and reputation store.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::{GameSpec, InventorBehavior, ShardedAuthority, VerifierBehavior};
+/// use ra_games::named::prisoners_dilemma;
+///
+/// let engine = ShardedAuthority::new(
+///     4,
+///     InventorBehavior::Honest,
+///     &[VerifierBehavior::Honest; 3],
+/// );
+/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+/// let requests: Vec<(u64, GameSpec)> = (0..16).map(|a| (a, spec.clone())).collect();
+/// let outcomes = engine.consult_batch(&requests);
+/// assert_eq!(outcomes.len(), 16);
+/// assert!(outcomes.iter().all(|o| o.adopted));
+/// ```
+pub struct ShardedAuthority {
+    shards: Vec<Mutex<RationalityAuthority>>,
+}
+
+impl ShardedAuthority {
+    /// Builds an engine with `shards` independent shards, each serving the
+    /// given inventor behaviour through its own verifier panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(
+        shards: usize,
+        inventor_behavior: InventorBehavior,
+        verifier_behaviors: &[VerifierBehavior],
+    ) -> ShardedAuthority {
+        assert!(shards > 0, "at least one shard");
+        ShardedAuthority {
+            shards: (0..shards)
+                .map(|s| {
+                    Mutex::new(RationalityAuthority::new(
+                        Inventor::new(s as u64, inventor_behavior),
+                        verifier_behaviors,
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `agent_id`: a deterministic (SplitMix64) hash of
+    /// the agent id, so routing is stable across processes and runs.
+    pub fn shard_of(&self, agent_id: u64) -> usize {
+        let mut z = agent_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Runs one consultation, routed to the agent's shard.
+    pub fn consult(&self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
+        self.shards[self.shard_of(agent_id)]
+            .lock()
+            .expect("shard lock poisoned")
+            .consult(agent_id, spec)
+    }
+
+    /// Fans a batch of consultations across the shards with one scoped
+    /// worker thread per non-empty shard.
+    ///
+    /// Outcomes are returned in request order, and each equals what the
+    /// same sequence of [`ShardedAuthority::consult`] calls would have
+    /// produced: a shard handles its share of the batch sequentially, in
+    /// request order, so worker interleaving cannot change any outcome.
+    pub fn consult_batch(&self, requests: &[(u64, GameSpec)]) -> Vec<SessionOutcome> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &(agent_id, _)) in requests.iter().enumerate() {
+            by_shard[self.shard_of(agent_id)].push(i);
+        }
+        let mut results: Vec<Option<SessionOutcome>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for (shard, indices) in self.shards.iter().zip(&by_shard) {
+                if indices.is_empty() {
+                    continue;
+                }
+                workers.push(scope.spawn(move || {
+                    let mut shard = shard.lock().expect("shard lock poisoned");
+                    indices
+                        .iter()
+                        .map(|&i| {
+                            let (agent_id, spec) = &requests[i];
+                            (i, shard.consult(*agent_id, spec))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for worker in workers {
+                for (i, outcome) in worker.join().expect("shard worker panicked") {
+                    results[i] = Some(outcome);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|o| o.expect("every request was routed to a shard"))
+            .collect()
+    }
+
+    /// Runs a closure against one shard's [`RationalityAuthority`] (for
+    /// per-shard inspection: bus accounting, fault injection, reputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&RationalityAuthority) -> R) -> R {
+        f(&self.shards[shard].lock().expect("shard lock poisoned"))
+    }
+
+    /// Total wire bytes across every shard's bus.
+    pub fn total_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").bus().total_bytes())
+            .sum()
+    }
+
+    /// Total messages across every shard's bus.
+    pub fn message_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").bus().message_count())
+            .sum()
+    }
+
+    /// Per-shard wire-byte totals (index = shard).
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").bus().total_bytes())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ra_games::named::{battle_of_the_sexes, prisoners_dilemma};
+
+    fn mixed_specs() -> Vec<GameSpec> {
+        vec![
+            GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+            GameSpec::Bimatrix(battle_of_the_sexes()),
+        ]
+    }
+
+    fn batch(n: u64) -> Vec<(u64, GameSpec)> {
+        let specs = mixed_specs();
+        (0..n)
+            .map(|a| (a, specs[(a % specs.len() as u64) as usize].clone()))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let twin =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let mut hit = [false; 4];
+        for agent in 0..256u64 {
+            let s = engine.shard_of(agent);
+            assert!(s < 4);
+            assert_eq!(s, twin.shard_of(agent), "routing is instance-independent");
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 agents reach every shard");
+    }
+
+    #[test]
+    fn repeat_consultations_stay_on_one_shard() {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let agent = 42u64;
+        let home = engine.shard_of(agent);
+        for _ in 0..3 {
+            assert!(engine.consult(agent, &spec).adopted);
+        }
+        for s in 0..engine.shard_count() {
+            let messages = engine.with_shard(s, |a| a.bus().message_count());
+            if s == home {
+                assert!(messages > 0);
+            } else {
+                assert_eq!(messages, 0, "other shards saw no traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_routed_calls() {
+        let panel = [
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysReject,
+        ];
+        let requests = batch(64);
+        let batched = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
+        let sequential = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
+        let batch_outcomes = batched.consult_batch(&requests);
+        let seq_outcomes: Vec<SessionOutcome> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .collect();
+        assert_eq!(batch_outcomes.len(), seq_outcomes.len());
+        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
+            assert_eq!(b.adopted, s.adopted);
+            assert_eq!(b.majority, s.majority);
+            assert_eq!(b.session_bytes, s.session_bytes);
+        }
+        assert_eq!(batched.total_bytes(), sequential.total_bytes());
+        assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+    }
+
+    #[test]
+    fn corrupt_inventor_rejected_on_every_shard() {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Corrupt, &[VerifierBehavior::Honest; 3]);
+        for outcome in engine.consult_batch(&batch(16)) {
+            assert!(!outcome.adopted);
+            assert!(outcome.advice.is_some(), "advice was given but rejected");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine =
+            ShardedAuthority::new(2, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+        assert!(engine.consult_batch(&[]).is_empty());
+        assert_eq!(engine.total_bytes(), 0);
+        assert_eq!(engine.message_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedAuthority::new(0, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+    }
+}

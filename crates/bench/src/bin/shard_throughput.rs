@@ -1,0 +1,99 @@
+//! Measures consultation throughput of the sharded session engine as the
+//! shard count grows: the ROADMAP's "sharding/batching of verification
+//! sessions across buses" scale goal, made a number.
+//!
+//! For each shard count in {1, 2, 4, 8} the same batch of consultations
+//! (agents 0..N, cycling over cheap §3 and §4 game specs) is fanned out
+//! with `ShardedAuthority::consult_batch`, and the wall-clock rate is
+//! reported. Results go to `results/shard_throughput.csv` and, in the
+//! machine-readable perf-trajectory format, `results/BENCH_shard_throughput.json`.
+//!
+//! Usage: `cargo run -p ra-bench --release --bin shard_throughput [-- N]`
+//! where `N` is the batch size (default 512; CI uses a small value).
+
+use ra_authority::{GameSpec, InventorBehavior, ShardedAuthority, VerifierBehavior};
+use ra_bench::{fmt_secs, timed, write_csv, write_json};
+use ra_games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn build_batch(n: u64) -> Vec<(u64, GameSpec)> {
+    let specs = [
+        GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+        GameSpec::Bimatrix(battle_of_the_sexes()),
+        GameSpec::Strategic(stag_hunt(3)),
+    ];
+    (0..n)
+        .map(|agent| (agent, specs[(agent % specs.len() as u64) as usize].clone()))
+        .collect()
+}
+
+fn main() {
+    let batch_size: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("batch size must be an integer"))
+        .unwrap_or(512);
+    let requests = build_batch(batch_size);
+    println!(
+        "Sharded session engine — {batch_size} consultations per shard count, \
+         honest inventor, 3 honest verifiers per shard:\n"
+    );
+    println!(
+        "{:>7} {:>14} {:>16} {:>12} {:>12}",
+        "shards", "wall time", "consults/sec", "adopted", "wire bytes"
+    );
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    for shards in SHARD_COUNTS {
+        let engine = ShardedAuthority::new(
+            shards,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+        );
+        let (outcomes, secs) = timed(|| engine.consult_batch(&requests));
+        let adopted = outcomes.iter().filter(|o| o.adopted).count();
+        assert_eq!(
+            adopted,
+            outcomes.len(),
+            "honest infrastructure adopts everything"
+        );
+        let rate = batch_size as f64 / secs.max(1e-12);
+        println!(
+            "{:>7} {:>14} {:>16.0} {:>12} {:>12}",
+            shards,
+            fmt_secs(secs),
+            rate,
+            adopted,
+            engine.total_bytes()
+        );
+        rows.push(format!(
+            "{shards},{batch_size},{secs:.9},{rate:.3},{adopted},{}",
+            engine.total_bytes()
+        ));
+        json_entries.push(format!(
+            "{{\"shards\":{shards},\"consultations\":{batch_size},\"secs\":{secs:.9},\
+             \"consults_per_sec\":{rate:.3},\"adopted\":{adopted},\"wire_bytes\":{}}}",
+            engine.total_bytes()
+        ));
+    }
+    let csv_path = write_csv(
+        "shard_throughput",
+        "shards,consultations,secs,consults_per_sec,adopted,wire_bytes",
+        &rows,
+    );
+    let json_path = write_json(
+        "BENCH_shard_throughput",
+        &format!(
+            "{{\"bench\":\"shard_throughput\",\"unit\":\"consults_per_sec\",\
+             \"batch_size\":{batch_size},\"results\":[{}]}}",
+            json_entries.join(",")
+        ),
+    );
+    println!("\nwrote {}", csv_path.display());
+    println!("wrote {}", json_path.display());
+    println!(
+        "\nroadmap check — outcomes are shard-count-independent (deterministic routing\n\
+         and per-shard ordering); throughput should scale with shards until the batch\n\
+         or the hardware runs out of parallelism."
+    );
+}

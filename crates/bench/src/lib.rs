@@ -63,6 +63,22 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
     path
 }
 
+/// Writes `contents` to `results/<name>.json` under the workspace root,
+/// creating the directory if needed and returning the path written.
+/// Callers are responsible for producing valid JSON; names prefixed
+/// `BENCH_` form the machine-readable perf trajectory consumed by CI.
+///
+/// # Panics
+///
+/// Panics on I/O errors — acceptable in experiment binaries.
+pub fn write_json(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, contents).expect("write json");
+    path
+}
+
 /// Constructs an `m × m` bimatrix game whose unique equilibrium mixes
 /// uniformly over the first `support_size` strategies of each agent
 /// (a generalized rock-paper-scissors block padded with strictly dominated
@@ -147,6 +163,14 @@ mod tests {
         );
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_json_creates_results_dir() {
+        let path = write_json("smoke_write_json", "{\"ok\":true}");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"ok\":true}");
         std::fs::remove_file(&path).unwrap();
     }
 

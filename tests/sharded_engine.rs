@@ -1,0 +1,115 @@
+//! Integration tests for the sharded multi-bus session engine: routing,
+//! batch/sequential determinism, and parity with the single-bus
+//! `RationalityAuthority`.
+
+use rationality_authority::authority::{
+    GameSpec, InventorBehavior, SessionOutcome, ShardedAuthority, VerifierBehavior,
+};
+use rationality_authority::exact::rat;
+use rationality_authority::games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
+use rationality_authority::solvers::ParticipationParams;
+
+/// 64 consultations over every case-study family, agents 0..64.
+fn batch_requests() -> Vec<(u64, GameSpec)> {
+    let specs = [
+        GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+        GameSpec::Strategic(stag_hunt(3)),
+        GameSpec::Bimatrix(battle_of_the_sexes()),
+        GameSpec::Participation(ParticipationParams::paper_example()),
+        GameSpec::ParallelLinks {
+            current_loads: vec![rat(4, 1), rat(0, 1), rat(9, 2)],
+            own_load: rat(7, 2),
+            expected_future_load: rat(2, 1),
+            expected_future_agents: 5,
+        },
+    ];
+    (0..64u64)
+        .map(|agent| (agent, specs[(agent % specs.len() as u64) as usize].clone()))
+        .collect()
+}
+
+fn adoption_decisions(outcomes: &[SessionOutcome]) -> Vec<bool> {
+    outcomes.iter().map(|o| o.adopted).collect()
+}
+
+/// The acceptance-criteria determinism property: a 64-consultation batch
+/// on 4 shards produces, per (agent, spec), the same adoption decisions as
+/// sequential single-shard consultations — regardless of how the batch
+/// workers interleave.
+#[test]
+fn batch_on_four_shards_matches_single_shard_sequential() {
+    // A panel with a persistent saboteur, so reputation actually evolves
+    // during the run and the comparison is not vacuous.
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let requests = batch_requests();
+
+    let sharded = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
+    let batch_outcomes = sharded.consult_batch(&requests);
+    assert_eq!(batch_outcomes.len(), 64);
+
+    let single = ShardedAuthority::new(1, InventorBehavior::Honest, &panel);
+    let sequential_outcomes: Vec<SessionOutcome> = requests
+        .iter()
+        .map(|(agent, spec)| single.consult(*agent, spec))
+        .collect();
+
+    assert_eq!(
+        adoption_decisions(&batch_outcomes),
+        adoption_decisions(&sequential_outcomes),
+        "sharding must not change any adoption decision"
+    );
+    // Honest majority everywhere: everything is adopted in both engines.
+    assert!(batch_outcomes.iter().all(|o| o.adopted));
+}
+
+/// Repeating the batch on identically configured engines is bitwise
+/// deterministic in decisions, votes, and byte accounting.
+#[test]
+fn batches_are_reproducible_across_engines() {
+    let requests = batch_requests();
+    let run = || {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let outcomes = engine.consult_batch(&requests);
+        let trace: Vec<(bool, usize, usize)> = outcomes
+            .iter()
+            .map(|o| (o.adopted, o.advice_bytes, o.session_bytes))
+            .collect();
+        (trace, engine.shard_bytes(), engine.message_count())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Corrupt advice is rejected on every shard, exactly as on one bus.
+#[test]
+fn corrupt_inventor_rejected_across_shards() {
+    let requests = batch_requests();
+    let engine =
+        ShardedAuthority::new(4, InventorBehavior::Corrupt, &[VerifierBehavior::Honest; 5]);
+    for (outcome, (agent, _)) in engine.consult_batch(&requests).iter().zip(&requests) {
+        assert!(!outcome.adopted, "agent {agent} adopted corrupt advice");
+    }
+}
+
+/// Agents are pinned: per-shard reputation stores only ever see traffic
+/// from their own agents, and routing is stable across engines.
+#[test]
+fn routing_is_deterministic_and_pinned() {
+    let a = ShardedAuthority::new(8, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+    let b = ShardedAuthority::new(8, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+    for agent in 0..512u64 {
+        assert_eq!(a.shard_of(agent), b.shard_of(agent));
+    }
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    a.consult(17, &spec);
+    a.consult(17, &spec);
+    let home = a.shard_of(17);
+    let bytes = a.shard_bytes();
+    for (shard, &shard_bytes) in bytes.iter().enumerate() {
+        assert_eq!(shard != home, shard_bytes == 0);
+    }
+}
