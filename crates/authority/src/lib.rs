@@ -9,15 +9,19 @@
 //!   wire encodings (Lemma 1's bits are measured, not asserted);
 //! * [`Inventor`] / [`VerifierService`] — honest and faulty behaviours for
 //!   every case study of the paper;
-//! * [`ReputationStore`] — majority voting and reputation updates
-//!   ("the reputation of the verifiers can be updated according to the
-//!   majority of their results");
+//! * [`ReputationBackend`] — the pluggable reputation plane: majority
+//!   voting and reputation updates ("the reputation of the verifiers can
+//!   be updated according to the majority of their results"), with a
+//!   process-local [`LocalReputation`] backend and a cross-shard
+//!   [`GossipReputation`] backend that merges CRDT PN-counter deltas
+//!   ([`PnCounterMap`]) through a [`GossipPlane`] at epoch boundaries;
 //! * [`StatisticsLedger`] — the signed, hash-chained statistics stream of
 //!   §6 footnote 3;
 //! * [`SessionDriver`] / [`RationalityAuthority`] — the per-consultation
 //!   protocol and the single-bus end-to-end sessions built on it;
 //! * [`ShardedAuthority`] — the sharded multi-bus session engine: routed
-//!   single consultations and batched fan-out across shards;
+//!   single consultations and batched fan-out across shards, with the
+//!   reputation scope chosen per engine via [`ReputationPolicy`];
 //! * [`sha256`] / [`SigningKey`] / [`Commitment`] — the from-scratch crypto
 //!   substrate (see DESIGN.md for the substitution rationale).
 
@@ -42,8 +46,11 @@ pub use crypto::{hmac_sha256, sha256, to_hex, Commitment, Digest, Signature, Sig
 pub use inventor::{GameSpec, Inventor, InventorBehavior};
 pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
-pub use reputation::{MajorityOutcome, ReputationStore};
+pub use reputation::{
+    GossipPlane, GossipReputation, LocalReputation, MajorityOutcome, PnCounter, PnCounterMap,
+    ReputationBackend, ReputationStore, EXCLUSION_THRESHOLD, INITIAL_SCORE,
+};
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
-pub use shard::ShardedAuthority;
+pub use shard::{ReputationPolicy, ShardStats, ShardedAuthority};
 pub use verifier::{VerifierBehavior, VerifierService};
 pub use wire::{get_varint, put_varint, Wire, WireBytes, WireError};

@@ -1,28 +1,33 @@
-//! Verifier reputation and majority voting.
+//! The verifier reputation plane: majority voting, pluggable backends,
+//! and epoch-based cross-shard gossip.
 //!
 //! The paper: "We note the possibility of having several verifiers, such
 //! that their majority is trusted. The reputation of the verifiers can be
 //! updated according to the (majority of their) results." This module
-//! implements exactly that: verdicts are pooled per query, the majority
+//! implements exactly that — verdicts are pooled per query, the majority
 //! decides, and each verifier's reputation moves toward or away from the
-//! majority. Persistently deviant verifiers fall below the exclusion
-//! threshold and stop being consulted.
+//! majority; persistently deviant verifiers fall below the exclusion
+//! threshold and stop being consulted — behind a [`ReputationBackend`]
+//! trait so the *scope* of a reputation score is pluggable:
+//!
+//! * [`LocalReputation`] — one mutex-guarded score table, the classic
+//!   single-bus store (re-exported as [`ReputationStore`] for
+//!   compatibility);
+//! * [`GossipReputation`] — per-shard PN-counter deltas ([`PnCounterMap`],
+//!   a state-based CRDT whose merge is commutative, associative and
+//!   idempotent) published to a shared [`GossipPlane`] at epoch
+//!   boundaries, so the consult hot path only ever touches shard-local
+//!   state and exclusion still propagates engine-wide.
 
 use std::collections::HashMap;
-
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::messages::Party;
 
-/// Reputation bookkeeping for verifiers.
-///
-/// Scores start at [`ReputationStore::INITIAL`] and move by ±1 per pooled
-/// query depending on agreement with the majority; verifiers at or below
-/// [`ReputationStore::EXCLUSION_THRESHOLD`] are excluded.
-#[derive(Debug, Default)]
-pub struct ReputationStore {
-    scores: Mutex<HashMap<Party, i64>>,
-}
+/// Starting reputation score for a verifier never seen before.
+pub const INITIAL_SCORE: i64 = 10;
+/// At or below this score a verifier is no longer consulted.
+pub const EXCLUSION_THRESHOLD: i64 = 0;
 
 /// Outcome of pooling one round of verdicts.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,15 +43,86 @@ pub struct MajorityOutcome {
     pub dissenters: Vec<Party>,
 }
 
-impl ReputationStore {
+/// Computes the majority verdict of one round (ties reject — the safe
+/// side), shared by every backend so the vote rule cannot drift.
+fn majority_of(verdicts: &[(Party, bool)]) -> MajorityOutcome {
+    assert!(
+        !verdicts.is_empty(),
+        "pooling requires at least one verdict"
+    );
+    let accept_votes = verdicts.iter().filter(|&&(_, a)| a).count();
+    let reject_votes = verdicts.len() - accept_votes;
+    let accepted = accept_votes > reject_votes;
+    let dissenters = verdicts
+        .iter()
+        .filter(|&&(_, vote)| vote != accepted)
+        .map(|&(party, _)| party)
+        .collect();
+    MajorityOutcome {
+        accepted,
+        accept_votes,
+        reject_votes,
+        dissenters,
+    }
+}
+
+/// A reputation backend: where verifier trust scores live and how one
+/// round of verdicts updates them.
+///
+/// The session layer ([`crate::SessionDriver`]) is written against this
+/// trait, so the same Fig. 1 protocol runs over a process-local score
+/// table ([`LocalReputation`]) or a cross-shard gossiped one
+/// ([`GossipReputation`]) without change. Implementations must be
+/// internally synchronized (`&self` methods, `Send + Sync`).
+pub trait ReputationBackend: Send + Sync {
+    /// Current score of a verifier (unseen verifiers score
+    /// [`INITIAL_SCORE`]).
+    fn score(&self, verifier: Party) -> i64;
+
+    /// Returns `true` if the verifier is still trusted (above
+    /// [`EXCLUSION_THRESHOLD`]).
+    fn is_trusted(&self, verifier: Party) -> bool {
+        self.score(verifier) > EXCLUSION_THRESHOLD
+    }
+
+    /// Pools one round of verdicts `(verifier, accepted)`, updates
+    /// reputations toward the majority, and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verdicts` is empty.
+    fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome;
+
+    /// All verifiers this backend has seen that are currently trusted,
+    /// sorted for determinism.
+    fn trusted_verifiers(&self) -> Vec<Party>;
+}
+
+/// Process-local reputation bookkeeping — one mutex-guarded score table.
+///
+/// Scores start at [`LocalReputation::INITIAL`] and move by ±1 per pooled
+/// query depending on agreement with the majority; verifiers at or below
+/// [`LocalReputation::EXCLUSION_THRESHOLD`] are excluded. This is the
+/// classic store the single-bus [`crate::RationalityAuthority`] always
+/// used; it is also each isolated shard's backend under
+/// [`crate::ReputationPolicy::Isolated`].
+#[derive(Debug, Default)]
+pub struct LocalReputation {
+    scores: Mutex<HashMap<Party, i64>>,
+}
+
+/// Compatibility alias: the pre-refactor name of [`LocalReputation`].
+pub type ReputationStore = LocalReputation;
+
+impl LocalReputation {
     /// Starting reputation score.
-    pub const INITIAL: i64 = 10;
+    pub const INITIAL: i64 = INITIAL_SCORE;
     /// At or below this score a verifier is no longer consulted.
-    pub const EXCLUSION_THRESHOLD: i64 = 0;
+    pub const EXCLUSION_THRESHOLD: i64 = EXCLUSION_THRESHOLD;
 
     /// Creates an empty store.
-    pub fn new() -> ReputationStore {
-        ReputationStore::default()
+    pub fn new() -> LocalReputation {
+        LocalReputation::default()
     }
 
     /// Current score of a verifier (registering it on first touch).
@@ -72,30 +148,17 @@ impl ReputationStore {
     ///
     /// Panics if `verdicts` is empty.
     pub fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
-        assert!(
-            !verdicts.is_empty(),
-            "pooling requires at least one verdict"
-        );
-        let accept_votes = verdicts.iter().filter(|&&(_, a)| a).count();
-        let reject_votes = verdicts.len() - accept_votes;
-        let accepted = accept_votes > reject_votes;
+        let outcome = majority_of(verdicts);
         let mut scores = self.scores.lock().expect("reputation lock poisoned");
-        let mut dissenters = Vec::new();
         for &(verifier, vote) in verdicts {
             let entry = scores.entry(verifier).or_insert(Self::INITIAL);
-            if vote == accepted {
+            if vote == outcome.accepted {
                 *entry += 1;
             } else {
                 *entry -= 1;
-                dissenters.push(verifier);
             }
         }
-        MajorityOutcome {
-            accepted,
-            accept_votes,
-            reject_votes,
-            dissenters,
-        }
+        outcome
     }
 
     /// All verifiers currently trusted, sorted for determinism.
@@ -111,6 +174,246 @@ impl ReputationStore {
     }
 }
 
+impl ReputationBackend for LocalReputation {
+    fn score(&self, verifier: Party) -> i64 {
+        LocalReputation::score(self, verifier)
+    }
+
+    fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
+        LocalReputation::pool_verdicts(self, verdicts)
+    }
+
+    fn trusted_verifiers(&self) -> Vec<Party> {
+        LocalReputation::trusted_verifiers(self)
+    }
+}
+
+/// A PN-counter: separate grow-only increment and decrement tallies whose
+/// difference is the counter's value. Merging takes the componentwise
+/// maximum, which is the state-based CRDT join — commutative, associative
+/// and idempotent — provided each component is only ever advanced by its
+/// owning replica.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PnCounter {
+    /// Times the owning replica observed the verifier agree with the
+    /// majority.
+    pub increments: u64,
+    /// Times the owning replica observed the verifier dissent.
+    pub decrements: u64,
+}
+
+impl PnCounter {
+    /// The counter's value: increments minus decrements.
+    pub fn value(&self) -> i64 {
+        self.increments as i64 - self.decrements as i64
+    }
+
+    /// CRDT join: componentwise maximum.
+    pub fn merge(&mut self, other: &PnCounter) {
+        self.increments = self.increments.max(other.increments);
+        self.decrements = self.decrements.max(other.decrements);
+    }
+}
+
+/// A replica-sharded map of PN-counters: one [`PnCounter`] per
+/// `(replica, verifier)` coordinate, where a replica is a shard of the
+/// engine. Each replica advances only its own coordinates, so
+/// [`PnCounterMap::merge`] (coordinatewise [`PnCounter::merge`]) is a
+/// lattice join: the property tests in `tests/proptests.rs` pin down
+/// commutativity, associativity and idempotence.
+///
+/// Slots are keyed verifier-major, because the read pattern is hot:
+/// [`GossipReputation`] resolves one verifier's score on every
+/// consultation, which here is a single lookup plus a sum over that
+/// verifier's replicas — not a scan of the whole map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnCounterMap {
+    slots: HashMap<Party, HashMap<usize, PnCounter>>,
+}
+
+impl PnCounterMap {
+    /// Creates an empty map.
+    pub fn new() -> PnCounterMap {
+        PnCounterMap::default()
+    }
+
+    /// Records one observation made by `replica` about `verifier`:
+    /// `agreed` advances the increment tally, dissent the decrement tally.
+    pub fn record(&mut self, replica: usize, verifier: Party, agreed: bool) {
+        let slot = self
+            .slots
+            .entry(verifier)
+            .or_default()
+            .entry(replica)
+            .or_default();
+        if agreed {
+            slot.increments += 1;
+        } else {
+            slot.decrements += 1;
+        }
+    }
+
+    /// Ensures `(replica, verifier)` has a slot without changing any tally
+    /// (registration on first touch, the identity of the join).
+    pub fn touch(&mut self, replica: usize, verifier: Party) {
+        self.slots
+            .entry(verifier)
+            .or_default()
+            .entry(replica)
+            .or_default();
+    }
+
+    /// CRDT join: coordinatewise componentwise maximum.
+    pub fn merge(&mut self, other: &PnCounterMap) {
+        for (&verifier, replicas) in &other.slots {
+            let own = self.slots.entry(verifier).or_default();
+            for (&replica, counter) in replicas {
+                own.entry(replica).or_default().merge(counter);
+            }
+        }
+    }
+
+    /// The verifier's global value: the sum of its counters across every
+    /// replica.
+    pub fn value(&self, verifier: Party) -> i64 {
+        self.slots
+            .get(&verifier)
+            .map_or(0, |replicas| replicas.values().map(PnCounter::value).sum())
+    }
+
+    /// Every verifier with at least one slot, sorted.
+    pub fn verifiers(&self) -> Vec<Party> {
+        let mut out: Vec<Party> = self.slots.keys().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of `(replica, verifier)` slots.
+    pub fn len(&self) -> usize {
+        self.slots.values().map(HashMap::len).sum()
+    }
+
+    /// Returns `true` if no slot exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.values().all(HashMap::is_empty)
+    }
+}
+
+/// The shared rendezvous of the gossip backends: the join of every state
+/// published so far. Shards touch it only at epoch boundaries (publish /
+/// pull), never on the consult hot path.
+#[derive(Debug, Default)]
+pub struct GossipPlane {
+    merged: Mutex<PnCounterMap>,
+}
+
+impl GossipPlane {
+    /// Creates an empty plane.
+    pub fn new() -> GossipPlane {
+        GossipPlane::default()
+    }
+
+    /// Joins `state` into the plane.
+    pub fn publish(&self, state: &PnCounterMap) {
+        self.merged
+            .lock()
+            .expect("gossip plane lock poisoned")
+            .merge(state);
+    }
+
+    /// Joins the plane's accumulated state into `state`.
+    pub fn pull_into(&self, state: &mut PnCounterMap) {
+        state.merge(&self.merged.lock().expect("gossip plane lock poisoned"));
+    }
+}
+
+/// A gossiping reputation backend: one per shard, all sharing a
+/// [`GossipPlane`].
+///
+/// On the consult hot path ([`ReputationBackend::pool_verdicts`],
+/// [`ReputationBackend::score`]) only this shard's own mutex is taken;
+/// observations land in the shard's replica slots of a local
+/// [`PnCounterMap`]. At epoch boundaries — every `gossip_every`
+/// consultations when driven by [`crate::ShardedAuthority`], or on an
+/// explicit [`GossipReputation::sync`] — the local state is published to
+/// the plane and the plane's join is pulled back, so a verifier voted out
+/// anywhere is excluded everywhere within one epoch. A verifier's score is
+/// [`INITIAL_SCORE`] plus the summed counter values across all replicas
+/// this shard has seen.
+#[derive(Debug)]
+pub struct GossipReputation {
+    shard: usize,
+    plane: Arc<GossipPlane>,
+    local: Mutex<PnCounterMap>,
+}
+
+impl GossipReputation {
+    /// Creates the backend for `shard`, wired to the shared `plane`.
+    pub fn new(shard: usize, plane: Arc<GossipPlane>) -> GossipReputation {
+        GossipReputation {
+            shard,
+            plane,
+            local: Mutex::new(PnCounterMap::new()),
+        }
+    }
+
+    /// The shard (replica id) this backend writes observations under.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Publishes this shard's state to the plane (first half of an epoch
+    /// merge).
+    pub fn push(&self) {
+        let local = self.local.lock().expect("gossip local lock poisoned");
+        self.plane.publish(&local);
+    }
+
+    /// Pulls the plane's join into this shard's state (second half of an
+    /// epoch merge).
+    pub fn pull(&self) {
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        self.plane.pull_into(&mut local);
+    }
+
+    /// One-shard epoch merge: publish, then pull. Brings this shard up to
+    /// date with everything published so far; for a barrier merge across
+    /// all shards (everyone sees everyone), push all shards first and pull
+    /// all shards second — [`crate::ShardedAuthority::sync_reputation`]
+    /// does exactly that.
+    pub fn sync(&self) {
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        self.plane.publish(&local);
+        self.plane.pull_into(&mut local);
+    }
+}
+
+impl ReputationBackend for GossipReputation {
+    fn score(&self, verifier: Party) -> i64 {
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        local.touch(self.shard, verifier);
+        INITIAL_SCORE + local.value(verifier)
+    }
+
+    fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
+        let outcome = majority_of(verdicts);
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        for &(verifier, vote) in verdicts {
+            local.record(self.shard, verifier, vote == outcome.accepted);
+        }
+        outcome
+    }
+
+    fn trusted_verifiers(&self) -> Vec<Party> {
+        let local = self.local.lock().expect("gossip local lock poisoned");
+        local
+            .verifiers()
+            .into_iter()
+            .filter(|&p| INITIAL_SCORE + local.value(p) > EXCLUSION_THRESHOLD)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,27 +424,42 @@ mod tests {
 
     #[test]
     fn majority_decides_and_updates() {
-        let store = ReputationStore::new();
+        let store = LocalReputation::new();
         let outcome = store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
         assert!(outcome.accepted);
         assert_eq!(outcome.accept_votes, 2);
         assert_eq!(outcome.dissenters, vec![v(2)]);
-        assert_eq!(store.score(v(0)), ReputationStore::INITIAL + 1);
-        assert_eq!(store.score(v(2)), ReputationStore::INITIAL - 1);
+        assert_eq!(store.score(v(0)), LocalReputation::INITIAL + 1);
+        assert_eq!(store.score(v(2)), LocalReputation::INITIAL - 1);
     }
 
     #[test]
     fn ties_reject() {
-        let store = ReputationStore::new();
+        let store = LocalReputation::new();
         let outcome = store.pool_verdicts(&[(v(0), true), (v(1), false)]);
         assert!(!outcome.accepted, "ties resolve to the safe side");
     }
 
     #[test]
+    fn even_split_penalizes_accept_voters() {
+        // A 2-2 tie rejects, so the accept voters are the dissenters and
+        // lose a point while the reject voters gain one.
+        let store = LocalReputation::new();
+        let outcome =
+            store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false), (v(3), false)]);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.dissenters, vec![v(0), v(1)]);
+        assert_eq!(store.score(v(0)), LocalReputation::INITIAL - 1);
+        assert_eq!(store.score(v(1)), LocalReputation::INITIAL - 1);
+        assert_eq!(store.score(v(2)), LocalReputation::INITIAL + 1);
+        assert_eq!(store.score(v(3)), LocalReputation::INITIAL + 1);
+    }
+
+    #[test]
     fn persistent_deviants_get_excluded() {
-        let store = ReputationStore::new();
+        let store = LocalReputation::new();
         // Verifier 2 always disagrees with the honest majority.
-        for _ in 0..ReputationStore::INITIAL {
+        for _ in 0..LocalReputation::INITIAL {
             store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
         }
         assert!(!store.is_trusted(v(2)));
@@ -151,7 +469,7 @@ mod tests {
 
     #[test]
     fn recovery_is_possible() {
-        let store = ReputationStore::new();
+        let store = LocalReputation::new();
         for _ in 0..3 {
             store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
         }
@@ -163,8 +481,97 @@ mod tests {
     }
 
     #[test]
+    fn recovered_verifier_reappears_in_trusted_set() {
+        let store = LocalReputation::new();
+        // Drive verifier 2 to the exclusion threshold…
+        for _ in 0..LocalReputation::INITIAL {
+            store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        assert_eq!(store.trusted_verifiers(), vec![v(0), v(1)]);
+        // …then let it agree with the majority until it climbs back over.
+        store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), true)]);
+        assert!(store.is_trusted(v(2)));
+        assert_eq!(store.trusted_verifiers(), vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one verdict")]
     fn empty_pool_panics() {
-        ReputationStore::new().pool_verdicts(&[]);
+        LocalReputation::new().pool_verdicts(&[]);
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait() {
+        // The same verdict stream produces the same scores whether the
+        // backend is local or a single-shard gossip instance.
+        let local = LocalReputation::new();
+        let gossip = GossipReputation::new(0, Arc::new(GossipPlane::new()));
+        let rounds = [
+            vec![(v(0), true), (v(1), true), (v(2), false)],
+            vec![(v(0), false), (v(1), false), (v(2), false)],
+            vec![(v(0), true), (v(1), false)],
+        ];
+        for round in &rounds {
+            let a = ReputationBackend::pool_verdicts(&local, round);
+            let b = gossip.pool_verdicts(round);
+            assert_eq!(a, b);
+        }
+        for i in 0..3 {
+            assert_eq!(
+                ReputationBackend::score(&local, v(i)),
+                gossip.score(v(i)),
+                "verifier {i}"
+            );
+        }
+        assert_eq!(
+            ReputationBackend::trusted_verifiers(&local),
+            gossip.trusted_verifiers()
+        );
+    }
+
+    #[test]
+    fn pn_counter_map_sums_across_replicas() {
+        let mut map = PnCounterMap::new();
+        map.record(0, v(7), false);
+        map.record(1, v(7), false);
+        map.record(2, v(7), true);
+        assert_eq!(map.value(v(7)), -1);
+        assert_eq!(map.verifiers(), vec![v(7)]);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn gossip_exclusion_crosses_shards_after_sync() {
+        let plane = Arc::new(GossipPlane::new());
+        let a = GossipReputation::new(0, plane.clone());
+        let b = GossipReputation::new(1, plane);
+        // Verifier 2 dissents INITIAL times — all observed on shard 0.
+        for _ in 0..INITIAL_SCORE {
+            a.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        assert!(!a.is_trusted(v(2)), "observing shard excludes immediately");
+        assert!(b.is_trusted(v(2)), "peer shard has not gossiped yet");
+        a.push();
+        b.pull();
+        assert!(!b.is_trusted(v(2)), "one epoch propagates the exclusion");
+        assert_eq!(b.trusted_verifiers(), vec![v(0), v(1)]);
+    }
+
+    #[test]
+    fn gossip_sync_is_idempotent() {
+        let plane = Arc::new(GossipPlane::new());
+        let a = GossipReputation::new(0, plane.clone());
+        let b = GossipReputation::new(1, plane);
+        a.pool_verdicts(&[(v(0), true), (v(1), false)]);
+        b.pool_verdicts(&[(v(0), true), (v(1), true)]);
+        for _ in 0..3 {
+            a.sync();
+            b.sync();
+        }
+        let score_a = a.score(v(1));
+        a.sync();
+        assert_eq!(a.score(v(1)), score_a, "re-syncing changes nothing");
+        assert_eq!(a.score(v(0)), b.score(v(0)));
+        assert_eq!(a.score(v(1)), b.score(v(1)));
     }
 }

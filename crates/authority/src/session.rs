@@ -15,11 +15,12 @@
 //! same driver per shard.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::bus::{Bus, Endpoint};
 use crate::inventor::{GameSpec, Inventor};
 use crate::messages::{Advice, Message, Party};
-use crate::reputation::{MajorityOutcome, ReputationStore};
+use crate::reputation::{LocalReputation, MajorityOutcome, ReputationBackend};
 use crate::verifier::VerifierService;
 use crate::wire::Wire;
 
@@ -41,28 +42,46 @@ pub struct SessionOutcome {
 }
 
 /// The reusable per-consultation protocol: one bus, one inventor, one
-/// verifier panel, one reputation store, and the endpoints of every
+/// verifier panel, one reputation backend, and the endpoints of every
 /// registered party.
 ///
 /// [`SessionDriver::run`] executes exactly one Fig. 1 flow for an explicit
 /// `game_id`; id assignment and routing are the caller's concern, which is
 /// what lets a single driver serve both the monolithic
 /// [`RationalityAuthority`] and each shard of a
-/// [`crate::ShardedAuthority`].
+/// [`crate::ShardedAuthority`]. The reputation plane is pluggable: by
+/// default a driver owns a private [`LocalReputation`], but
+/// [`SessionDriver::with_reputation`] accepts any shared
+/// [`ReputationBackend`] — a gossiping one, say — without the protocol
+/// changing at all.
 pub struct SessionDriver {
     bus: Bus,
-    reputation: ReputationStore,
+    reputation: Arc<dyn ReputationBackend>,
     inventor: Inventor,
     verifiers: Vec<VerifierService>,
     endpoints: HashMap<Party, Endpoint>,
 }
 
 impl SessionDriver {
-    /// Assembles a driver: registers the inventor and every verifier on a
-    /// fresh bus.
+    /// Assembles a driver with a private [`LocalReputation`] backend:
+    /// registers the inventor and every verifier on a fresh bus.
     pub fn new(
         inventor: Inventor,
         verifier_behaviors: &[crate::verifier::VerifierBehavior],
+    ) -> SessionDriver {
+        SessionDriver::with_reputation(
+            inventor,
+            verifier_behaviors,
+            Arc::new(LocalReputation::new()),
+        )
+    }
+
+    /// Assembles a driver around an explicit reputation backend (shared
+    /// with other drivers when `reputation` is a cross-shard plane).
+    pub fn with_reputation(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+        reputation: Arc<dyn ReputationBackend>,
     ) -> SessionDriver {
         let bus = Bus::new();
         let mut endpoints = HashMap::new();
@@ -77,16 +96,16 @@ impl SessionDriver {
         }
         SessionDriver {
             bus,
-            reputation: ReputationStore::new(),
+            reputation,
             inventor,
             verifiers,
             endpoints,
         }
     }
 
-    /// The reputation store shared by this driver's sessions.
-    pub fn reputation(&self) -> &ReputationStore {
-        &self.reputation
+    /// The reputation backend consulted by this driver's sessions.
+    pub fn reputation(&self) -> &dyn ReputationBackend {
+        &*self.reputation
     }
 
     /// The underlying bus (byte accounting, fault injection).
@@ -239,8 +258,8 @@ pub struct RationalityAuthority {
 }
 
 impl RationalityAuthority {
-    /// Builds the infrastructure with one inventor and the given verifier
-    /// panel.
+    /// Builds the infrastructure with one inventor, the given verifier
+    /// panel, and a private [`LocalReputation`] backend.
     pub fn new(
         inventor: Inventor,
         verifier_behaviors: &[crate::verifier::VerifierBehavior],
@@ -251,8 +270,22 @@ impl RationalityAuthority {
         }
     }
 
-    /// The shared reputation store.
-    pub fn reputation(&self) -> &ReputationStore {
+    /// Builds the infrastructure around an explicit reputation backend
+    /// (how [`crate::ShardedAuthority`] wires every shard to one gossip
+    /// plane).
+    pub fn with_reputation(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+        reputation: Arc<dyn ReputationBackend>,
+    ) -> RationalityAuthority {
+        RationalityAuthority {
+            driver: SessionDriver::with_reputation(inventor, verifier_behaviors, reputation),
+            next_game_id: 1,
+        }
+    }
+
+    /// The reputation backend consulted by this authority's sessions.
+    pub fn reputation(&self) -> &dyn ReputationBackend {
         self.driver.reputation()
     }
 

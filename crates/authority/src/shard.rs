@@ -5,7 +5,7 @@
 //! verification is cheap enough to run at scale. [`ShardedAuthority`]
 //! turns the single-bus [`RationalityAuthority`] into that service: it
 //! owns N independent shards — each with its own [`Bus`],
-//! inventor handle, verifier panel and reputation store — routes agents
+//! inventor handle, verifier panel and reputation backend — routes agents
 //! to shards by a deterministic hash of their id, and fans batches of
 //! consultations across shards with scoped worker threads.
 //!
@@ -15,13 +15,83 @@
 //! the equivalent sequence of routed [`ShardedAuthority::consult`] calls,
 //! regardless of how the workers interleave across shards.
 //!
+//! The reputation plane is selected by [`ReputationPolicy`]:
+//! [`ReputationPolicy::Isolated`] keeps the pre-refactor behaviour (one
+//! private [`LocalReputation`] per shard), while
+//! [`ReputationPolicy::Gossip`] wires every shard to one
+//! [`GossipReputation`] backend over a shared [`GossipPlane`], merging
+//! PN-counter deltas every `every` consultations. Epoch boundaries fall at
+//! exact multiples of `every` in the engine-wide consultation stream —
+//! batches are chunked at those same multiples — so batch and sequential
+//! execution still reach identical outcomes, and the consult hot path
+//! never takes a cross-shard lock (the merge is amortized off-path).
+//!
 //! [`Bus`]: crate::Bus
+//! [`LocalReputation`]: crate::LocalReputation
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::inventor::{GameSpec, Inventor, InventorBehavior};
+use crate::reputation::{GossipPlane, GossipReputation};
 use crate::session::{RationalityAuthority, SessionOutcome};
 use crate::verifier::VerifierBehavior;
+
+/// How verifier reputation is scoped across the shards of a
+/// [`ShardedAuthority`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReputationPolicy {
+    /// Every shard keeps a fully independent score table: a verifier voted
+    /// out on one shard keeps serving agents pinned to the others.
+    Isolated,
+    /// Shards gossip PN-counter deltas through a shared [`GossipPlane`]:
+    /// all shards publish and then pull the merged state every `every`
+    /// consultations (engine-wide), so exclusion anywhere becomes
+    /// exclusion everywhere within one epoch.
+    Gossip {
+        /// Epoch length in consultations; must be positive.
+        every: usize,
+    },
+}
+
+/// Aggregated bus accounting across every shard, collected with a single
+/// lock acquisition per shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Total wire bytes across every shard's bus.
+    pub total_bytes: usize,
+    /// Total messages across every shard's bus.
+    pub message_count: usize,
+    /// Per-shard wire-byte totals (index = shard).
+    pub shard_bytes: Vec<usize>,
+}
+
+/// The gossip wiring of an engine under [`ReputationPolicy::Gossip`]: the
+/// shared plane, one backend handle per shard, and the engine-wide
+/// consultation counter that places epoch boundaries.
+struct GossipController {
+    every: u64,
+    consultations: AtomicU64,
+    backends: Vec<Arc<GossipReputation>>,
+}
+
+impl GossipController {
+    /// Advances the engine-wide consultation counter by `count` and runs
+    /// `sync` if the advance crossed an epoch boundary. Crossing is
+    /// detected from the interval the `fetch_add` itself returned — never
+    /// from a separately loaded value — so concurrent callers may each
+    /// sync, but a boundary can never fall through the cracks between two
+    /// interleaved advances.
+    fn note_consultations(&self, count: u64, sync: impl FnOnce()) {
+        if count == 0 {
+            return;
+        }
+        let before = self.consultations.fetch_add(count, Ordering::SeqCst);
+        if (before + count) / self.every > before / self.every {
+            sync();
+        }
+    }
+}
 
 /// A multi-bus rationality-authority service.
 ///
@@ -29,7 +99,8 @@ use crate::verifier::VerifierBehavior;
 /// gets inventor identity `Inventor(s)` and a fresh verifier panel with
 /// the configured behaviours. Agents are pinned to shards by
 /// [`ShardedAuthority::shard_of`], so repeat consultations from the same
-/// agent always hit the same bus and reputation store.
+/// agent always hit the same bus. Whether they also hit the same
+/// reputation *scope* is the [`ReputationPolicy`]'s call.
 ///
 /// # Examples
 ///
@@ -48,13 +119,32 @@ use crate::verifier::VerifierBehavior;
 /// assert_eq!(outcomes.len(), 16);
 /// assert!(outcomes.iter().all(|o| o.adopted));
 /// ```
+///
+/// With gossip, exclusion propagates engine-wide:
+///
+/// ```
+/// use ra_authority::{
+///     InventorBehavior, ReputationPolicy, ShardedAuthority, VerifierBehavior,
+/// };
+///
+/// let engine = ShardedAuthority::with_policy(
+///     4,
+///     InventorBehavior::Honest,
+///     &[VerifierBehavior::Honest, VerifierBehavior::AlwaysReject],
+///     ReputationPolicy::Gossip { every: 32 },
+/// );
+/// assert_eq!(engine.reputation_policy(), ReputationPolicy::Gossip { every: 32 });
+/// ```
 pub struct ShardedAuthority {
     shards: Vec<Mutex<RationalityAuthority>>,
+    policy: ReputationPolicy,
+    gossip: Option<GossipController>,
 }
 
 impl ShardedAuthority {
-    /// Builds an engine with `shards` independent shards, each serving the
-    /// given inventor behaviour through its own verifier panel.
+    /// Builds an engine with `shards` independent shards under
+    /// [`ReputationPolicy::Isolated`], each serving the given inventor
+    /// behaviour through its own verifier panel.
     ///
     /// # Panics
     ///
@@ -64,22 +154,70 @@ impl ShardedAuthority {
         inventor_behavior: InventorBehavior,
         verifier_behaviors: &[VerifierBehavior],
     ) -> ShardedAuthority {
+        ShardedAuthority::with_policy(
+            shards,
+            inventor_behavior,
+            verifier_behaviors,
+            ReputationPolicy::Isolated,
+        )
+    }
+
+    /// Builds an engine with an explicit [`ReputationPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, or if the policy is
+    /// [`ReputationPolicy::Gossip`] with a zero epoch.
+    pub fn with_policy(
+        shards: usize,
+        inventor_behavior: InventorBehavior,
+        verifier_behaviors: &[VerifierBehavior],
+        policy: ReputationPolicy,
+    ) -> ShardedAuthority {
         assert!(shards > 0, "at least one shard");
-        ShardedAuthority {
-            shards: (0..shards)
-                .map(|s| {
-                    Mutex::new(RationalityAuthority::new(
-                        Inventor::new(s as u64, inventor_behavior),
-                        verifier_behaviors,
-                    ))
+        let gossip = match policy {
+            ReputationPolicy::Isolated => None,
+            ReputationPolicy::Gossip { every } => {
+                assert!(every > 0, "gossip epoch must be positive");
+                let plane = Arc::new(GossipPlane::new());
+                Some(GossipController {
+                    every: every as u64,
+                    consultations: AtomicU64::new(0),
+                    backends: (0..shards)
+                        .map(|s| Arc::new(GossipReputation::new(s, plane.clone())))
+                        .collect(),
                 })
-                .collect(),
+            }
+        };
+        let shards = (0..shards)
+            .map(|s| {
+                let inventor = Inventor::new(s as u64, inventor_behavior);
+                let authority = match &gossip {
+                    None => RationalityAuthority::new(inventor, verifier_behaviors),
+                    Some(g) => RationalityAuthority::with_reputation(
+                        inventor,
+                        verifier_behaviors,
+                        g.backends[s].clone(),
+                    ),
+                };
+                Mutex::new(authority)
+            })
+            .collect();
+        ShardedAuthority {
+            shards,
+            policy,
+            gossip,
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The reputation policy this engine was built with.
+    pub fn reputation_policy(&self) -> ReputationPolicy {
+        self.policy
     }
 
     /// The shard serving `agent_id`: a deterministic (SplitMix64) hash of
@@ -92,44 +230,100 @@ impl ShardedAuthority {
         (z % self.shards.len() as u64) as usize
     }
 
-    /// Runs one consultation, routed to the agent's shard.
+    /// Runs one consultation, routed to the agent's shard. Under gossip,
+    /// crossing an epoch boundary triggers [`ShardedAuthority::sync_reputation`]
+    /// after the consultation completes — off the hot path, which itself
+    /// only takes the shard's own locks.
     pub fn consult(&self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
-        self.shards[self.shard_of(agent_id)]
+        let outcome = self.shards[self.shard_of(agent_id)]
             .lock()
             .expect("shard lock poisoned")
-            .consult(agent_id, spec)
+            .consult(agent_id, spec);
+        if let Some(g) = &self.gossip {
+            g.note_consultations(1, || self.sync_reputation());
+        }
+        outcome
     }
 
     /// Fans a batch of consultations across the shards with one scoped
-    /// worker thread per non-empty shard.
+    /// worker thread per non-empty shard; a batch that routes to a single
+    /// shard runs inline on the calling thread instead.
     ///
     /// Outcomes are returned in request order, and each equals what the
     /// same sequence of [`ShardedAuthority::consult`] calls would have
     /// produced: a shard handles its share of the batch sequentially, in
     /// request order, so worker interleaving cannot change any outcome.
+    /// Under gossip the batch is additionally chunked at epoch boundaries
+    /// — the same engine-wide multiples of `every` that sequential calls
+    /// sync at — with a full publish/pull merge between chunks, so the
+    /// equality holds under [`ReputationPolicy::Gossip`] too.
     pub fn consult_batch(&self, requests: &[(u64, GameSpec)]) -> Vec<SessionOutcome> {
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, &(agent_id, _)) in requests.iter().enumerate() {
-            by_shard[self.shard_of(agent_id)].push(i);
-        }
         let mut results: Vec<Option<SessionOutcome>> = Vec::new();
         results.resize_with(requests.len(), || None);
+        match &self.gossip {
+            None => self.run_chunk(requests, 0, requests.len(), &mut results),
+            Some(g) => {
+                let mut start = 0;
+                while start < requests.len() {
+                    let done = g.consultations.load(Ordering::SeqCst);
+                    let room = (g.every - done % g.every) as usize;
+                    let end = requests.len().min(start + room);
+                    self.run_chunk(requests, start, end, &mut results);
+                    g.note_consultations((end - start) as u64, || self.sync_reputation());
+                    start = end;
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("every request was routed to a shard"))
+            .collect()
+    }
+
+    /// Processes `requests[start..end]`, writing each outcome at its
+    /// request index. Spawns one scoped worker per non-empty shard, except
+    /// when only one shard is hit — then the chunk runs inline to spare
+    /// the thread overhead on small or skewed batches.
+    fn run_chunk(
+        &self,
+        requests: &[(u64, GameSpec)],
+        start: usize,
+        end: usize,
+        results: &mut [Option<SessionOutcome>],
+    ) {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (offset, &(agent_id, _)) in requests[start..end].iter().enumerate() {
+            by_shard[self.shard_of(agent_id)].push(start + offset);
+        }
+        let consult_shard = |shard: &Mutex<RationalityAuthority>, indices: &[usize]| {
+            let mut shard = shard.lock().expect("shard lock poisoned");
+            indices
+                .iter()
+                .map(|&i| {
+                    let (agent_id, spec) = &requests[i];
+                    (i, shard.consult(*agent_id, spec))
+                })
+                .collect::<Vec<_>>()
+        };
+        let non_empty = by_shard.iter().filter(|ix| !ix.is_empty()).count();
+        if non_empty <= 1 {
+            for (shard, indices) in self.shards.iter().zip(&by_shard) {
+                if indices.is_empty() {
+                    continue;
+                }
+                for (i, outcome) in consult_shard(shard, indices) {
+                    results[i] = Some(outcome);
+                }
+            }
+            return;
+        }
         std::thread::scope(|scope| {
             let mut workers = Vec::new();
             for (shard, indices) in self.shards.iter().zip(&by_shard) {
                 if indices.is_empty() {
                     continue;
                 }
-                workers.push(scope.spawn(move || {
-                    let mut shard = shard.lock().expect("shard lock poisoned");
-                    indices
-                        .iter()
-                        .map(|&i| {
-                            let (agent_id, spec) = &requests[i];
-                            (i, shard.consult(*agent_id, spec))
-                        })
-                        .collect::<Vec<_>>()
-                }));
+                workers.push(scope.spawn(|| consult_shard(shard, indices)));
             }
             for worker in workers {
                 for (i, outcome) in worker.join().expect("shard worker panicked") {
@@ -137,10 +331,21 @@ impl ShardedAuthority {
                 }
             }
         });
-        results
-            .into_iter()
-            .map(|o| o.expect("every request was routed to a shard"))
-            .collect()
+    }
+
+    /// Forces one full gossip epoch merge: every shard publishes its
+    /// PN-counter state to the plane, then every shard pulls the merged
+    /// state back, so all shards converge on the join of everything
+    /// observed so far. A no-op under [`ReputationPolicy::Isolated`].
+    pub fn sync_reputation(&self) {
+        if let Some(g) = &self.gossip {
+            for backend in &g.backends {
+                backend.push();
+            }
+            for backend in &g.backends {
+                backend.pull();
+            }
+        }
     }
 
     /// Runs a closure against one shard's [`RationalityAuthority`] (for
@@ -150,37 +355,47 @@ impl ShardedAuthority {
     ///
     /// Panics if `shard` is out of range.
     pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&RationalityAuthority) -> R) -> R {
+        assert!(shard < self.shards.len(), "shard index out of range");
         f(&self.shards[shard].lock().expect("shard lock poisoned"))
+    }
+
+    /// Collects the bus accounting of every shard in one pass, locking
+    /// each shard exactly once.
+    pub fn shard_stats(&self) -> ShardStats {
+        let mut stats = ShardStats {
+            shard_bytes: Vec::with_capacity(self.shards.len()),
+            ..ShardStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            let bytes = shard.bus().total_bytes();
+            stats.total_bytes += bytes;
+            stats.message_count += shard.bus().message_count();
+            stats.shard_bytes.push(bytes);
+        }
+        stats
     }
 
     /// Total wire bytes across every shard's bus.
     pub fn total_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").bus().total_bytes())
-            .sum()
+        self.shard_stats().total_bytes
     }
 
     /// Total messages across every shard's bus.
     pub fn message_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").bus().message_count())
-            .sum()
+        self.shard_stats().message_count
     }
 
     /// Per-shard wire-byte totals (index = shard).
     pub fn shard_bytes(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").bus().total_bytes())
-            .collect()
+        self.shard_stats().shard_bytes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::Party;
     use ra_games::named::{battle_of_the_sexes, prisoners_dilemma};
 
     fn mixed_specs() -> Vec<GameSpec> {
@@ -259,6 +474,32 @@ mod tests {
     }
 
     #[test]
+    fn gossip_batch_matches_sequential_routed_calls() {
+        // Same determinism property with an epoch shorter than the batch,
+        // so merges happen mid-stream in both executions.
+        let panel = [
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysReject,
+        ];
+        let policy = ReputationPolicy::Gossip { every: 16 };
+        let requests = batch(64);
+        let batched = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
+        let sequential = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
+        let batch_outcomes = batched.consult_batch(&requests);
+        let seq_outcomes: Vec<SessionOutcome> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .collect();
+        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
+            assert_eq!(b.adopted, s.adopted);
+            assert_eq!(b.majority, s.majority);
+            assert_eq!(b.session_bytes, s.session_bytes);
+        }
+        assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+    }
+
+    #[test]
     fn corrupt_inventor_rejected_on_every_shard() {
         let engine =
             ShardedAuthority::new(4, InventorBehavior::Corrupt, &[VerifierBehavior::Honest; 3]);
@@ -278,8 +519,99 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_batch_runs_inline() {
+        // All agents pinned to one shard: the batch must still complete
+        // (through the inline path) with the same outcomes as routed
+        // sequential calls.
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let pinned: Vec<(u64, GameSpec)> = (0..1000u64)
+            .filter(|&a| engine.shard_of(a) == engine.shard_of(0))
+            .take(8)
+            .map(|a| (a, spec.clone()))
+            .collect();
+        assert_eq!(pinned.len(), 8, "enough agents share shard 0's home");
+        let outcomes = engine.consult_batch(&pinned);
+        assert!(outcomes.iter().all(|o| o.adopted));
+        let home = engine.shard_of(0);
+        for (s, &bytes) in engine.shard_bytes().iter().enumerate() {
+            assert_eq!(s != home, bytes == 0);
+        }
+    }
+
+    #[test]
+    fn shard_stats_matches_legacy_accessors() {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        engine.consult_batch(&batch(32));
+        let stats = engine.shard_stats();
+        assert_eq!(stats.total_bytes, engine.total_bytes());
+        assert_eq!(stats.message_count, engine.message_count());
+        assert_eq!(stats.shard_bytes, engine.shard_bytes());
+        assert_eq!(stats.total_bytes, stats.shard_bytes.iter().sum::<usize>());
+        assert!(stats.total_bytes > 0);
+    }
+
+    #[test]
+    fn gossip_spreads_exclusion_at_epoch_boundaries() {
+        // Saboteur dissents on every shard; under gossip its global score
+        // drains by the *sum* of per-shard dissents, and a sync makes the
+        // exclusion visible even on shards that saw few dissents.
+        let panel = [
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysReject,
+        ];
+        let engine = ShardedAuthority::with_policy(
+            4,
+            InventorBehavior::Honest,
+            &panel,
+            ReputationPolicy::Gossip { every: 4 },
+        );
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let saboteur = Party::Verifier(2);
+        let mut consultations = 0u64;
+        for agent in 0.. {
+            engine.consult(agent, &spec);
+            consultations += 1;
+            let excluded_everywhere = (0..engine.shard_count())
+                .all(|s| engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)));
+            if excluded_everywhere {
+                break;
+            }
+            assert!(consultations < 100, "gossip never excluded the saboteur");
+        }
+        // 10 dissents drain the initial score; epoch lag adds at most one
+        // epoch (4) plus the consultations spread across shards.
+        assert!(
+            consultations <= 16,
+            "global exclusion took {consultations} consultations"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedAuthority::new(0, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gossip epoch must be positive")]
+    fn zero_gossip_epoch_rejected() {
+        ShardedAuthority::with_policy(
+            2,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest],
+            ReputationPolicy::Gossip { every: 0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index out of range")]
+    fn with_shard_rejects_out_of_range_index() {
+        let engine =
+            ShardedAuthority::new(2, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
+        engine.with_shard(2, |_| ());
     }
 }

@@ -1,10 +1,11 @@
 //! Property-based tests for the authority infrastructure: wire-format
-//! round-trips and fuzz, reputation dynamics, ledger tampering.
+//! round-trips and fuzz, reputation dynamics, gossip CRDT laws, ledger
+//! tampering.
 
 use proptest::prelude::*;
 use ra_authority::WireBytes;
 use ra_authority::{
-    Advice, Bus, Message, Party, ReputationStore, SigningKey, StatisticsLedger, Wire,
+    Advice, Bus, Message, Party, PnCounterMap, ReputationStore, SigningKey, StatisticsLedger, Wire,
 };
 use ra_exact::Rational;
 use ra_proofs::SupportCertificate;
@@ -15,6 +16,21 @@ fn arb_party() -> impl Strategy<Value = Party> {
         1 => Party::Agent(id),
         _ => Party::Verifier(id),
     })
+}
+
+/// Raw observation events for building a [`PnCounterMap`]: each is one
+/// `(replica, verifier, agreed)` recording, the only way real shards ever
+/// advance their counters.
+fn arb_counter_events() -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+    prop::collection::vec((0usize..4, 0u64..6, any::<bool>()), 0..40)
+}
+
+fn counter_map(events: &[(usize, u64, bool)]) -> PnCounterMap {
+    let mut map = PnCounterMap::new();
+    for &(replica, verifier, agreed) in events {
+        map.record(replica, Party::Verifier(verifier), agreed);
+    }
+    map
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -120,6 +136,58 @@ proptest! {
                 prop_assert_eq!(delta, -1);
             }
         }
+    }
+
+    /// Gossip CRDT: merge is commutative — either merge order converges
+    /// on the same state.
+    #[test]
+    fn pn_counter_merge_commutes(
+        a in arb_counter_events(),
+        b in arb_counter_events(),
+    ) {
+        let (a, b) = (counter_map(&a), counter_map(&b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Gossip CRDT: merge is associative — grouping of merges is
+    /// irrelevant, so gossip rounds can batch deltas arbitrarily.
+    #[test]
+    fn pn_counter_merge_is_associative(
+        a in arb_counter_events(),
+        b in arb_counter_events(),
+        c in arb_counter_events(),
+    ) {
+        let (a, b, c) = (counter_map(&a), counter_map(&b), counter_map(&c));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// Gossip CRDT: merge is idempotent — re-delivering the same state
+    /// (a re-sync, a duplicated gossip message) changes nothing.
+    #[test]
+    fn pn_counter_merge_is_idempotent(
+        a in arb_counter_events(),
+        b in arb_counter_events(),
+    ) {
+        let (a, b) = (counter_map(&a), counter_map(&b));
+        let mut once = a.clone();
+        once.merge(&b);
+        let mut twice = once.clone();
+        twice.merge(&b);
+        prop_assert_eq!(&twice, &once);
+        let mut self_merge = a.clone();
+        self_merge.merge(&a);
+        prop_assert_eq!(self_merge, a);
     }
 
     /// Ledger: any single-record value tamper is detected by audit.

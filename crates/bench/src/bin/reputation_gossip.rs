@@ -1,0 +1,159 @@
+//! Measures the cost and the payoff of the cross-shard reputation plane:
+//! consultation throughput under `ReputationPolicy::Isolated` vs
+//! `ReputationPolicy::Gossip` at 1/2/4/8 shards, and how many
+//! consultations it takes to exclude a persistently deviant verifier on
+//! *every* shard under each policy.
+//!
+//! The acceptance bar (ISSUE 3): gossip throughput ≥ 0.9× isolated at 8
+//! shards — the epoch merge is amortized off the consult hot path, so the
+//! only per-consultation overhead is one atomic counter bump. Results go
+//! to `results/reputation_gossip.csv` and, in the machine-readable
+//! perf-trajectory format, `results/BENCH_reputation_gossip.json`.
+//!
+//! Usage: `cargo run -p ra-bench --release --bin reputation_gossip [-- N [EVERY]]`
+//! where `N` is the batch size (default 512; CI uses a small value) and
+//! `EVERY` the gossip epoch in consultations (default 32).
+
+use ra_authority::{
+    GameSpec, InventorBehavior, Party, ReputationPolicy, ShardedAuthority, VerifierBehavior,
+};
+use ra_bench::{fmt_secs, timed, write_csv, write_json};
+use ra_games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Hard cap on the exclusion experiment (the isolated engine may need a
+/// dissent on every shard; this bounds pathological routing).
+const EXCLUSION_CAP: u64 = 10_000;
+
+fn build_batch(n: u64) -> Vec<(u64, GameSpec)> {
+    let specs = [
+        GameSpec::Strategic(prisoners_dilemma().to_strategic()),
+        GameSpec::Bimatrix(battle_of_the_sexes()),
+        GameSpec::Strategic(stag_hunt(3)),
+    ];
+    (0..n)
+        .map(|agent| (agent, specs[(agent % specs.len() as u64) as usize].clone()))
+        .collect()
+}
+
+fn policy_name(policy: ReputationPolicy) -> &'static str {
+    match policy {
+        ReputationPolicy::Isolated => "isolated",
+        ReputationPolicy::Gossip { .. } => "gossip",
+    }
+}
+
+/// Consultations (round-robin agents) until `Party::Verifier(2)` — an
+/// `AlwaysReject` saboteur against an honest inventor — is distrusted on
+/// every shard, or `None` if that never happens within `EXCLUSION_CAP`
+/// (reported as -1 in the CSV and `null` in the JSON, so a propagation
+/// regression shows up as a visibly broken data point, not a big number).
+fn consultations_to_global_exclusion(shards: usize, policy: ReputationPolicy) -> Option<u64> {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let engine = ShardedAuthority::with_policy(shards, InventorBehavior::Honest, &panel, policy);
+    let saboteur = Party::Verifier(2);
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    for consultations in 1..=EXCLUSION_CAP {
+        engine.consult(consultations - 1, &spec);
+        let excluded_everywhere = (0..engine.shard_count())
+            .all(|s| engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)));
+        if excluded_everywhere {
+            return Some(consultations);
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let batch_size: u64 = args
+        .next()
+        .map(|s| s.parse().expect("batch size must be an integer"))
+        .unwrap_or(512);
+    let every: usize = args
+        .next()
+        .map(|s| s.parse().expect("gossip epoch must be an integer"))
+        .unwrap_or(32);
+    let requests = build_batch(batch_size);
+    println!(
+        "Reputation plane — {batch_size} consultations per configuration, gossip \
+         epoch {every}, honest inventor, 3 honest verifiers per shard:\n"
+    );
+    println!(
+        "{:>7} {:>9} {:>14} {:>16} {:>22}",
+        "shards", "policy", "wall time", "consults/sec", "global exclusion after"
+    );
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    let mut rates = std::collections::HashMap::new();
+    for shards in SHARD_COUNTS {
+        for policy in [
+            ReputationPolicy::Isolated,
+            ReputationPolicy::Gossip { every },
+        ] {
+            let engine = ShardedAuthority::with_policy(
+                shards,
+                InventorBehavior::Honest,
+                &[VerifierBehavior::Honest; 3],
+                policy,
+            );
+            let (outcomes, secs) = timed(|| engine.consult_batch(&requests));
+            assert!(
+                outcomes.iter().all(|o| o.adopted),
+                "honest infrastructure adopts everything"
+            );
+            let rate = batch_size as f64 / secs.max(1e-12);
+            rates.insert((shards, policy_name(policy)), rate);
+            let excluded_after = consultations_to_global_exclusion(shards, policy);
+            let excluded_csv = excluded_after.map_or(-1, |n| n as i64);
+            let excluded_json =
+                excluded_after.map_or_else(|| String::from("null"), |n| n.to_string());
+            println!(
+                "{:>7} {:>9} {:>14} {:>16.0} {:>22}",
+                shards,
+                policy_name(policy),
+                fmt_secs(secs),
+                rate,
+                excluded_after.map_or_else(|| String::from("never"), |n| n.to_string())
+            );
+            rows.push(format!(
+                "{shards},{},{batch_size},{every},{secs:.9},{rate:.3},{excluded_csv}",
+                policy_name(policy)
+            ));
+            json_entries.push(format!(
+                "{{\"shards\":{shards},\"policy\":\"{}\",\"consultations\":{batch_size},\
+                 \"gossip_every\":{every},\"secs\":{secs:.9},\"consults_per_sec\":{rate:.3},\
+                 \"global_exclusion_after\":{excluded_json}}}",
+                policy_name(policy)
+            ));
+        }
+    }
+    let ratio_at_8 = rates[&(8usize, "gossip")] / rates[&(8usize, "isolated")];
+    let csv_path = write_csv(
+        "reputation_gossip",
+        "shards,policy,consultations,gossip_every,secs,consults_per_sec,global_exclusion_after",
+        &rows,
+    );
+    let json_path = write_json(
+        "BENCH_reputation_gossip",
+        &format!(
+            "{{\"bench\":\"reputation_gossip\",\"unit\":\"consults_per_sec\",\
+             \"batch_size\":{batch_size},\"gossip_every\":{every},\
+             \"gossip_over_isolated_at_8_shards\":{ratio_at_8:.4},\"results\":[{}]}}",
+            json_entries.join(",")
+        ),
+    );
+    println!("\nwrote {}", csv_path.display());
+    println!("wrote {}", json_path.display());
+    println!(
+        "\nroadmap check — gossip/isolated throughput at 8 shards: {ratio_at_8:.2}x \
+         (bar: ≥ 0.90x; the merge is amortized at epoch boundaries, so the hot \
+         path only pays an atomic bump). Global exclusion of a deviant verifier \
+         needs every shard to re-learn the lesson under isolated, one epoch under \
+         gossip."
+    );
+}

@@ -1,0 +1,115 @@
+//! Cross-shard reputation gossip: exclusion anywhere becomes exclusion
+//! everywhere.
+//!
+//! A four-shard engine serves a panel with one persistent saboteur
+//! (`AlwaysReject` against an honest inventor). All early consultations
+//! come from agents pinned to one shard, so only that shard *observes*
+//! the deviance. Under `ReputationPolicy::Isolated` the saboteur keeps
+//! serving the other three shards indefinitely; under
+//! `ReputationPolicy::Gossip` the shards merge PN-counter deltas at epoch
+//! boundaries and the saboteur is voted out engine-wide within one epoch
+//! — with no cross-shard lock ever taken on the consult hot path.
+//!
+//! Run with: `cargo run --example reputation_gossip`
+
+use rationality_authority::authority::{
+    GameSpec, InventorBehavior, Party, ReputationPolicy, ShardedAuthority, VerifierBehavior,
+};
+use rationality_authority::games::named::prisoners_dilemma;
+
+const EPOCH: usize = 8;
+
+fn trust_row(engine: &ShardedAuthority, saboteur: Party) -> String {
+    (0..engine.shard_count())
+        .map(|s| {
+            let trusted = engine.with_shard(s, |a| a.reputation().is_trusted(saboteur));
+            format!(
+                "shard {s}: {}",
+                if trusted { "trusted " } else { "EXCLUDED" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("   ")
+}
+
+fn main() {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject, // Verifier(2), the saboteur
+    ];
+    let saboteur = Party::Verifier(2);
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+
+    let engine = ShardedAuthority::with_policy(
+        4,
+        InventorBehavior::Honest,
+        &panel,
+        ReputationPolicy::Gossip { every: EPOCH },
+    );
+    println!(
+        "4 shards, panel = [Honest, Honest, AlwaysReject], \
+         policy = Gossip {{ every: {EPOCH} }}\n"
+    );
+
+    // Agents that all hash to the same home shard: only it sees dissent.
+    let home = engine.shard_of(0);
+    let mut pinned = (0..u64::MAX).filter(|&a| engine.shard_of(a) == home);
+    println!("consulting only agents homed on shard {home}…");
+    let mut consultations = 0;
+    while engine.with_shard(home, |a| a.reputation().is_trusted(saboteur)) {
+        engine.consult(pinned.next().expect("pinned agents"), &spec);
+        consultations += 1;
+        assert!(
+            consultations <= 32,
+            "home shard never excluded the saboteur"
+        );
+    }
+    println!("after {consultations} consultations the observing shard votes it out:");
+    println!("  {}\n", trust_row(&engine, saboteur));
+
+    // One more epoch of traffic carries the exclusion everywhere.
+    while !(0..engine.shard_count())
+        .all(|s| engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)))
+    {
+        engine.consult(pinned.next().expect("pinned agents"), &spec);
+        consultations += 1;
+        assert!(consultations <= 64, "gossip never propagated the exclusion");
+    }
+    println!("after {consultations} consultations (≤ one epoch later) gossip has spread it:");
+    println!("  {}\n", trust_row(&engine, saboteur));
+
+    // A consultation on a foreign shard now runs without the saboteur.
+    let away = (0..u64::MAX)
+        .find(|&a| engine.shard_of(a) != home)
+        .expect("an agent homed elsewhere");
+    let outcome = engine.consult(away, &spec);
+    println!(
+        "agent {away} (shard {}) consults: adopted={}, verifiers answering={}",
+        engine.shard_of(away),
+        outcome.adopted,
+        outcome.verdict_details.len()
+    );
+    assert!(outcome.adopted);
+    assert_eq!(outcome.verdict_details.len(), 2, "saboteur engine-wide out");
+
+    // Contrast: the isolated policy never propagates the exclusion.
+    let isolated = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
+    let mut pinned = (0..u64::MAX).filter(|&a| isolated.shard_of(a) == home);
+    let mut drained = 0;
+    while isolated.with_shard(home, |a| a.reputation().is_trusted(saboteur)) {
+        isolated.consult(pinned.next().expect("pinned agents"), &spec);
+        drained += 1;
+        assert!(drained <= 32, "home shard never excluded the saboteur");
+    }
+    println!("\nsame traffic under ReputationPolicy::Isolated:");
+    println!("  {}", trust_row(&isolated, saboteur));
+    let still_serving = (0..isolated.shard_count())
+        .filter(|&s| isolated.with_shard(s, |a| a.reputation().is_trusted(saboteur)))
+        .count();
+    assert_eq!(still_serving, 3, "isolated shards keep trusting");
+    println!(
+        "\nthe saboteur still serves {still_serving}/4 shards under Isolated — \
+         the gap the gossip plane closes."
+    );
+}

@@ -32,12 +32,13 @@ fn main() {
 
     let adopted = outcomes.iter().filter(|o| o.adopted).count();
     println!("adopted: {adopted}/{}", outcomes.len());
+    // One locked pass over the shards collects all three accounting views.
+    let stats = engine.shard_stats();
     println!(
         "total traffic: {} messages, {} bytes",
-        engine.message_count(),
-        engine.total_bytes()
+        stats.message_count, stats.total_bytes
     );
-    for (shard, bytes) in engine.shard_bytes().into_iter().enumerate() {
+    for (shard, bytes) in stats.shard_bytes.into_iter().enumerate() {
         let agents = requests
             .iter()
             .filter(|(a, _)| engine.shard_of(*a) == shard)

@@ -19,8 +19,10 @@
 //! * [`congestion`] — online network congestion games (§6).
 //! * [`auctions`] — the participation game and auction case studies (§5).
 //! * [`authority`] — the distributed infrastructure: roles, message bus,
-//!   verifier marketplace, reputation, end-to-end sessions, and the
-//!   sharded multi-bus session engine
+//!   verifier marketplace, the pluggable reputation plane
+//!   ([`authority::ReputationBackend`]: process-local scores or
+//!   epoch-gossiped cross-shard CRDT counters), end-to-end sessions, and
+//!   the sharded multi-bus session engine
 //!   ([`authority::ShardedAuthority`]) for batched consultations.
 //!
 //! See `examples/quickstart.rs` for an end-to-end session.

@@ -1,9 +1,10 @@
 //! Integration tests for the sharded multi-bus session engine: routing,
-//! batch/sequential determinism, and parity with the single-bus
-//! `RationalityAuthority`.
+//! batch/sequential determinism, parity with the single-bus
+//! `RationalityAuthority`, and cross-shard reputation gossip.
 
 use rationality_authority::authority::{
-    GameSpec, InventorBehavior, SessionOutcome, ShardedAuthority, VerifierBehavior,
+    GameSpec, InventorBehavior, Party, ReputationPolicy, SessionOutcome, ShardedAuthority,
+    VerifierBehavior,
 };
 use rationality_authority::exact::rat;
 use rationality_authority::games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
@@ -92,6 +93,138 @@ fn corrupt_inventor_rejected_across_shards() {
         ShardedAuthority::new(4, InventorBehavior::Corrupt, &[VerifierBehavior::Honest; 5]);
     for (outcome, (agent, _)) in engine.consult_batch(&requests).iter().zip(&requests) {
         assert!(!outcome.adopted, "agent {agent} adopted corrupt advice");
+    }
+}
+
+/// The acceptance-criteria determinism property under gossip: the same
+/// 64-consultation batch on the same 4 shards, now with
+/// `ReputationPolicy::Gossip` and an epoch shorter than the batch (so
+/// merges land mid-stream), still matches routed sequential consultations
+/// outcome for outcome.
+#[test]
+fn gossip_batch_matches_sequential_on_four_shards() {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let policy = ReputationPolicy::Gossip { every: 16 };
+    let requests = batch_requests();
+
+    let batched = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
+    let batch_outcomes = batched.consult_batch(&requests);
+
+    let sequential = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
+    let sequential_outcomes: Vec<SessionOutcome> = requests
+        .iter()
+        .map(|(agent, spec)| sequential.consult(*agent, spec))
+        .collect();
+
+    assert_eq!(
+        adoption_decisions(&batch_outcomes),
+        adoption_decisions(&sequential_outcomes),
+        "gossip must not break batch/sequential equality"
+    );
+    for (b, s) in batch_outcomes.iter().zip(&sequential_outcomes) {
+        assert_eq!(b.majority, s.majority);
+        assert_eq!(b.session_bytes, s.session_bytes);
+    }
+    assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+}
+
+/// The acceptance-criteria propagation property: a verifier that falls to
+/// the exclusion threshold on ONE shard (all dissents observed there)
+/// stops being consulted on EVERY shard within one gossip epoch.
+#[test]
+fn exclusion_propagates_to_all_shards_within_one_epoch() {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let every = 8;
+    let engine = ShardedAuthority::with_policy(
+        4,
+        InventorBehavior::Honest,
+        &panel,
+        ReputationPolicy::Gossip { every },
+    );
+    let saboteur = Party::Verifier(2);
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    // Agents all pinned to one home shard, so every dissent lands there.
+    let home = engine.shard_of(0);
+    let pinned: Vec<u64> = (0..10_000u64)
+        .filter(|&a| engine.shard_of(a) == home)
+        .collect();
+    let mut agents = pinned.iter().copied();
+
+    // Drain the saboteur's score through home-shard consultations only,
+    // until the observing shard itself excludes it.
+    let mut consultations = 0usize;
+    while engine.with_shard(home, |a| a.reputation().is_trusted(saboteur)) {
+        engine.consult(agents.next().expect("enough pinned agents"), &spec);
+        consultations += 1;
+        assert!(
+            consultations <= 32,
+            "home shard never excluded the saboteur"
+        );
+    }
+    // Within at most one more epoch of (still pinned) consultations, the
+    // boundary sync spreads the exclusion engine-wide.
+    for _ in 0..every {
+        let excluded_everywhere = (0..engine.shard_count())
+            .all(|s| engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)));
+        if excluded_everywhere {
+            break;
+        }
+        engine.consult(agents.next().expect("enough pinned agents"), &spec);
+    }
+    for s in 0..engine.shard_count() {
+        assert!(
+            engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)),
+            "shard {s} still trusts the saboteur one epoch after exclusion"
+        );
+    }
+    // A consultation routed to a *different* shard no longer involves the
+    // saboteur: only the two honest panel members answer.
+    let away_agent = (0..10_000u64)
+        .find(|&a| engine.shard_of(a) != home)
+        .expect("some agent routes elsewhere");
+    let outcome = engine.consult(away_agent, &spec);
+    assert!(outcome.adopted);
+    assert_eq!(
+        outcome.verdict_details.len(),
+        2,
+        "excluded verifier was still consulted on a foreign shard"
+    );
+}
+
+/// Under `Isolated` the same scenario does NOT propagate: the deviant
+/// keeps serving other shards — the gap the gossip plane closes.
+#[test]
+fn isolated_policy_keeps_exclusion_local() {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let engine = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
+    let saboteur = Party::Verifier(2);
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    let home = engine.shard_of(0);
+    let mut pinned = (0..10_000u64).filter(|&a| engine.shard_of(a) == home);
+    let mut consultations = 0;
+    while engine.with_shard(home, |a| a.reputation().is_trusted(saboteur)) {
+        engine.consult(pinned.next().expect("enough pinned agents"), &spec);
+        consultations += 1;
+        assert!(
+            consultations <= 32,
+            "home shard never excluded the saboteur"
+        );
+    }
+    for s in 0..engine.shard_count() {
+        let trusted = engine.with_shard(s, |a| a.reputation().is_trusted(saboteur));
+        assert_eq!(s != home, trusted, "isolated shards share no reputation");
     }
 }
 
