@@ -79,10 +79,11 @@ impl Endpoint {
 
 /// The append-only audit log plus its running aggregates, kept consistent
 /// under one lock.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Ledger {
     records: Vec<DeliveryRecord>,
     total_bytes: usize,
+    delivered_bytes: usize,
     pair_bytes: HashMap<(Party, Party), usize>,
 }
 
@@ -104,7 +105,7 @@ struct Ledger {
 /// assert_eq!(msg, Message::AdviceRequest { game_id: 1 });
 /// assert!(bus.total_bytes() > 0);
 /// ```
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Bus {
     endpoints: Mutex<HashMap<Party, Sender<(Party, Message)>>>,
     ledger: Mutex<Ledger>,
@@ -153,14 +154,18 @@ impl Bus {
             tx.send((from, message))
                 .map_err(|_| BusError::Disconnected(to))
         };
+        let delivered = !dropped && result.is_ok();
         let mut ledger = self.ledger.lock().expect("bus lock poisoned");
         ledger.total_bytes += bytes;
+        if delivered {
+            ledger.delivered_bytes += bytes;
+        }
         *ledger.pair_bytes.entry((from, to)).or_insert(0) += bytes;
         ledger.records.push(DeliveryRecord {
             from,
             to,
             bytes,
-            delivered: !dropped && result.is_ok(),
+            delivered,
         });
         result
     }
@@ -181,6 +186,18 @@ impl Bus {
     /// Total bytes put on the wire (delivered or not). O(1).
     pub fn total_bytes(&self) -> usize {
         self.ledger.lock().expect("bus lock poisoned").total_bytes
+    }
+
+    /// Bytes of messages that actually reached their endpoint — attempts
+    /// dropped by fault injection or failed sends (undelivered per
+    /// [`DeliveryRecord::delivered`]) are excluded. This is the figure
+    /// Lemma 1 tables should cite for *communicated* bits; `total_bytes`
+    /// additionally counts wasted attempts. O(1).
+    pub fn delivered_bytes(&self) -> usize {
+        self.ledger
+            .lock()
+            .expect("bus lock poisoned")
+            .delivered_bytes
     }
 
     /// Bytes sent from `from` to `to`. O(1).
@@ -266,6 +283,41 @@ mod tests {
                     .sum::<usize>()
             );
         }
+    }
+
+    #[test]
+    fn delivered_bytes_excludes_drops_and_failures() {
+        // PR 2 made failed sends record as undelivered; delivered_bytes
+        // must exclude those and fault-injected drops, while total_bytes
+        // keeps counting every attempt.
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        let c = Party::Verifier(3);
+        bus.register(a);
+        let _ep_b = bus.register(b);
+        let ep_c = bus.register(c);
+        drop(ep_c);
+        bus.drop_link(a, b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 })
+            .unwrap(); // dropped by fault injection
+        let _ = bus.send(a, c, Message::AdviceRequest { game_id: 2 }); // disconnected
+        let _ = bus.send(a, Party::Agent(99), Message::AdviceRequest { game_id: 3 }); // unknown
+        assert_eq!(bus.delivered_bytes(), 0);
+        assert!(bus.total_bytes() > 0);
+        bus.heal();
+        bus.send(a, b, Message::AdviceRequest { game_id: 4 })
+            .unwrap();
+        let log = bus.delivery_log();
+        assert_eq!(
+            bus.delivered_bytes(),
+            log.iter()
+                .filter(|r| r.delivered)
+                .map(|r| r.bytes)
+                .sum::<usize>(),
+            "running delivered counter matches a log scan"
+        );
+        assert!(bus.delivered_bytes() < bus.total_bytes());
     }
 
     #[test]

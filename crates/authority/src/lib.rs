@@ -10,11 +10,15 @@
 //! * [`Inventor`] / [`VerifierService`] — honest and faulty behaviours for
 //!   every case study of the paper;
 //! * [`ReputationBackend`] — the pluggable reputation plane: majority
-//!   voting and reputation updates ("the reputation of the verifiers can
-//!   be updated according to the majority of their results"), with a
-//!   process-local [`LocalReputation`] backend and a cross-shard
-//!   [`GossipReputation`] backend that merges CRDT PN-counter deltas
-//!   ([`PnCounterMap`]) through a [`GossipPlane`] at epoch boundaries;
+//!   voting (simple or stake-weighted, [`VoteRule`]) and reputation
+//!   updates ("the reputation of the verifiers can be updated according
+//!   to the majority of their results"), with a process-local
+//!   [`LocalReputation`] backend and a cross-shard [`GossipReputation`]
+//!   backend that merges CRDT PN-counter deltas
+//!   ([`DecayingPnCounterMap`], generation-indexed so scores can decay —
+//!   [`ReputationDecay`]) through a [`GossipPlane`] at epoch boundaries —
+//!   over a dedicated, byte-accounted inter-shard bus
+//!   ([`GossipPlane::over_bus`]) when driven by the sharded engine;
 //! * [`StatisticsLedger`] — the signed, hash-chained statistics stream of
 //!   §6 footnote 3;
 //! * [`SessionDriver`] / [`RationalityAuthority`] — the per-consultation
@@ -23,10 +27,11 @@
 //!   single consultations and batched fan-out across shards, with the
 //!   reputation scope chosen per engine via [`ReputationPolicy`];
 //! * [`sha256`] / [`SigningKey`] / [`Commitment`] — the from-scratch crypto
-//!   substrate (see DESIGN.md for the substitution rationale).
+//!   substrate (an offline stand-in for real signatures; the workspace
+//!   builds without registry access, see `docs/ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod audit;
 mod bus;
@@ -47,10 +52,11 @@ pub use inventor::{GameSpec, Inventor, InventorBehavior};
 pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
 pub use reputation::{
-    GossipPlane, GossipReputation, LocalReputation, MajorityOutcome, PnCounter, PnCounterMap,
-    ReputationBackend, ReputationStore, EXCLUSION_THRESHOLD, INITIAL_SCORE,
+    DecayingPnCounterMap, GossipPlane, GossipReputation, LocalReputation, MajorityOutcome,
+    PnCounter, ReputationBackend, ReputationDecay, ReputationStore, VoteRule, EXCLUSION_THRESHOLD,
+    GOSSIP_HUB, INITIAL_SCORE,
 };
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
-pub use shard::{ReputationPolicy, ShardStats, ShardedAuthority};
+pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority};
 pub use verifier::{VerifierBehavior, VerifierService};
 pub use wire::{get_varint, put_varint, Wire, WireBytes, WireError};

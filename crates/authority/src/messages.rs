@@ -17,6 +17,7 @@ use ra_proofs::{
 };
 use ra_solvers::{EquilibriumRoot, ParticipationParams};
 
+use crate::reputation::{DecayingPnCounterMap, PnCounter};
 use crate::wire::{get_varint, put_varint, Wire, WireBytes, WireError};
 
 /// Identity of a protocol party.
@@ -28,6 +29,10 @@ pub enum Party {
     Agent(u64),
     /// A verification-procedure provider.
     Verifier(u64),
+    /// A shard's control-plane endpoint on the inter-shard gossip bus
+    /// (reputation merges travel as [`Message::Gossip`] frames between
+    /// these identities and [`crate::GOSSIP_HUB`]).
+    Shard(u64),
 }
 
 impl std::fmt::Display for Party {
@@ -36,6 +41,7 @@ impl std::fmt::Display for Party {
             Party::Inventor(i) => write!(f, "inventor-{i}"),
             Party::Agent(i) => write!(f, "agent-{i}"),
             Party::Verifier(i) => write!(f, "verifier-{i}"),
+            Party::Shard(i) => write!(f, "shard-{i}"),
         }
     }
 }
@@ -55,6 +61,10 @@ impl Wire for Party {
                 buf.push(2);
                 put_varint(buf, *i);
             }
+            Party::Shard(i) => {
+                buf.push(3);
+                put_varint(buf, *i);
+            }
         }
     }
     fn decode(buf: &mut WireBytes) -> Result<Party, WireError> {
@@ -67,6 +77,7 @@ impl Wire for Party {
             0 => Ok(Party::Inventor(id)),
             1 => Ok(Party::Agent(id)),
             2 => Ok(Party::Verifier(id)),
+            3 => Ok(Party::Shard(id)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -162,6 +173,16 @@ pub enum Message {
         index: usize,
         /// Membership bit.
         in_support: bool,
+    },
+    /// Shard ↔ gossip hub: one reputation-plane merge frame. Pushes carry
+    /// a shard's own PN-counter slice to [`crate::GOSSIP_HUB`]; pulls
+    /// carry the hub's merged state back. The sender's identity rides the
+    /// bus envelope (every delivery is `(from, message)`), so the frame
+    /// is just the payload. Framing these as real bus sends is what puts
+    /// the control plane inside the Lemma 1 byte accounting.
+    Gossip {
+        /// The PN-counter delta being merged.
+        delta: DecayingPnCounterMap,
     },
 }
 
@@ -527,6 +548,50 @@ impl Wire for Proof {
     }
 }
 
+impl Wire for PnCounter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.increments);
+        put_varint(buf, self.decrements);
+    }
+    fn decode(buf: &mut WireBytes) -> Result<PnCounter, WireError> {
+        Ok(PnCounter {
+            increments: get_varint(buf)?,
+            decrements: get_varint(buf)?,
+        })
+    }
+}
+
+impl Wire for DecayingPnCounterMap {
+    /// Generation cursor, then a flat length-prefixed sequence of
+    /// `(verifier, replica, generation, counter)` slots in sorted order
+    /// (the map's `BTreeMap` backing makes the encoding deterministic, so
+    /// gossip byte counts are reproducible).
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.current_generation());
+        let slots: Vec<_> = self.iter_slots().collect();
+        put_varint(buf, slots.len() as u64);
+        for (verifier, replica, generation, counter) in slots {
+            verifier.encode(buf);
+            put_varint(buf, replica);
+            put_varint(buf, generation);
+            counter.encode(buf);
+        }
+    }
+    fn decode(buf: &mut WireBytes) -> Result<DecayingPnCounterMap, WireError> {
+        let mut map = DecayingPnCounterMap::new();
+        map.set_generation(get_varint(buf)?);
+        let len = crate::wire::get_len_prefix(buf)?;
+        for _ in 0..len {
+            let verifier = Party::decode(buf)?;
+            let replica = get_varint(buf)?;
+            let generation = get_varint(buf)?;
+            let counter = PnCounter::decode(buf)?;
+            map.set_counter(replica, verifier, generation, counter);
+        }
+        Ok(map)
+    }
+}
+
 impl Wire for ParticipationParams {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.n.encode(buf);
@@ -730,6 +795,10 @@ impl Wire for Message {
                 index.encode(buf);
                 in_support.encode(buf);
             }
+            Message::Gossip { delta } => {
+                buf.push(8);
+                delta.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut WireBytes) -> Result<Message, WireError> {
@@ -772,6 +841,9 @@ impl Wire for Message {
                 index: usize::decode(buf)?,
                 in_support: bool::decode(buf)?,
             },
+            8 => Message::Gossip {
+                delta: DecayingPnCounterMap::decode(buf)?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -806,6 +878,64 @@ mod tests {
         round_trip(Party::Inventor(0));
         round_trip(Party::Agent(12345));
         round_trip(Party::Verifier(7));
+        round_trip(Party::Shard(3));
+        round_trip(crate::reputation::GOSSIP_HUB);
+    }
+
+    fn sample_delta() -> DecayingPnCounterMap {
+        let mut delta = DecayingPnCounterMap::new();
+        delta.record(0, Party::Verifier(2), false);
+        delta.record(0, Party::Verifier(2), false);
+        delta.record(0, Party::Verifier(1), true);
+        delta.set_generation(3);
+        delta.record(1, Party::Verifier(2), true);
+        delta
+    }
+
+    #[test]
+    fn gossip_message_round_trips() {
+        let msg = Message::Gossip {
+            delta: sample_delta(),
+        };
+        let size = round_trip(msg);
+        // Lemma 1 sanity: a 3-slot delta is tens of bytes, so control-plane
+        // frames stay the same order of magnitude as consultation frames.
+        assert!(size < 64, "3-slot gossip frame took {size} bytes");
+        round_trip(Message::Gossip {
+            delta: DecayingPnCounterMap::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_gossip_payload_rejected() {
+        let msg = Message::Gossip {
+            delta: sample_delta(),
+        };
+        let bytes = msg.to_bytes();
+        // Every strict prefix must fail cleanly (never panic, never
+        // succeed): the slot count promises more data than remains.
+        for cut in 1..bytes.len() {
+            let mut truncated = bytes.slice(0..cut);
+            assert!(
+                Message::decode(&mut truncated).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_gossip_slot_count_rejected() {
+        // Frame claiming u64::MAX slots: the defensive length cap must
+        // reject it as malformed instead of attempting the allocation.
+        let mut attack = Vec::new();
+        attack.push(8u8); // Message::Gossip tag
+        put_varint(&mut attack, 0); // generation cursor
+        put_varint(&mut attack, u64::MAX); // hostile slot count
+        let mut buf = WireBytes::from(attack);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The verifier reputation plane: majority voting, pluggable backends,
-//! and epoch-based cross-shard gossip.
+//! and epoch-based cross-shard gossip carried over the simulated [`Bus`].
 //!
 //! The paper: "We note the possibility of having several verifiers, such
 //! that their majority is trusted. The reputation of the verifiers can be
@@ -13,21 +13,89 @@
 //! * [`LocalReputation`] — one mutex-guarded score table, the classic
 //!   single-bus store (re-exported as [`ReputationStore`] for
 //!   compatibility);
-//! * [`GossipReputation`] — per-shard PN-counter deltas ([`PnCounterMap`],
-//!   a state-based CRDT whose merge is commutative, associative and
-//!   idempotent) published to a shared [`GossipPlane`] at epoch
-//!   boundaries, so the consult hot path only ever touches shard-local
-//!   state and exclusion still propagates engine-wide.
+//! * [`GossipReputation`] — per-shard PN-counter deltas
+//!   ([`DecayingPnCounterMap`], a state-based CRDT whose merge is
+//!   commutative, associative and idempotent) published to a shared
+//!   [`GossipPlane`] at epoch boundaries, so the consult hot path only
+//!   ever touches shard-local state and exclusion still propagates
+//!   engine-wide.
+//!
+//! Three refinements layer on top of the basic plane:
+//!
+//! * **Bus-carried gossip** — a [`GossipPlane`] built with
+//!   [`GossipPlane::over_bus`] routes every epoch merge through a
+//!   dedicated inter-shard [`Bus`] as real framed
+//!   [`Message::Gossip`](crate::Message::Gossip) sends, so the Lemma 1
+//!   byte accounting covers the control plane, not just consultations.
+//! * **Weighted votes** — [`VoteRule::Weighted`] pools verdicts by the
+//!   verifiers' reputation stakes instead of one-verifier-one-vote.
+//! * **Decay** — [`ReputationDecay::HalfLife`] halves the contribution of
+//!   each past epoch generation, so ancient dissent is eventually
+//!   forgiven ([`DecayingPnCounterMap`] keeps per-generation counters
+//!   exactly so this stays a max-merge CRDT — a plain PN counter can only
+//!   grow).
+//!
+//! # Examples
+//!
+//! The trait is what the session layer consumes; any backend slots in:
+//!
+//! ```
+//! use ra_authority::{LocalReputation, Party, ReputationBackend};
+//!
+//! let store = LocalReputation::new();
+//! let outcome = store.pool_verdicts(&[
+//!     (Party::Verifier(0), true),
+//!     (Party::Verifier(1), true),
+//!     (Party::Verifier(2), false),
+//! ]);
+//! assert!(outcome.accepted);
+//! assert_eq!(outcome.dissenters, vec![Party::Verifier(2)]);
+//! assert!(store.is_trusted(Party::Verifier(2)), "one dissent is not exclusion");
+//! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
-use crate::messages::Party;
+use crate::bus::{Bus, Endpoint};
+use crate::messages::{Message, Party};
 
 /// Starting reputation score for a verifier never seen before.
 pub const INITIAL_SCORE: i64 = 10;
 /// At or below this score a verifier is no longer consulted.
 pub const EXCLUSION_THRESHOLD: i64 = 0;
+
+/// The reserved bus identity of a [`GossipPlane`]'s rendezvous endpoint on
+/// the inter-shard gossip bus. Shard endpoints are `Party::Shard(s)` for
+/// `s < shard_count`, so the all-ones id can never collide.
+pub const GOSSIP_HUB: Party = Party::Shard(u64::MAX);
+
+/// How one round of verdicts is pooled into a majority.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VoteRule {
+    /// One verifier, one vote — the paper's rule.
+    #[default]
+    Simple,
+    /// Stake-weighted: each verdict counts its verifier's current
+    /// reputation score (clamped to at least 1), so long-trusted
+    /// verifiers outweigh newcomers and near-excluded ones.
+    Weighted,
+}
+
+/// How past observations fade from a verifier's score.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReputationDecay {
+    /// Observations never fade (plain PN-counter behaviour).
+    #[default]
+    None,
+    /// Each epoch generation's contribution halves per generation of age
+    /// and is dropped entirely at `retention` generations, so a verifier
+    /// judged irrational long ago is not condemned forever.
+    HalfLife {
+        /// Generations after which an observation stops counting
+        /// (must be positive).
+        retention: u32,
+    },
+}
 
 /// Outcome of pooling one round of verdicts.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,20 +107,43 @@ pub struct MajorityOutcome {
     pub accept_votes: usize,
     /// Number of verifiers voting reject.
     pub reject_votes: usize,
+    /// Total stake behind accept (equals `accept_votes` under
+    /// [`VoteRule::Simple`]).
+    pub accept_stake: i64,
+    /// Total stake behind reject (equals `reject_votes` under
+    /// [`VoteRule::Simple`]).
+    pub reject_stake: i64,
     /// Verifiers that disagreed with the majority this round.
     pub dissenters: Vec<Party>,
 }
 
-/// Computes the majority verdict of one round (ties reject — the safe
-/// side), shared by every backend so the vote rule cannot drift.
-fn majority_of(verdicts: &[(Party, bool)]) -> MajorityOutcome {
+/// Computes the pooled verdict of one round under a stake function (ties
+/// reject — the safe side), shared by every backend so the vote rule
+/// cannot drift between them. [`VoteRule::Simple`] is the constant stake
+/// function 1.
+fn pooled_outcome(verdicts: &[(Party, bool)], stake_of: impl Fn(Party) -> i64) -> MajorityOutcome {
     assert!(
         !verdicts.is_empty(),
         "pooling requires at least one verdict"
     );
-    let accept_votes = verdicts.iter().filter(|&&(_, a)| a).count();
-    let reject_votes = verdicts.len() - accept_votes;
-    let accepted = accept_votes > reject_votes;
+    let mut accept_votes = 0usize;
+    let mut reject_votes = 0usize;
+    let mut accept_stake = 0i64;
+    let mut reject_stake = 0i64;
+    for &(party, vote) in verdicts {
+        // A consulted verifier is trusted, hence has positive score; the
+        // clamp keeps hostile direct calls (pooling an already-excluded
+        // verifier) from producing non-positive stakes.
+        let stake = stake_of(party).max(1);
+        if vote {
+            accept_votes += 1;
+            accept_stake += stake;
+        } else {
+            reject_votes += 1;
+            reject_stake += stake;
+        }
+    }
+    let accepted = accept_stake > reject_stake;
     let dissenters = verdicts
         .iter()
         .filter(|&&(_, vote)| vote != accepted)
@@ -62,6 +153,8 @@ fn majority_of(verdicts: &[(Party, bool)]) -> MajorityOutcome {
         accepted,
         accept_votes,
         reject_votes,
+        accept_stake,
+        reject_stake,
         dissenters,
     }
 }
@@ -74,6 +167,28 @@ fn majority_of(verdicts: &[(Party, bool)]) -> MajorityOutcome {
 /// table ([`LocalReputation`]) or a cross-shard gossiped one
 /// ([`GossipReputation`]) without change. Implementations must be
 /// internally synchronized (`&self` methods, `Send + Sync`).
+///
+/// # Examples
+///
+/// Both backends agree on the same verdict stream:
+///
+/// ```
+/// use std::sync::Arc;
+/// use ra_authority::{
+///     GossipPlane, GossipReputation, LocalReputation, Party, ReputationBackend,
+/// };
+///
+/// let local = LocalReputation::new();
+/// let gossip = GossipReputation::new(0, Arc::new(GossipPlane::new()));
+/// let round = [(Party::Verifier(0), true), (Party::Verifier(1), false)];
+/// let a = ReputationBackend::pool_verdicts(&local, &round);
+/// let b = gossip.pool_verdicts(&round);
+/// assert_eq!(a, b);
+/// assert_eq!(
+///     ReputationBackend::score(&local, Party::Verifier(1)),
+///     gossip.score(Party::Verifier(1)),
+/// );
+/// ```
 pub trait ReputationBackend: Send + Sync {
     /// Current score of a verifier (unseen verifiers score
     /// [`INITIAL_SCORE`]).
@@ -105,9 +220,11 @@ pub trait ReputationBackend: Send + Sync {
 /// [`LocalReputation::EXCLUSION_THRESHOLD`] are excluded. This is the
 /// classic store the single-bus [`crate::RationalityAuthority`] always
 /// used; it is also each isolated shard's backend under
-/// [`crate::ReputationPolicy::Isolated`].
+/// [`crate::ReputationPolicy::Isolated`]. The vote rule is configurable
+/// via [`LocalReputation::with_rule`].
 #[derive(Debug, Default)]
 pub struct LocalReputation {
+    rule: VoteRule,
     scores: Mutex<HashMap<Party, i64>>,
 }
 
@@ -120,9 +237,22 @@ impl LocalReputation {
     /// At or below this score a verifier is no longer consulted.
     pub const EXCLUSION_THRESHOLD: i64 = EXCLUSION_THRESHOLD;
 
-    /// Creates an empty store.
+    /// Creates an empty store with the [`VoteRule::Simple`] rule.
     pub fn new() -> LocalReputation {
         LocalReputation::default()
+    }
+
+    /// Creates an empty store pooling verdicts under `rule`.
+    pub fn with_rule(rule: VoteRule) -> LocalReputation {
+        LocalReputation {
+            rule,
+            scores: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The vote rule this store pools verdicts under.
+    pub fn rule(&self) -> VoteRule {
+        self.rule
     }
 
     /// Current score of a verifier (registering it on first touch).
@@ -148,8 +278,13 @@ impl LocalReputation {
     ///
     /// Panics if `verdicts` is empty.
     pub fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
-        let outcome = majority_of(verdicts);
         let mut scores = self.scores.lock().expect("reputation lock poisoned");
+        let outcome = match self.rule {
+            VoteRule::Simple => pooled_outcome(verdicts, |_| 1),
+            VoteRule::Weighted => pooled_outcome(verdicts, |verifier| {
+                scores.get(&verifier).copied().unwrap_or(Self::INITIAL)
+            }),
+        };
         for &(verifier, vote) in verdicts {
             let entry = scores.entry(verifier).or_insert(Self::INITIAL);
             if vote == outcome.accepted {
@@ -215,36 +350,56 @@ impl PnCounter {
     }
 }
 
-/// A replica-sharded map of PN-counters: one [`PnCounter`] per
-/// `(replica, verifier)` coordinate, where a replica is a shard of the
-/// engine. Each replica advances only its own coordinates, so
-/// [`PnCounterMap::merge`] (coordinatewise [`PnCounter::merge`]) is a
-/// lattice join: the property tests in `tests/proptests.rs` pin down
-/// commutativity, associativity and idempotence.
+/// A replica-sharded, *generation-indexed* map of PN-counters: one
+/// [`PnCounter`] per `(verifier, replica, generation)` coordinate, where a
+/// replica is a shard of the engine and a generation is a gossip epoch
+/// index.
 ///
-/// Slots are keyed verifier-major, because the read pattern is hot:
-/// [`GossipReputation`] resolves one verifier's score on every
-/// consultation, which here is a single lookup plus a sum over that
-/// verifier's replicas — not a scan of the whole map.
+/// Generations are what make decay merge-safe. A plain PN counter only
+/// grows, so "multiply the value by ½" is not expressible as a lattice
+/// join — two replicas decaying at different moments would never converge.
+/// Segmenting observations by the (globally agreed, epoch-derived)
+/// generation keeps every coordinate grow-only: each replica advances only
+/// its own `(replica, generation)` cells, closed generations are
+/// immutable, and [`DecayingPnCounterMap::merge`] (coordinatewise
+/// [`PnCounter::merge`] plus a max of the generation cursors) remains a
+/// join — commutative, associative and idempotent, property-tested in
+/// `tests/proptests.rs`. Decay is then a pure *read-side* weighting:
+/// [`DecayingPnCounterMap::decayed_value`] halves each generation's
+/// contribution per generation of age under
+/// [`ReputationDecay::HalfLife`], and [`ReputationDecay::None`] reads the
+/// undecayed sum (exactly the pre-decay PN-counter semantics).
+///
+/// The map is kept in `BTreeMap`s so iteration — and therefore the wire
+/// encoding used by [`Message::Gossip`] — is deterministic.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct PnCounterMap {
-    slots: HashMap<Party, HashMap<usize, PnCounter>>,
+pub struct DecayingPnCounterMap {
+    current_gen: u64,
+    slots: BTreeMap<Party, BTreeMap<u64, BTreeMap<u64, PnCounter>>>,
 }
 
-impl PnCounterMap {
-    /// Creates an empty map.
-    pub fn new() -> PnCounterMap {
-        PnCounterMap::default()
+impl DecayingPnCounterMap {
+    /// Creates an empty map at generation 0.
+    pub fn new() -> DecayingPnCounterMap {
+        DecayingPnCounterMap::default()
     }
 
-    /// Records one observation made by `replica` about `verifier`:
-    /// `agreed` advances the increment tally, dissent the decrement tally.
-    pub fn record(&mut self, replica: usize, verifier: Party, agreed: bool) {
+    /// The map's generation cursor: records land in this generation.
+    pub fn current_generation(&self) -> u64 {
+        self.current_gen
+    }
+
+    /// Records one observation made by `replica` about `verifier` in the
+    /// current generation: `agreed` advances the increment tally, dissent
+    /// the decrement tally.
+    pub fn record(&mut self, replica: u64, verifier: Party, agreed: bool) {
         let slot = self
             .slots
             .entry(verifier)
             .or_default()
             .entry(replica)
+            .or_default()
+            .entry(self.current_gen)
             .or_default();
         if agreed {
             slot.increments += 1;
@@ -253,77 +408,332 @@ impl PnCounterMap {
         }
     }
 
-    /// Ensures `(replica, verifier)` has a slot without changing any tally
-    /// (registration on first touch, the identity of the join).
-    pub fn touch(&mut self, replica: usize, verifier: Party) {
+    /// Ensures `(replica, verifier)` has a slot in the current generation
+    /// without changing any tally (registration on first touch, the
+    /// identity of the join).
+    pub fn touch(&mut self, replica: u64, verifier: Party) {
         self.slots
             .entry(verifier)
             .or_default()
             .entry(replica)
+            .or_default()
+            .entry(self.current_gen)
             .or_default();
     }
 
-    /// CRDT join: coordinatewise componentwise maximum.
-    pub fn merge(&mut self, other: &PnCounterMap) {
-        for (&verifier, replicas) in &other.slots {
-            let own = self.slots.entry(verifier).or_default();
-            for (&replica, counter) in replicas {
-                own.entry(replica).or_default().merge(counter);
+    /// Replaces the counter at one `(verifier, replica, generation)`
+    /// coordinate. This exists for wire decoding and for tests; real
+    /// replicas only ever advance their own coordinates through
+    /// [`DecayingPnCounterMap::record`], which is what keeps the merge a
+    /// CRDT join.
+    pub fn set_counter(
+        &mut self,
+        replica: u64,
+        verifier: Party,
+        generation: u64,
+        counter: PnCounter,
+    ) {
+        self.slots
+            .entry(verifier)
+            .or_default()
+            .entry(replica)
+            .or_default()
+            .insert(generation, counter);
+    }
+
+    /// Sets the generation cursor (wire decoding; replicas advance through
+    /// [`DecayingPnCounterMap::advance_to`]).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.current_gen = generation;
+    }
+
+    /// Advances the generation cursor to `max(current, generation)` and,
+    /// under [`ReputationDecay::HalfLife`], prunes generations old enough
+    /// to contribute nothing. Replicas advance in lockstep at engine-wide
+    /// epoch boundaries, so pruning is deterministic — and because
+    /// [`DecayingPnCounterMap::decayed_value`] already ignores generations
+    /// past retention, pruning never changes an observable score.
+    pub fn advance_to(&mut self, generation: u64, decay: ReputationDecay) {
+        self.current_gen = self.current_gen.max(generation);
+        if let ReputationDecay::HalfLife { retention } = decay {
+            let keep_from = self
+                .current_gen
+                .saturating_sub(u64::from(retention).saturating_sub(1));
+            for replicas in self.slots.values_mut() {
+                for gens in replicas.values_mut() {
+                    gens.retain(|&g, _| g >= keep_from);
+                }
             }
         }
     }
 
-    /// The verifier's global value: the sum of its counters across every
-    /// replica.
+    /// CRDT join: coordinatewise componentwise maximum, plus a max of the
+    /// generation cursors.
+    pub fn merge(&mut self, other: &DecayingPnCounterMap) {
+        self.current_gen = self.current_gen.max(other.current_gen);
+        for (&verifier, replicas) in &other.slots {
+            let own = self.slots.entry(verifier).or_default();
+            for (&replica, gens) in replicas {
+                let own_gens = own.entry(replica).or_default();
+                for (&generation, counter) in gens {
+                    own_gens.entry(generation).or_default().merge(counter);
+                }
+            }
+        }
+    }
+
+    /// The verifier's undecayed global value: the sum of its counters
+    /// across every replica and generation.
     pub fn value(&self, verifier: Party) -> i64 {
-        self.slots
-            .get(&verifier)
-            .map_or(0, |replicas| replicas.values().map(PnCounter::value).sum())
+        self.decayed_value(verifier, ReputationDecay::None)
+    }
+
+    /// The verifier's global value under `decay`: per generation, the
+    /// summed counter values across replicas, weighted by
+    /// `1 / 2^(current_gen - generation)` (truncating division, so old
+    /// single observations fade to exactly zero) and dropped entirely at
+    /// `retention` generations of age.
+    ///
+    /// This runs on the consult hot path ([`ReputationBackend::score`]),
+    /// so the undecayed read is a plain allocation-free sum; only the
+    /// half-life read pays for a per-generation aggregation (truncating
+    /// division does not distribute over addition, so generations must be
+    /// summed before weighting).
+    pub fn decayed_value(&self, verifier: Party, decay: ReputationDecay) -> i64 {
+        let Some(replicas) = self.slots.get(&verifier) else {
+            return 0;
+        };
+        let ReputationDecay::HalfLife { retention } = decay else {
+            return replicas
+                .values()
+                .flat_map(BTreeMap::values)
+                .map(PnCounter::value)
+                .sum();
+        };
+        let mut by_generation: BTreeMap<u64, i64> = BTreeMap::new();
+        for gens in replicas.values() {
+            for (&generation, counter) in gens {
+                *by_generation.entry(generation).or_insert(0) += counter.value();
+            }
+        }
+        by_generation
+            .iter()
+            .map(|(&generation, &raw)| {
+                let age = self.current_gen.saturating_sub(generation);
+                if age >= u64::from(retention) || age >= 63 {
+                    0
+                } else {
+                    raw / (1i64 << age)
+                }
+            })
+            .sum()
     }
 
     /// Every verifier with at least one slot, sorted.
     pub fn verifiers(&self) -> Vec<Party> {
-        let mut out: Vec<Party> = self.slots.keys().copied().collect();
-        out.sort();
-        out
+        self.slots.keys().copied().collect()
     }
 
-    /// Number of `(replica, verifier)` slots.
+    /// Number of `(verifier, replica, generation)` slots.
     pub fn len(&self) -> usize {
-        self.slots.values().map(HashMap::len).sum()
+        self.slots
+            .values()
+            .flat_map(BTreeMap::values)
+            .map(BTreeMap::len)
+            .sum()
     }
 
     /// Returns `true` if no slot exists yet.
     pub fn is_empty(&self) -> bool {
-        self.slots.values().all(HashMap::is_empty)
+        self.len() == 0
+    }
+
+    /// Iterates every `(verifier, replica, generation, counter)` slot in
+    /// sorted order (the wire-encoding order).
+    pub fn iter_slots(&self) -> impl Iterator<Item = (Party, u64, u64, PnCounter)> + '_ {
+        self.slots.iter().flat_map(|(&verifier, replicas)| {
+            replicas.iter().flat_map(move |(&replica, gens)| {
+                gens.iter()
+                    .map(move |(&generation, &counter)| (verifier, replica, generation, counter))
+            })
+        })
+    }
+
+    /// The sub-map holding only `replica`'s own coordinates (every
+    /// generation), carrying the same generation cursor — the delta a
+    /// shard publishes at an epoch boundary. Bounded by the verifiers the
+    /// shard has seen, not by the engine-wide merged state.
+    pub fn replica_slice(&self, replica: u64) -> DecayingPnCounterMap {
+        let mut out = DecayingPnCounterMap {
+            current_gen: self.current_gen,
+            slots: BTreeMap::new(),
+        };
+        for (&verifier, replicas) in &self.slots {
+            if let Some(gens) = replicas.get(&replica) {
+                out.slots
+                    .entry(verifier)
+                    .or_default()
+                    .insert(replica, gens.clone());
+            }
+        }
+        out
     }
 }
 
 /// The shared rendezvous of the gossip backends: the join of every state
 /// published so far. Shards touch it only at epoch boundaries (publish /
 /// pull), never on the consult hot path.
+///
+/// Built with [`GossipPlane::new`] the plane is a plain in-memory join —
+/// merges cost no simulated network traffic. Built with
+/// [`GossipPlane::over_bus`] the plane owns a dedicated inter-shard
+/// [`Bus`]: every publish is a real framed [`Message::Gossip`] send from
+/// `Party::Shard(s)` to [`GOSSIP_HUB`], every pull a framed send back, so
+/// control-plane bytes land in the same Lemma 1 accounting as
+/// consultation traffic (and are subject to the same fault injection —
+/// a dropped frame is simply never merged).
 #[derive(Debug, Default)]
 pub struct GossipPlane {
-    merged: Mutex<PnCounterMap>,
+    merged: Mutex<DecayingPnCounterMap>,
+    decay: ReputationDecay,
+    transport: Option<GossipTransport>,
+}
+
+/// The bus wiring of a [`GossipPlane::over_bus`] plane.
+#[derive(Debug)]
+struct GossipTransport {
+    bus: Bus,
+    hub: Mutex<Endpoint>,
+    shard_endpoints: Mutex<HashMap<u64, Endpoint>>,
+}
+
+impl GossipTransport {
+    /// Registers `shard`'s endpoint on first use.
+    fn ensure_shard(&self, shard: u64) {
+        let mut endpoints = self
+            .shard_endpoints
+            .lock()
+            .expect("gossip endpoints lock poisoned");
+        endpoints
+            .entry(shard)
+            .or_insert_with(|| self.bus.register(Party::Shard(shard)));
+    }
 }
 
 impl GossipPlane {
-    /// Creates an empty plane.
+    /// Creates an empty in-memory plane (no bus, merges are free).
     pub fn new() -> GossipPlane {
         GossipPlane::default()
     }
 
-    /// Joins `state` into the plane.
-    pub fn publish(&self, state: &PnCounterMap) {
-        self.merged
-            .lock()
-            .expect("gossip plane lock poisoned")
-            .merge(state);
+    /// Creates an empty plane whose merges travel over a dedicated
+    /// inter-shard [`Bus`] as framed [`Message::Gossip`] sends.
+    pub fn over_bus() -> GossipPlane {
+        GossipPlane::over_bus_with(ReputationDecay::None)
     }
 
-    /// Joins the plane's accumulated state into `state`.
-    pub fn pull_into(&self, state: &mut PnCounterMap) {
-        state.merge(&self.merged.lock().expect("gossip plane lock poisoned"));
+    /// Like [`GossipPlane::over_bus`], but the plane knows the engine's
+    /// decay policy and prunes aged-out generations from its merged state
+    /// after every publish. Without this the hub — which only ever joins
+    /// — would accumulate one generation per epoch forever, and the pull
+    /// snapshots it frames onto the bus would grow without bound.
+    /// Pruning only drops generations [`DecayingPnCounterMap::decayed_value`]
+    /// already ignores, so no observable score changes.
+    pub fn over_bus_with(decay: ReputationDecay) -> GossipPlane {
+        let bus = Bus::new();
+        let hub = bus.register(GOSSIP_HUB);
+        GossipPlane {
+            merged: Mutex::new(DecayingPnCounterMap::new()),
+            decay,
+            transport: Some(GossipTransport {
+                bus,
+                hub: Mutex::new(hub),
+                shard_endpoints: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The inter-shard gossip bus, if this plane was built with
+    /// [`GossipPlane::over_bus`] — byte accounting and fault injection for
+    /// the control plane.
+    pub fn gossip_bus(&self) -> Option<&Bus> {
+        self.transport.as_ref().map(|t| &t.bus)
+    }
+
+    /// Joins `delta` (normally a shard's
+    /// [`DecayingPnCounterMap::replica_slice`]) into the plane. Over a
+    /// bus, the delta travels as a framed [`Message::Gossip`] from
+    /// `Party::Shard(from_shard)` to [`GOSSIP_HUB`]; a frame dropped by
+    /// fault injection is accounted but never merged.
+    pub fn publish_from(&self, from_shard: u64, delta: &DecayingPnCounterMap) {
+        match &self.transport {
+            None => self
+                .merged
+                .lock()
+                .expect("gossip plane lock poisoned")
+                .merge(delta),
+            Some(transport) => {
+                transport.ensure_shard(from_shard);
+                transport
+                    .bus
+                    .send(
+                        Party::Shard(from_shard),
+                        GOSSIP_HUB,
+                        Message::Gossip {
+                            delta: delta.clone(),
+                        },
+                    )
+                    .expect("gossip hub endpoint registered");
+                let hub = transport.hub.lock().expect("gossip hub lock poisoned");
+                let mut merged = self.merged.lock().expect("gossip plane lock poisoned");
+                for (_, message) in hub.drain() {
+                    if let Message::Gossip { delta, .. } = message {
+                        merged.merge(&delta);
+                    }
+                }
+                // Keep the hub state — and with it every future pull
+                // snapshot — bounded under decay.
+                let generation = merged.current_generation();
+                merged.advance_to(generation, self.decay);
+            }
+        }
+    }
+
+    /// Joins the plane's accumulated state into `state`. Over a bus, the
+    /// snapshot travels as a framed [`Message::Gossip`] from
+    /// [`GOSSIP_HUB`] to `Party::Shard(to_shard)`.
+    pub fn pull_into(&self, to_shard: u64, state: &mut DecayingPnCounterMap) {
+        match &self.transport {
+            None => state.merge(&self.merged.lock().expect("gossip plane lock poisoned")),
+            Some(transport) => {
+                transport.ensure_shard(to_shard);
+                let snapshot = self
+                    .merged
+                    .lock()
+                    .expect("gossip plane lock poisoned")
+                    .clone();
+                transport
+                    .bus
+                    .send(
+                        GOSSIP_HUB,
+                        Party::Shard(to_shard),
+                        Message::Gossip { delta: snapshot },
+                    )
+                    .expect("gossip shard endpoint registered");
+                let endpoints = transport
+                    .shard_endpoints
+                    .lock()
+                    .expect("gossip endpoints lock poisoned");
+                let endpoint = endpoints
+                    .get(&to_shard)
+                    .expect("shard endpoint ensured above");
+                for (_, message) in endpoint.drain() {
+                    if let Message::Gossip { delta, .. } = message {
+                        state.merge(&delta);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -333,47 +743,82 @@ impl GossipPlane {
 /// On the consult hot path ([`ReputationBackend::pool_verdicts`],
 /// [`ReputationBackend::score`]) only this shard's own mutex is taken;
 /// observations land in the shard's replica slots of a local
-/// [`PnCounterMap`]. At epoch boundaries — every `gossip_every`
+/// [`DecayingPnCounterMap`]. At epoch boundaries — every `every`
 /// consultations when driven by [`crate::ShardedAuthority`], or on an
-/// explicit [`GossipReputation::sync`] — the local state is published to
-/// the plane and the plane's join is pulled back, so a verifier voted out
-/// anywhere is excluded everywhere within one epoch. A verifier's score is
-/// [`INITIAL_SCORE`] plus the summed counter values across all replicas
-/// this shard has seen.
+/// explicit [`GossipReputation::sync`] — the shard's own slice is
+/// published to the plane and the plane's join is pulled back, so a
+/// verifier voted out anywhere is excluded everywhere within one epoch. A
+/// verifier's score is [`INITIAL_SCORE`] plus the (possibly decayed)
+/// summed counter values across all replicas this shard has seen.
 #[derive(Debug)]
 pub struct GossipReputation {
-    shard: usize,
+    shard: u64,
     plane: Arc<GossipPlane>,
-    local: Mutex<PnCounterMap>,
+    rule: VoteRule,
+    decay: ReputationDecay,
+    local: Mutex<DecayingPnCounterMap>,
 }
 
 impl GossipReputation {
-    /// Creates the backend for `shard`, wired to the shared `plane`.
-    pub fn new(shard: usize, plane: Arc<GossipPlane>) -> GossipReputation {
+    /// Creates the backend for `shard`, wired to the shared `plane`, with
+    /// [`VoteRule::Simple`] and no decay.
+    pub fn new(shard: u64, plane: Arc<GossipPlane>) -> GossipReputation {
+        GossipReputation::with_config(shard, plane, VoteRule::Simple, ReputationDecay::None)
+    }
+
+    /// Creates the backend for `shard` with an explicit vote rule and
+    /// decay policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ReputationDecay::HalfLife`] with a zero retention — a
+    /// zero-generation memory would silently zero every score.
+    pub fn with_config(
+        shard: u64,
+        plane: Arc<GossipPlane>,
+        rule: VoteRule,
+        decay: ReputationDecay,
+    ) -> GossipReputation {
+        if let ReputationDecay::HalfLife { retention } = decay {
+            assert!(retention > 0, "decay retention must be positive");
+        }
         GossipReputation {
             shard,
             plane,
-            local: Mutex::new(PnCounterMap::new()),
+            rule,
+            decay,
+            local: Mutex::new(DecayingPnCounterMap::new()),
         }
     }
 
     /// The shard (replica id) this backend writes observations under.
-    pub fn shard(&self) -> usize {
+    pub fn shard(&self) -> u64 {
         self.shard
     }
 
-    /// Publishes this shard's state to the plane (first half of an epoch
-    /// merge).
+    /// The vote rule this backend pools verdicts under.
+    pub fn rule(&self) -> VoteRule {
+        self.rule
+    }
+
+    /// The decay policy applied when reading scores.
+    pub fn decay(&self) -> ReputationDecay {
+        self.decay
+    }
+
+    /// Publishes this shard's own slice to the plane (first half of an
+    /// epoch merge).
     pub fn push(&self) {
         let local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane.publish(&local);
+        self.plane
+            .publish_from(self.shard, &local.replica_slice(self.shard));
     }
 
     /// Pulls the plane's join into this shard's state (second half of an
     /// epoch merge).
     pub fn pull(&self) {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane.pull_into(&mut local);
+        self.plane.pull_into(self.shard, &mut local);
     }
 
     /// One-shard epoch merge: publish, then pull. Brings this shard up to
@@ -383,8 +828,27 @@ impl GossipReputation {
     /// does exactly that.
     pub fn sync(&self) {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane.publish(&local);
-        self.plane.pull_into(&mut local);
+        self.plane
+            .publish_from(self.shard, &local.replica_slice(self.shard));
+        self.plane.pull_into(self.shard, &mut local);
+    }
+
+    /// Advances this shard's generation cursor (new observations land in
+    /// the new generation; old generations start decaying under
+    /// [`ReputationDecay::HalfLife`]). Driven by
+    /// [`crate::ShardedAuthority`] at engine-wide epoch boundaries so all
+    /// shards advance in lockstep.
+    pub fn advance_generation(&self, generation: u64) {
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        local.advance_to(generation, self.decay);
+    }
+
+    /// The shard's current generation cursor.
+    pub fn current_generation(&self) -> u64 {
+        self.local
+            .lock()
+            .expect("gossip local lock poisoned")
+            .current_generation()
     }
 }
 
@@ -392,12 +856,17 @@ impl ReputationBackend for GossipReputation {
     fn score(&self, verifier: Party) -> i64 {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
         local.touch(self.shard, verifier);
-        INITIAL_SCORE + local.value(verifier)
+        INITIAL_SCORE + local.decayed_value(verifier, self.decay)
     }
 
     fn pool_verdicts(&self, verdicts: &[(Party, bool)]) -> MajorityOutcome {
-        let outcome = majority_of(verdicts);
         let mut local = self.local.lock().expect("gossip local lock poisoned");
+        let outcome = match self.rule {
+            VoteRule::Simple => pooled_outcome(verdicts, |_| 1),
+            VoteRule::Weighted => pooled_outcome(verdicts, |verifier| {
+                INITIAL_SCORE + local.decayed_value(verifier, self.decay)
+            }),
+        };
         for &(verifier, vote) in verdicts {
             local.record(self.shard, verifier, vote == outcome.accepted);
         }
@@ -409,7 +878,7 @@ impl ReputationBackend for GossipReputation {
         local
             .verifiers()
             .into_iter()
-            .filter(|&p| INITIAL_SCORE + local.value(p) > EXCLUSION_THRESHOLD)
+            .filter(|&p| INITIAL_SCORE + local.decayed_value(p, self.decay) > EXCLUSION_THRESHOLD)
             .collect()
     }
 }
@@ -428,6 +897,7 @@ mod tests {
         let outcome = store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
         assert!(outcome.accepted);
         assert_eq!(outcome.accept_votes, 2);
+        assert_eq!(outcome.accept_stake, 2, "simple rule: stake == votes");
         assert_eq!(outcome.dissenters, vec![v(2)]);
         assert_eq!(store.score(v(0)), LocalReputation::INITIAL + 1);
         assert_eq!(store.score(v(2)), LocalReputation::INITIAL - 1);
@@ -501,6 +971,49 @@ mod tests {
     }
 
     #[test]
+    fn weighted_rule_lets_stake_outvote_headcount() {
+        // Verifier 0 earns stake by agreeing with rounds where everyone
+        // votes the same way; then its single vote outweighs two
+        // newcomers under the weighted rule.
+        let store = LocalReputation::with_rule(VoteRule::Weighted);
+        for _ in 0..25 {
+            store.pool_verdicts(&[(v(0), false), (v(9), false)]);
+        }
+        assert_eq!(store.score(v(0)), LocalReputation::INITIAL + 25);
+        let outcome = store.pool_verdicts(&[(v(0), false), (v(1), true), (v(2), true)]);
+        assert!(
+            !outcome.accepted,
+            "35 stake on reject beats 20 on accept despite the 2-1 headcount"
+        );
+        assert_eq!(outcome.accept_votes, 2);
+        assert_eq!(outcome.reject_votes, 1);
+        assert!(outcome.reject_stake > outcome.accept_stake);
+        assert_eq!(outcome.dissenters, vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn weighted_rule_ties_still_reject() {
+        let store = LocalReputation::with_rule(VoteRule::Weighted);
+        // Equal stakes, one vote each way: stake tie → reject.
+        let outcome = store.pool_verdicts(&[(v(0), true), (v(1), false)]);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.accept_stake, outcome.reject_stake);
+    }
+
+    #[test]
+    fn weighted_and_simple_agree_on_fresh_panels() {
+        // With all-equal stakes the weighted rule degenerates to the
+        // simple one.
+        let simple = LocalReputation::new();
+        let weighted = LocalReputation::with_rule(VoteRule::Weighted);
+        let round = [(v(0), true), (v(1), true), (v(2), false)];
+        let a = simple.pool_verdicts(&round);
+        let b = weighted.pool_verdicts(&round);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.dissenters, b.dissenters);
+    }
+
+    #[test]
     fn backends_agree_through_the_trait() {
         // The same verdict stream produces the same scores whether the
         // backend is local or a single-shard gossip instance.
@@ -531,13 +1044,86 @@ mod tests {
 
     #[test]
     fn pn_counter_map_sums_across_replicas() {
-        let mut map = PnCounterMap::new();
+        let mut map = DecayingPnCounterMap::new();
         map.record(0, v(7), false);
         map.record(1, v(7), false);
         map.record(2, v(7), true);
         assert_eq!(map.value(v(7)), -1);
         assert_eq!(map.verifiers(), vec![v(7)]);
         assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn decayed_value_halves_per_generation() {
+        let mut map = DecayingPnCounterMap::new();
+        let decay = ReputationDecay::HalfLife { retention: 4 };
+        for _ in 0..8 {
+            map.record(0, v(1), false); // -8 in generation 0
+        }
+        assert_eq!(map.decayed_value(v(1), decay), -8);
+        map.advance_to(1, decay);
+        assert_eq!(map.decayed_value(v(1), decay), -4);
+        map.advance_to(2, decay);
+        assert_eq!(map.decayed_value(v(1), decay), -2);
+        map.advance_to(3, decay);
+        assert_eq!(map.decayed_value(v(1), decay), -1);
+        // At retention the generation stops counting (and is pruned).
+        map.advance_to(4, decay);
+        assert_eq!(map.decayed_value(v(1), decay), 0);
+        assert!(map.is_empty(), "pruned at retention");
+        // Undecayed reads of the same data would have kept the full -8.
+        let mut undecayed = DecayingPnCounterMap::new();
+        for _ in 0..8 {
+            undecayed.record(0, v(1), false);
+        }
+        undecayed.advance_to(4, ReputationDecay::None);
+        assert_eq!(undecayed.value(v(1)), -8);
+    }
+
+    #[test]
+    fn decay_forgives_single_ancient_dissent() {
+        // A lone dissent decays to zero after one generation (truncating
+        // division), so a single ancient mistake stops mattering.
+        let decay = ReputationDecay::HalfLife { retention: 8 };
+        let mut map = DecayingPnCounterMap::new();
+        map.record(0, v(1), false);
+        map.advance_to(1, decay);
+        assert_eq!(map.decayed_value(v(1), decay), 0);
+    }
+
+    #[test]
+    fn pruning_does_not_change_observable_value() {
+        let decay = ReputationDecay::HalfLife { retention: 3 };
+        let mut pruned = DecayingPnCounterMap::new();
+        let mut unpruned = DecayingPnCounterMap::new();
+        for gen in 0..6u64 {
+            for _ in 0..4 {
+                pruned.record(0, v(1), gen % 2 == 0);
+                unpruned.record(0, v(1), gen % 2 == 0);
+            }
+            pruned.advance_to(gen + 1, decay);
+            unpruned.advance_to(gen + 1, ReputationDecay::None);
+            unpruned.set_generation(gen + 1);
+            assert_eq!(
+                pruned.decayed_value(v(1), decay),
+                unpruned.decayed_value(v(1), decay),
+                "generation {gen}"
+            );
+        }
+        assert!(pruned.len() < unpruned.len(), "pruning reclaimed slots");
+    }
+
+    #[test]
+    fn replica_slice_extracts_own_rows() {
+        let mut map = DecayingPnCounterMap::new();
+        map.record(0, v(1), true);
+        map.record(1, v(1), false);
+        map.record(0, v(2), false);
+        let slice = map.replica_slice(0);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.value(v(1)), 1, "replica 1's dissent not included");
+        assert_eq!(slice.value(v(2)), -1);
+        assert_eq!(slice.current_generation(), map.current_generation());
     }
 
     #[test]
@@ -573,5 +1159,101 @@ mod tests {
         assert_eq!(a.score(v(1)), score_a, "re-syncing changes nothing");
         assert_eq!(a.score(v(0)), b.score(v(0)));
         assert_eq!(a.score(v(1)), b.score(v(1)));
+    }
+
+    #[test]
+    fn bus_carried_plane_reaches_the_same_state_and_accounts_bytes() {
+        // The same observations through an in-memory plane and a
+        // bus-carried plane converge on identical scores; only the
+        // bus-carried one generates accounted traffic.
+        let free = Arc::new(GossipPlane::new());
+        let framed = Arc::new(GossipPlane::over_bus());
+        let run = |plane: &Arc<GossipPlane>| {
+            let a = GossipReputation::new(0, plane.clone());
+            let b = GossipReputation::new(1, plane.clone());
+            for _ in 0..4 {
+                a.pool_verdicts(&[(v(0), true), (v(1), false)]);
+                b.pool_verdicts(&[(v(0), true), (v(1), true)]);
+            }
+            a.push();
+            b.push();
+            a.pull();
+            b.pull();
+            (a.score(v(0)), a.score(v(1)), b.score(v(0)), b.score(v(1)))
+        };
+        assert_eq!(run(&free), run(&framed));
+        assert!(free.gossip_bus().is_none());
+        let bus = framed.gossip_bus().expect("bus-carried plane");
+        assert_eq!(bus.message_count(), 4, "2 pushes + 2 pulls");
+        assert!(bus.total_bytes() > 0, "gossip frames are byte-accounted");
+        assert_eq!(
+            bus.delivered_bytes(),
+            bus.total_bytes(),
+            "no faults injected: everything delivered"
+        );
+        // Per-pair accounting: shard 0's push went to the hub.
+        assert!(bus.bytes_between(Party::Shard(0), GOSSIP_HUB) > 0);
+        assert!(bus.bytes_between(GOSSIP_HUB, Party::Shard(0)) > 0);
+    }
+
+    #[test]
+    fn dropped_gossip_frame_is_never_merged() {
+        let plane = Arc::new(GossipPlane::over_bus());
+        let a = GossipReputation::new(0, plane.clone());
+        let b = GossipReputation::new(1, plane.clone());
+        for _ in 0..INITIAL_SCORE {
+            a.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        // Pre-register shard 0's endpoint (first contact), then cut its
+        // uplink to the hub: the push frame is accounted but dropped.
+        a.push();
+        let before_total = {
+            let bus = plane.gossip_bus().unwrap();
+            bus.drop_link(Party::Shard(0), GOSSIP_HUB);
+            bus.total_bytes()
+        };
+        // A fresh batch of dissents that never reaches the hub.
+        a.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        a.push();
+        b.pull();
+        let bus = plane.gossip_bus().unwrap();
+        assert!(bus.total_bytes() > before_total, "dropped frame accounted");
+        assert!(
+            bus.delivered_bytes() < bus.total_bytes(),
+            "dropped frame excluded from delivered bytes"
+        );
+        // The pull b received reflects only the first (delivered) push.
+        assert_eq!(b.score(v(2)), INITIAL_SCORE - INITIAL_SCORE);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay retention must be positive")]
+    fn zero_retention_rejected() {
+        GossipReputation::with_config(
+            0,
+            Arc::new(GossipPlane::new()),
+            VoteRule::Simple,
+            ReputationDecay::HalfLife { retention: 0 },
+        );
+    }
+
+    #[test]
+    fn decaying_backend_forgives_after_enough_generations() {
+        let plane = Arc::new(GossipPlane::new());
+        let decay = ReputationDecay::HalfLife { retention: 4 };
+        let backend = GossipReputation::with_config(0, plane, VoteRule::Simple, decay);
+        for _ in 0..INITIAL_SCORE {
+            backend.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        assert!(!backend.is_trusted(v(2)), "freshly excluded");
+        // Four generations later the dissent has fully decayed away.
+        for generation in 1..=4 {
+            backend.advance_generation(generation);
+        }
+        assert!(
+            backend.is_trusted(v(2)),
+            "ancient dissent is forgiven under decay"
+        );
+        assert_eq!(backend.score(v(2)), INITIAL_SCORE);
     }
 }

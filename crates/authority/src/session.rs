@@ -8,11 +8,18 @@
 //!
 //! Two layers live here. [`SessionDriver`] is the *protocol*: it runs one
 //! Fig. 1 message flow against whatever bus, inventor, verifier panel and
-//! reputation store it was assembled with. [`RationalityAuthority`] is the
-//! single-bus *orchestration* on top: it owns one driver, assigns game ids
-//! and exposes the classic `consult` API. The sharded, multi-bus
+//! reputation backend it was assembled with. [`RationalityAuthority`] is
+//! the single-bus *orchestration* on top: it owns one driver, assigns
+//! game ids and exposes the classic `consult` API. The sharded, multi-bus
 //! orchestration lives in [`crate::ShardedAuthority`], which reuses the
 //! same driver per shard.
+//!
+//! The driver is deliberately ignorant of reputation *policy*: whether
+//! verdicts are pooled one-verifier-one-vote or stake-weighted
+//! ([`crate::VoteRule`]), whether scores decay
+//! ([`crate::ReputationDecay`]), and whether the scores are shard-local
+//! or gossiped engine-wide all live behind the [`ReputationBackend`]
+//! trait, so the Fig. 1 flow never changes when the plane does.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -18,13 +18,19 @@
 //! The reputation plane is selected by [`ReputationPolicy`]:
 //! [`ReputationPolicy::Isolated`] keeps the pre-refactor behaviour (one
 //! private [`LocalReputation`] per shard), while
-//! [`ReputationPolicy::Gossip`] wires every shard to one
-//! [`GossipReputation`] backend over a shared [`GossipPlane`], merging
-//! PN-counter deltas every `every` consultations. Epoch boundaries fall at
-//! exact multiples of `every` in the engine-wide consultation stream —
-//! batches are chunked at those same multiples — so batch and sequential
-//! execution still reach identical outcomes, and the consult hot path
-//! never takes a cross-shard lock (the merge is amortized off-path).
+//! [`ReputationPolicy::Gossip`] and [`ReputationPolicy::Adaptive`] wire
+//! every shard to a [`GossipReputation`] backend over a shared, *bus
+//! carried* [`GossipPlane`]: every epoch merge travels the dedicated
+//! inter-shard bus as framed [`Gossip`](crate::Message::Gossip) sends, so
+//! [`ShardedAuthority::shard_stats`] reports control-plane bytes next to
+//! consultation bytes and Lemma 1 accounting covers its own coordination
+//! traffic. Epoch boundaries fall at exact multiples of the epoch length
+//! in the engine-wide consultation stream — batches are chunked at those
+//! same multiples — so batch and sequential execution still reach
+//! identical outcomes (and identical byte counts), and the consult hot
+//! path never takes a cross-shard lock (the merge is amortized off-path).
+//! Vote weighting and reputation decay are orthogonal knobs on
+//! [`ReputationConfig`].
 //!
 //! [`Bus`]: crate::Bus
 //! [`LocalReputation`]: crate::LocalReputation
@@ -32,64 +38,190 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::bus::Bus;
 use crate::inventor::{GameSpec, Inventor, InventorBehavior};
-use crate::reputation::{GossipPlane, GossipReputation};
+use crate::reputation::{
+    GossipPlane, GossipReputation, LocalReputation, ReputationDecay, VoteRule,
+};
 use crate::session::{RationalityAuthority, SessionOutcome};
 use crate::verifier::VerifierBehavior;
 
 /// How verifier reputation is scoped across the shards of a
 /// [`ShardedAuthority`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::ReputationPolicy;
+///
+/// // Fully independent score tables per shard:
+/// let isolated = ReputationPolicy::Isolated;
+/// // Merge every 32 consultations, engine-wide:
+/// let gossip = ReputationPolicy::Gossip { every: 32 };
+/// // Same cadence, but check every 8 consultations whether 4+ dissenting
+/// // votes have piled up since the last merge, and if so sync early:
+/// let adaptive = ReputationPolicy::Adaptive { every: 32, check_every: 8, burst: 4 };
+/// assert_ne!(isolated, gossip);
+/// assert_ne!(gossip, adaptive);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ReputationPolicy {
     /// Every shard keeps a fully independent score table: a verifier voted
     /// out on one shard keeps serving agents pinned to the others.
+    #[default]
     Isolated,
-    /// Shards gossip PN-counter deltas through a shared [`GossipPlane`]:
-    /// all shards publish and then pull the merged state every `every`
-    /// consultations (engine-wide), so exclusion anywhere becomes
-    /// exclusion everywhere within one epoch.
+    /// Shards gossip PN-counter deltas through a shared, bus-carried
+    /// [`GossipPlane`]: all shards publish and then pull the merged state
+    /// every `every` consultations (engine-wide), so exclusion anywhere
+    /// becomes exclusion everywhere within one epoch.
     Gossip {
         /// Epoch length in consultations; must be positive.
         every: usize,
     },
+    /// Like [`ReputationPolicy::Gossip`], but reactive to misbehaviour:
+    /// at every `check_every` consultations the engine looks at how many
+    /// dissenting votes accumulated since the last merge, and syncs early
+    /// if they reach `burst`. A flood of dissent (a verifier going rogue)
+    /// propagates in roughly `check_every` consultations instead of
+    /// waiting out the full epoch, while quiet traffic pays only the
+    /// `every`-cadence merges. Trigger points are fixed engine-wide
+    /// stream positions, so batch/sequential determinism is preserved.
+    Adaptive {
+        /// Maximum epoch length in consultations; must be positive and a
+        /// multiple of `check_every`.
+        every: usize,
+        /// How often (in consultations) the dissent counter is examined;
+        /// must be positive.
+        check_every: usize,
+        /// Dissenting votes since the last merge that trigger an early
+        /// sync; must be positive.
+        burst: u64,
+    },
+}
+
+impl ReputationPolicy {
+    /// The gossip cadence `(every, check_every, burst)` of this policy,
+    /// or `None` under [`ReputationPolicy::Isolated`]. Plain gossip is
+    /// adaptive gossip that never checks between epochs.
+    fn cadence(self) -> Option<(u64, u64, Option<u64>)> {
+        match self {
+            ReputationPolicy::Isolated => None,
+            ReputationPolicy::Gossip { every } => {
+                assert!(every > 0, "gossip epoch must be positive");
+                Some((every as u64, every as u64, None))
+            }
+            ReputationPolicy::Adaptive {
+                every,
+                check_every,
+                burst,
+            } => {
+                assert!(every > 0, "gossip epoch must be positive");
+                assert!(check_every > 0, "adaptive check interval must be positive");
+                assert!(
+                    every % check_every == 0,
+                    "adaptive epoch must be a multiple of the check interval"
+                );
+                assert!(burst > 0, "adaptive dissent burst must be positive");
+                Some((every as u64, check_every as u64, Some(burst)))
+            }
+        }
+    }
+}
+
+/// The full reputation-plane configuration of a [`ShardedAuthority`]:
+/// scope ([`ReputationPolicy`]), vote rule ([`VoteRule`]) and decay
+/// ([`ReputationDecay`]).
+///
+/// `Default` is the classic plane: isolated shards, one-verifier-one-vote,
+/// no decay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReputationConfig {
+    /// How reputation is scoped across shards.
+    pub policy: ReputationPolicy,
+    /// How one round of verdicts is pooled.
+    pub vote_rule: VoteRule,
+    /// How past observations fade (requires a gossip policy — decay
+    /// generations advance at engine-wide epoch boundaries).
+    pub decay: ReputationDecay,
+}
+
+impl From<ReputationPolicy> for ReputationConfig {
+    fn from(policy: ReputationPolicy) -> ReputationConfig {
+        ReputationConfig {
+            policy,
+            ..ReputationConfig::default()
+        }
+    }
 }
 
 /// Aggregated bus accounting across every shard, collected with a single
-/// lock acquisition per shard.
+/// lock acquisition per shard — consultation traffic and, under a gossip
+/// policy, the control-plane traffic of the inter-shard gossip bus.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Total wire bytes across every shard's bus.
+    /// Total wire bytes across every shard's bus (consultation plane).
     pub total_bytes: usize,
-    /// Total messages across every shard's bus.
+    /// Total messages across every shard's bus (consultation plane).
     pub message_count: usize,
     /// Per-shard wire-byte totals (index = shard).
     pub shard_bytes: Vec<usize>,
+    /// Delivered wire bytes on the inter-shard gossip bus (zero under
+    /// [`ReputationPolicy::Isolated`]). Undelivered frames — dropped by
+    /// fault injection or failed sends — are excluded, so this is the
+    /// control-plane figure Lemma 1 tables can cite directly.
+    pub gossip_bytes: usize,
+    /// Messages attempted on the inter-shard gossip bus.
+    pub gossip_messages: usize,
 }
 
-/// The gossip wiring of an engine under [`ReputationPolicy::Gossip`]: the
-/// shared plane, one backend handle per shard, and the engine-wide
-/// consultation counter that places epoch boundaries.
+/// The gossip wiring of an engine under a gossip [`ReputationPolicy`]:
+/// the shared bus-carried plane, one backend handle per shard, and the
+/// engine-wide counters that place epoch boundaries and adaptive
+/// triggers.
 struct GossipController {
     every: u64,
+    check_every: u64,
+    burst: Option<u64>,
     consultations: AtomicU64,
+    dissents: AtomicU64,
+    plane: Arc<GossipPlane>,
     backends: Vec<Arc<GossipReputation>>,
 }
 
 impl GossipController {
-    /// Advances the engine-wide consultation counter by `count` and runs
-    /// `sync` if the advance crossed an epoch boundary. Crossing is
-    /// detected from the interval the `fetch_add` itself returned — never
-    /// from a separately loaded value — so concurrent callers may each
-    /// sync, but a boundary can never fall through the cracks between two
-    /// interleaved advances.
-    fn note_consultations(&self, count: u64, sync: impl FnOnce()) {
+    /// Advances the engine-wide consultation counter by `count` (noting
+    /// `new_dissents` dissenting votes) and runs `sync` if the advance
+    /// crossed an epoch boundary, or a check boundary with the dissent
+    /// burst threshold met. Crossing is detected from the interval the
+    /// `fetch_add` itself returned — never from a separately loaded value
+    /// — so concurrent callers may each sync, but a boundary can never
+    /// fall through the cracks between two interleaved advances. Returns
+    /// the new generation if the advance completed a full epoch (the
+    /// caller then advances every backend's decay generation).
+    fn note_consultations(
+        &self,
+        count: u64,
+        new_dissents: u64,
+        sync: impl FnOnce(),
+    ) -> Option<u64> {
         if count == 0 {
-            return;
+            return None;
         }
         let before = self.consultations.fetch_add(count, Ordering::SeqCst);
-        if (before + count) / self.every > before / self.every {
-            sync();
+        let after = before + count;
+        if new_dissents > 0 {
+            self.dissents.fetch_add(new_dissents, Ordering::SeqCst);
         }
+        let crossed_epoch = after / self.every > before / self.every;
+        let crossed_check = after / self.check_every > before / self.check_every;
+        let burst_hit = self
+            .burst
+            .is_some_and(|b| self.dissents.load(Ordering::SeqCst) >= b);
+        if crossed_epoch || (crossed_check && burst_hit) {
+            sync();
+            self.dissents.store(0, Ordering::SeqCst);
+        }
+        crossed_epoch.then(|| after / self.every)
     }
 }
 
@@ -120,24 +252,51 @@ impl GossipController {
 /// assert!(outcomes.iter().all(|o| o.adopted));
 /// ```
 ///
-/// With gossip, exclusion propagates engine-wide:
+/// With gossip, exclusion propagates engine-wide and the merge traffic is
+/// byte-accounted on a dedicated inter-shard bus:
 ///
 /// ```
 /// use ra_authority::{
-///     InventorBehavior, ReputationPolicy, ShardedAuthority, VerifierBehavior,
+///     GameSpec, InventorBehavior, ReputationPolicy, ShardedAuthority, VerifierBehavior,
 /// };
+/// use ra_games::named::prisoners_dilemma;
 ///
 /// let engine = ShardedAuthority::with_policy(
 ///     4,
 ///     InventorBehavior::Honest,
-///     &[VerifierBehavior::Honest, VerifierBehavior::AlwaysReject],
-///     ReputationPolicy::Gossip { every: 32 },
+///     &[VerifierBehavior::Honest; 3],
+///     ReputationPolicy::Gossip { every: 8 },
 /// );
-/// assert_eq!(engine.reputation_policy(), ReputationPolicy::Gossip { every: 32 });
+/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+/// let requests: Vec<(u64, GameSpec)> = (0..16).map(|a| (a, spec.clone())).collect();
+/// engine.consult_batch(&requests);
+/// let stats = engine.shard_stats();
+/// assert!(stats.gossip_bytes > 0, "epoch merges are real framed sends");
+/// ```
+///
+/// Weighted votes and decay are configured through [`ReputationConfig`]:
+///
+/// ```
+/// use ra_authority::{
+///     InventorBehavior, ReputationConfig, ReputationDecay, ReputationPolicy,
+///     ShardedAuthority, VerifierBehavior, VoteRule,
+/// };
+///
+/// let engine = ShardedAuthority::with_config(
+///     2,
+///     InventorBehavior::Honest,
+///     &[VerifierBehavior::Honest; 3],
+///     ReputationConfig {
+///         policy: ReputationPolicy::Adaptive { every: 32, check_every: 8, burst: 4 },
+///         vote_rule: VoteRule::Weighted,
+///         decay: ReputationDecay::HalfLife { retention: 6 },
+///     },
+/// );
+/// assert_eq!(engine.reputation_config().vote_rule, VoteRule::Weighted);
 /// ```
 pub struct ShardedAuthority {
     shards: Vec<Mutex<RationalityAuthority>>,
-    policy: ReputationPolicy,
+    config: ReputationConfig,
     gossip: Option<GossipController>,
 }
 
@@ -154,46 +313,80 @@ impl ShardedAuthority {
         inventor_behavior: InventorBehavior,
         verifier_behaviors: &[VerifierBehavior],
     ) -> ShardedAuthority {
-        ShardedAuthority::with_policy(
+        ShardedAuthority::with_config(
             shards,
             inventor_behavior,
             verifier_behaviors,
-            ReputationPolicy::Isolated,
+            ReputationConfig::default(),
         )
     }
 
-    /// Builds an engine with an explicit [`ReputationPolicy`].
+    /// Builds an engine with an explicit [`ReputationPolicy`] (default
+    /// vote rule and no decay).
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero, or if the policy is
-    /// [`ReputationPolicy::Gossip`] with a zero epoch.
+    /// Panics if `shards` is zero or the policy parameters are invalid
+    /// (see [`ShardedAuthority::with_config`]).
     pub fn with_policy(
         shards: usize,
         inventor_behavior: InventorBehavior,
         verifier_behaviors: &[VerifierBehavior],
         policy: ReputationPolicy,
     ) -> ShardedAuthority {
+        ShardedAuthority::with_config(shards, inventor_behavior, verifier_behaviors, policy.into())
+    }
+
+    /// Builds an engine with a full [`ReputationConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero; if a gossip epoch, check interval or
+    /// burst is zero; if an adaptive epoch is not a multiple of its check
+    /// interval; or if decay is requested under
+    /// [`ReputationPolicy::Isolated`] (decay generations advance at
+    /// gossip epoch boundaries, which isolated engines do not have).
+    pub fn with_config(
+        shards: usize,
+        inventor_behavior: InventorBehavior,
+        verifier_behaviors: &[VerifierBehavior],
+        config: ReputationConfig,
+    ) -> ShardedAuthority {
         assert!(shards > 0, "at least one shard");
-        let gossip = match policy {
-            ReputationPolicy::Isolated => None,
-            ReputationPolicy::Gossip { every } => {
-                assert!(every > 0, "gossip epoch must be positive");
-                let plane = Arc::new(GossipPlane::new());
-                Some(GossipController {
-                    every: every as u64,
-                    consultations: AtomicU64::new(0),
-                    backends: (0..shards)
-                        .map(|s| Arc::new(GossipReputation::new(s, plane.clone())))
-                        .collect(),
-                })
+        let gossip = config.policy.cadence().map(|(every, check_every, burst)| {
+            let plane = Arc::new(GossipPlane::over_bus_with(config.decay));
+            GossipController {
+                every,
+                check_every,
+                burst,
+                consultations: AtomicU64::new(0),
+                dissents: AtomicU64::new(0),
+                plane: plane.clone(),
+                backends: (0..shards)
+                    .map(|s| {
+                        Arc::new(GossipReputation::with_config(
+                            s as u64,
+                            plane.clone(),
+                            config.vote_rule,
+                            config.decay,
+                        ))
+                    })
+                    .collect(),
             }
-        };
+        });
+        assert!(
+            gossip.is_some() || config.decay == ReputationDecay::None,
+            "reputation decay requires a gossip policy (epochs are its clock)"
+        );
         let shards = (0..shards)
             .map(|s| {
                 let inventor = Inventor::new(s as u64, inventor_behavior);
                 let authority = match &gossip {
-                    None => RationalityAuthority::new(inventor, verifier_behaviors),
+                    None => RationalityAuthority::with_reputation(
+                        inventor,
+                        verifier_behaviors,
+                        Arc::new(LocalReputation::with_rule(config.vote_rule)),
+                    ),
                     Some(g) => RationalityAuthority::with_reputation(
                         inventor,
                         verifier_behaviors,
@@ -205,7 +398,7 @@ impl ShardedAuthority {
             .collect();
         ShardedAuthority {
             shards,
-            policy,
+            config,
             gossip,
         }
     }
@@ -217,7 +410,19 @@ impl ShardedAuthority {
 
     /// The reputation policy this engine was built with.
     pub fn reputation_policy(&self) -> ReputationPolicy {
-        self.policy
+        self.config.policy
+    }
+
+    /// The full reputation configuration this engine was built with.
+    pub fn reputation_config(&self) -> ReputationConfig {
+        self.config
+    }
+
+    /// The inter-shard gossip bus (byte accounting and fault injection
+    /// for the control plane), or `None` under
+    /// [`ReputationPolicy::Isolated`].
+    pub fn gossip_bus(&self) -> Option<&Bus> {
+        self.gossip.as_ref().and_then(|g| g.plane.gossip_bus())
     }
 
     /// The shard serving `agent_id`: a deterministic (SplitMix64) hash of
@@ -231,17 +436,16 @@ impl ShardedAuthority {
     }
 
     /// Runs one consultation, routed to the agent's shard. Under gossip,
-    /// crossing an epoch boundary triggers [`ShardedAuthority::sync_reputation`]
-    /// after the consultation completes — off the hot path, which itself
-    /// only takes the shard's own locks.
+    /// crossing an epoch boundary (or an adaptive dissent-burst trigger)
+    /// runs [`ShardedAuthority::sync_reputation`] after the consultation
+    /// completes — off the hot path, which itself only takes the shard's
+    /// own locks.
     pub fn consult(&self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
         let outcome = self.shards[self.shard_of(agent_id)]
             .lock()
             .expect("shard lock poisoned")
             .consult(agent_id, spec);
-        if let Some(g) = &self.gossip {
-            g.note_consultations(1, || self.sync_reputation());
-        }
+        self.note_consultations(1, dissent_votes(&outcome));
         outcome
     }
 
@@ -253,10 +457,12 @@ impl ShardedAuthority {
     /// same sequence of [`ShardedAuthority::consult`] calls would have
     /// produced: a shard handles its share of the batch sequentially, in
     /// request order, so worker interleaving cannot change any outcome.
-    /// Under gossip the batch is additionally chunked at epoch boundaries
-    /// — the same engine-wide multiples of `every` that sequential calls
-    /// sync at — with a full publish/pull merge between chunks, so the
-    /// equality holds under [`ReputationPolicy::Gossip`] too.
+    /// Under gossip the batch is additionally chunked at the engine-wide
+    /// stream positions where sequential calls would evaluate a merge —
+    /// epoch multiples, plus check-interval multiples under
+    /// [`ReputationPolicy::Adaptive`] — with a full publish/pull merge
+    /// between chunks when triggered, so the equality (including gossip
+    /// byte accounting) holds under every policy.
     pub fn consult_batch(&self, requests: &[(u64, GameSpec)]) -> Vec<SessionOutcome> {
         let mut results: Vec<Option<SessionOutcome>> = Vec::new();
         results.resize_with(requests.len(), || None);
@@ -266,10 +472,15 @@ impl ShardedAuthority {
                 let mut start = 0;
                 while start < requests.len() {
                     let done = g.consultations.load(Ordering::SeqCst);
-                    let room = (g.every - done % g.every) as usize;
+                    let room = (g.check_every - done % g.check_every) as usize;
                     let end = requests.len().min(start + room);
                     self.run_chunk(requests, start, end, &mut results);
-                    g.note_consultations((end - start) as u64, || self.sync_reputation());
+                    let dissents = results[start..end]
+                        .iter()
+                        .flatten()
+                        .map(dissent_votes)
+                        .sum::<u64>();
+                    self.note_consultations((end - start) as u64, dissents);
                     start = end;
                 }
             }
@@ -278,6 +489,24 @@ impl ShardedAuthority {
             .into_iter()
             .map(|o| o.expect("every request was routed to a shard"))
             .collect()
+    }
+
+    /// Advances the engine-wide consultation/dissent counters and, when a
+    /// boundary was crossed, merges and advances decay generations.
+    /// Generations exist purely as the decay clock, so without decay they
+    /// are never advanced — keeping every gossip payload a single
+    /// generation deep instead of growing by one per epoch forever.
+    fn note_consultations(&self, count: u64, dissents: u64) {
+        if let Some(g) = &self.gossip {
+            let new_generation = g.note_consultations(count, dissents, || self.sync_reputation());
+            if let Some(generation) = new_generation {
+                if self.config.decay != ReputationDecay::None {
+                    for backend in &g.backends {
+                        backend.advance_generation(generation);
+                    }
+                }
+            }
+        }
     }
 
     /// Processes `requests[start..end]`, writing each outcome at its
@@ -334,9 +563,10 @@ impl ShardedAuthority {
     }
 
     /// Forces one full gossip epoch merge: every shard publishes its
-    /// PN-counter state to the plane, then every shard pulls the merged
-    /// state back, so all shards converge on the join of everything
-    /// observed so far. A no-op under [`ReputationPolicy::Isolated`].
+    /// PN-counter slice to the plane (a framed send on the inter-shard
+    /// bus), then every shard pulls the merged state back (another framed
+    /// send), so all shards converge on the join of everything observed
+    /// so far. A no-op under [`ReputationPolicy::Isolated`].
     pub fn sync_reputation(&self) {
         if let Some(g) = &self.gossip {
             for backend in &g.backends {
@@ -359,8 +589,9 @@ impl ShardedAuthority {
         f(&self.shards[shard].lock().expect("shard lock poisoned"))
     }
 
-    /// Collects the bus accounting of every shard in one pass, locking
-    /// each shard exactly once.
+    /// Collects the bus accounting of every shard — plus the inter-shard
+    /// gossip bus, when the policy has one — in one pass, locking each
+    /// shard exactly once.
     pub fn shard_stats(&self) -> ShardStats {
         let mut stats = ShardStats {
             shard_bytes: Vec::with_capacity(self.shards.len()),
@@ -373,15 +604,19 @@ impl ShardedAuthority {
             stats.message_count += shard.bus().message_count();
             stats.shard_bytes.push(bytes);
         }
+        if let Some(bus) = self.gossip_bus() {
+            stats.gossip_bytes = bus.delivered_bytes();
+            stats.gossip_messages = bus.message_count();
+        }
         stats
     }
 
-    /// Total wire bytes across every shard's bus.
+    /// Total wire bytes across every shard's bus (consultation plane).
     pub fn total_bytes(&self) -> usize {
         self.shard_stats().total_bytes
     }
 
-    /// Total messages across every shard's bus.
+    /// Total messages across every shard's bus (consultation plane).
     pub fn message_count(&self) -> usize {
         self.shard_stats().message_count
     }
@@ -390,6 +625,14 @@ impl ShardedAuthority {
     pub fn shard_bytes(&self) -> Vec<usize> {
         self.shard_stats().shard_bytes
     }
+}
+
+/// Dissenting votes in one outcome (0 when no verdict was pooled).
+fn dissent_votes(outcome: &SessionOutcome) -> u64 {
+    outcome
+        .majority
+        .as_ref()
+        .map_or(0, |m| m.dissenters.len() as u64)
 }
 
 #[cfg(test)]
@@ -410,6 +653,41 @@ mod tests {
         (0..n)
             .map(|a| (a, specs[(a % specs.len() as u64) as usize].clone()))
             .collect()
+    }
+
+    /// The saboteur panel: two honest verifiers and one `AlwaysReject`, so
+    /// reputation actually evolves during determinism comparisons.
+    fn saboteur_panel() -> [VerifierBehavior; 3] {
+        [
+            VerifierBehavior::Honest,
+            VerifierBehavior::Honest,
+            VerifierBehavior::AlwaysReject,
+        ]
+    }
+
+    fn assert_batch_matches_sequential(config: ReputationConfig, n: u64) {
+        let requests = batch(n);
+        let batched =
+            ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
+        let sequential =
+            ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
+        let batch_outcomes = batched.consult_batch(&requests);
+        let seq_outcomes: Vec<SessionOutcome> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .collect();
+        assert_eq!(batch_outcomes.len(), seq_outcomes.len());
+        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
+            assert_eq!(b.adopted, s.adopted, "{config:?}");
+            assert_eq!(b.majority, s.majority, "{config:?}");
+            assert_eq!(b.session_bytes, s.session_bytes, "{config:?}");
+        }
+        assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+        assert_eq!(
+            batched.shard_stats(),
+            sequential.shard_stats(),
+            "gossip byte accounting must be execution-shape independent"
+        );
     }
 
     #[test]
@@ -450,53 +728,214 @@ mod tests {
 
     #[test]
     fn batch_matches_sequential_routed_calls() {
-        let panel = [
-            VerifierBehavior::Honest,
-            VerifierBehavior::Honest,
-            VerifierBehavior::AlwaysReject,
-        ];
-        let requests = batch(64);
-        let batched = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
-        let sequential = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);
-        let batch_outcomes = batched.consult_batch(&requests);
-        let seq_outcomes: Vec<SessionOutcome> = requests
-            .iter()
-            .map(|(agent, spec)| sequential.consult(*agent, spec))
-            .collect();
-        assert_eq!(batch_outcomes.len(), seq_outcomes.len());
-        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
-            assert_eq!(b.adopted, s.adopted);
-            assert_eq!(b.majority, s.majority);
-            assert_eq!(b.session_bytes, s.session_bytes);
-        }
-        assert_eq!(batched.total_bytes(), sequential.total_bytes());
-        assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+        assert_batch_matches_sequential(ReputationConfig::default(), 64);
     }
 
     #[test]
     fn gossip_batch_matches_sequential_routed_calls() {
-        // Same determinism property with an epoch shorter than the batch,
-        // so merges happen mid-stream in both executions.
-        let panel = [
-            VerifierBehavior::Honest,
-            VerifierBehavior::Honest,
-            VerifierBehavior::AlwaysReject,
-        ];
-        let policy = ReputationPolicy::Gossip { every: 16 };
-        let requests = batch(64);
-        let batched = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
-        let sequential = ShardedAuthority::with_policy(4, InventorBehavior::Honest, &panel, policy);
-        let batch_outcomes = batched.consult_batch(&requests);
-        let seq_outcomes: Vec<SessionOutcome> = requests
-            .iter()
-            .map(|(agent, spec)| sequential.consult(*agent, spec))
-            .collect();
-        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
-            assert_eq!(b.adopted, s.adopted);
-            assert_eq!(b.majority, s.majority);
-            assert_eq!(b.session_bytes, s.session_bytes);
+        // Epoch shorter than the batch, so merges happen mid-stream in
+        // both executions.
+        assert_batch_matches_sequential(ReputationPolicy::Gossip { every: 16 }.into(), 64);
+    }
+
+    #[test]
+    fn weighted_gossip_batch_matches_sequential() {
+        assert_batch_matches_sequential(
+            ReputationConfig {
+                policy: ReputationPolicy::Gossip { every: 16 },
+                vote_rule: VoteRule::Weighted,
+                decay: ReputationDecay::None,
+            },
+            64,
+        );
+    }
+
+    #[test]
+    fn decaying_gossip_batch_matches_sequential() {
+        // Epoch 8 over 64 consultations: several generations advance (and
+        // prune) mid-stream in both executions.
+        assert_batch_matches_sequential(
+            ReputationConfig {
+                policy: ReputationPolicy::Gossip { every: 8 },
+                vote_rule: VoteRule::Simple,
+                decay: ReputationDecay::HalfLife { retention: 3 },
+            },
+            64,
+        );
+    }
+
+    #[test]
+    fn adaptive_batch_matches_sequential() {
+        // With a saboteur in the panel every consultation dissents, so
+        // adaptive triggers fire at check boundaries throughout.
+        assert_batch_matches_sequential(
+            ReputationConfig {
+                policy: ReputationPolicy::Adaptive {
+                    every: 32,
+                    check_every: 4,
+                    burst: 2,
+                },
+                vote_rule: VoteRule::Weighted,
+                decay: ReputationDecay::HalfLife { retention: 4 },
+            },
+            64,
+        );
+    }
+
+    #[test]
+    fn gossip_bytes_accounted_under_gossip_and_zero_under_isolated() {
+        let requests = batch(48);
+        let isolated =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        isolated.consult_batch(&requests);
+        let stats = isolated.shard_stats();
+        assert_eq!(stats.gossip_bytes, 0);
+        assert_eq!(stats.gossip_messages, 0);
+        assert!(isolated.gossip_bus().is_none());
+
+        let gossip = ShardedAuthority::with_policy(
+            4,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            ReputationPolicy::Gossip { every: 16 },
+        );
+        gossip.consult_batch(&requests);
+        let stats = gossip.shard_stats();
+        assert!(stats.gossip_bytes > 0, "48 consultations cross 3 epochs");
+        // 4 shards × (1 push + 1 pull) per sync.
+        assert_eq!(stats.gossip_messages % 8, 0);
+        let bus = gossip.gossip_bus().expect("gossip engine has a bus");
+        assert_eq!(stats.gossip_bytes, bus.delivered_bytes());
+        assert_eq!(
+            bus.delivered_bytes(),
+            bus.total_bytes(),
+            "no faults: all frames delivered"
+        );
+    }
+
+    #[test]
+    fn undelivered_gossip_frames_excluded_from_stats() {
+        // Regression for the PR 2 failed-send accounting change: frames
+        // dropped on the gossip bus are counted as attempts but excluded
+        // from the Lemma 1 `gossip_bytes` figure.
+        let engine = ShardedAuthority::with_policy(
+            2,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            ReputationPolicy::Gossip { every: 4 },
+        );
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        // One epoch of clean traffic registers every shard endpoint.
+        for agent in 0..4u64 {
+            engine.consult(agent, &spec);
         }
-        assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
+        let clean = engine.shard_stats();
+        assert!(clean.gossip_bytes > 0);
+        // Cut shard 0's uplink; further pushes are attempted, accounted,
+        // and dropped.
+        let bus = engine.gossip_bus().unwrap();
+        bus.drop_link(Party::Shard(0), crate::reputation::GOSSIP_HUB);
+        for agent in 4..12u64 {
+            engine.consult(agent, &spec);
+        }
+        let faulty = engine.shard_stats();
+        let bus = engine.gossip_bus().unwrap();
+        assert!(
+            bus.total_bytes() > bus.delivered_bytes(),
+            "dropped frames were attempted"
+        );
+        assert_eq!(
+            faulty.gossip_bytes,
+            bus.delivered_bytes(),
+            "stats cite delivered bytes only"
+        );
+    }
+
+    #[test]
+    fn adaptive_dissent_burst_syncs_before_the_epoch() {
+        // Same saboteur traffic, one engine on a long fixed epoch and one
+        // adaptive engine with the same epoch but a tight burst trigger:
+        // the adaptive engine must propagate the exclusion engine-wide in
+        // far fewer consultations.
+        let consultations_to_global_exclusion = |policy| {
+            let engine = ShardedAuthority::with_policy(
+                4,
+                InventorBehavior::Honest,
+                &saboteur_panel(),
+                policy,
+            );
+            let saboteur = Party::Verifier(2);
+            let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+            for consultations in 1..=512u64 {
+                engine.consult(consultations - 1, &spec);
+                let excluded_everywhere = (0..engine.shard_count())
+                    .all(|s| engine.with_shard(s, |a| !a.reputation().is_trusted(saboteur)));
+                if excluded_everywhere {
+                    return consultations;
+                }
+            }
+            panic!("saboteur never excluded engine-wide");
+        };
+        let fixed = consultations_to_global_exclusion(ReputationPolicy::Gossip { every: 128 });
+        let adaptive = consultations_to_global_exclusion(ReputationPolicy::Adaptive {
+            every: 128,
+            check_every: 4,
+            burst: 2,
+        });
+        assert!(
+            adaptive < fixed,
+            "adaptive ({adaptive}) must beat the fixed epoch ({fixed})"
+        );
+        assert!(adaptive <= 48, "burst trigger fires within a few checks");
+    }
+
+    #[test]
+    fn decay_forgives_an_excluded_verifier_after_enough_epochs() {
+        // The saboteur is excluded, then behaves like everyone else (it is
+        // no longer consulted, so it stops dissenting); after `retention`
+        // epochs its old dissents decay away and it is trusted again.
+        let engine = ShardedAuthority::with_config(
+            1,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            ReputationConfig {
+                policy: ReputationPolicy::Gossip { every: 8 },
+                vote_rule: VoteRule::Simple,
+                decay: ReputationDecay::HalfLife { retention: 3 },
+            },
+        );
+        let saboteur = Party::Verifier(2);
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut agent = 0u64;
+        // Drive the saboteur out.
+        while engine.with_shard(0, |a| a.reputation().is_trusted(saboteur)) {
+            engine.consult(agent, &spec);
+            agent += 1;
+            assert!(agent < 64, "saboteur never excluded");
+        }
+        // Keep consulting: generations advance every 8 consultations and
+        // the frozen dissents halve away until the verifier re-enters.
+        let excluded_at = agent;
+        while !engine.with_shard(0, |a| a.reputation().is_trusted(saboteur)) {
+            engine.consult(agent, &spec);
+            agent += 1;
+            assert!(agent < excluded_at + 64, "decay never forgave the saboteur");
+        }
+        // Without decay the exclusion would have been permanent (the
+        // saboteur is not consulted, so nothing can raise its score).
+        let permanent = ShardedAuthority::with_policy(
+            1,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            ReputationPolicy::Gossip { every: 8 },
+        );
+        for a in 0..agent {
+            permanent.consult(a, &spec);
+        }
+        assert!(
+            permanent.with_shard(0, |a| !a.reputation().is_trusted(saboteur)),
+            "non-decaying engine keeps the exclusion"
+        );
     }
 
     #[test]
@@ -558,15 +997,10 @@ mod tests {
         // Saboteur dissents on every shard; under gossip its global score
         // drains by the *sum* of per-shard dissents, and a sync makes the
         // exclusion visible even on shards that saw few dissents.
-        let panel = [
-            VerifierBehavior::Honest,
-            VerifierBehavior::Honest,
-            VerifierBehavior::AlwaysReject,
-        ];
         let engine = ShardedAuthority::with_policy(
             4,
             InventorBehavior::Honest,
-            &panel,
+            &saboteur_panel(),
             ReputationPolicy::Gossip { every: 4 },
         );
         let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
@@ -604,6 +1038,36 @@ mod tests {
             InventorBehavior::Honest,
             &[VerifierBehavior::Honest],
             ReputationPolicy::Gossip { every: 0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the check interval")]
+    fn misaligned_adaptive_policy_rejected() {
+        ShardedAuthority::with_policy(
+            2,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest],
+            ReputationPolicy::Adaptive {
+                every: 10,
+                check_every: 4,
+                burst: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decay requires a gossip policy")]
+    fn decay_under_isolated_rejected() {
+        ShardedAuthority::with_config(
+            2,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest],
+            ReputationConfig {
+                policy: ReputationPolicy::Isolated,
+                vote_rule: VoteRule::Simple,
+                decay: ReputationDecay::HalfLife { retention: 2 },
+            },
         );
     }
 

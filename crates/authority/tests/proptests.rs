@@ -5,30 +5,37 @@
 use proptest::prelude::*;
 use ra_authority::WireBytes;
 use ra_authority::{
-    Advice, Bus, Message, Party, PnCounterMap, ReputationStore, SigningKey, StatisticsLedger, Wire,
+    Advice, Bus, DecayingPnCounterMap, Message, Party, ReputationDecay, ReputationStore,
+    SigningKey, StatisticsLedger, Wire,
 };
 use ra_exact::Rational;
 use ra_proofs::SupportCertificate;
 
 fn arb_party() -> impl Strategy<Value = Party> {
-    (0u64..1000, 0u8..3).prop_map(|(id, kind)| match kind {
+    (0u64..1000, 0u8..4).prop_map(|(id, kind)| match kind {
         0 => Party::Inventor(id),
         1 => Party::Agent(id),
-        _ => Party::Verifier(id),
+        2 => Party::Verifier(id),
+        _ => Party::Shard(id),
     })
 }
 
-/// Raw observation events for building a [`PnCounterMap`]: each is one
-/// `(replica, verifier, agreed)` recording, the only way real shards ever
-/// advance their counters.
-fn arb_counter_events() -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
-    prop::collection::vec((0usize..4, 0u64..6, any::<bool>()), 0..40)
+/// Raw observation events for building a [`DecayingPnCounterMap`]: each is
+/// one `(replica, verifier, agreed, advance)` step — a recording, the only
+/// way real shards ever advance their counters, optionally followed by a
+/// generation advance (the epoch clock ticking), so arbitrary maps spread
+/// observations across generations exactly like live shards do.
+fn arb_counter_events() -> impl Strategy<Value = Vec<(u64, u64, bool, bool)>> {
+    prop::collection::vec((0u64..4, 0u64..6, any::<bool>(), any::<bool>()), 0..40)
 }
 
-fn counter_map(events: &[(usize, u64, bool)]) -> PnCounterMap {
-    let mut map = PnCounterMap::new();
-    for &(replica, verifier, agreed) in events {
+fn counter_map(events: &[(u64, u64, bool, bool)]) -> DecayingPnCounterMap {
+    let mut map = DecayingPnCounterMap::new();
+    for &(replica, verifier, agreed, advance) in events {
         map.record(replica, Party::Verifier(verifier), agreed);
+        if advance {
+            map.advance_to(map.current_generation() + 1, ReputationDecay::None);
+        }
     }
     map
 }
@@ -188,6 +195,81 @@ proptest! {
         let mut self_merge = a.clone();
         self_merge.merge(&a);
         prop_assert_eq!(self_merge, a);
+    }
+
+    /// Decay is a pure read-side weighting over the merged lattice state:
+    /// merging in either order yields identical decayed reads (merge laws
+    /// above give identical *states*; this pins the read path), and aging
+    /// any map by `retention` generations with no new observations decays
+    /// every verifier to exactly zero — ancient history is forgiven — with
+    /// the aged-out generations pruned from the map.
+    #[test]
+    fn decay_reads_are_merge_stable_and_eventually_forgive(
+        a in arb_counter_events(),
+        b in arb_counter_events(),
+        retention in 1u32..6,
+    ) {
+        let (a, b) = (counter_map(&a), counter_map(&b));
+        let decay = ReputationDecay::HalfLife { retention };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for verifier in ab.verifiers() {
+            prop_assert_eq!(
+                ab.decayed_value(verifier, decay),
+                ba.decayed_value(verifier, decay),
+                "merge order changed a decayed read for {}", verifier
+            );
+        }
+        let mut aged = ab.clone();
+        aged.advance_to(aged.current_generation() + u64::from(retention), decay);
+        for verifier in ab.verifiers() {
+            prop_assert_eq!(
+                aged.decayed_value(verifier, decay),
+                0,
+                "verifier {} not forgiven after {} generations", verifier, retention
+            );
+        }
+        prop_assert!(aged.is_empty(), "aged-out generations are pruned");
+    }
+
+    /// The gossip wire payload round-trips arbitrary PN-counter delta
+    /// maps exactly — generation cursor, slots and tallies — with no
+    /// trailing bytes, both bare and framed as a `Message::Gossip`.
+    #[test]
+    fn gossip_delta_maps_round_trip(
+        events in arb_counter_events(),
+    ) {
+        let delta = counter_map(&events);
+        let bytes = delta.to_bytes();
+        let mut buf = bytes.clone();
+        let decoded = DecayingPnCounterMap::decode(&mut buf).expect("delta decodes");
+        prop_assert_eq!(&decoded, &delta);
+        prop_assert_eq!(buf.len(), 0);
+        prop_assert_eq!(decoded.current_generation(), delta.current_generation());
+        let msg = Message::Gossip { delta };
+        let framed = msg.to_bytes();
+        let mut buf = framed.clone();
+        prop_assert_eq!(Message::decode(&mut buf).expect("frame decodes"), msg);
+        prop_assert_eq!(buf.len(), 0);
+    }
+
+    /// Truncating a gossip frame anywhere yields a clean decode error,
+    /// never a panic or a silent success.
+    #[test]
+    fn truncated_gossip_frames_rejected(
+        events in arb_counter_events(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let delta = counter_map(&events);
+        let msg = Message::Gossip { delta };
+        let bytes = msg.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            let mut truncated = bytes.slice(0..cut);
+            prop_assert!(Message::decode(&mut truncated).is_err());
+        }
     }
 
     /// Ledger: any single-record value tamper is detected by audit.

@@ -1,7 +1,7 @@
 //! Criterion bench: the §6 parallel-links strategies (Fig. 7 inner loop)
 //! and the online-advice certificate verification.
 //!
-//! Includes the DESIGN.md ablation: inventor advice with running-average
+//! Includes the ablation: inventor advice with running-average
 //! statistics vs the known-distribution prior (the paper describes both
 //! inventor models).
 //!

@@ -2,7 +2,7 @@
 //! verification, wire codec throughput, exact arithmetic, and full
 //! end-to-end consultation sessions.
 //!
-//! Includes the DESIGN.md ablation: exact-rational vs f64 linear solving on
+//! Includes the ablation: exact-rational vs f64 linear solving on
 //! the P1 indifference system (the price of soundness).
 //!
 //! Run with `cargo bench -p ra-bench --bench infrastructure`.

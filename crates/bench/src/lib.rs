@@ -1,7 +1,8 @@
 //! # ra-bench — experiment regeneration and benchmarks
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the
-//! index) plus Criterion micro-benchmarks. Shared helpers live here.
+//! One binary per table/figure of the paper plus Criterion
+//! micro-benchmarks; `docs/BENCHMARKS.md` at the workspace root indexes
+//! every binary and its output schema. Shared helpers live here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

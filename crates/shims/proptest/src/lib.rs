@@ -113,7 +113,7 @@ pub mod strategy {
             Map { strategy: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by the `prop_oneof!` macro).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -168,7 +168,7 @@ pub mod strategy {
     }
 
     /// Uniform choice between type-erased alternatives (behind
-    /// [`prop_oneof!`]).
+    /// the `prop_oneof!` macro).
     pub struct Union<V> {
         options: Vec<BoxedStrategy<V>>,
     }
@@ -358,7 +358,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

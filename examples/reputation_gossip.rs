@@ -1,5 +1,5 @@
 //! Cross-shard reputation gossip: exclusion anywhere becomes exclusion
-//! everywhere.
+//! everywhere — and the merge traffic itself is byte-accounted.
 //!
 //! A four-shard engine serves a panel with one persistent saboteur
 //! (`AlwaysReject` against an honest inventor). All early consultations
@@ -7,8 +7,12 @@
 //! the deviance. Under `ReputationPolicy::Isolated` the saboteur keeps
 //! serving the other three shards indefinitely; under
 //! `ReputationPolicy::Gossip` the shards merge PN-counter deltas at epoch
-//! boundaries and the saboteur is voted out engine-wide within one epoch
-//! — with no cross-shard lock ever taken on the consult hot path.
+//! boundaries — as real framed `Message::Gossip` sends on a dedicated
+//! inter-shard bus, so `shard_stats()` reports the control-plane bytes
+//! next to the consultation bytes — and the saboteur is voted out
+//! engine-wide within one epoch, with no cross-shard lock ever taken on
+//! the consult hot path. `ReputationPolicy::Adaptive` reacts to the
+//! dissent burst and syncs before the epoch is up.
 //!
 //! Run with: `cargo run --example reputation_gossip`
 
@@ -92,6 +96,47 @@ fn main() {
     );
     assert!(outcome.adopted);
     assert_eq!(outcome.verdict_details.len(), 2, "saboteur engine-wide out");
+
+    // The control plane is measurable: every epoch merge crossed the
+    // dedicated inter-shard bus as framed sends.
+    let stats = engine.shard_stats();
+    println!(
+        "\nLemma 1 accounting — consultation plane: {} bytes in {} messages; \
+         gossip plane: {} bytes in {} messages ({:.1} gossip bytes/consultation)",
+        stats.total_bytes,
+        stats.message_count,
+        stats.gossip_bytes,
+        stats.gossip_messages,
+        stats.gossip_bytes as f64 / consultations as f64,
+    );
+    assert!(stats.gossip_bytes > 0, "merges are real framed sends");
+
+    // An adaptive engine reacts to the dissent burst instead of waiting
+    // out the epoch: same cadence ceiling, earlier engine-wide exclusion.
+    let adaptive = ShardedAuthority::with_policy(
+        4,
+        InventorBehavior::Honest,
+        &panel,
+        ReputationPolicy::Adaptive {
+            every: 64,
+            check_every: 4,
+            burst: 2,
+        },
+    );
+    let mut pinned = (0..u64::MAX).filter(|&a| adaptive.shard_of(a) == home);
+    let mut adaptive_consultations = 0;
+    while !(0..adaptive.shard_count())
+        .all(|s| adaptive.with_shard(s, |a| !a.reputation().is_trusted(saboteur)))
+    {
+        adaptive.consult(pinned.next().expect("pinned agents"), &spec);
+        adaptive_consultations += 1;
+        assert!(adaptive_consultations <= 64, "burst trigger never fired");
+    }
+    println!(
+        "\nAdaptive {{ every: 64, check_every: 4, burst: 2 }} excludes engine-wide \
+         after {adaptive_consultations} consultations — before its 64-consultation \
+         epoch ever elapses."
+    );
 
     // Contrast: the isolated policy never propagates the exclusion.
     let isolated = ShardedAuthority::new(4, InventorBehavior::Honest, &panel);

@@ -3,8 +3,8 @@
 //! `RationalityAuthority`, and cross-shard reputation gossip.
 
 use rationality_authority::authority::{
-    GameSpec, InventorBehavior, Party, ReputationPolicy, SessionOutcome, ShardedAuthority,
-    VerifierBehavior,
+    GameSpec, InventorBehavior, Party, ReputationConfig, ReputationDecay, ReputationPolicy,
+    SessionOutcome, ShardedAuthority, VerifierBehavior, VoteRule,
 };
 use rationality_authority::exact::rat;
 use rationality_authority::games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
@@ -226,6 +226,108 @@ fn isolated_policy_keeps_exclusion_local() {
         let trusted = engine.with_shard(s, |a| a.reputation().is_trusted(saboteur));
         assert_eq!(s != home, trusted, "isolated shards share no reputation");
     }
+}
+
+/// The acceptance-criteria determinism property for the full reputation
+/// configuration space: stake-weighted votes, half-life decay and the
+/// adaptive dissent-burst policy (separately and combined) all preserve
+/// batch/sequential equality — outcomes, majorities, per-session bytes,
+/// per-shard consultation bytes AND control-plane gossip bytes.
+#[test]
+fn weighted_decaying_adaptive_batches_match_sequential() {
+    let panel = [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ];
+    let configs = [
+        ReputationConfig {
+            policy: ReputationPolicy::Gossip { every: 16 },
+            vote_rule: VoteRule::Weighted,
+            decay: ReputationDecay::None,
+        },
+        ReputationConfig {
+            policy: ReputationPolicy::Gossip { every: 8 },
+            vote_rule: VoteRule::Simple,
+            decay: ReputationDecay::HalfLife { retention: 3 },
+        },
+        ReputationConfig {
+            policy: ReputationPolicy::Adaptive {
+                every: 32,
+                check_every: 4,
+                burst: 2,
+            },
+            vote_rule: VoteRule::Weighted,
+            decay: ReputationDecay::HalfLife { retention: 4 },
+        },
+    ];
+    let requests = batch_requests();
+    for config in configs {
+        let batched = ShardedAuthority::with_config(4, InventorBehavior::Honest, &panel, config);
+        let batch_outcomes = batched.consult_batch(&requests);
+        let sequential = ShardedAuthority::with_config(4, InventorBehavior::Honest, &panel, config);
+        let sequential_outcomes: Vec<SessionOutcome> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .collect();
+        assert_eq!(
+            adoption_decisions(&batch_outcomes),
+            adoption_decisions(&sequential_outcomes),
+            "{config:?}: batching changed an adoption decision"
+        );
+        for (b, s) in batch_outcomes.iter().zip(&sequential_outcomes) {
+            assert_eq!(b.majority, s.majority, "{config:?}");
+            assert_eq!(b.session_bytes, s.session_bytes, "{config:?}");
+        }
+        assert_eq!(
+            batched.shard_stats(),
+            sequential.shard_stats(),
+            "{config:?}: execution shape leaked into byte accounting"
+        );
+    }
+}
+
+/// The acceptance-criteria accounting property: under a gossip policy the
+/// epoch merges are real framed sends on a dedicated inter-shard bus, so
+/// `shard_stats()` reports non-zero control-plane bytes; under `Isolated`
+/// there is no gossip bus and the figure is exactly zero.
+#[test]
+fn gossip_merge_traffic_is_byte_accounted() {
+    let requests = batch_requests();
+    for policy in [
+        ReputationPolicy::Gossip { every: 16 },
+        ReputationPolicy::Adaptive {
+            every: 16,
+            check_every: 4,
+            burst: 2,
+        },
+    ] {
+        let engine = ShardedAuthority::with_policy(
+            4,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            policy,
+        );
+        engine.consult_batch(&requests);
+        let stats = engine.shard_stats();
+        assert!(
+            stats.gossip_bytes > 0,
+            "{policy:?}: merges left no trace in the accounting"
+        );
+        assert!(stats.gossip_messages > 0);
+        let bus = engine.gossip_bus().expect("gossip engine exposes its bus");
+        assert_eq!(stats.gossip_bytes, bus.delivered_bytes());
+        // Control-plane frames stay small relative to consultations: the
+        // whole point of Lemma 1 is that coordination is cheap.
+        assert!(stats.gossip_bytes < stats.total_bytes);
+    }
+    let isolated =
+        ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+    isolated.consult_batch(&requests);
+    let stats = isolated.shard_stats();
+    assert_eq!(stats.gossip_bytes, 0, "isolated engines gossip nothing");
+    assert_eq!(stats.gossip_messages, 0);
+    assert!(isolated.gossip_bus().is_none());
 }
 
 /// Agents are pinned: per-shard reputation stores only ever see traffic
