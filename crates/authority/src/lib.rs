@@ -24,8 +24,13 @@
 //! * [`SessionDriver`] / [`RationalityAuthority`] — the per-consultation
 //!   protocol and the single-bus end-to-end sessions built on it;
 //! * [`ShardedAuthority`] — the sharded multi-bus session engine: routed
-//!   single consultations and batched fan-out across shards, with the
-//!   reputation scope chosen per engine via [`ReputationPolicy`];
+//!   single consultations and batched fan-out across shards over a
+//!   persistent, shard-pinned worker pool (gated by the default-on
+//!   `parallel` cargo feature; `--no-default-features` builds run batches
+//!   inline, single-threaded, with identical outcomes), with the
+//!   reputation scope chosen per engine via [`ReputationPolicy`] —
+//!   cross-shard gossip pulls are incremental, watermarked by a
+//!   [`VersionVector`] per shard;
 //! * [`sha256`] / [`SigningKey`] / [`Commitment`] — the from-scratch crypto
 //!   substrate (an offline stand-in for real signatures; the workspace
 //!   builds without registry access, see `docs/ARCHITECTURE.md`).
@@ -38,6 +43,8 @@ mod bus;
 mod crypto;
 mod inventor;
 mod messages;
+#[cfg(feature = "parallel")]
+mod pool;
 mod private_session;
 mod reputation;
 mod session;
@@ -53,8 +60,8 @@ pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
 pub use reputation::{
     DecayingPnCounterMap, GossipPlane, GossipReputation, LocalReputation, MajorityOutcome,
-    PnCounter, ReputationBackend, ReputationDecay, ReputationStore, VoteRule, EXCLUSION_THRESHOLD,
-    GOSSIP_HUB, INITIAL_SCORE,
+    PnCounter, ReputationBackend, ReputationDecay, ReputationStore, VersionVector, VoteRule,
+    EXCLUSION_THRESHOLD, GOSSIP_HUB, INITIAL_SCORE,
 };
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
 pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority};

@@ -17,7 +17,9 @@ use ra_proofs::{
 };
 use ra_solvers::{EquilibriumRoot, ParticipationParams};
 
-use crate::reputation::{DecayingPnCounterMap, PnCounter};
+use std::sync::Arc;
+
+use crate::reputation::{DecayingPnCounterMap, PnCounter, VersionVector};
 use crate::wire::{get_varint, put_varint, Wire, WireBytes, WireError};
 
 /// Identity of a protocol party.
@@ -132,12 +134,16 @@ pub enum Message {
         /// The advice payload.
         advice: Box<Advice>,
     },
-    /// Agent → verifier: please check this advice.
+    /// Agent → verifier: please check this advice. The payload is shared
+    /// (`Arc`) because one consultation fans the *same* advice out to the
+    /// whole verifier panel: each frame costs a reference-count bump
+    /// instead of a deep clone of the proof tree, while the wire encoding
+    /// is identical to an owned payload.
     VerdictRequest {
         /// Which game.
         game_id: u64,
         /// The advice to check.
-        advice: Box<Advice>,
+        advice: Arc<Advice>,
     },
     /// Verifier → agent: verdict.
     Verdict {
@@ -176,13 +182,18 @@ pub enum Message {
     },
     /// Shard ↔ gossip hub: one reputation-plane merge frame. Pushes carry
     /// a shard's own PN-counter slice to [`crate::GOSSIP_HUB`]; pulls
-    /// carry the hub's merged state back. The sender's identity rides the
-    /// bus envelope (every delivery is `(from, message)`), so the frame
-    /// is just the payload. Framing these as real bus sends is what puts
-    /// the control plane inside the Lemma 1 byte accounting.
+    /// carry only the slots above the puller's [`VersionVector`]
+    /// watermark back (the hub's versions ride along so the puller can
+    /// advance its watermark). The sender's identity rides the bus
+    /// envelope (every delivery is `(from, message)`), so the frame is
+    /// just the payload. Framing these as real bus sends is what puts the
+    /// control plane inside the Lemma 1 byte accounting.
     Gossip {
         /// The PN-counter delta being merged.
         delta: DecayingPnCounterMap,
+        /// The sender's per-replica versions: the hub's current versions
+        /// on a pull (the puller's new watermark), empty on a push.
+        versions: VersionVector,
     },
 }
 
@@ -592,6 +603,29 @@ impl Wire for DecayingPnCounterMap {
     }
 }
 
+impl Wire for VersionVector {
+    /// Length-prefixed `(replica, version)` varint pairs in replica order
+    /// (deterministic, like every gossip encoding, so control-plane byte
+    /// counts are reproducible).
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for (replica, version) in self.iter() {
+            put_varint(buf, replica);
+            put_varint(buf, version);
+        }
+    }
+    fn decode(buf: &mut WireBytes) -> Result<VersionVector, WireError> {
+        let len = crate::wire::get_len_prefix(buf)?;
+        let mut out = VersionVector::new();
+        for _ in 0..len {
+            let replica = get_varint(buf)?;
+            let version = get_varint(buf)?;
+            out.set(replica, version);
+        }
+        Ok(out)
+    }
+}
+
 impl Wire for ParticipationParams {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.n.encode(buf);
@@ -795,9 +829,10 @@ impl Wire for Message {
                 index.encode(buf);
                 in_support.encode(buf);
             }
-            Message::Gossip { delta } => {
+            Message::Gossip { delta, versions } => {
                 buf.push(8);
                 delta.encode(buf);
+                versions.encode(buf);
             }
         }
     }
@@ -820,7 +855,7 @@ impl Wire for Message {
             },
             3 => Message::VerdictRequest {
                 game_id: u64::decode(buf)?,
-                advice: Box::new(Advice::decode(buf)?),
+                advice: Arc::new(Advice::decode(buf)?),
             },
             4 => Message::Verdict {
                 game_id: u64::decode(buf)?,
@@ -843,6 +878,7 @@ impl Wire for Message {
             },
             8 => Message::Gossip {
                 delta: DecayingPnCounterMap::decode(buf)?,
+                versions: VersionVector::decode(buf)?,
             },
             t => return Err(WireError::BadTag(t)),
         })
@@ -855,6 +891,15 @@ impl<T: Wire> Wire for Box<T> {
     }
     fn decode(buf: &mut WireBytes) -> Result<Box<T>, WireError> {
         Ok(Box::new(T::decode(buf)?))
+    }
+}
+
+impl<T: Wire> Wire for Arc<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(buf: &mut WireBytes) -> Result<Arc<T>, WireError> {
+        Ok(Arc::new(T::decode(buf)?))
     }
 }
 
@@ -892,10 +937,18 @@ mod tests {
         delta
     }
 
+    fn sample_versions() -> VersionVector {
+        let mut versions = VersionVector::new();
+        versions.set(0, 3);
+        versions.set(2, 1);
+        versions
+    }
+
     #[test]
     fn gossip_message_round_trips() {
         let msg = Message::Gossip {
             delta: sample_delta(),
+            versions: sample_versions(),
         };
         let size = round_trip(msg);
         // Lemma 1 sanity: a 3-slot delta is tens of bytes, so control-plane
@@ -903,13 +956,25 @@ mod tests {
         assert!(size < 64, "3-slot gossip frame took {size} bytes");
         round_trip(Message::Gossip {
             delta: DecayingPnCounterMap::new(),
+            versions: VersionVector::new(),
         });
+    }
+
+    #[test]
+    fn version_vector_round_trips() {
+        round_trip(VersionVector::new());
+        let mut versions = VersionVector::new();
+        versions.set(u64::MAX, u64::MAX);
+        versions.set(0, 1);
+        let size = round_trip(versions);
+        assert!(size < 32, "version vectors are a handful of varints");
     }
 
     #[test]
     fn truncated_gossip_payload_rejected() {
         let msg = Message::Gossip {
             delta: sample_delta(),
+            versions: sample_versions(),
         };
         let bytes = msg.to_bytes();
         // Every strict prefix must fail cleanly (never panic, never

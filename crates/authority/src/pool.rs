@@ -1,0 +1,161 @@
+//! The persistent shard worker pool behind
+//! [`ShardedAuthority::consult_batch`](crate::ShardedAuthority::consult_batch).
+//!
+//! The previous fan-out spawned a fresh `std::thread::scope` worker per
+//! non-empty shard for *every* chunk of a batch. Under a gossip policy a
+//! batch is chunked at engine-wide epoch (and adaptive check) boundaries,
+//! so a 512-consultation batch on an epoch of 32 paid the spawn/join cost
+//! sixteen times over — the dominant term in the ~0.65× gossip/isolated
+//! throughput ratio at 8 shards. This module replaces that with the
+//! classic work-pinned pool of the rayon lineage, kept entirely safe
+//! (the crate forbids `unsafe`):
+//!
+//! * one long-lived worker thread per shard, **pinned** to that shard, so
+//!   a shard's consultations are always processed by the same thread in
+//!   FIFO job order — order-preserving per-shard processing, and with it
+//!   batch == sequential determinism, holds by construction;
+//! * workers are spun up lazily on the first multi-shard chunk and then
+//!   reused across chunks *and* across `consult_batch` calls; they park
+//!   on an [`mpsc`](std::sync::mpsc) channel between jobs;
+//! * jobs own their payloads (`(slot, agent, spec)` triples — one spec
+//!   clone per request per batch, amortized against a full consultation's
+//!   proving and verification work), so no borrowed data ever crosses a
+//!   thread boundary;
+//! * the dispatcher blocks until every job of the chunk has replied, so a
+//!   chunk is still a barrier: gossip merges between chunks observe
+//!   exactly the engine state a sequential run would.
+//!
+//! Dropping the pool closes the job channels and joins every worker, so
+//! engine teardown never leaks threads.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::inventor::GameSpec;
+use crate::session::{RationalityAuthority, SessionOutcome};
+
+/// The work routed to one shard for one chunk: `(result slot, agent id,
+/// spec)` triples in request order.
+pub(crate) type ShardRequests = Vec<(usize, u64, GameSpec)>;
+
+/// One unit of work for a pinned worker, with the reply channel of the
+/// dispatching chunk.
+struct ShardJob {
+    requests: ShardRequests,
+    reply: Sender<Vec<(usize, SessionOutcome)>>,
+}
+
+/// A parked worker: its job queue and its thread handle (joined on drop).
+struct Worker {
+    jobs: Sender<ShardJob>,
+    handle: JoinHandle<()>,
+}
+
+/// The persistent, shard-pinned worker pool of one
+/// [`ShardedAuthority`](crate::ShardedAuthority).
+pub(crate) struct ShardPool {
+    shards: Arc<Vec<Mutex<RationalityAuthority>>>,
+    workers: OnceLock<Vec<Worker>>,
+}
+
+impl ShardPool {
+    /// Creates an empty pool over the engine's shard table. No thread is
+    /// spawned until the first multi-shard chunk arrives.
+    pub(crate) fn new(shards: Arc<Vec<Mutex<RationalityAuthority>>>) -> ShardPool {
+        ShardPool {
+            shards,
+            workers: OnceLock::new(),
+        }
+    }
+
+    /// The workers, spun up on first use: one per shard, pinned.
+    fn workers(&self) -> &[Worker] {
+        self.workers.get_or_init(|| {
+            (0..self.shards.len())
+                .map(|index| {
+                    let (jobs, queue) = channel::<ShardJob>();
+                    let shards = Arc::clone(&self.shards);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("ra-shard-{index}"))
+                        .spawn(move || worker_loop(&shards[index], queue))
+                        .expect("spawn shard worker");
+                    Worker { jobs, handle }
+                })
+                .collect()
+        })
+    }
+
+    /// Dispatches one chunk — `(shard, requests)` pairs — to the pinned
+    /// workers and blocks until every outcome has been written into
+    /// `results` at its request slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died (a consultation panicked on its thread) —
+    /// the same surfacing the scoped fan-out's `join` gave.
+    pub(crate) fn run(
+        &self,
+        chunk: Vec<(usize, ShardRequests)>,
+        results: &mut [Option<SessionOutcome>],
+    ) {
+        let workers = self.workers();
+        let (reply, done) = channel();
+        let mut pending = 0usize;
+        for (shard, requests) in chunk {
+            if requests.is_empty() {
+                continue;
+            }
+            workers[shard]
+                .jobs
+                .send(ShardJob {
+                    requests,
+                    reply: reply.clone(),
+                })
+                .expect("shard worker exited");
+            pending += 1;
+        }
+        drop(reply);
+        for _ in 0..pending {
+            let outcomes = done.recv().expect("shard worker panicked");
+            for (slot, outcome) in outcomes {
+                results[slot] = Some(outcome);
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        if let Some(workers) = self.workers.take() {
+            // Close every job queue first so all workers see the
+            // disconnect and park out of their loops, then join.
+            let (queues, handles): (Vec<_>, Vec<_>) = workers
+                .into_iter()
+                .map(|worker| (worker.jobs, worker.handle))
+                .unzip();
+            drop(queues);
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A pinned worker's life: park on the queue, serve each job's requests in
+/// order under the shard lock, reply, repeat — until the pool drops the
+/// queue.
+fn worker_loop(shard: &Mutex<RationalityAuthority>, queue: Receiver<ShardJob>) {
+    while let Ok(ShardJob { requests, reply }) = queue.recv() {
+        let outcomes = {
+            let mut shard = shard.lock().expect("shard lock poisoned");
+            requests
+                .into_iter()
+                .map(|(slot, agent, spec)| (slot, shard.consult(agent, &spec)))
+                .collect()
+        };
+        // The dispatcher only hangs up early if it panicked; the worker
+        // just parks for the next job either way.
+        let _ = reply.send(outcomes);
+    }
+}

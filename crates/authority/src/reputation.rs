@@ -421,6 +421,16 @@ impl DecayingPnCounterMap {
             .or_default();
     }
 
+    /// The counter at one `(verifier, replica, generation)` coordinate,
+    /// or `None` if no slot exists there yet.
+    pub fn get_counter(&self, replica: u64, verifier: Party, generation: u64) -> Option<PnCounter> {
+        self.slots
+            .get(&verifier)?
+            .get(&replica)?
+            .get(&generation)
+            .copied()
+    }
+
     /// Replaces the counter at one `(verifier, replica, generation)`
     /// coordinate. This exists for wire decoding and for tests; real
     /// replicas only ever advance their own coordinates through
@@ -455,10 +465,7 @@ impl DecayingPnCounterMap {
     /// past retention, pruning never changes an observable score.
     pub fn advance_to(&mut self, generation: u64, decay: ReputationDecay) {
         self.current_gen = self.current_gen.max(generation);
-        if let ReputationDecay::HalfLife { retention } = decay {
-            let keep_from = self
-                .current_gen
-                .saturating_sub(u64::from(retention).saturating_sub(1));
+        if let Some(keep_from) = retention_floor(self.current_gen, decay) {
             for replicas in self.slots.values_mut() {
                 for gens in replicas.values_mut() {
                     gens.retain(|&g, _| g >= keep_from);
@@ -580,6 +587,182 @@ impl DecayingPnCounterMap {
     }
 }
 
+/// The oldest generation still inside the retention window at
+/// `generation` under `decay`, or `None` when nothing is ever pruned.
+/// Shared by [`DecayingPnCounterMap::advance_to`] and the gossip hub's
+/// slot-index pruning, so the merged state and the per-slot version index
+/// can never desynchronize — versioned pulls are only sound if a slot is
+/// pruned from both (or neither).
+fn retention_floor(generation: u64, decay: ReputationDecay) -> Option<u64> {
+    match decay {
+        ReputationDecay::None => None,
+        ReputationDecay::HalfLife { retention } => {
+            Some(generation.saturating_sub(u64::from(retention).saturating_sub(1)))
+        }
+    }
+}
+
+/// A per-source version vector: source shard (replica id) → the highest
+/// hub version of that replica's rows the holder has merged.
+///
+/// The gossip hub bumps a replica's version every time a publish actually
+/// changes that replica's rows of the merged state, and remembers per
+/// `(verifier, generation)` slot the version at which it last changed.
+/// A shard pulling with its vector as a watermark therefore receives only
+/// the slots it has not seen — the delta-state replication trick of the
+/// delta-CRDT literature — instead of the hub's full merged snapshot, so
+/// pull payloads are bounded by unseen updates rather than by
+/// verifiers × shards × retained generations. An up-to-date shard pulls
+/// for zero wire bytes: the hub sends no frame at all.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::VersionVector;
+///
+/// let mut seen = VersionVector::new();
+/// assert_eq!(seen.get(3), 0, "never-seen sources are at version 0");
+/// seen.set(3, 2);
+/// let mut newer = VersionVector::new();
+/// newer.set(3, 1);
+/// newer.set(4, 7);
+/// seen.merge(&newer);
+/// assert_eq!(seen.get(3), 2, "merge is a pointwise max");
+/// assert_eq!(seen.get(4), 7);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionVector {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl VersionVector {
+    /// An empty vector: every source is at version 0.
+    pub fn new() -> VersionVector {
+        VersionVector::default()
+    }
+
+    /// The recorded version for `replica` (0 when never seen).
+    pub fn get(&self, replica: u64) -> u64 {
+        self.entries.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Sets the version for `replica`.
+    pub fn set(&mut self, replica: u64, version: u64) {
+        self.entries.insert(replica, version);
+    }
+
+    /// Pointwise maximum — the join of two vectors.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&replica, &version) in &other.entries {
+            let entry = self.entries.entry(replica).or_insert(0);
+            *entry = (*entry).max(version);
+        }
+    }
+
+    /// Iterates `(replica, version)` entries in replica order (the wire
+    /// encoding order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().map(|(&r, &v)| (r, v))
+    }
+
+    /// Number of sources with a recorded version.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no source has a recorded version yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The hub side of the versioned gossip protocol: the merged CRDT state
+/// plus the per-generation change index that lets pulls ship deltas.
+#[derive(Debug, Default)]
+struct HubState {
+    merged: DecayingPnCounterMap,
+    /// Per replica: the version of that replica's rows (bumped on every
+    /// publish that changes them).
+    versions: VersionVector,
+    /// Per replica: `(verifier, generation)` → the version at which that
+    /// slot of the merged state last changed.
+    slot_versions: BTreeMap<u64, BTreeMap<(Party, u64), u64>>,
+}
+
+impl HubState {
+    /// Joins `delta` into the merged state, bumping the version of every
+    /// replica whose rows actually changed and indexing each changed slot
+    /// under the new version. Re-delivering already-merged state changes
+    /// nothing — including the versions, so idle re-publishes never make
+    /// peers re-pull.
+    fn ingest(&mut self, delta: &DecayingPnCounterMap) {
+        let mut bumped: BTreeMap<u64, u64> = BTreeMap::new();
+        for (verifier, replica, generation, counter) in delta.iter_slots() {
+            let own = self.merged.get_counter(replica, verifier, generation);
+            let mut joined = own.unwrap_or_default();
+            joined.merge(&counter);
+            if Some(joined) != own {
+                self.merged
+                    .set_counter(replica, verifier, generation, joined);
+                let version = *bumped
+                    .entry(replica)
+                    .or_insert_with(|| self.versions.get(replica) + 1);
+                self.slot_versions
+                    .entry(replica)
+                    .or_default()
+                    .insert((verifier, generation), version);
+            }
+        }
+        for (replica, version) in bumped {
+            self.versions.set(replica, version);
+        }
+        if delta.current_generation() > self.merged.current_generation() {
+            self.merged.set_generation(delta.current_generation());
+        }
+    }
+
+    /// The slots `seen` has not merged yet, excluding `for_shard`'s own
+    /// rows (the hub only ever knows a subset of what the shard itself
+    /// holds, so shipping them back would be pure redundancy). The delta
+    /// carries the hub's generation cursor.
+    fn delta_since(&self, for_shard: u64, seen: &VersionVector) -> DecayingPnCounterMap {
+        let mut out = DecayingPnCounterMap::new();
+        out.set_generation(self.merged.current_generation());
+        for (&replica, slots) in &self.slot_versions {
+            if replica == for_shard {
+                continue;
+            }
+            let watermark = seen.get(replica);
+            if self.versions.get(replica) <= watermark {
+                continue;
+            }
+            for (&(verifier, generation), &version) in slots {
+                if version > watermark {
+                    if let Some(counter) = self.merged.get_counter(replica, verifier, generation) {
+                        out.set_counter(replica, verifier, generation, counter);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Prunes generations old enough to contribute nothing under `decay`
+    /// from the merged state *and* the change index, so hub memory — and
+    /// with it the worst-case pull — stays bounded by the retention
+    /// window. Pruned slots are never shipped again; that is sound because
+    /// [`DecayingPnCounterMap::decayed_value`] already ignores them.
+    fn prune(&mut self, decay: ReputationDecay) {
+        let generation = self.merged.current_generation();
+        self.merged.advance_to(generation, decay);
+        if let Some(keep_from) = retention_floor(generation, decay) {
+            for slots in self.slot_versions.values_mut() {
+                slots.retain(|&(_, g), _| g >= keep_from);
+            }
+        }
+    }
+}
+
 /// The shared rendezvous of the gossip backends: the join of every state
 /// published so far. Shards touch it only at epoch boundaries (publish /
 /// pull), never on the consult hot path.
@@ -592,9 +775,16 @@ impl DecayingPnCounterMap {
 /// control-plane bytes land in the same Lemma 1 accounting as
 /// consultation traffic (and are subject to the same fault injection —
 /// a dropped frame is simply never merged).
+///
+/// Pulls are *versioned*: the hub indexes every merged slot by the
+/// [`VersionVector`] version at which it last changed, and
+/// [`GossipPlane::pull_into`] ships only the slots above the caller's
+/// watermark — nothing at all when the caller is up to date. A pull reply
+/// dropped by fault injection leaves the caller's watermark untouched, so
+/// the missed delta is simply re-shipped by the next successful pull.
 #[derive(Debug, Default)]
 pub struct GossipPlane {
-    merged: Mutex<DecayingPnCounterMap>,
+    hub: Mutex<HubState>,
     decay: ReputationDecay,
     transport: Option<GossipTransport>,
 }
@@ -643,7 +833,7 @@ impl GossipPlane {
         let bus = Bus::new();
         let hub = bus.register(GOSSIP_HUB);
         GossipPlane {
-            merged: Mutex::new(DecayingPnCounterMap::new()),
+            hub: Mutex::new(HubState::default()),
             decay,
             transport: Some(GossipTransport {
                 bus,
@@ -661,17 +851,19 @@ impl GossipPlane {
     }
 
     /// Joins `delta` (normally a shard's
-    /// [`DecayingPnCounterMap::replica_slice`]) into the plane. Over a
-    /// bus, the delta travels as a framed [`Message::Gossip`] from
-    /// `Party::Shard(from_shard)` to [`GOSSIP_HUB`]; a frame dropped by
-    /// fault injection is accounted but never merged.
-    pub fn publish_from(&self, from_shard: u64, delta: &DecayingPnCounterMap) {
+    /// [`DecayingPnCounterMap::replica_slice`], taken by value so the
+    /// frame is delivered by move — no payload clone on the publish path)
+    /// into the plane. Over a bus, the delta travels as a framed
+    /// [`Message::Gossip`] from `Party::Shard(from_shard)` to
+    /// [`GOSSIP_HUB`]; a frame dropped by fault injection is accounted but
+    /// never merged.
+    pub fn publish_from(&self, from_shard: u64, delta: DecayingPnCounterMap) {
         match &self.transport {
-            None => self
-                .merged
-                .lock()
-                .expect("gossip plane lock poisoned")
-                .merge(delta),
+            None => {
+                let mut hub = self.hub.lock().expect("gossip plane lock poisoned");
+                hub.ingest(&delta);
+                hub.prune(self.decay);
+            }
             Some(transport) => {
                 transport.ensure_shard(from_shard);
                 transport
@@ -680,44 +872,68 @@ impl GossipPlane {
                         Party::Shard(from_shard),
                         GOSSIP_HUB,
                         Message::Gossip {
-                            delta: delta.clone(),
+                            delta,
+                            versions: VersionVector::new(),
                         },
                     )
                     .expect("gossip hub endpoint registered");
-                let hub = transport.hub.lock().expect("gossip hub lock poisoned");
-                let mut merged = self.merged.lock().expect("gossip plane lock poisoned");
-                for (_, message) in hub.drain() {
+                let endpoint = transport.hub.lock().expect("gossip hub lock poisoned");
+                let mut hub = self.hub.lock().expect("gossip plane lock poisoned");
+                for (_, message) in endpoint.drain() {
                     if let Message::Gossip { delta, .. } = message {
-                        merged.merge(&delta);
+                        hub.ingest(&delta);
                     }
                 }
                 // Keep the hub state — and with it every future pull
-                // snapshot — bounded under decay.
-                let generation = merged.current_generation();
-                merged.advance_to(generation, self.decay);
+                // delta — bounded under decay.
+                hub.prune(self.decay);
             }
         }
     }
 
-    /// Joins the plane's accumulated state into `state`. Over a bus, the
-    /// snapshot travels as a framed [`Message::Gossip`] from
-    /// [`GOSSIP_HUB`] to `Party::Shard(to_shard)`.
-    pub fn pull_into(&self, to_shard: u64, state: &mut DecayingPnCounterMap) {
+    /// Joins everything `seen` has not witnessed yet into `state`, and
+    /// advances `seen` to the hub's current versions. Over a bus, the
+    /// delta travels as a framed [`Message::Gossip`] from [`GOSSIP_HUB`]
+    /// to `Party::Shard(to_shard)` — unless the caller is already up to
+    /// date, in which case *no frame is sent at all*: an idle pull costs
+    /// zero wire bytes instead of re-framing the full merged snapshot.
+    pub fn pull_into(
+        &self,
+        to_shard: u64,
+        state: &mut DecayingPnCounterMap,
+        seen: &mut VersionVector,
+    ) {
+        let (delta, versions) = {
+            let hub = self.hub.lock().expect("gossip plane lock poisoned");
+            (hub.delta_since(to_shard, seen), hub.versions.clone())
+        };
         match &self.transport {
-            None => state.merge(&self.merged.lock().expect("gossip plane lock poisoned")),
+            None => {
+                state.merge(&delta);
+                seen.merge(&versions);
+            }
             Some(transport) => {
                 transport.ensure_shard(to_shard);
-                let snapshot = self
-                    .merged
-                    .lock()
-                    .expect("gossip plane lock poisoned")
-                    .clone();
+                if delta.is_empty() && delta.current_generation() <= state.current_generation() {
+                    // Nothing unseen — no slots, and the hub's generation
+                    // cursor is not ahead of the caller's — so no frame
+                    // at all. An empty delta proves every hub version is
+                    // already covered (its changes were merged earlier,
+                    // pruned, or are the puller's own rows), so the
+                    // watermark still advances, exactly as the in-memory
+                    // path's would. (A cursor-only advance still ships a
+                    // slotless frame: decayed reads depend on the local
+                    // cursor, so it must propagate even when no counter
+                    // changed.)
+                    seen.merge(&versions);
+                    return;
+                }
                 transport
                     .bus
                     .send(
                         GOSSIP_HUB,
                         Party::Shard(to_shard),
-                        Message::Gossip { delta: snapshot },
+                        Message::Gossip { delta, versions },
                     )
                     .expect("gossip shard endpoint registered");
                 let endpoints = transport
@@ -727,9 +943,13 @@ impl GossipPlane {
                 let endpoint = endpoints
                     .get(&to_shard)
                     .expect("shard endpoint ensured above");
+                // A frame dropped by fault injection never reaches the
+                // drain: the state and the watermark both stay put, and
+                // the missed delta is re-shipped on the next clean pull.
                 for (_, message) in endpoint.drain() {
-                    if let Message::Gossip { delta, .. } = message {
+                    if let Message::Gossip { delta, versions } = message {
                         state.merge(&delta);
+                        seen.merge(&versions);
                     }
                 }
             }
@@ -757,6 +977,9 @@ pub struct GossipReputation {
     rule: VoteRule,
     decay: ReputationDecay,
     local: Mutex<DecayingPnCounterMap>,
+    /// Versioned-pull watermark: the highest hub version of every peer
+    /// replica's rows this shard has merged ([`GossipPlane::pull_into`]).
+    seen: Mutex<VersionVector>,
 }
 
 impl GossipReputation {
@@ -788,6 +1011,7 @@ impl GossipReputation {
             rule,
             decay,
             local: Mutex::new(DecayingPnCounterMap::new()),
+            seen: Mutex::new(VersionVector::new()),
         }
     }
 
@@ -807,18 +1031,24 @@ impl GossipReputation {
     }
 
     /// Publishes this shard's own slice to the plane (first half of an
-    /// epoch merge).
+    /// epoch merge). The full slice is re-published every time — pushes
+    /// are fire-and-forget, so the redundancy is what lets a push dropped
+    /// by fault injection heal on the next epoch.
     pub fn push(&self) {
-        let local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane
-            .publish_from(self.shard, &local.replica_slice(self.shard));
+        let slice = {
+            let local = self.local.lock().expect("gossip local lock poisoned");
+            local.replica_slice(self.shard)
+        };
+        self.plane.publish_from(self.shard, slice);
     }
 
-    /// Pulls the plane's join into this shard's state (second half of an
-    /// epoch merge).
+    /// Pulls everything this shard has not seen from the plane's join
+    /// into its local state (second half of an epoch merge). Versioned: an
+    /// up-to-date shard pulls for zero wire bytes.
     pub fn pull(&self) {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane.pull_into(self.shard, &mut local);
+        let mut seen = self.seen.lock().expect("gossip watermark lock poisoned");
+        self.plane.pull_into(self.shard, &mut local, &mut seen);
     }
 
     /// One-shard epoch merge: publish, then pull. Brings this shard up to
@@ -827,10 +1057,8 @@ impl GossipReputation {
     /// all shards second — [`crate::ShardedAuthority::sync_reputation`]
     /// does exactly that.
     pub fn sync(&self) {
-        let mut local = self.local.lock().expect("gossip local lock poisoned");
-        self.plane
-            .publish_from(self.shard, &local.replica_slice(self.shard));
-        self.plane.pull_into(self.shard, &mut local);
+        self.push();
+        self.pull();
     }
 
     /// Advances this shard's generation cursor (new observations land in
@@ -1224,6 +1452,48 @@ mod tests {
         );
         // The pull b received reflects only the first (delivered) push.
         assert_eq!(b.score(v(2)), INITIAL_SCORE - INITIAL_SCORE);
+    }
+
+    #[test]
+    fn cursor_only_advance_still_reaches_a_caught_up_puller() {
+        // Shard A advances its decay generation with no new observations
+        // and pushes; shard B is fully caught up on slots. B's pull must
+        // still receive the new generation cursor (a slotless frame —
+        // decayed reads depend on the local cursor), matching what an
+        // in-memory plane's merge would have produced.
+        let decay = ReputationDecay::HalfLife { retention: 4 };
+        let plane = Arc::new(GossipPlane::over_bus_with(decay));
+        let a = GossipReputation::with_config(0, plane.clone(), VoteRule::Simple, decay);
+        let b = GossipReputation::with_config(1, plane.clone(), VoteRule::Simple, decay);
+        for _ in 0..4 {
+            a.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        a.push();
+        b.pull();
+        assert_eq!(b.score(v(2)), INITIAL_SCORE - 4, "b caught up on slots");
+        // Cursor-only advance on a: generation moves, no counter changes.
+        a.advance_generation(2);
+        a.push();
+        b.pull();
+        assert_eq!(
+            b.current_generation(),
+            2,
+            "the generation cursor must propagate even without new slots"
+        );
+        assert_eq!(
+            b.score(v(2)),
+            INITIAL_SCORE - 1,
+            "b now decays the old dissents like a itself does"
+        );
+        // And once cursors agree, an idle pull is frameless again.
+        let bus = plane.gossip_bus().unwrap();
+        let before = bus.bytes_between(GOSSIP_HUB, Party::Shard(1));
+        b.pull();
+        assert_eq!(
+            bus.bytes_between(GOSSIP_HUB, Party::Shard(1)),
+            before,
+            "caught-up pulls stay zero-byte"
+        );
     }
 
     #[test]

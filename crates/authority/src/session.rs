@@ -150,10 +150,13 @@ impl SessionDriver {
             }
         }
         let mut advice_bytes = 0;
-        if let Some(a) = &advice {
+        if let Some(a) = advice {
+            // Single recipient: the advice moves into the frame (the agent
+            // hands it back through its endpoint below), so the inventor→
+            // agent hop costs no payload clone.
             let msg = Message::AdviceWithProof {
                 game_id,
-                advice: Box::new(a.clone()),
+                advice: Box::new(a),
             };
             advice_bytes = msg.encoded_len();
             self.bus
@@ -180,6 +183,9 @@ impl SessionDriver {
         };
 
         // 2. Agent → trusted verifiers: verdict requests (and replies).
+        // The same advice fans out to the whole panel, so it is shared:
+        // every frame is a reference-count bump, not a proof-tree clone.
+        let advice_payload = Arc::new(received_advice);
         let mut verdicts: Vec<(Party, bool)> = Vec::new();
         let mut verdict_details = Vec::new();
         for verifier in &self.verifiers {
@@ -192,7 +198,7 @@ impl SessionDriver {
                     verifier.id,
                     Message::VerdictRequest {
                         game_id,
-                        advice: Box::new(received_advice.clone()),
+                        advice: Arc::clone(&advice_payload),
                     },
                 )
                 .expect("verifier registered");
@@ -229,6 +235,9 @@ impl SessionDriver {
             Some(self.reputation.pool_verdicts(&verdicts))
         };
         let adopted = majority.as_ref().is_some_and(|m| m.accepted);
+        // Every verifier has processed its queue, so the shared payload is
+        // normally unique again and unwraps without copying.
+        let received_advice = Arc::try_unwrap(advice_payload).unwrap_or_else(|a| (*a).clone());
         SessionOutcome {
             advice: Some(received_advice),
             majority,

@@ -7,13 +7,20 @@
 //! owns N independent shards — each with its own [`Bus`],
 //! inventor handle, verifier panel and reputation backend — routes agents
 //! to shards by a deterministic hash of their id, and fans batches of
-//! consultations across shards with scoped worker threads.
+//! consultations across shards over a persistent, shard-pinned worker
+//! pool (`pool.rs`): one long-lived thread per shard, spun up lazily on
+//! the first multi-shard chunk and reused across chunks and across
+//! [`ShardedAuthority::consult_batch`] calls, so epoch-chunked batches no
+//! longer pay a spawn/join per chunk. Builds with
+//! `--no-default-features` (dropping the `parallel` feature) fall back to
+//! inline single-threaded execution with identical outcomes.
 //!
 //! Determinism is preserved by construction: a shard processes its
-//! consultations strictly in request order under one lock, so
-//! [`ShardedAuthority::consult_batch`] produces exactly the outcomes of
-//! the equivalent sequence of routed [`ShardedAuthority::consult`] calls,
-//! regardless of how the workers interleave across shards.
+//! consultations strictly in request order under one lock — and under one
+//! pinned worker — so [`ShardedAuthority::consult_batch`] produces
+//! exactly the outcomes of the equivalent sequence of routed
+//! [`ShardedAuthority::consult`] calls, regardless of how the workers
+//! interleave across shards.
 //!
 //! The reputation plane is selected by [`ReputationPolicy`]:
 //! [`ReputationPolicy::Isolated`] keeps the pre-refactor behaviour (one
@@ -40,6 +47,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::bus::Bus;
 use crate::inventor::{GameSpec, Inventor, InventorBehavior};
+#[cfg(feature = "parallel")]
+use crate::pool::ShardPool;
 use crate::reputation::{
     GossipPlane, GossipReputation, LocalReputation, ReputationDecay, VoteRule,
 };
@@ -295,9 +304,14 @@ impl GossipController {
 /// assert_eq!(engine.reputation_config().vote_rule, VoteRule::Weighted);
 /// ```
 pub struct ShardedAuthority {
-    shards: Vec<Mutex<RationalityAuthority>>,
+    shards: Arc<Vec<Mutex<RationalityAuthority>>>,
     config: ReputationConfig,
     gossip: Option<GossipController>,
+    /// The persistent shard-pinned worker pool (see `pool.rs`): threads
+    /// spin up lazily on the first multi-shard chunk and are reused until
+    /// the engine drops.
+    #[cfg(feature = "parallel")]
+    pool: ShardPool,
 }
 
 impl ShardedAuthority {
@@ -378,25 +392,29 @@ impl ShardedAuthority {
             gossip.is_some() || config.decay == ReputationDecay::None,
             "reputation decay requires a gossip policy (epochs are its clock)"
         );
-        let shards = (0..shards)
-            .map(|s| {
-                let inventor = Inventor::new(s as u64, inventor_behavior);
-                let authority = match &gossip {
-                    None => RationalityAuthority::with_reputation(
-                        inventor,
-                        verifier_behaviors,
-                        Arc::new(LocalReputation::with_rule(config.vote_rule)),
-                    ),
-                    Some(g) => RationalityAuthority::with_reputation(
-                        inventor,
-                        verifier_behaviors,
-                        g.backends[s].clone(),
-                    ),
-                };
-                Mutex::new(authority)
-            })
-            .collect();
+        let shards: Arc<Vec<Mutex<RationalityAuthority>>> = Arc::new(
+            (0..shards)
+                .map(|s| {
+                    let inventor = Inventor::new(s as u64, inventor_behavior);
+                    let authority = match &gossip {
+                        None => RationalityAuthority::with_reputation(
+                            inventor,
+                            verifier_behaviors,
+                            Arc::new(LocalReputation::with_rule(config.vote_rule)),
+                        ),
+                        Some(g) => RationalityAuthority::with_reputation(
+                            inventor,
+                            verifier_behaviors,
+                            g.backends[s].clone(),
+                        ),
+                    };
+                    Mutex::new(authority)
+                })
+                .collect(),
+        );
         ShardedAuthority {
+            #[cfg(feature = "parallel")]
+            pool: ShardPool::new(Arc::clone(&shards)),
             shards,
             config,
             gossip,
@@ -449,9 +467,12 @@ impl ShardedAuthority {
         outcome
     }
 
-    /// Fans a batch of consultations across the shards with one scoped
-    /// worker thread per non-empty shard; a batch that routes to a single
-    /// shard runs inline on the calling thread instead.
+    /// Fans a batch of consultations across the shards over the
+    /// persistent worker pool — one long-lived thread pinned per shard,
+    /// spun up lazily on the first multi-shard chunk and reused across
+    /// chunks and across calls; a batch that routes to a single shard
+    /// runs inline on the calling thread instead, as does everything when
+    /// the `parallel` feature is disabled.
     ///
     /// Outcomes are returned in request order, and each equals what the
     /// same sequence of [`ShardedAuthority::consult`] calls would have
@@ -510,9 +531,12 @@ impl ShardedAuthority {
     }
 
     /// Processes `requests[start..end]`, writing each outcome at its
-    /// request index. Spawns one scoped worker per non-empty shard, except
-    /// when only one shard is hit — then the chunk runs inline to spare
-    /// the thread overhead on small or skewed batches.
+    /// request index. A chunk that hits several shards is dispatched to
+    /// the persistent worker pool (one pinned worker per shard, reused
+    /// across chunks and batches); a chunk that routes to a single shard
+    /// runs inline on the calling thread, borrowing the specs directly —
+    /// no spec clone, no pool wake-up. Without the `parallel` feature
+    /// every chunk takes the inline path.
     fn run_chunk(
         &self,
         requests: &[(u64, GameSpec)],
@@ -524,42 +548,63 @@ impl ShardedAuthority {
         for (offset, &(agent_id, _)) in requests[start..end].iter().enumerate() {
             by_shard[self.shard_of(agent_id)].push(start + offset);
         }
-        let consult_shard = |shard: &Mutex<RationalityAuthority>, indices: &[usize]| {
-            let mut shard = shard.lock().expect("shard lock poisoned");
-            indices
-                .iter()
-                .map(|&i| {
-                    let (agent_id, spec) = &requests[i];
-                    (i, shard.consult(*agent_id, spec))
-                })
-                .collect::<Vec<_>>()
-        };
         let non_empty = by_shard.iter().filter(|ix| !ix.is_empty()).count();
-        if non_empty <= 1 {
-            for (shard, indices) in self.shards.iter().zip(&by_shard) {
-                if indices.is_empty() {
-                    continue;
-                }
-                for (i, outcome) in consult_shard(shard, indices) {
-                    results[i] = Some(outcome);
-                }
-            }
+        if non_empty > 1 && self.fan_out(requests, &by_shard, results) {
             return;
         }
-        std::thread::scope(|scope| {
-            let mut workers = Vec::new();
-            for (shard, indices) in self.shards.iter().zip(&by_shard) {
-                if indices.is_empty() {
-                    continue;
-                }
-                workers.push(scope.spawn(|| consult_shard(shard, indices)));
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            if indices.is_empty() {
+                continue;
             }
-            for worker in workers {
-                for (i, outcome) in worker.join().expect("shard worker panicked") {
-                    results[i] = Some(outcome);
-                }
+            let mut shard = shard.lock().expect("shard lock poisoned");
+            for &i in indices {
+                let (agent_id, spec) = &requests[i];
+                results[i] = Some(shard.consult(*agent_id, spec));
             }
-        });
+        }
+    }
+
+    /// Dispatches one multi-shard chunk to the pinned worker pool. Jobs
+    /// own their payloads (one spec clone per request — each request
+    /// belongs to exactly one chunk, so a batch clones each spec once),
+    /// which is what keeps the long-lived workers free of borrowed data.
+    /// Returns `true` when the chunk was handled.
+    #[cfg(feature = "parallel")]
+    fn fan_out(
+        &self,
+        requests: &[(u64, GameSpec)],
+        by_shard: &[Vec<usize>],
+        results: &mut [Option<SessionOutcome>],
+    ) -> bool {
+        let chunk = by_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, indices)| !indices.is_empty())
+            .map(|(shard, indices)| {
+                let owned = indices
+                    .iter()
+                    .map(|&i| {
+                        let (agent_id, spec) = &requests[i];
+                        (i, *agent_id, spec.clone())
+                    })
+                    .collect();
+                (shard, owned)
+            })
+            .collect();
+        self.pool.run(chunk, results);
+        true
+    }
+
+    /// Single-threaded builds (`--no-default-features`) have no pool:
+    /// every chunk falls through to the inline path.
+    #[cfg(not(feature = "parallel"))]
+    fn fan_out(
+        &self,
+        _requests: &[(u64, GameSpec)],
+        _by_shard: &[Vec<usize>],
+        _results: &mut [Option<SessionOutcome>],
+    ) -> bool {
+        false
     }
 
     /// Forces one full gossip epoch merge: every shard publishes its
@@ -597,7 +642,7 @@ impl ShardedAuthority {
             shard_bytes: Vec::with_capacity(self.shards.len()),
             ..ShardStats::default()
         };
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let shard = shard.lock().expect("shard lock poisoned");
             let bytes = shard.bus().total_bytes();
             stats.total_bytes += bytes;
@@ -780,6 +825,132 @@ mod tests {
             },
             64,
         );
+    }
+
+    /// Pool-reuse determinism: the worker threads persist across
+    /// `consult_batch` calls, and two consecutive batches must equal one
+    /// concatenated sequential run — outcomes, majorities and every byte
+    /// counter, including control-plane gossip bytes.
+    fn assert_split_batches_match_one_sequential_stream(config: ReputationConfig) {
+        let requests = batch(64);
+        let (first, second) = requests.split_at(24);
+        let batched =
+            ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
+        let mut batch_outcomes = batched.consult_batch(first);
+        batch_outcomes.extend(batched.consult_batch(second));
+        let sequential =
+            ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
+        let seq_outcomes: Vec<SessionOutcome> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .collect();
+        assert_eq!(batch_outcomes.len(), seq_outcomes.len());
+        for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
+            assert_eq!(b.adopted, s.adopted, "{config:?}");
+            assert_eq!(b.majority, s.majority, "{config:?}");
+            assert_eq!(b.session_bytes, s.session_bytes, "{config:?}");
+        }
+        assert_eq!(
+            batched.shard_stats(),
+            sequential.shard_stats(),
+            "{config:?}: pool reuse across batches leaked into accounting"
+        );
+    }
+
+    #[test]
+    fn pool_reuse_matches_sequential_under_gossip() {
+        // The 24-consultation split lands mid-epoch, so the second batch
+        // resumes both the pool workers and the epoch chunking state.
+        assert_split_batches_match_one_sequential_stream(
+            ReputationPolicy::Gossip { every: 16 }.into(),
+        );
+    }
+
+    #[test]
+    fn pool_reuse_matches_sequential_under_adaptive() {
+        assert_split_batches_match_one_sequential_stream(ReputationConfig {
+            policy: ReputationPolicy::Adaptive {
+                every: 32,
+                check_every: 4,
+                burst: 2,
+            },
+            vote_rule: VoteRule::Weighted,
+            decay: ReputationDecay::HalfLife { retention: 4 },
+        });
+    }
+
+    #[test]
+    fn up_to_date_shards_pull_zero_bytes() {
+        // Versioned pulls: once a sync has brought every shard up to date,
+        // re-syncing ships the (unchanged) push slices but not one byte of
+        // pull payload — the hub answers watermarked pulls with nothing,
+        // instead of re-framing a snapshot that scales with retained state.
+        let engine = ShardedAuthority::with_policy(
+            4,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            ReputationPolicy::Gossip { every: 16 },
+        );
+        engine.consult_batch(&batch(48));
+        // One sync to flush observations recorded after the last epoch
+        // boundary; every shard is now up to date.
+        engine.sync_reputation();
+        let bus = engine.gossip_bus().expect("gossip engine has a bus");
+        let pull_bytes = |bus: &crate::bus::Bus| {
+            (0..4)
+                .map(|s| bus.bytes_between(crate::reputation::GOSSIP_HUB, Party::Shard(s)))
+                .sum::<usize>()
+        };
+        let (pulls_before, messages_before) = (pull_bytes(bus), bus.message_count());
+        engine.sync_reputation();
+        assert_eq!(
+            pull_bytes(bus),
+            pulls_before,
+            "idle pulls must ship zero bytes"
+        );
+        assert_eq!(
+            bus.message_count(),
+            messages_before + 4,
+            "an idle sync costs exactly the four push frames"
+        );
+    }
+
+    #[test]
+    fn pull_payload_is_bounded_by_unseen_updates() {
+        // A shard that just pulled re-pulls after ONE new observation
+        // lands on a peer: the second delta must be far smaller than the
+        // first full catch-up, instead of scaling with the total state.
+        let engine = ShardedAuthority::with_policy(
+            4,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            ReputationPolicy::Gossip { every: 8 },
+        );
+        engine.consult_batch(&batch(64));
+        engine.sync_reputation();
+        let bus = engine.gossip_bus().expect("gossip engine has a bus");
+        let shard0_pulls = |bus: &crate::bus::Bus| {
+            bus.bytes_between(crate::reputation::GOSSIP_HUB, Party::Shard(0))
+        };
+        // One consultation on a foreign shard, then shard 0 re-syncs.
+        let away = (0..1000u64)
+            .find(|&a| engine.shard_of(a) != 0)
+            .expect("an agent homed elsewhere");
+        let full_catch_up = shard0_pulls(bus);
+        assert!(full_catch_up > 0, "the batch produced real pull traffic");
+        engine.consult(away, &spec_for_tests());
+        engine.sync_reputation();
+        let incremental = shard0_pulls(bus) - full_catch_up;
+        assert!(incremental > 0, "the new observation must be shipped");
+        assert!(
+            incremental * 4 < full_catch_up,
+            "one-observation delta ({incremental}B) should be a fraction of \
+             the full catch-up ({full_catch_up}B)"
+        );
+    }
+
+    fn spec_for_tests() -> GameSpec {
+        GameSpec::Strategic(prisoners_dilemma().to_strategic())
     }
 
     #[test]

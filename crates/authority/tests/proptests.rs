@@ -2,11 +2,13 @@
 //! round-trips and fuzz, reputation dynamics, gossip CRDT laws, ledger
 //! tampering.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use ra_authority::WireBytes;
 use ra_authority::{
-    Advice, Bus, DecayingPnCounterMap, Message, Party, ReputationDecay, ReputationStore,
-    SigningKey, StatisticsLedger, Wire,
+    Advice, Bus, DecayingPnCounterMap, GossipPlane, Message, Party, ReputationDecay,
+    ReputationStore, SigningKey, StatisticsLedger, VersionVector, Wire,
 };
 use ra_exact::Rational;
 use ra_proofs::SupportCertificate;
@@ -40,6 +42,16 @@ fn counter_map(events: &[(u64, u64, bool, bool)]) -> DecayingPnCounterMap {
     map
 }
 
+fn arb_version_vector() -> impl Strategy<Value = VersionVector> {
+    prop::collection::vec((0u64..8, 0u64..64), 0..6).prop_map(|entries| {
+        let mut versions = VersionVector::new();
+        for (replica, version) in entries {
+            versions.set(replica, version);
+        }
+        versions
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (
@@ -69,7 +81,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 c.dedup();
                 Message::VerdictRequest {
                     game_id,
-                    advice: Box::new(Advice::Support(SupportCertificate {
+                    advice: Arc::new(Advice::Support(SupportCertificate {
                         row_support: r,
                         col_support: c,
                     })),
@@ -235,11 +247,13 @@ proptest! {
     }
 
     /// The gossip wire payload round-trips arbitrary PN-counter delta
-    /// maps exactly — generation cursor, slots and tallies — with no
-    /// trailing bytes, both bare and framed as a `Message::Gossip`.
+    /// maps exactly — generation cursor, slots, tallies and version
+    /// vector — with no trailing bytes, both bare and framed as a
+    /// `Message::Gossip`.
     #[test]
     fn gossip_delta_maps_round_trip(
         events in arb_counter_events(),
+        versions in arb_version_vector(),
     ) {
         let delta = counter_map(&events);
         let bytes = delta.to_bytes();
@@ -248,7 +262,7 @@ proptest! {
         prop_assert_eq!(&decoded, &delta);
         prop_assert_eq!(buf.len(), 0);
         prop_assert_eq!(decoded.current_generation(), delta.current_generation());
-        let msg = Message::Gossip { delta };
+        let msg = Message::Gossip { delta, versions };
         let framed = msg.to_bytes();
         let mut buf = framed.clone();
         prop_assert_eq!(Message::decode(&mut buf).expect("frame decodes"), msg);
@@ -260,15 +274,90 @@ proptest! {
     #[test]
     fn truncated_gossip_frames_rejected(
         events in arb_counter_events(),
+        versions in arb_version_vector(),
         cut_fraction in 0.0f64..1.0,
     ) {
         let delta = counter_map(&events);
-        let msg = Message::Gossip { delta };
+        let msg = Message::Gossip { delta, versions };
         let bytes = msg.to_bytes();
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         if cut < bytes.len() {
             let mut truncated = bytes.slice(0..cut);
             prop_assert!(Message::decode(&mut truncated).is_err());
+        }
+    }
+
+    /// The versioned-pull protocol is *transparent*: an arbitrary
+    /// interleaving of per-replica recordings, pushes and watermarked
+    /// pulls leaves every replica in exactly the state a full-snapshot
+    /// merge would have produced — the incremental deltas lose nothing
+    /// and invent nothing.
+    ///
+    /// Script actions per step: record an observation on a replica, then
+    /// 0 = push that replica, 1 = pull it, 2 = barrier-sync all replicas,
+    /// 3 = do nothing.
+    #[test]
+    fn watermarked_pulls_match_full_snapshot_merges(
+        script in prop::collection::vec(
+            (0usize..3, 0u64..5, any::<bool>(), 0u8..4),
+            1..60,
+        ),
+    ) {
+        const REPLICAS: usize = 3;
+        let plane = GossipPlane::over_bus();
+        let mut locals = vec![DecayingPnCounterMap::new(); REPLICAS];
+        let mut seens = vec![VersionVector::new(); REPLICAS];
+        // Reference: the plain join of everything ever published, merged
+        // wholesale into a snapshot per replica.
+        let mut reference_hub = DecayingPnCounterMap::new();
+        let mut references = vec![DecayingPnCounterMap::new(); REPLICAS];
+        let push =
+            |r: usize,
+             locals: &[DecayingPnCounterMap],
+             reference_hub: &mut DecayingPnCounterMap| {
+                plane.publish_from(r as u64, locals[r].replica_slice(r as u64));
+                reference_hub.merge(&locals[r].replica_slice(r as u64));
+            };
+        let pull = |r: usize,
+                    locals: &mut [DecayingPnCounterMap],
+                    seens: &mut [VersionVector],
+                    references: &mut [DecayingPnCounterMap],
+                    reference_hub: &DecayingPnCounterMap| {
+            plane.pull_into(r as u64, &mut locals[r], &mut seens[r]);
+            references[r].merge(reference_hub);
+        };
+        for &(replica, verifier, agreed, action) in &script {
+            locals[replica].record(replica as u64, Party::Verifier(verifier), agreed);
+            references[replica].record(replica as u64, Party::Verifier(verifier), agreed);
+            match action {
+                0 => push(replica, &locals, &mut reference_hub),
+                1 => pull(replica, &mut locals, &mut seens, &mut references, &reference_hub),
+                2 => {
+                    for r in 0..REPLICAS {
+                        push(r, &locals, &mut reference_hub);
+                    }
+                    for r in 0..REPLICAS {
+                        pull(r, &mut locals, &mut seens, &mut references, &reference_hub);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Final barrier, then every replica must agree with its
+        // full-snapshot twin on every verifier's exact slots.
+        for r in 0..REPLICAS {
+            push(r, &locals, &mut reference_hub);
+        }
+        for r in 0..REPLICAS {
+            pull(r, &mut locals, &mut seens, &mut references, &reference_hub);
+        }
+        for r in 0..REPLICAS {
+            prop_assert_eq!(
+                &locals[r],
+                &references[r],
+                "replica {} diverged from the full-snapshot merge",
+                r
+            );
         }
     }
 

@@ -8,6 +8,23 @@
 //! machinery it runs each benchmark for a fixed number of timed batches and
 //! reports the best per-iteration time — adequate for eyeballing the paper's
 //! verify-vs-compute gaps, not for regression-grade statistics.
+//!
+//! # Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one line of JSON to it (creating it on
+//! first use), so `cargo bench` runs can be archived as an artifact:
+//!
+//! ```json
+//! {"id":"group/bench/param","best_ns":1234,"samples":10}
+//! ```
+//!
+//! `id` is the full benchmark path, `best_ns` the best observed
+//! per-iteration time in integer nanoseconds (`null` if the benchmark
+//! made no measurement), `samples` the number of timed batches. The
+//! schema is stable: fields are only ever added, never renamed. CI points
+//! `CRITERION_JSON` at `results/criterion.jsonl` and uploads it with the
+//! experiment tables (see `docs/BENCHMARKS.md`).
 
 #![forbid(unsafe_code)]
 
@@ -85,6 +102,33 @@ fn run_one(full_id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
     match bencher.best {
         Some(best) => println!("{full_id:<60} best {best:>12.3?}/iter"),
         None => println!("{full_id:<60} (no measurement)"),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        append_json_line(&path, full_id, samples, bencher.best);
+    }
+}
+
+/// Appends the stable one-line-JSON record for one finished benchmark (see
+/// the crate docs for the schema). I/O errors are reported but not fatal —
+/// a benchmark run should never die over its log file.
+fn append_json_line(path: &str, full_id: &str, samples: usize, best: Option<Duration>) {
+    let escaped: String = full_id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let best_ns = best.map_or_else(|| String::from("null"), |b| b.as_nanos().to_string());
+    let line = format!("{{\"id\":\"{escaped}\",\"best_ns\":{best_ns},\"samples\":{samples}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("criterion shim: cannot append to CRITERION_JSON={path}: {err}");
     }
 }
 
@@ -219,5 +263,34 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn json_lines_follow_the_stable_schema() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-json-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(path_str, "fib/10", 3, Some(Duration::from_nanos(1234)));
+        append_json_line(path_str, "quoted \"id\"\\slash", 1, None);
+        let contents = std::fs::read_to_string(&path).expect("json file written");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"fib/10\",\"best_ns\":1234,\"samples\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"id\":\"quoted \\\"id\\\"\\\\slash\",\"best_ns\":null,\"samples\":1}"
+        );
+        // Appending is cumulative: a second bench run extends the log.
+        append_json_line(path_str, "fib/11", 2, Some(Duration::from_micros(1)));
+        let contents = std::fs::read_to_string(&path).expect("json file re-read");
+        assert_eq!(contents.lines().count(), 3);
+        assert!(contents.ends_with("{\"id\":\"fib/11\",\"best_ns\":1000,\"samples\":2}\n"));
+        let _ = std::fs::remove_file(&path);
     }
 }

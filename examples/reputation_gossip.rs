@@ -111,6 +111,32 @@ fn main() {
     );
     assert!(stats.gossip_bytes > 0, "merges are real framed sends");
 
+    // Pulls are version-vectored: each shard keeps a watermark of the hub
+    // versions it has merged, and the hub ships only unseen slots. Once
+    // the engine has converged, a re-sync costs the (tiny, unchanged)
+    // push frames and *zero* pull bytes — no snapshot re-framing.
+    let bus = engine.gossip_bus().expect("gossip engine has a bus");
+    let pull_bytes = |bus: &rationality_authority::authority::Bus| {
+        (0..engine.shard_count() as u64)
+            .map(|s| {
+                bus.bytes_between(
+                    rationality_authority::authority::GOSSIP_HUB,
+                    Party::Shard(s),
+                )
+            })
+            .sum::<usize>()
+    };
+    engine.sync_reputation();
+    let converged = pull_bytes(bus);
+    engine.sync_reputation();
+    let idle = pull_bytes(bus) - converged;
+    println!(
+        "\nversioned pulls — pull bytes after convergence: {converged}; \
+         an idle re-sync adds {idle} pull bytes (the hub answers \
+         watermarked pulls with nothing)"
+    );
+    assert_eq!(idle, 0, "up-to-date shards pull for free");
+
     // An adaptive engine reacts to the dissent burst instead of waiting
     // out the epoch: same cadence ceiling, earlier engine-wide exclusion.
     let adaptive = ShardedAuthority::with_policy(

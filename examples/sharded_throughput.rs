@@ -3,9 +3,12 @@
 //! Sixty-four agents consult the authority at once. A `ShardedAuthority`
 //! with four shards — each its own bus, inventor handle, verifier panel
 //! and reputation store — routes every agent to its home shard by a
-//! deterministic hash and fans the batch across scoped worker threads.
-//! The outcomes are exactly what sequential, routed consultations would
-//! have produced; only the wall clock changes.
+//! deterministic hash and fans the batch over a persistent pool of
+//! shard-pinned worker threads (spun up lazily on the first batch and
+//! reused by every later one; built with `--no-default-features` the
+//! batch runs inline instead). The outcomes are exactly what sequential,
+//! routed consultations would have produced; only the wall clock
+//! changes.
 //!
 //! Run with: `cargo run --example sharded_throughput`
 
@@ -29,6 +32,11 @@ fn main() {
         requests.len()
     );
     let outcomes = engine.consult_batch(&requests);
+    // A second batch on the same engine reuses the parked pool workers —
+    // no re-spawning, which is what keeps epoch-chunked gossip batches
+    // fast at scale (see docs/ARCHITECTURE.md, "Worker-pool lifecycle").
+    let again = engine.consult_batch(&requests[..8]);
+    assert!(again.iter().all(|o| o.adopted));
 
     let adopted = outcomes.iter().filter(|o| o.adopted).count();
     println!("adopted: {adopted}/{}", outcomes.len());
