@@ -70,10 +70,20 @@ impl Endpoint {
     /// Drains all queued messages.
     pub fn drain(&self) -> Vec<(Party, Message)> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains all queued messages, appending them to `out`; returns how
+    /// many were appended. Receive loops that run per consultation reuse
+    /// one buffer across calls instead of allocating a fresh `Vec` per
+    /// drain — the [`crate::SessionDriver`] hot path does exactly that.
+    pub fn drain_into(&self, out: &mut Vec<(Party, Message)>) -> usize {
+        let before = out.len();
         while let Some(m) = self.try_recv() {
             out.push(m);
         }
-        out
+        out.len() - before
     }
 }
 
@@ -168,6 +178,76 @@ impl Bus {
             delivered,
         });
         result
+    }
+
+    /// Sends every `(from, to, message)` in `batch` — draining it, so
+    /// callers can reuse the buffer's allocation — taking each bus lock
+    /// once per call instead of once per message.
+    ///
+    /// Accounting is byte-identical to the equivalent sequence of
+    /// [`Bus::send`] calls: the same [`DeliveryRecord`]s in the same
+    /// order, the same running total/delivered counters, and the same
+    /// per-pair byte map, all updated in one critical section. Every send
+    /// is attempted (and accounted) even after an earlier one fails, which
+    /// is also what a loop of individual `send` calls does; the first
+    /// error is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::UnknownParty`] / [`BusError::Disconnected`] for the
+    /// first message in the batch that failed.
+    pub fn send_batch(&self, batch: &mut Vec<(Party, Party, Message)>) -> Result<(), BusError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut first_error = Ok(());
+        // Lock order matches the (non-overlapping) acquisition order of
+        // `send`; all three are leaf locks, so holding them together for
+        // the chunk cannot deadlock.
+        let drop_rules = self.drop_rules.lock().expect("bus lock poisoned");
+        let endpoints = self.endpoints.lock().expect("bus lock poisoned");
+        let mut ledger = self.ledger.lock().expect("bus lock poisoned");
+        ledger.records.reserve(batch.len());
+        for (from, to, message) in batch.drain(..) {
+            let bytes = message.encoded_len();
+            let dropped = drop_rules.contains(&(from, to));
+            let result = if dropped {
+                Ok(())
+            } else {
+                match endpoints.get(&to) {
+                    None => {
+                        // `send` short-circuits before any accounting on an
+                        // unknown party; mirror that so the ledger stays
+                        // byte-identical to N sequential sends.
+                        if first_error.is_ok() {
+                            first_error = Err(BusError::UnknownParty(to));
+                        }
+                        continue;
+                    }
+                    Some(tx) => tx
+                        .send((from, message))
+                        .map_err(|_| BusError::Disconnected(to)),
+                }
+            };
+            let delivered = !dropped && result.is_ok();
+            if first_error.is_ok() {
+                if let Err(e) = result {
+                    first_error = Err(e);
+                }
+            }
+            ledger.total_bytes += bytes;
+            if delivered {
+                ledger.delivered_bytes += bytes;
+            }
+            *ledger.pair_bytes.entry((from, to)).or_insert(0) += bytes;
+            ledger.records.push(DeliveryRecord {
+                from,
+                to,
+                bytes,
+                delivered,
+            });
+        }
+        first_error
     }
 
     /// Injects a drop rule: all messages `from → to` are silently dropped.
@@ -318,6 +398,139 @@ mod tests {
             "running delivered counter matches a log scan"
         );
         assert!(bus.delivered_bytes() < bus.total_bytes());
+    }
+
+    /// The traffic mix the batch/sequential equivalence tests replay:
+    /// clean deliveries, a fault-injected drop, an unknown destination and
+    /// a disconnected endpoint, across several pairs.
+    fn adversarial_traffic() -> Vec<(Party, Party, Message)> {
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        let c = Party::Verifier(3);
+        vec![
+            (a, b, Message::AdviceRequest { game_id: 1 }),
+            (a, c, Message::AdviceRequest { game_id: 2 }), // dropped link
+            (b, a, Message::AdviceRequest { game_id: 3 }),
+            (a, Party::Agent(99), Message::AdviceRequest { game_id: 4 }), // unknown
+            (b, c, Message::AdviceRequest { game_id: 5 }),                // disconnected
+            (a, b, Message::AdviceRequest { game_id: 6 }),
+        ]
+    }
+
+    /// Builds a bus with the fixture topology for `adversarial_traffic`:
+    /// a↔b live, a→c fault-dropped, c's endpoint dropped (disconnected).
+    fn adversarial_bus() -> (Bus, Endpoint, Endpoint) {
+        let bus = Bus::new();
+        let ep_a = bus.register(Party::Agent(1));
+        let ep_b = bus.register(Party::Agent(2));
+        let ep_c = bus.register(Party::Verifier(3));
+        drop(ep_c);
+        bus.drop_link(Party::Agent(1), Party::Verifier(3));
+        (bus, ep_a, ep_b)
+    }
+
+    #[test]
+    fn send_batch_accounting_matches_sequential_sends() {
+        // The tentpole contract: one send_batch produces byte-identical
+        // DeliveryRecords, counters and per-pair sums to N sequential
+        // sends of the same messages — including drop rules, unknown
+        // parties and disconnected endpoints.
+        let (batched, batched_a, batched_b) = adversarial_bus();
+        let (sequential, seq_a, seq_b) = adversarial_bus();
+        let mut batch = adversarial_traffic();
+        let first_batch_error = batched.send_batch(&mut batch);
+        assert!(batch.is_empty(), "the batch buffer is drained for reuse");
+        let mut first_seq_error = Ok(());
+        for (from, to, message) in adversarial_traffic() {
+            let result = sequential.send(from, to, message);
+            if first_seq_error.is_ok() {
+                first_seq_error = result;
+            }
+        }
+        assert_eq!(first_batch_error, first_seq_error);
+        assert_eq!(batched.delivery_log(), sequential.delivery_log());
+        assert_eq!(batched.total_bytes(), sequential.total_bytes());
+        assert_eq!(batched.delivered_bytes(), sequential.delivered_bytes());
+        assert_eq!(batched.message_count(), sequential.message_count());
+        for from in [Party::Agent(1), Party::Agent(2)] {
+            for to in [Party::Agent(1), Party::Agent(2), Party::Verifier(3)] {
+                assert_eq!(
+                    batched.bytes_between(from, to),
+                    sequential.bytes_between(from, to),
+                    "{from} -> {to}"
+                );
+            }
+        }
+        // Delivery itself matches too: the same messages reach the same
+        // endpoints in the same order.
+        assert_eq!(batched_a.drain(), seq_a.drain());
+        assert_eq!(batched_b.drain(), seq_b.drain());
+    }
+
+    #[test]
+    fn send_batch_attempts_everything_after_a_failure() {
+        let (bus, _ep_a, ep_b) = adversarial_bus();
+        let mut batch = vec![
+            (
+                Party::Agent(1),
+                Party::Agent(99),
+                Message::AdviceRequest { game_id: 1 },
+            ),
+            (
+                Party::Agent(1),
+                Party::Agent(2),
+                Message::AdviceRequest { game_id: 2 },
+            ),
+        ];
+        assert_eq!(
+            bus.send_batch(&mut batch),
+            Err(BusError::UnknownParty(Party::Agent(99))),
+            "the first failure is reported"
+        );
+        assert_eq!(
+            bus.message_count(),
+            1,
+            "the unknown-party send is unaccounted, exactly like `send`"
+        );
+        let delivered = ep_b.drain();
+        assert_eq!(delivered.len(), 1, "the later message still delivered");
+        assert_eq!(delivered[0].1, Message::AdviceRequest { game_id: 2 });
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let bus = Bus::new();
+        assert_eq!(bus.send_batch(&mut Vec::new()), Ok(()));
+        assert_eq!(bus.message_count(), 0);
+        assert_eq!(bus.total_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_into_reuses_the_buffer() {
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let ep_b = bus.register(b);
+        let mut buf = Vec::new();
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 })
+            .unwrap();
+        bus.send(a, b, Message::AdviceRequest { game_id: 2 })
+            .unwrap();
+        assert_eq!(ep_b.drain_into(&mut buf), 2);
+        assert_eq!(buf.len(), 2);
+        // Appends without clearing: callers own the clear, which is what
+        // lets one buffer live across a whole receive loop.
+        bus.send(a, b, Message::AdviceRequest { game_id: 3 })
+            .unwrap();
+        assert_eq!(ep_b.drain_into(&mut buf), 1);
+        assert_eq!(buf.len(), 3);
+        let capacity = buf.capacity();
+        buf.clear();
+        bus.send(a, b, Message::AdviceRequest { game_id: 4 })
+            .unwrap();
+        assert_eq!(ep_b.drain_into(&mut buf), 1);
+        assert_eq!(buf.capacity(), capacity, "no reallocation on reuse");
     }
 
     #[test]

@@ -60,10 +60,12 @@ pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
 pub use reputation::{
     DecayingPnCounterMap, GossipPlane, GossipReputation, LocalReputation, MajorityOutcome,
-    PnCounter, ReputationBackend, ReputationDecay, ReputationStore, VersionVector, VoteRule,
-    EXCLUSION_THRESHOLD, GOSSIP_HUB, INITIAL_SCORE,
+    PnCounter, ReputationBackend, ReputationDecay, ReputationSnapshot, ReputationStore,
+    VersionVector, VoteRule, EXCLUSION_THRESHOLD, GOSSIP_HUB, INITIAL_SCORE,
 };
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
 pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority};
 pub use verifier::{VerifierBehavior, VerifierService};
-pub use wire::{get_varint, put_varint, Wire, WireBytes, WireError};
+pub use wire::{
+    frame_pool_misses, get_varint, put_varint, with_frame_scratch, Wire, WireBytes, WireError,
+};

@@ -342,7 +342,14 @@ fn decode_proof(buf: &mut WireBytes, depth: u32) -> Result<Proof, WireError> {
 
 impl Wire for StrategyProfile {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.strategies().to_vec().encode(buf);
+        // Byte-identical to encoding `strategies().to_vec()`, without the
+        // intermediate clone (this runs on the consult hot path for every
+        // advice frame).
+        let strategies = self.strategies();
+        put_varint(buf, strategies.len() as u64);
+        for strategy in strategies {
+            strategy.encode(buf);
+        }
     }
     fn decode(buf: &mut WireBytes) -> Result<StrategyProfile, WireError> {
         Ok(StrategyProfile::new(Vec::<usize>::decode(buf)?))
@@ -351,7 +358,13 @@ impl Wire for StrategyProfile {
 
 impl Wire for MixedStrategy {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.probs().to_vec().encode(buf);
+        // As with `StrategyProfile`: the slice encodes directly, skipping
+        // the `to_vec` clone of every probability.
+        let probs = self.probs();
+        put_varint(buf, probs.len() as u64);
+        for prob in probs {
+            prob.encode(buf);
+        }
     }
     fn decode(buf: &mut WireBytes) -> Result<MixedStrategy, WireError> {
         let probs = Vec::<Rational>::decode(buf)?;

@@ -27,6 +27,12 @@
 //!
 //! Dropping the pool closes the job channels and joins every worker, so
 //! engine teardown never leaks threads.
+//!
+//! Because each worker is a long-lived thread, the wire layer's
+//! thread-local frame scratch (`wire::with_frame_scratch`) warms once per
+//! worker and then serves every subsequent consult on that shard without
+//! touching the allocator — the pool is what turns the pooled-buffer path
+//! into a true steady state.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};

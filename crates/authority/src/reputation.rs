@@ -159,6 +159,71 @@ fn pooled_outcome(verdicts: &[(Party, bool)], stake_of: impl Fn(Party) -> i64) -
     }
 }
 
+/// An immutable point-in-time view of every registered verifier's score.
+///
+/// Backends publish a fresh snapshot (behind `Arc`) whenever scores
+/// change — at the end of [`ReputationBackend::pool_verdicts`] and, for
+/// [`GossipReputation`], after an epoch pull or a generation advance.
+/// Readers on the consult hot path ([`crate::SessionDriver`]) grab the
+/// current `Arc` with one short lock and then read trust checks off it
+/// with no further synchronization, so a gossip merge running on another
+/// thread can never contend with — or leak a half-merged epoch into — a
+/// consult's trust decisions.
+///
+/// Because snapshots are published *under the backend's data lock*, a
+/// snapshot always reflects a complete mutation: either all of a pooled
+/// round / merged epoch, or none of it.
+///
+/// # Examples
+///
+/// ```
+/// use ra_authority::{LocalReputation, Party, ReputationBackend};
+///
+/// let store = LocalReputation::new();
+/// let before = store.snapshot();
+/// store.pool_verdicts(&[(Party::Verifier(0), true), (Party::Verifier(1), true)]);
+/// let after = store.snapshot();
+/// // The stale snapshot is immutable: it still scores everyone as unseen.
+/// assert_eq!(before.score(Party::Verifier(0)), LocalReputation::INITIAL);
+/// assert_eq!(after.score(Party::Verifier(0)), LocalReputation::INITIAL + 1);
+/// assert!(after.version() > before.version());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReputationSnapshot {
+    version: u64,
+    scores: HashMap<Party, i64>,
+}
+
+impl ReputationSnapshot {
+    /// Monotone publication counter: strictly increases with every
+    /// republish, so readers can tell which of two snapshots is fresher.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Score of a verifier in this view (unseen verifiers score
+    /// [`INITIAL_SCORE`], matching the live backends).
+    pub fn score(&self, verifier: Party) -> i64 {
+        self.scores.get(&verifier).copied().unwrap_or(INITIAL_SCORE)
+    }
+
+    /// Returns `true` if the verifier is trusted in this view (above
+    /// [`EXCLUSION_THRESHOLD`]).
+    pub fn is_trusted(&self, verifier: Party) -> bool {
+        self.score(verifier) > EXCLUSION_THRESHOLD
+    }
+
+    /// Number of verifiers registered in this view.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Returns `true` if no verifier has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
 /// A reputation backend: where verifier trust scores live and how one
 /// round of verdicts updates them.
 ///
@@ -211,6 +276,14 @@ pub trait ReputationBackend: Send + Sync {
     /// All verifiers this backend has seen that are currently trusted,
     /// sorted for determinism.
     fn trusted_verifiers(&self) -> Vec<Party>;
+
+    /// The most recently published immutable score view.
+    ///
+    /// One short lock to clone the `Arc`; all subsequent reads off the
+    /// returned snapshot are lock-free. Backends republish under their
+    /// data lock at every mutation, so a snapshot never shows a
+    /// half-applied round or half-merged gossip epoch.
+    fn snapshot(&self) -> Arc<ReputationSnapshot>;
 }
 
 /// Process-local reputation bookkeeping — one mutex-guarded score table.
@@ -226,6 +299,9 @@ pub trait ReputationBackend: Send + Sync {
 pub struct LocalReputation {
     rule: VoteRule,
     scores: Mutex<HashMap<Party, i64>>,
+    /// Latest immutable score view, republished under the `scores` lock
+    /// at the end of every [`LocalReputation::pool_verdicts`].
+    snapshot: Mutex<Arc<ReputationSnapshot>>,
 }
 
 /// Compatibility alias: the pre-refactor name of [`LocalReputation`].
@@ -247,6 +323,7 @@ impl LocalReputation {
         LocalReputation {
             rule,
             scores: Mutex::new(HashMap::new()),
+            snapshot: Mutex::new(Arc::new(ReputationSnapshot::default())),
         }
     }
 
@@ -293,7 +370,25 @@ impl LocalReputation {
                 *entry -= 1;
             }
         }
+        // Republish while still holding the scores lock: no other round
+        // can interleave between the mutation and its snapshot, so every
+        // published view reflects whole rounds only.
+        self.republish(&scores);
         outcome
+    }
+
+    /// Swaps in a fresh snapshot of `scores`. Callers hold the scores
+    /// lock, which serializes republishes with mutations; the snapshot
+    /// slot itself is a leaf lock held only for the pointer swap.
+    fn republish(&self, scores: &HashMap<Party, i64>) {
+        let mut slot = self
+            .snapshot
+            .lock()
+            .expect("reputation snapshot lock poisoned");
+        *slot = Arc::new(ReputationSnapshot {
+            version: slot.version + 1,
+            scores: scores.clone(),
+        });
     }
 
     /// All verifiers currently trusted, sorted for determinism.
@@ -320,6 +415,15 @@ impl ReputationBackend for LocalReputation {
 
     fn trusted_verifiers(&self) -> Vec<Party> {
         LocalReputation::trusted_verifiers(self)
+    }
+
+    fn snapshot(&self) -> Arc<ReputationSnapshot> {
+        Arc::clone(
+            &self
+                .snapshot
+                .lock()
+                .expect("reputation snapshot lock poisoned"),
+        )
     }
 }
 
@@ -980,6 +1084,9 @@ pub struct GossipReputation {
     /// Versioned-pull watermark: the highest hub version of every peer
     /// replica's rows this shard has merged ([`GossipPlane::pull_into`]).
     seen: Mutex<VersionVector>,
+    /// Latest immutable score view, republished under the `local` lock
+    /// after every pooled round, epoch pull and generation advance.
+    snapshot: Mutex<Arc<ReputationSnapshot>>,
 }
 
 impl GossipReputation {
@@ -1012,7 +1119,25 @@ impl GossipReputation {
             decay,
             local: Mutex::new(DecayingPnCounterMap::new()),
             seen: Mutex::new(VersionVector::new()),
+            snapshot: Mutex::new(Arc::new(ReputationSnapshot::default())),
         }
+    }
+
+    /// Swaps in a fresh snapshot of `local`. Callers hold the local lock,
+    /// so a snapshot can only ever capture a fully applied round, fully
+    /// merged epoch, or fully advanced generation — never the middle of
+    /// one.
+    fn republish(&self, local: &DecayingPnCounterMap) {
+        let scores = local
+            .verifiers()
+            .into_iter()
+            .map(|p| (p, INITIAL_SCORE + local.decayed_value(p, self.decay)))
+            .collect();
+        let mut slot = self.snapshot.lock().expect("gossip snapshot lock poisoned");
+        *slot = Arc::new(ReputationSnapshot {
+            version: slot.version + 1,
+            scores,
+        });
     }
 
     /// The shard (replica id) this backend writes observations under.
@@ -1049,6 +1174,7 @@ impl GossipReputation {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
         let mut seen = self.seen.lock().expect("gossip watermark lock poisoned");
         self.plane.pull_into(self.shard, &mut local, &mut seen);
+        self.republish(&local);
     }
 
     /// One-shard epoch merge: publish, then pull. Brings this shard up to
@@ -1069,6 +1195,7 @@ impl GossipReputation {
     pub fn advance_generation(&self, generation: u64) {
         let mut local = self.local.lock().expect("gossip local lock poisoned");
         local.advance_to(generation, self.decay);
+        self.republish(&local);
     }
 
     /// The shard's current generation cursor.
@@ -1098,6 +1225,7 @@ impl ReputationBackend for GossipReputation {
         for &(verifier, vote) in verdicts {
             local.record(self.shard, verifier, vote == outcome.accepted);
         }
+        self.republish(&local);
         outcome
     }
 
@@ -1108,6 +1236,10 @@ impl ReputationBackend for GossipReputation {
             .into_iter()
             .filter(|&p| INITIAL_SCORE + local.decayed_value(p, self.decay) > EXCLUSION_THRESHOLD)
             .collect()
+    }
+
+    fn snapshot(&self) -> Arc<ReputationSnapshot> {
+        Arc::clone(&self.snapshot.lock().expect("gossip snapshot lock poisoned"))
     }
 }
 
@@ -1525,5 +1657,108 @@ mod tests {
             "ancient dissent is forgiven under decay"
         );
         assert_eq!(backend.score(v(2)), INITIAL_SCORE);
+    }
+
+    #[test]
+    fn snapshots_track_published_scores() {
+        let store = LocalReputation::new();
+        let empty = store.snapshot();
+        assert!(empty.is_empty());
+        assert_eq!(empty.version(), 0);
+        assert_eq!(
+            empty.score(v(7)),
+            INITIAL_SCORE,
+            "unseen defaults match live"
+        );
+        store.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        let after = store.snapshot();
+        assert_eq!(after.version(), 1);
+        assert_eq!(after.len(), 3);
+        for verifier in [v(0), v(1), v(2)] {
+            assert_eq!(after.score(verifier), store.score(verifier));
+            assert_eq!(after.is_trusted(verifier), store.is_trusted(verifier));
+        }
+        // The stale Arc is immutable: later rounds never reach into it.
+        // The second round is a tie, which rejects — so v2's reject vote
+        // now agrees with the majority and wins its point back.
+        store.pool_verdicts(&[(v(2), false), (v(0), true)]);
+        assert_eq!(after.score(v(2)), INITIAL_SCORE - 1, "stale view unchanged");
+        assert_eq!(store.snapshot().score(v(2)), INITIAL_SCORE);
+    }
+
+    #[test]
+    fn gossip_snapshot_includes_merged_epochs() {
+        let plane = Arc::new(GossipPlane::new());
+        let a = GossipReputation::new(0, Arc::clone(&plane));
+        let b = GossipReputation::new(1, Arc::clone(&plane));
+        for _ in 0..3 {
+            a.pool_verdicts(&[(v(0), true), (v(1), true), (v(2), false)]);
+        }
+        let b_before = b.snapshot();
+        assert_eq!(
+            b_before.score(v(2)),
+            INITIAL_SCORE,
+            "b has not merged a's epoch yet"
+        );
+        a.push();
+        b.pull();
+        let b_after = b.snapshot();
+        assert_eq!(b_after.score(v(2)), INITIAL_SCORE - 3, "pull republishes");
+        assert_eq!(
+            b_before.score(v(2)),
+            INITIAL_SCORE,
+            "the pre-pull snapshot is unchanged by the merge"
+        );
+        assert!(b_after.version() > b_before.version());
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_observe_a_half_merged_epoch() {
+        // Every round is the tie `[(v0, true), (v1, false)]`, which
+        // rejects: v0 loses a point, v1 gains one. So for any view built
+        // from WHOLE rounds — however many — the two scores always sum to
+        // 2 * INITIAL_SCORE. A snapshot cut mid-round or mid-merge would
+        // break that invariant; this hammers snapshot reads against a
+        // writer applying rounds and epoch merges and checks the sum on
+        // every read.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let plane = Arc::new(GossipPlane::new());
+        let writer_backend = Arc::new(GossipReputation::new(0, Arc::clone(&plane)));
+        let reader_backend = Arc::clone(&writer_backend);
+        let done = Arc::new(AtomicBool::new(false));
+        let writer_done = Arc::clone(&done);
+        let writer = std::thread::spawn(move || {
+            for round in 0..200u64 {
+                writer_backend.pool_verdicts(&[(v(0), true), (v(1), false)]);
+                if round % 16 == 0 {
+                    writer_backend.sync();
+                }
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        });
+        let mut last_version = 0u64;
+        loop {
+            // Read the flag before the snapshot so the final iteration is
+            // guaranteed to validate the writer's finished state.
+            let finished = done.load(Ordering::SeqCst);
+            let snap = reader_backend.snapshot();
+            if !snap.is_empty() {
+                assert_eq!(
+                    snap.score(v(0)) + snap.score(v(1)),
+                    2 * INITIAL_SCORE,
+                    "snapshot v{} shows a torn round or half-merged epoch",
+                    snap.version()
+                );
+                assert!(snap.version() >= last_version, "versions are monotone");
+                last_version = snap.version();
+            }
+            if finished {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        let final_snap = reader_backend.snapshot();
+        assert_eq!(final_snap.score(v(0)), INITIAL_SCORE - 200);
+        assert_eq!(final_snap.score(v(1)), INITIAL_SCORE + 200);
     }
 }

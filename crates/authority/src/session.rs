@@ -20,6 +20,15 @@
 //! ([`crate::ReputationDecay`]), and whether the scores are shard-local
 //! or gossiped engine-wide all live behind the [`ReputationBackend`]
 //! trait, so the Fig. 1 flow never changes when the plane does.
+//!
+//! The flow is also the engine's *hot path*, and it is written to stay
+//! off the allocator and off contended locks in the steady state: endpoint
+//! drains reuse one receive buffer ([`Endpoint::drain_into`]), the
+//! verdict fan-out and the replies each ship as one [`Bus::send_batch`]
+//! accounting critical section from a reused staging buffer, and trust
+//! checks read a single immutable
+//! [`crate::ReputationSnapshot`] taken at the top of the
+//! fan-out instead of locking the backend per verifier.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,6 +76,14 @@ pub struct SessionDriver {
     inventor: Inventor,
     verifiers: Vec<VerifierService>,
     endpoints: HashMap<Party, Endpoint>,
+    /// Reusable receive buffer: every endpoint drain on the hot path lands
+    /// here via [`Endpoint::drain_into`], so steady-state consults never
+    /// allocate a fresh inbox `Vec`.
+    recv_buf: Vec<(Party, Message)>,
+    /// Reusable fan-out buffer for [`Bus::send_batch`]: verdict requests
+    /// and verdict replies are staged here and shipped in one accounting
+    /// critical section each.
+    send_buf: Vec<(Party, Party, Message)>,
 }
 
 impl SessionDriver {
@@ -107,6 +124,8 @@ impl SessionDriver {
             inventor,
             verifiers,
             endpoints,
+            recv_buf: Vec::new(),
+            send_buf: Vec::new(),
         }
     }
 
@@ -139,10 +158,12 @@ impl SessionDriver {
         self.bus
             .send(agent, self.inventor.id, Message::AdviceRequest { game_id })
             .expect("inventor registered");
-        // Inventor processes its queue.
-        let inventor_ep = &self.endpoints[&self.inventor.id];
+        // Inventor processes its queue. Drains reuse `recv_buf` so the
+        // steady state allocates no inbox Vec per hop.
+        self.recv_buf.clear();
+        self.endpoints[&self.inventor.id].drain_into(&mut self.recv_buf);
         let mut advice: Option<Advice> = None;
-        for (from, msg) in inventor_ep.drain() {
+        for (from, msg) in self.recv_buf.drain(..) {
             if let (Message::AdviceRequest { game_id: gid }, true) = (&msg, from == agent) {
                 if *gid == game_id {
                     advice = self.inventor.advise(spec);
@@ -164,13 +185,12 @@ impl SessionDriver {
                 .expect("agent registered");
         }
         // Agent receives.
-        let received = self.endpoints[&agent]
-            .drain()
-            .into_iter()
-            .find_map(|(_, m)| match m {
-                Message::AdviceWithProof { advice, .. } => Some(*advice),
-                _ => None,
-            });
+        self.recv_buf.clear();
+        self.endpoints[&agent].drain_into(&mut self.recv_buf);
+        let received = self.recv_buf.drain(..).find_map(|(_, m)| match m {
+            Message::AdviceWithProof { advice, .. } => Some(*advice),
+            _ => None,
+        });
         let Some(received_advice) = received else {
             return SessionOutcome {
                 advice: None,
@@ -185,44 +205,64 @@ impl SessionDriver {
         // 2. Agent → trusted verifiers: verdict requests (and replies).
         // The same advice fans out to the whole panel, so it is shared:
         // every frame is a reference-count bump, not a proof-tree clone.
+        // Trust checks read one immutable snapshot taken here — the
+        // backend's data lock is untouched until the verdicts pool, so a
+        // gossip merge on another shard never contends with this fan-out
+        // (and the panel seen by one consult is always a whole epoch).
+        let reputation_view = self.reputation.snapshot();
         let advice_payload = Arc::new(received_advice);
-        let mut verdicts: Vec<(Party, bool)> = Vec::new();
-        let mut verdict_details = Vec::new();
+        self.send_buf.clear();
         for verifier in &self.verifiers {
-            if !self.reputation.is_trusted(verifier.id) {
+            if !reputation_view.is_trusted(verifier.id) {
                 continue;
             }
-            self.bus
-                .send(
-                    agent,
-                    verifier.id,
-                    Message::VerdictRequest {
-                        game_id,
-                        advice: Arc::clone(&advice_payload),
-                    },
-                )
-                .expect("verifier registered");
-            // Verifier processes its queue.
-            for (from, msg) in self.endpoints[&verifier.id].drain() {
+            self.send_buf.push((
+                agent,
+                verifier.id,
+                Message::VerdictRequest {
+                    game_id,
+                    advice: Arc::clone(&advice_payload),
+                },
+            ));
+        }
+        // One accounting critical section for the whole request fan-out;
+        // send_batch drains the buffer so its allocation is reused.
+        self.bus
+            .send_batch(&mut self.send_buf)
+            .expect("verifier registered");
+        // Each verifier processes its queue; the replies batch the same
+        // way back to the agent.
+        let mut verdict_details = Vec::new();
+        for verifier in &self.verifiers {
+            if !reputation_view.is_trusted(verifier.id) {
+                continue;
+            }
+            self.recv_buf.clear();
+            self.endpoints[&verifier.id].drain_into(&mut self.recv_buf);
+            for (from, msg) in self.recv_buf.drain(..) {
                 if let Message::VerdictRequest { advice, .. } = msg {
                     let (accepted, detail) = verifier.verify(spec, &advice);
-                    self.bus
-                        .send(
-                            verifier.id,
-                            from,
-                            Message::Verdict {
-                                game_id,
-                                accepted,
-                                detail: detail.clone(),
-                            },
-                        )
-                        .expect("agent registered");
+                    self.send_buf.push((
+                        verifier.id,
+                        from,
+                        Message::Verdict {
+                            game_id,
+                            accepted,
+                            detail: detail.clone(),
+                        },
+                    ));
                     verdict_details.push((verifier.id, accepted, detail));
                 }
             }
         }
+        self.bus
+            .send_batch(&mut self.send_buf)
+            .expect("agent registered");
         // Agent collects verdicts.
-        for (from, msg) in self.endpoints[&agent].drain() {
+        let mut verdicts: Vec<(Party, bool)> = Vec::new();
+        self.recv_buf.clear();
+        self.endpoints[&agent].drain_into(&mut self.recv_buf);
+        for (from, msg) in self.recv_buf.drain(..) {
             if let Message::Verdict { accepted, .. } = msg {
                 verdicts.push((from, accepted));
             }

@@ -39,6 +39,15 @@
 //! Vote weighting and reputation decay are orthogonal knobs on
 //! [`ReputationConfig`].
 //!
+//! Inside a shard, each consult runs the lock-free hot path documented in
+//! `docs/ARCHITECTURE.md` ("Consult hot path"): frame lengths are
+//! measured in a recycled thread-local scratch, verdict fan-out ships
+//! over [`Bus::send_batch`] in one accounting critical section each way,
+//! and trust checks read one immutable
+//! [`ReputationSnapshot`](crate::ReputationSnapshot) per consult, so a
+//! gossip merge on another shard never contends with a consult in
+//! flight.
+//!
 //! [`Bus`]: crate::Bus
 //! [`LocalReputation`]: crate::LocalReputation
 

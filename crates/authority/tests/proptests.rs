@@ -7,8 +7,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use ra_authority::WireBytes;
 use ra_authority::{
-    Advice, Bus, DecayingPnCounterMap, GossipPlane, Message, Party, ReputationDecay,
-    ReputationStore, SigningKey, StatisticsLedger, VersionVector, Wire,
+    frame_pool_misses, with_frame_scratch, Advice, Bus, DecayingPnCounterMap, GossipPlane, Message,
+    Party, ReputationDecay, ReputationStore, SigningKey, StatisticsLedger, VersionVector, Wire,
 };
 use ra_exact::Rational;
 use ra_proofs::SupportCertificate;
@@ -113,6 +113,75 @@ proptest! {
         let decoded = Message::decode(&mut buf).expect("round trip");
         prop_assert_eq!(decoded, msg);
         prop_assert_eq!(buf.len(), 0);
+    }
+
+    /// The pooled frame scratch encodes every message byte-identically to
+    /// a fresh `Vec`, and once warmed for a message size the steady state
+    /// performs zero frame-buffer allocations.
+    #[test]
+    fn pooled_frame_encoding_matches_fresh(msg in arb_message()) {
+        let mut fresh = Vec::new();
+        msg.encode(&mut fresh);
+        let pooled = with_frame_scratch(|buf| {
+            msg.encode(buf);
+            buf.clone()
+        });
+        prop_assert_eq!(&pooled, &fresh);
+        prop_assert_eq!(msg.encoded_len(), fresh.len());
+        // Steady state: the scratch now fits this message, so repeated
+        // length measurements (what `Bus::send` does per frame) must not
+        // touch the allocator again.
+        let misses_before = frame_pool_misses();
+        for _ in 0..8 {
+            prop_assert_eq!(msg.encoded_len(), fresh.len());
+        }
+        prop_assert_eq!(
+            frame_pool_misses(),
+            misses_before,
+            "steady-state frame measurement allocated"
+        );
+    }
+
+    /// `Bus::send_batch` accounting is byte-identical to N sequential
+    /// `send`s of the same frames, for arbitrary traffic mixes.
+    #[test]
+    fn send_batch_matches_sequential_sends(
+        game_ids in prop::collection::vec(any::<u64>(), 1..20),
+        targets in prop::collection::vec(0u64..3, 1..20),
+    ) {
+        let a = Party::Agent(0);
+        let build = || {
+            let bus = Bus::new();
+            // Endpoints must stay alive or the channels disconnect.
+            let mut endpoints = vec![bus.register(a)];
+            for id in 0..3u64 {
+                endpoints.push(bus.register(Party::Verifier(id)));
+            }
+            // One dropped link in the mix.
+            bus.drop_link(a, Party::Verifier(2));
+            (bus, endpoints)
+        };
+        let (batched, _batched_eps) = build();
+        let (sequential, _sequential_eps) = build();
+        let mut batch: Vec<(Party, Party, Message)> = game_ids
+            .iter()
+            .zip(targets.iter().cycle())
+            .map(|(&g, &t)| (a, Party::Verifier(t), Message::AdviceRequest { game_id: g }))
+            .collect();
+        let replay = batch.clone();
+        batched.send_batch(&mut batch).unwrap();
+        for (from, to, msg) in replay {
+            sequential.send(from, to, msg).unwrap();
+        }
+        prop_assert_eq!(batched.delivery_log(), sequential.delivery_log());
+        prop_assert_eq!(batched.total_bytes(), sequential.total_bytes());
+        prop_assert_eq!(batched.delivered_bytes(), sequential.delivered_bytes());
+        for t in 0..3u64 {
+            prop_assert_eq!(
+                batched.bytes_between(a, Party::Verifier(t)),
+                sequential.bytes_between(a, Party::Verifier(t))
+            );
+        }
     }
 
     /// Decoding arbitrary bytes never panics — it errors or produces a

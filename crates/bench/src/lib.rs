@@ -64,17 +64,26 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
     path
 }
 
-/// Writes `contents` to `results/<name>.json` under the workspace root,
-/// creating the directory if needed and returning the path written.
-/// Callers are responsible for producing valid JSON; names prefixed
-/// `BENCH_` form the machine-readable perf trajectory consumed by CI.
+/// Writes `contents` to `<name>.json`, creating directories as needed and
+/// returning the path written. Callers are responsible for producing
+/// valid JSON.
+///
+/// Names prefixed `BENCH_` form the machine-readable perf trajectory and
+/// land at the **workspace root**, where they are versioned in git (and
+/// grep-asserted by CI) so every PR carries its own throughput snapshot.
+/// Everything else lands under `results/`, which stays untracked.
 ///
 /// # Panics
 ///
 /// Panics on I/O errors — acceptable in experiment binaries.
 pub fn write_json(name: &str, contents: &str) -> std::path::PathBuf {
-    let dir = workspace_root().join("results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    let dir = if name.starts_with("BENCH_") {
+        workspace_root()
+    } else {
+        let dir = workspace_root().join("results");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        dir
+    };
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, contents).expect("write json");
     path
@@ -170,6 +179,16 @@ mod tests {
     #[test]
     fn write_json_creates_results_dir() {
         let path = write_json("smoke_write_json", "{\"ok\":true}");
+        assert!(path.parent().unwrap().ends_with("results"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"ok\":true}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bench_prefixed_json_lands_at_the_workspace_root() {
+        let path = write_json("BENCH_smoke", "{\"ok\":true}");
+        assert_eq!(path.parent().unwrap(), workspace_root());
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents, "{\"ok\":true}");
         std::fs::remove_file(&path).unwrap();
