@@ -103,6 +103,17 @@ pub fn sha256(data: &[u8]) -> Digest {
     out
 }
 
+/// SHA-256 of a value's canonical wire encoding, measured through the
+/// thread-local frame scratch so the steady-state path allocates no
+/// buffer (the scratch is recycled across calls; see
+/// [`crate::wire::with_frame_scratch`]).
+pub fn sha256_wire<T: crate::wire::Wire>(value: &T) -> Digest {
+    crate::wire::with_frame_scratch(|buf| {
+        value.encode(buf);
+        sha256(buf)
+    })
+}
+
 /// HMAC-SHA256 (RFC 2104).
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
     const BLOCK: usize = 64;

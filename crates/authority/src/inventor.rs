@@ -20,7 +20,11 @@ use ra_solvers::{
 use crate::messages::{Advice, Party};
 
 /// The game being consulted about, as the session layer sees it.
-#[derive(Clone, Debug)]
+///
+/// Implements [`crate::wire::Wire`] (see `messages.rs`): the canonical
+/// encoding is what [`crate::cache::spec_digest`] hashes, so two specs are
+/// cache-equivalent exactly when they are `==`.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GameSpec {
     /// A §3 strategic-form game; advice = a pure profile with kernel proof.
     Strategic(StrategicGame),

@@ -23,6 +23,14 @@
 //!   §6 footnote 3;
 //! * [`SessionDriver`] / [`RationalityAuthority`] — the per-consultation
 //!   protocol and the single-bus end-to-end sessions built on it;
+//! * [`CertCache`] — the content-addressed certificate cache: a
+//!   consultation is memoized under the SHA-256 digest of its game spec's
+//!   canonical wire encoding ([`spec_digest`]) in a sharded LRU, and a
+//!   later consultation of the same spec is served from the cache — after
+//!   re-running the trusted checker ([`kernel_check`]) under
+//!   [`CacheMode::Replay`], or directly under [`CacheMode::Trust`].
+//!   Off by default ([`CertCacheConfig`]); enable it per engine with
+//!   [`ShardedAuthority::with_cert_cache`];
 //! * [`ShardedAuthority`] — the sharded multi-bus session engine: routed
 //!   single consultations and batched fan-out across shards over a
 //!   persistent, shard-pinned worker pool (gated by the default-on
@@ -40,6 +48,7 @@
 
 mod audit;
 mod bus;
+mod cache;
 mod crypto;
 mod inventor;
 mod messages;
@@ -54,7 +63,10 @@ mod wire;
 
 pub use audit::{AuditError, StatisticsLedger, StatisticsRecord};
 pub use bus::{Bus, BusError, DeliveryRecord, Endpoint};
-pub use crypto::{hmac_sha256, sha256, to_hex, Commitment, Digest, Signature, SigningKey};
+pub use cache::{spec_digest, CacheMode, CacheStats, CertCache, CertCacheConfig};
+pub use crypto::{
+    hmac_sha256, sha256, sha256_wire, to_hex, Commitment, Digest, Signature, SigningKey,
+};
 pub use inventor::{GameSpec, Inventor, InventorBehavior};
 pub use messages::{Advice, Message, Party};
 pub use private_session::{run_p2_session, P2Prover, P2SessionOutcome};
@@ -65,7 +77,7 @@ pub use reputation::{
 };
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
 pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority};
-pub use verifier::{VerifierBehavior, VerifierService};
+pub use verifier::{kernel_check, VerifierBehavior, VerifierService};
 pub use wire::{
     frame_pool_misses, get_varint, put_varint, with_frame_scratch, Wire, WireBytes, WireError,
 };

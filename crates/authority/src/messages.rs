@@ -8,8 +8,8 @@
 //! including recursive §3 proof trees — encodes to real bytes so the bus
 //! can account for communication exactly.
 
-use ra_exact::Rational;
-use ra_games::{Dominance, MixedStrategy, StrategyProfile};
+use ra_exact::{Matrix, Rational};
+use ra_games::{BimatrixGame, Dominance, MixedStrategy, StrategicGame, StrategyProfile};
 use ra_proofs::kernel::{NotAboveWitness, ProfileVerdict, Proof, Prop, Term};
 use ra_proofs::{
     OnlineAdviceCertificate, P2Advice, ParticipationCertificate, PureNashCertificate,
@@ -19,6 +19,7 @@ use ra_solvers::{EquilibriumRoot, ParticipationParams};
 
 use std::sync::Arc;
 
+use crate::inventor::GameSpec;
 use crate::reputation::{DecayingPnCounterMap, PnCounter, VersionVector};
 use crate::wire::{get_varint, put_varint, Wire, WireBytes, WireError};
 
@@ -780,6 +781,153 @@ impl Advice {
     }
 }
 
+impl Wire for StrategicGame {
+    /// Strategy counts, then every profile's per-agent payoff vector in
+    /// [`ProfileIter`](ra_games::ProfileIter) (odometer) order — exactly the
+    /// order [`StrategicGame::from_payoff_fn`] evaluates, so the encoding is
+    /// canonical: equal games encode to equal bytes.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.strategy_counts().len() as u64);
+        for &count in self.strategy_counts() {
+            put_varint(buf, count as u64);
+        }
+        for row in self.payoff_rows() {
+            for utility in row {
+                utility.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut WireBytes) -> Result<StrategicGame, WireError> {
+        let agents = crate::wire::get_len_prefix(buf)?;
+        if agents == 0 {
+            return Err(WireError::Malformed(
+                "strategic game with zero agents".to_owned(),
+            ));
+        }
+        let mut counts = Vec::with_capacity(agents.min(64));
+        for _ in 0..agents {
+            let count = get_varint(buf)? as usize;
+            if count == 0 {
+                return Err(WireError::Malformed(
+                    "agent with zero strategies".to_owned(),
+                ));
+            }
+            counts.push(count);
+        }
+        let profiles = counts
+            .iter()
+            .try_fold(1usize, |acc, &c| acc.checked_mul(c))
+            .filter(|&total| total <= 1 << 20)
+            .ok_or(WireError::Malformed("profile space too large".to_owned()))?;
+        let mut table = Vec::with_capacity(profiles.min(1 << 12));
+        for _ in 0..profiles {
+            let mut row = Vec::with_capacity(agents);
+            for _ in 0..agents {
+                row.push(Rational::decode(buf)?);
+            }
+            table.push(row);
+        }
+        let mut rows = table.into_iter();
+        Ok(StrategicGame::from_payoff_fn(counts, |_| {
+            rows.next().expect("one payoff row per profile")
+        }))
+    }
+}
+
+impl Wire for BimatrixGame {
+    /// Row/column counts, then the `A` matrix row-major, then `B`.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.rows() as u64);
+        put_varint(buf, self.cols() as u64);
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                self.a(i, j).encode(buf);
+            }
+        }
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                self.b(i, j).encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut WireBytes) -> Result<BimatrixGame, WireError> {
+        let rows = crate::wire::get_len_prefix(buf)?;
+        let cols = crate::wire::get_len_prefix(buf)?;
+        if rows == 0 || cols == 0 {
+            return Err(WireError::Malformed("empty bimatrix game".to_owned()));
+        }
+        if rows.saturating_mul(cols) > 1 << 20 {
+            return Err(WireError::Malformed("bimatrix game too large".to_owned()));
+        }
+        let decode_matrix = |buf: &mut WireBytes| -> Result<Matrix, WireError> {
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(Rational::decode(buf)?);
+                }
+                out.push(row);
+            }
+            Ok(Matrix::from_rows(out))
+        };
+        let a = decode_matrix(buf)?;
+        let b = decode_matrix(buf)?;
+        Ok(BimatrixGame::new(a, b))
+    }
+}
+
+impl Wire for GameSpec {
+    /// Tagged by family (`0` strategic, `1` bimatrix, `2` participation,
+    /// `3` parallel links). This canonical encoding is the preimage of
+    /// [`crate::cache::spec_digest`], so it must stay deterministic:
+    /// identical specs must produce identical bytes on every encode.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            GameSpec::Strategic(game) => {
+                buf.push(0);
+                game.encode(buf);
+            }
+            GameSpec::Bimatrix(game) => {
+                buf.push(1);
+                game.encode(buf);
+            }
+            GameSpec::Participation(params) => {
+                buf.push(2);
+                params.encode(buf);
+            }
+            GameSpec::ParallelLinks {
+                current_loads,
+                own_load,
+                expected_future_load,
+                expected_future_agents,
+            } => {
+                buf.push(3);
+                current_loads.encode(buf);
+                own_load.encode(buf);
+                expected_future_load.encode(buf);
+                expected_future_agents.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut WireBytes) -> Result<GameSpec, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(match buf.get_u8() {
+            0 => GameSpec::Strategic(StrategicGame::decode(buf)?),
+            1 => GameSpec::Bimatrix(BimatrixGame::decode(buf)?),
+            2 => GameSpec::Participation(ParticipationParams::decode(buf)?),
+            3 => GameSpec::ParallelLinks {
+                current_loads: Vec::<Rational>::decode(buf)?,
+                own_load: Rational::decode(buf)?,
+                expected_future_load: Rational::decode(buf)?,
+                expected_future_agents: usize::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
 impl Wire for Message {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -1159,6 +1307,84 @@ mod tests {
         assert!(matches!(
             Message::decode(&mut bad_tag),
             Err(WireError::BadTag(99))
+        ));
+    }
+
+    fn sample_specs() -> Vec<GameSpec> {
+        vec![
+            GameSpec::Strategic(ra_games::named::prisoners_dilemma().to_strategic()),
+            GameSpec::Strategic(StrategicGame::from_payoff_fn(vec![2, 3, 2], |p| {
+                (0..3)
+                    .map(|agent| rat((p.strategy_of(agent) + agent) as i64, 2))
+                    .collect()
+            })),
+            GameSpec::Bimatrix(ra_games::named::matching_pennies()),
+            GameSpec::Participation(ParticipationParams::paper_example()),
+            GameSpec::ParallelLinks {
+                current_loads: vec![rat(1, 2), rat(3, 1), rat(0, 1)],
+                own_load: rat(5, 4),
+                expected_future_load: rat(1, 1),
+                expected_future_agents: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn game_specs_round_trip() {
+        for spec in sample_specs() {
+            round_trip(spec);
+        }
+    }
+
+    #[test]
+    fn game_spec_encoding_is_deterministic() {
+        for spec in sample_specs() {
+            assert_eq!(
+                spec.to_bytes().as_slice(),
+                spec.clone().to_bytes().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_game_specs_rejected() {
+        for spec in sample_specs() {
+            let bytes = spec.to_bytes();
+            for cut in 0..bytes.len() {
+                let mut truncated = bytes.slice(0..cut);
+                assert!(
+                    GameSpec::decode(&mut truncated).is_err(),
+                    "prefix of {cut} bytes decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_game_specs_rejected() {
+        // Strategic game claiming zero agents.
+        let mut zero_agents = WireBytes::from(vec![0u8, 0]);
+        assert!(matches!(
+            GameSpec::decode(&mut zero_agents),
+            Err(WireError::Malformed(_))
+        ));
+        // Strategic game with an astronomically large profile space: the
+        // counts alone must be refused before any payoff allocation.
+        let mut huge = vec![0u8];
+        put_varint(&mut huge, 8);
+        for _ in 0..8 {
+            put_varint(&mut huge, 1 << 12);
+        }
+        let mut huge = WireBytes::from(huge);
+        assert!(matches!(
+            GameSpec::decode(&mut huge),
+            Err(WireError::Malformed(_))
+        ));
+        // Empty bimatrix game.
+        let mut empty = WireBytes::from(vec![1u8, 0, 0]);
+        assert!(matches!(
+            GameSpec::decode(&mut empty),
+            Err(WireError::Malformed(_))
         ));
     }
 }

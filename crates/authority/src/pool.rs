@@ -17,9 +17,9 @@
 //! * workers are spun up lazily on the first multi-shard chunk and then
 //!   reused across chunks *and* across `consult_batch` calls; they park
 //!   on an [`mpsc`](std::sync::mpsc) channel between jobs;
-//! * jobs own their payloads (`(slot, agent, spec)` triples — one spec
-//!   clone per request per batch, amortized against a full consultation's
-//!   proving and verification work), so no borrowed data ever crosses a
+//! * jobs own their payloads (`(slot, agent, Arc<spec>)` triples — the
+//!   spec is shared by reference count, so routing a request to a worker
+//!   never deep-clones a game), and no borrowed data ever crosses a
 //!   thread boundary;
 //! * the dispatcher blocks until every job of the chunk has replied, so a
 //!   chunk is still a barrier: gossip merges between chunks observe
@@ -34,16 +34,19 @@
 //! touching the allocator — the pool is what turns the pooled-buffer path
 //! into a true steady state.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use crate::inventor::GameSpec;
 use crate::session::{RationalityAuthority, SessionOutcome};
+use crate::wire;
 
 /// The work routed to one shard for one chunk: `(result slot, agent id,
-/// spec)` triples in request order.
-pub(crate) type ShardRequests = Vec<(usize, u64, GameSpec)>;
+/// spec)` triples in request order. Specs are `Arc`-shared with the
+/// caller's batch — routing never clones a game.
+pub(crate) type ShardRequests = Vec<(usize, u64, Arc<GameSpec>)>;
 
 /// One unit of work for a pinned worker, with the reply channel of the
 /// dispatching chunk.
@@ -52,10 +55,14 @@ struct ShardJob {
     reply: Sender<Vec<(usize, SessionOutcome)>>,
 }
 
-/// A parked worker: its job queue and its thread handle (joined on drop).
+/// A parked worker: its job queue, its thread handle (joined on drop),
+/// and a mirror of its thread-local frame-pool miss count (published
+/// after every job so the engine can aggregate worker allocation
+/// behavior without cross-thread state in the wire layer).
 struct Worker {
     jobs: Sender<ShardJob>,
     handle: JoinHandle<()>,
+    frame_pool_misses: Arc<AtomicU64>,
 }
 
 /// The persistent, shard-pinned worker pool of one
@@ -82,13 +89,32 @@ impl ShardPool {
                 .map(|index| {
                     let (jobs, queue) = channel::<ShardJob>();
                     let shards = Arc::clone(&self.shards);
+                    let frame_pool_misses = Arc::new(AtomicU64::new(0));
+                    let published_misses = Arc::clone(&frame_pool_misses);
                     let handle = std::thread::Builder::new()
                         .name(format!("ra-shard-{index}"))
-                        .spawn(move || worker_loop(&shards[index], queue))
+                        .spawn(move || worker_loop(&shards[index], queue, &published_misses))
                         .expect("spawn shard worker");
-                    Worker { jobs, handle }
+                    Worker {
+                        jobs,
+                        handle,
+                        frame_pool_misses,
+                    }
                 })
                 .collect()
+        })
+    }
+
+    /// Sum of every spawned worker's thread-local frame-pool miss count
+    /// (zero before the first multi-shard chunk spawns the workers). Each
+    /// worker republishes its count after every job, so between chunks
+    /// this is exact.
+    pub(crate) fn frame_pool_misses(&self) -> u64 {
+        self.workers.get().map_or(0, |workers| {
+            workers
+                .iter()
+                .map(|w| w.frame_pool_misses.load(Ordering::Relaxed))
+                .sum()
         })
     }
 
@@ -150,16 +176,18 @@ impl Drop for ShardPool {
 
 /// A pinned worker's life: park on the queue, serve each job's requests in
 /// order under the shard lock, reply, repeat — until the pool drops the
-/// queue.
-fn worker_loop(shard: &Mutex<RationalityAuthority>, queue: Receiver<ShardJob>) {
+/// queue. After each job the worker mirrors its thread-local frame-pool
+/// miss count into `misses` for the engine-level aggregate.
+fn worker_loop(shard: &Mutex<RationalityAuthority>, queue: Receiver<ShardJob>, misses: &AtomicU64) {
     while let Ok(ShardJob { requests, reply }) = queue.recv() {
         let outcomes = {
             let mut shard = shard.lock().expect("shard lock poisoned");
             requests
                 .into_iter()
-                .map(|(slot, agent, spec)| (slot, shard.consult(agent, &spec)))
+                .map(|(slot, agent, spec)| (slot, shard.consult(agent, spec.as_ref())))
                 .collect()
         };
+        misses.store(wire::frame_pool_misses(), Ordering::Relaxed);
         // The dispatcher only hangs up early if it panicked; the worker
         // just parks for the next job either way.
         let _ = reply.send(outcomes);

@@ -34,10 +34,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::bus::{Bus, Endpoint};
+use crate::cache::{spec_digest, CacheMode, CachedConsultation, CertCache};
 use crate::inventor::{GameSpec, Inventor};
 use crate::messages::{Advice, Message, Party};
 use crate::reputation::{LocalReputation, MajorityOutcome, ReputationBackend};
-use crate::verifier::VerifierService;
+use crate::verifier::{kernel_check, VerifierService};
 use crate::wire::Wire;
 
 /// Outcome of one consultation.
@@ -55,6 +56,11 @@ pub struct SessionOutcome {
     pub session_bytes: usize,
     /// Per-verifier verdict details, for the audit log.
     pub verdict_details: Vec<(Party, bool, String)>,
+    /// Whether this outcome was served from the certificate cache (no
+    /// protocol messages flowed: `session_bytes` is zero, `majority` /
+    /// `verdict_details` replay the cold session's, and the reputation
+    /// plane was not touched).
+    pub cached: bool,
 }
 
 /// The reusable per-consultation protocol: one bus, one inventor, one
@@ -84,6 +90,9 @@ pub struct SessionDriver {
     /// and verdict replies are staged here and shipped in one accounting
     /// critical section each.
     send_buf: Vec<(Party, Party, Message)>,
+    /// Optional content-addressed certificate cache, shared across drivers
+    /// (`None` — the default — leaves the protocol bit-for-bit unchanged).
+    cert_cache: Option<Arc<CertCache>>,
 }
 
 impl SessionDriver {
@@ -126,7 +135,20 @@ impl SessionDriver {
             endpoints,
             recv_buf: Vec::new(),
             send_buf: Vec::new(),
+            cert_cache: None,
         }
+    }
+
+    /// Attaches a shared certificate cache: subsequent [`SessionDriver::run`]
+    /// calls consult it before running the Fig. 1 protocol and memoize
+    /// their results into it.
+    pub fn set_cert_cache(&mut self, cache: Arc<CertCache>) {
+        self.cert_cache = Some(cache);
+    }
+
+    /// The attached certificate cache, if any.
+    pub fn cert_cache(&self) -> Option<&Arc<CertCache>> {
+        self.cert_cache.as_ref()
     }
 
     /// The reputation backend consulted by this driver's sessions.
@@ -148,9 +170,72 @@ impl SessionDriver {
         }
     }
 
-    /// Runs one full Fig. 1 consultation for `agent` about `spec`, under
-    /// the caller-assigned `game_id`.
+    /// Runs one consultation for `agent` about `spec`, under the
+    /// caller-assigned `game_id`.
+    ///
+    /// With no certificate cache attached (the default) this *is* the full
+    /// Fig. 1 protocol. With one attached, the spec's digest is looked up
+    /// first: a hit short-circuits the protocol entirely — zero bus bytes,
+    /// no reputation update, `cached: true` — after replaying the
+    /// `ra-proofs` kernel check when the cache is in
+    /// [`CacheMode::Replay`] (a verdict mismatch discards the hit and
+    /// falls back to the full protocol). Misses run the protocol and
+    /// memoize the result.
     pub fn run(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> SessionOutcome {
+        let Some(cache) = self.cert_cache.clone() else {
+            return self.run_protocol(agent, game_id, spec);
+        };
+        let digest = spec_digest(spec);
+        if let Some(entry) = cache.lookup(&digest) {
+            match cache.mode() {
+                CacheMode::Trust => return Self::outcome_from_cache(&entry),
+                CacheMode::Replay => {
+                    let (kernel_accepts, _) = kernel_check(spec, &entry.advice);
+                    if kernel_accepts == entry.kernel_accepts {
+                        return Self::outcome_from_cache(&entry);
+                    }
+                    cache.note_replay_failure();
+                }
+            }
+        }
+        let outcome = self.run_protocol(agent, game_id, spec);
+        if let Some(advice) = &outcome.advice {
+            // Record the kernel's own verdict once, so replay hits compare
+            // kernel-to-kernel (deterministic) rather than against the
+            // panel's — possibly corrupt — adoption decision.
+            let (kernel_accepts, _) = kernel_check(spec, advice);
+            cache.insert(
+                digest,
+                CachedConsultation {
+                    advice: advice.clone(),
+                    kernel_accepts,
+                    majority: outcome.majority.clone(),
+                    adopted: outcome.adopted,
+                    advice_bytes: outcome.advice_bytes,
+                    verdict_details: outcome.verdict_details.clone(),
+                },
+            );
+        }
+        outcome
+    }
+
+    /// Materializes a cache hit: the stored session's result with zero
+    /// fresh bus traffic.
+    fn outcome_from_cache(entry: &CachedConsultation) -> SessionOutcome {
+        SessionOutcome {
+            advice: Some(entry.advice.clone()),
+            majority: entry.majority.clone(),
+            adopted: entry.adopted,
+            advice_bytes: entry.advice_bytes,
+            session_bytes: 0,
+            verdict_details: entry.verdict_details.clone(),
+            cached: true,
+        }
+    }
+
+    /// The full Fig. 1 message flow (always what runs on a cache miss or
+    /// with no cache attached).
+    fn run_protocol(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> SessionOutcome {
         self.ensure_agent(agent);
         let bytes_before = self.bus.total_bytes();
 
@@ -199,6 +284,7 @@ impl SessionDriver {
                 advice_bytes: 0,
                 session_bytes: self.bus.total_bytes() - bytes_before,
                 verdict_details: Vec::new(),
+                cached: false,
             };
         };
 
@@ -285,6 +371,7 @@ impl SessionDriver {
             advice_bytes,
             session_bytes: self.bus.total_bytes() - bytes_before,
             verdict_details,
+            cached: false,
         }
     }
 }
@@ -338,6 +425,17 @@ impl RationalityAuthority {
             driver: SessionDriver::with_reputation(inventor, verifier_behaviors, reputation),
             next_game_id: 1,
         }
+    }
+
+    /// Attaches a shared certificate cache (see
+    /// [`SessionDriver::set_cert_cache`]).
+    pub fn set_cert_cache(&mut self, cache: Arc<CertCache>) {
+        self.driver.set_cert_cache(cache);
+    }
+
+    /// The attached certificate cache, if any.
+    pub fn cert_cache(&self) -> Option<&Arc<CertCache>> {
+        self.driver.cert_cache()
     }
 
     /// The reputation backend consulted by this authority's sessions.
@@ -496,6 +594,127 @@ mod tests {
         let outcome = authority.consult(0, &spec);
         assert!(!outcome.adopted);
         assert!(outcome.advice.is_none());
+    }
+
+    #[test]
+    fn trust_hit_skips_the_protocol_entirely() {
+        use crate::cache::CertCacheConfig;
+        for spec in all_specs() {
+            let mut authority = RationalityAuthority::new(
+                Inventor::new(0, InventorBehavior::Honest),
+                &[VerifierBehavior::Honest; 3],
+            );
+            authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::trust(64))));
+            let cold = authority.consult(0, &spec);
+            assert!(!cold.cached);
+            assert!(cold.session_bytes > 0);
+            let bus_bytes_after_cold = authority.bus().total_bytes();
+            let hit = authority.consult(1, &spec);
+            assert!(hit.cached, "second consult of the same spec hits");
+            assert_eq!(hit.session_bytes, 0, "a hit moves zero bus bytes");
+            assert_eq!(
+                authority.bus().total_bytes(),
+                bus_bytes_after_cold,
+                "Lemma 1 ledger untouched by the hit"
+            );
+            assert_eq!(hit.advice, cold.advice);
+            assert_eq!(hit.majority, cold.majority);
+            assert_eq!(hit.adopted, cold.adopted);
+            assert_eq!(hit.advice_bytes, cold.advice_bytes);
+            let stats = authority.cert_cache().unwrap().stats();
+            assert_eq!((stats.hits, stats.misses), (1, 1));
+        }
+    }
+
+    #[test]
+    fn replay_hit_rechecks_the_kernel_and_matches_cold() {
+        use crate::cache::CertCacheConfig;
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::replay(64))));
+        let cold = authority.consult(0, &spec);
+        let hit = authority.consult(1, &spec);
+        assert!(hit.cached);
+        assert_eq!(hit.advice, cold.advice);
+        assert_eq!(hit.adopted, cold.adopted);
+        assert_eq!(hit.verdict_details, cold.verdict_details);
+        let stats = authority.cert_cache().unwrap().stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.replay_failures, 0);
+    }
+
+    #[test]
+    fn replay_caches_rejected_advice_too() {
+        // A corrupt inventor's advice fails the kernel; the cached entry
+        // records that verdict, so replay hits reproduce the rejection
+        // without re-running the panel.
+        use crate::cache::CertCacheConfig;
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Corrupt),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::replay(64))));
+        let cold = authority.consult(0, &spec);
+        assert!(!cold.adopted);
+        let hit = authority.consult(1, &spec);
+        assert!(hit.cached);
+        assert!(!hit.adopted);
+        assert_eq!(hit.advice, cold.advice);
+        assert_eq!(authority.cert_cache().unwrap().stats().replay_failures, 0);
+    }
+
+    #[test]
+    fn cached_hits_do_not_move_reputation() {
+        use crate::cache::CertCacheConfig;
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[
+                VerifierBehavior::Honest,
+                VerifierBehavior::Honest,
+                VerifierBehavior::AlwaysReject,
+            ],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::trust(64))));
+        let saboteur = Party::Verifier(2);
+        let cold = authority.consult(0, &spec);
+        assert!(cold.adopted);
+        let score_after_cold = authority.reputation().score(saboteur);
+        // Twenty cache hits: had these been protocol runs, the saboteur
+        // would long be excluded (see the exclusion test above).
+        for round in 1..=20 {
+            let hit = authority.consult(round, &spec);
+            assert!(hit.cached);
+        }
+        assert_eq!(
+            authority.reputation().score(saboteur),
+            score_after_cold,
+            "hits never pool verdicts"
+        );
+        assert!(authority.reputation().is_trusted(saboteur));
+    }
+
+    #[test]
+    fn silent_inventor_outcomes_are_not_cached() {
+        use crate::cache::CertCacheConfig;
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Silent),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::trust(64))));
+        for round in 0..3 {
+            let outcome = authority.consult(round, &spec);
+            assert!(!outcome.cached, "adviceless outcomes never hit");
+            assert!(outcome.advice.is_none());
+        }
+        let stats = authority.cert_cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
+        assert!(authority.cert_cache().unwrap().is_empty());
     }
 
     #[test]

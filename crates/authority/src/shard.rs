@@ -55,6 +55,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::bus::Bus;
+use crate::cache::{CacheStats, CertCache, CertCacheConfig};
 use crate::inventor::{GameSpec, Inventor, InventorBehavior};
 #[cfg(feature = "parallel")]
 use crate::pool::ShardPool;
@@ -63,6 +64,7 @@ use crate::reputation::{
 };
 use crate::session::{RationalityAuthority, SessionOutcome};
 use crate::verifier::VerifierBehavior;
+use crate::wire;
 
 /// How verifier reputation is scoped across the shards of a
 /// [`ShardedAuthority`].
@@ -190,6 +192,18 @@ pub struct ShardStats {
     pub gossip_bytes: usize,
     /// Messages attempted on the inter-shard gossip bus.
     pub gossip_messages: usize,
+    /// Certificate-cache counters (all zero when the engine was built
+    /// without a cache — see
+    /// [`ShardedAuthority::with_cert_cache`]).
+    pub cache: CacheStats,
+    /// Frame-pool misses observed engine-wide: the calling thread's
+    /// thread-local count plus every pool worker's (see
+    /// [`crate::wire::frame_pool_misses`]). A warmed steady state holds
+    /// this constant across batches — the zero-allocation claim of the
+    /// consult hot path, observable at the engine level. Execution-shape
+    /// *dependent* (worker threads warm their scratch independently of a
+    /// sequential run), unlike every byte counter above.
+    pub frame_pool_misses: u64,
 }
 
 /// The gossip wiring of an engine under a gossip [`ReputationPolicy`]:
@@ -255,6 +269,7 @@ impl GossipController {
 /// # Examples
 ///
 /// ```
+/// use std::sync::Arc;
 /// use ra_authority::{GameSpec, InventorBehavior, ShardedAuthority, VerifierBehavior};
 /// use ra_games::named::prisoners_dilemma;
 ///
@@ -263,8 +278,8 @@ impl GossipController {
 ///     InventorBehavior::Honest,
 ///     &[VerifierBehavior::Honest; 3],
 /// );
-/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-/// let requests: Vec<(u64, GameSpec)> = (0..16).map(|a| (a, spec.clone())).collect();
+/// let spec = Arc::new(GameSpec::Strategic(prisoners_dilemma().to_strategic()));
+/// let requests: Vec<(u64, Arc<GameSpec>)> = (0..16).map(|a| (a, Arc::clone(&spec))).collect();
 /// let outcomes = engine.consult_batch(&requests);
 /// assert_eq!(outcomes.len(), 16);
 /// assert!(outcomes.iter().all(|o| o.adopted));
@@ -274,6 +289,7 @@ impl GossipController {
 /// byte-accounted on a dedicated inter-shard bus:
 ///
 /// ```
+/// use std::sync::Arc;
 /// use ra_authority::{
 ///     GameSpec, InventorBehavior, ReputationPolicy, ShardedAuthority, VerifierBehavior,
 /// };
@@ -285,8 +301,8 @@ impl GossipController {
 ///     &[VerifierBehavior::Honest; 3],
 ///     ReputationPolicy::Gossip { every: 8 },
 /// );
-/// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-/// let requests: Vec<(u64, GameSpec)> = (0..16).map(|a| (a, spec.clone())).collect();
+/// let spec = Arc::new(GameSpec::Strategic(prisoners_dilemma().to_strategic()));
+/// let requests: Vec<(u64, Arc<GameSpec>)> = (0..16).map(|a| (a, Arc::clone(&spec))).collect();
 /// engine.consult_batch(&requests);
 /// let stats = engine.shard_stats();
 /// assert!(stats.gossip_bytes > 0, "epoch merges are real framed sends");
@@ -316,6 +332,10 @@ pub struct ShardedAuthority {
     shards: Arc<Vec<Mutex<RationalityAuthority>>>,
     config: ReputationConfig,
     gossip: Option<GossipController>,
+    /// The shared content-addressed certificate cache, when enabled: one
+    /// instance attached to every shard's driver, so a game solved on one
+    /// shard is a hit on all of them.
+    cert_cache: Option<Arc<CertCache>>,
     /// The persistent shard-pinned worker pool (see `pool.rs`): threads
     /// spin up lazily on the first multi-shard chunk and are reused until
     /// the engine drops.
@@ -360,7 +380,9 @@ impl ShardedAuthority {
         ShardedAuthority::with_config(shards, inventor_behavior, verifier_behaviors, policy.into())
     }
 
-    /// Builds an engine with a full [`ReputationConfig`].
+    /// Builds an engine with a full [`ReputationConfig`] and no
+    /// certificate cache — consultations always run the full Fig. 1
+    /// protocol, exactly the pre-cache behavior.
     ///
     /// # Panics
     ///
@@ -375,7 +397,60 @@ impl ShardedAuthority {
         verifier_behaviors: &[VerifierBehavior],
         config: ReputationConfig,
     ) -> ShardedAuthority {
+        ShardedAuthority::with_cert_cache(
+            shards,
+            inventor_behavior,
+            verifier_behaviors,
+            config,
+            CertCacheConfig::default(),
+        )
+    }
+
+    /// Builds an engine with a full [`ReputationConfig`] *and* a
+    /// certificate-cache configuration. With `cache.enabled` one shared
+    /// [`CertCache`] is attached to every shard, so a game memoized by any
+    /// shard is a digest hit on all of them; disabled (the
+    /// [`CertCacheConfig::default`]) this is exactly
+    /// [`ShardedAuthority::with_config`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ra_authority::{
+    ///     CertCacheConfig, GameSpec, InventorBehavior, ReputationConfig,
+    ///     ShardedAuthority, VerifierBehavior,
+    /// };
+    /// use ra_games::named::prisoners_dilemma;
+    ///
+    /// let engine = ShardedAuthority::with_cert_cache(
+    ///     4,
+    ///     InventorBehavior::Honest,
+    ///     &[VerifierBehavior::Honest; 3],
+    ///     ReputationConfig::default(),
+    ///     CertCacheConfig::trust(1024),
+    /// );
+    /// let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    /// for agent in 0..16u64 {
+    ///     engine.consult(agent, &spec);
+    /// }
+    /// let stats = engine.cache_stats();
+    /// assert_eq!(stats.misses, 1, "one shard solved the game once");
+    /// assert_eq!(stats.hits, 15, "everyone else hit the shared cache");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedAuthority::with_config`], plus if `cache.enabled` with
+    /// zero capacity.
+    pub fn with_cert_cache(
+        shards: usize,
+        inventor_behavior: InventorBehavior,
+        verifier_behaviors: &[VerifierBehavior],
+        config: ReputationConfig,
+        cache: CertCacheConfig,
+    ) -> ShardedAuthority {
         assert!(shards > 0, "at least one shard");
+        let cert_cache = cache.enabled.then(|| Arc::new(CertCache::new(cache)));
         let gossip = config.policy.cadence().map(|(every, check_every, burst)| {
             let plane = Arc::new(GossipPlane::over_bus_with(config.decay));
             GossipController {
@@ -405,7 +480,7 @@ impl ShardedAuthority {
             (0..shards)
                 .map(|s| {
                     let inventor = Inventor::new(s as u64, inventor_behavior);
-                    let authority = match &gossip {
+                    let mut authority = match &gossip {
                         None => RationalityAuthority::with_reputation(
                             inventor,
                             verifier_behaviors,
@@ -417,6 +492,9 @@ impl ShardedAuthority {
                             g.backends[s].clone(),
                         ),
                     };
+                    if let Some(c) = &cert_cache {
+                        authority.set_cert_cache(Arc::clone(c));
+                    }
                     Mutex::new(authority)
                 })
                 .collect(),
@@ -427,6 +505,7 @@ impl ShardedAuthority {
             shards,
             config,
             gossip,
+            cert_cache,
         }
     }
 
@@ -450,6 +529,34 @@ impl ShardedAuthority {
     /// [`ReputationPolicy::Isolated`].
     pub fn gossip_bus(&self) -> Option<&Bus> {
         self.gossip.as_ref().and_then(|g| g.plane.gossip_bus())
+    }
+
+    /// The shared certificate cache, or `None` when the engine was built
+    /// without one (every constructor except
+    /// [`ShardedAuthority::with_cert_cache`] with an enabled config).
+    pub fn cert_cache(&self) -> Option<&Arc<CertCache>> {
+        self.cert_cache.as_ref()
+    }
+
+    /// Snapshot of the shared certificate cache's counters — all zero
+    /// when the engine has no cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cert_cache
+            .as_ref()
+            .map_or_else(CacheStats::default, |c| c.stats())
+    }
+
+    /// Frame-pool misses observed engine-wide: the calling thread's
+    /// thread-local count (inline consults and single-shard chunks run
+    /// here) plus every pool worker's published count. Constant across
+    /// warmed batches — the observable form of the hot path's
+    /// zero-allocation claim.
+    pub fn frame_pool_misses(&self) -> u64 {
+        #[cfg(feature = "parallel")]
+        let pool = self.pool.frame_pool_misses();
+        #[cfg(not(feature = "parallel"))]
+        let pool = 0;
+        wire::frame_pool_misses() + pool
     }
 
     /// The shard serving `agent_id`: a deterministic (SplitMix64) hash of
@@ -493,7 +600,10 @@ impl ShardedAuthority {
     /// [`ReputationPolicy::Adaptive`] — with a full publish/pull merge
     /// between chunks when triggered, so the equality (including gossip
     /// byte accounting) holds under every policy.
-    pub fn consult_batch(&self, requests: &[(u64, GameSpec)]) -> Vec<SessionOutcome> {
+    ///
+    /// Requests carry `Arc<GameSpec>` so fanning a spec out to a worker
+    /// bumps a reference count instead of deep-cloning payoff tables.
+    pub fn consult_batch(&self, requests: &[(u64, Arc<GameSpec>)]) -> Vec<SessionOutcome> {
         let mut results: Vec<Option<SessionOutcome>> = Vec::new();
         results.resize_with(requests.len(), || None);
         match &self.gossip {
@@ -548,7 +658,7 @@ impl ShardedAuthority {
     /// every chunk takes the inline path.
     fn run_chunk(
         &self,
-        requests: &[(u64, GameSpec)],
+        requests: &[(u64, Arc<GameSpec>)],
         start: usize,
         end: usize,
         results: &mut [Option<SessionOutcome>],
@@ -568,20 +678,19 @@ impl ShardedAuthority {
             let mut shard = shard.lock().expect("shard lock poisoned");
             for &i in indices {
                 let (agent_id, spec) = &requests[i];
-                results[i] = Some(shard.consult(*agent_id, spec));
+                results[i] = Some(shard.consult(*agent_id, spec.as_ref()));
             }
         }
     }
 
     /// Dispatches one multi-shard chunk to the pinned worker pool. Jobs
-    /// own their payloads (one spec clone per request — each request
-    /// belongs to exactly one chunk, so a batch clones each spec once),
-    /// which is what keeps the long-lived workers free of borrowed data.
-    /// Returns `true` when the chunk was handled.
+    /// own their payloads (one `Arc` bump per request — never a deep spec
+    /// clone), which is what keeps the long-lived workers free of
+    /// borrowed data. Returns `true` when the chunk was handled.
     #[cfg(feature = "parallel")]
     fn fan_out(
         &self,
-        requests: &[(u64, GameSpec)],
+        requests: &[(u64, Arc<GameSpec>)],
         by_shard: &[Vec<usize>],
         results: &mut [Option<SessionOutcome>],
     ) -> bool {
@@ -594,7 +703,7 @@ impl ShardedAuthority {
                     .iter()
                     .map(|&i| {
                         let (agent_id, spec) = &requests[i];
-                        (i, *agent_id, spec.clone())
+                        (i, *agent_id, Arc::clone(spec))
                     })
                     .collect();
                 (shard, owned)
@@ -609,7 +718,7 @@ impl ShardedAuthority {
     #[cfg(not(feature = "parallel"))]
     fn fan_out(
         &self,
-        _requests: &[(u64, GameSpec)],
+        _requests: &[(u64, Arc<GameSpec>)],
         _by_shard: &[Vec<usize>],
         _results: &mut [Option<SessionOutcome>],
     ) -> bool {
@@ -662,6 +771,8 @@ impl ShardedAuthority {
             stats.gossip_bytes = bus.delivered_bytes();
             stats.gossip_messages = bus.message_count();
         }
+        stats.cache = self.cache_stats();
+        stats.frame_pool_misses = self.frame_pool_misses();
         stats
     }
 
@@ -681,8 +792,14 @@ impl ShardedAuthority {
     }
 }
 
-/// Dissenting votes in one outcome (0 when no verdict was pooled).
+/// Dissenting votes in one outcome (0 when no verdict was pooled). A
+/// cached outcome replays the *cold* session's majority for the caller's
+/// benefit, but no verifier actually voted — counting those dissents
+/// again would re-fire adaptive gossip triggers on pure cache hits.
 fn dissent_votes(outcome: &SessionOutcome) -> u64 {
+    if outcome.cached {
+        return 0;
+    }
     outcome
         .majority
         .as_ref()
@@ -702,11 +819,20 @@ mod tests {
         ]
     }
 
-    fn batch(n: u64) -> Vec<(u64, GameSpec)> {
-        let specs = mixed_specs();
+    fn batch(n: u64) -> Vec<(u64, Arc<GameSpec>)> {
+        let specs: Vec<Arc<GameSpec>> = mixed_specs().into_iter().map(Arc::new).collect();
         (0..n)
-            .map(|a| (a, specs[(a % specs.len() as u64) as usize].clone()))
+            .map(|a| (a, Arc::clone(&specs[(a % specs.len() as u64) as usize])))
             .collect()
+    }
+
+    /// Strips the execution-shape-*dependent* `frame_pool_misses` gauge so
+    /// the remaining (shape-independent) counters can be compared between
+    /// a batched and a sequential run: pool workers warm their own
+    /// thread-local scratch, which a sequential run never pays.
+    fn comparable(mut stats: ShardStats) -> ShardStats {
+        stats.frame_pool_misses = 0;
+        stats
     }
 
     /// The saboteur panel: two honest verifiers and one `AlwaysReject`, so
@@ -728,7 +854,7 @@ mod tests {
         let batch_outcomes = batched.consult_batch(&requests);
         let seq_outcomes: Vec<SessionOutcome> = requests
             .iter()
-            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .map(|(agent, spec)| sequential.consult(*agent, spec.as_ref()))
             .collect();
         assert_eq!(batch_outcomes.len(), seq_outcomes.len());
         for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
@@ -738,8 +864,8 @@ mod tests {
         }
         assert_eq!(batched.shard_bytes(), sequential.shard_bytes());
         assert_eq!(
-            batched.shard_stats(),
-            sequential.shard_stats(),
+            comparable(batched.shard_stats()),
+            comparable(sequential.shard_stats()),
             "gossip byte accounting must be execution-shape independent"
         );
     }
@@ -851,7 +977,7 @@ mod tests {
             ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
         let seq_outcomes: Vec<SessionOutcome> = requests
             .iter()
-            .map(|(agent, spec)| sequential.consult(*agent, spec))
+            .map(|(agent, spec)| sequential.consult(*agent, spec.as_ref()))
             .collect();
         assert_eq!(batch_outcomes.len(), seq_outcomes.len());
         for (b, s) in batch_outcomes.iter().zip(&seq_outcomes) {
@@ -860,8 +986,8 @@ mod tests {
             assert_eq!(b.session_bytes, s.session_bytes, "{config:?}");
         }
         assert_eq!(
-            batched.shard_stats(),
-            sequential.shard_stats(),
+            comparable(batched.shard_stats()),
+            comparable(sequential.shard_stats()),
             "{config:?}: pool reuse across batches leaked into accounting"
         );
     }
@@ -1144,11 +1270,11 @@ mod tests {
         // sequential calls.
         let engine =
             ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
-        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
-        let pinned: Vec<(u64, GameSpec)> = (0..1000u64)
+        let spec = Arc::new(GameSpec::Strategic(prisoners_dilemma().to_strategic()));
+        let pinned: Vec<(u64, Arc<GameSpec>)> = (0..1000u64)
             .filter(|&a| engine.shard_of(a) == engine.shard_of(0))
             .take(8)
-            .map(|a| (a, spec.clone()))
+            .map(|a| (a, Arc::clone(&spec)))
             .collect();
         assert_eq!(pinned.len(), 8, "enough agents share shard 0's home");
         let outcomes = engine.consult_batch(&pinned);
@@ -1257,5 +1383,146 @@ mod tests {
         let engine =
             ShardedAuthority::new(2, InventorBehavior::Honest, &[VerifierBehavior::Honest]);
         engine.with_shard(2, |_| ());
+    }
+
+    fn cached_engine(cache: CertCacheConfig) -> ShardedAuthority {
+        ShardedAuthority::with_cert_cache(
+            4,
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            ReputationConfig::default(),
+            cache,
+        )
+    }
+
+    #[test]
+    fn shared_cache_serves_hits_across_shards_for_zero_bytes() {
+        let engine = cached_engine(CertCacheConfig::trust(1024));
+        let spec = spec_for_tests();
+        // Sequential consults so the miss/hit split is exact: the first
+        // consult (whichever shard it routes to) populates the shared
+        // cache, and every later consult hits it — including on shards
+        // that never solved the game themselves.
+        let outcomes: Vec<SessionOutcome> = (0..16u64).map(|a| engine.consult(a, &spec)).collect();
+        assert!(!outcomes[0].cached, "first consult runs the protocol");
+        assert!(
+            outcomes[1..]
+                .iter()
+                .all(|o| o.cached && o.session_bytes == 0),
+            "hits are cross-shard and ship zero session bytes"
+        );
+        let stats = engine.shard_stats();
+        assert_eq!(stats.cache.hits, 15);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.evictions, 0);
+        // Byte delta: the cached engine's entire bus traffic is the one
+        // cold session — identical to a plain engine running it once.
+        let plain =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        plain.consult(0, &spec);
+        assert_eq!(
+            stats.total_bytes,
+            plain.total_bytes(),
+            "15 hits added zero wire bytes"
+        );
+    }
+
+    #[test]
+    fn replay_cache_hits_match_cold_consult_outcomes() {
+        let replay = cached_engine(CertCacheConfig::replay(1024));
+        let plain =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        for spec in mixed_specs() {
+            for agent in 0..4u64 {
+                let cold = plain.consult(agent, &spec);
+                let warm = replay.consult(agent, &spec);
+                assert_eq!(warm.adopted, cold.adopted);
+                assert_eq!(warm.advice, cold.advice);
+                assert_eq!(warm.majority, cold.majority);
+                assert_eq!(warm.advice_bytes, cold.advice_bytes);
+            }
+        }
+        let stats = replay.cache_stats();
+        assert_eq!(stats.misses, 2, "one cold solve per distinct spec");
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.replay_failures, 0, "honest kernel replays agree");
+    }
+
+    #[test]
+    fn disabled_cache_is_bit_for_bit_the_plain_engine() {
+        // The off-switch regression: a disabled cache config must leave
+        // outcomes, Lemma 1 byte accounting and batch==sequential
+        // determinism exactly as the cacheless constructors produce them.
+        let requests = batch(64);
+        let config: ReputationConfig = ReputationPolicy::Gossip { every: 16 }.into();
+        let plain =
+            ShardedAuthority::with_config(4, InventorBehavior::Honest, &saboteur_panel(), config);
+        let disabled = ShardedAuthority::with_cert_cache(
+            4,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            config,
+            CertCacheConfig::default(),
+        );
+        assert!(disabled.cert_cache().is_none(), "disabled means no cache");
+        let plain_outcomes = plain.consult_batch(&requests);
+        let disabled_outcomes = disabled.consult_batch(&requests);
+        for (p, d) in plain_outcomes.iter().zip(&disabled_outcomes) {
+            assert_eq!(p.adopted, d.adopted);
+            assert_eq!(p.advice, d.advice);
+            assert_eq!(p.majority, d.majority);
+            assert_eq!(p.session_bytes, d.session_bytes);
+            assert!(!d.cached, "nothing is ever served from a disabled cache");
+        }
+        assert_eq!(
+            comparable(plain.shard_stats()),
+            comparable(disabled.shard_stats()),
+            "byte accounting must be identical with the cache disabled"
+        );
+        assert_eq!(disabled.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cached_outcomes_contribute_no_dissents() {
+        // A hit replays the cold session's majority — dissenters included
+        // — but no verifier actually voted, so the adaptive gossip dissent
+        // counter must not move.
+        let engine = ShardedAuthority::with_cert_cache(
+            2,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            ReputationConfig::default(),
+            CertCacheConfig::trust(64),
+        );
+        let spec = spec_for_tests();
+        let cold = engine.consult(0, &spec);
+        assert_eq!(dissent_votes(&cold), 1, "the saboteur dissented");
+        let warm = engine.consult(1, &spec);
+        assert!(warm.cached);
+        assert!(
+            warm.majority
+                .as_ref()
+                .is_some_and(|m| !m.dissenters.is_empty()),
+            "the replayed majority still names the cold dissenter"
+        );
+        assert_eq!(dissent_votes(&warm), 0, "but a hit is not a new vote");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn frame_pool_misses_reach_a_steady_state_across_batches() {
+        let engine =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let requests = batch(32);
+        engine.consult_batch(&requests);
+        let warmed = engine.frame_pool_misses();
+        assert!(warmed > 0, "first batch grows each worker's scratch");
+        engine.consult_batch(&requests);
+        assert_eq!(
+            engine.frame_pool_misses(),
+            warmed,
+            "a warmed identical batch allocates no new frame capacity"
+        );
+        assert_eq!(engine.shard_stats().frame_pool_misses, warmed);
     }
 }

@@ -69,15 +69,21 @@ impl VerifierService {
                 let accepted = rng.random_range(0..1000) < accept_per_mille;
                 (accepted, "flaky verdict".to_owned())
             }
-            VerifierBehavior::Honest => honest_verdict(spec, advice),
+            VerifierBehavior::Honest => kernel_check(spec, advice),
         }
     }
 }
 
 /// The genuine verification dispatch: each (game, advice) combination runs
-/// the matching certificate checker; mismatched combinations are rejected
-/// outright.
-fn honest_verdict(spec: &GameSpec, advice: &Advice) -> (bool, String) {
+/// the matching certificate checker from `ra-proofs`; mismatched
+/// combinations are rejected outright. Returns `(accepted, detail)`.
+///
+/// This is the trusted-checker boundary of the proof-carrying split: an
+/// honest verifier runs exactly this, and the certificate cache replays it
+/// on [`CacheMode::Replay`](crate::cache::CacheMode::Replay) hits — the
+/// expensive solve/panel path is skipped, the cheap kernel check is not.
+/// It is deterministic in `(spec, advice)`.
+pub fn kernel_check(spec: &GameSpec, advice: &Advice) -> (bool, String) {
     match (spec, advice) {
         (GameSpec::Strategic(game), Advice::PureNash(cert)) => match cert.verify(game) {
             Ok(theorem) => (

@@ -7,11 +7,88 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use ra_authority::WireBytes;
 use ra_authority::{
-    frame_pool_misses, with_frame_scratch, Advice, Bus, DecayingPnCounterMap, GossipPlane, Message,
-    Party, ReputationDecay, ReputationStore, SigningKey, StatisticsLedger, VersionVector, Wire,
+    frame_pool_misses, sha256, sha256_wire, spec_digest, with_frame_scratch, Advice, Bus,
+    CertCache, CertCacheConfig, DecayingPnCounterMap, GameSpec, GossipPlane, Inventor,
+    InventorBehavior, Message, Party, RationalityAuthority, ReputationDecay, ReputationStore,
+    SigningKey, StatisticsLedger, VerifierBehavior, VersionVector, Wire,
 };
-use ra_exact::Rational;
+use ra_exact::{rat, Matrix, Rational};
+use ra_games::{BimatrixGame, StrategicGame};
 use ra_proofs::SupportCertificate;
+use ra_solvers::ParticipationParams;
+
+/// A splitmix-style finalizer: the deterministic seed-to-payoff hash that
+/// lets arbitrary game specs be generated without `prop_flat_map` (payoffs
+/// are derived from one generated seed inside `prop_map`).
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h
+}
+
+/// A small rational derived from a hash: numerators in -10..=10,
+/// denominators in 1..=6.
+fn hashed_rational(h: u64) -> Rational {
+    rat((h % 21) as i64 - 10, ((h >> 8) % 6 + 1) as i64)
+}
+
+/// Arbitrary specs over all four case-study families, with payoffs and
+/// parameters derived deterministically from generated seeds.
+fn arb_game_spec() -> impl Strategy<Value = GameSpec> {
+    prop_oneof![
+        (prop::collection::vec(1usize..4, 1..4), any::<u64>()).prop_map(|(counts, seed)| {
+            let agents = counts.len();
+            GameSpec::Strategic(StrategicGame::from_payoff_fn(counts, move |profile| {
+                (0..agents)
+                    .map(|agent| {
+                        let mut h = seed ^ mix(agent as u64 + 1);
+                        for a in 0..agents {
+                            h = mix(h ^ (((a as u64) << 32) | profile.strategy_of(a) as u64));
+                        }
+                        hashed_rational(h)
+                    })
+                    .collect()
+            }))
+        }),
+        (1usize..4, 1usize..4, any::<u64>()).prop_map(|(rows, cols, seed)| {
+            let matrix = |salt: u64| {
+                Matrix::from_rows(
+                    (0..rows)
+                        .map(|r| {
+                            (0..cols)
+                                .map(|c| {
+                                    hashed_rational(mix(seed
+                                        ^ salt
+                                        ^ (((r as u64) << 16) | c as u64)))
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                )
+            };
+            GameSpec::Bimatrix(BimatrixGame::new(matrix(1), matrix(2)))
+        }),
+        (2u64..6, any::<u64>()).prop_map(|(n, seed)| {
+            let k = 2 + seed % (n - 1);
+            let v = rat((seed % 9 + 2) as i64, 1);
+            let c = rat(1, (seed % 3 + 1) as i64);
+            GameSpec::Participation(ParticipationParams::new(n, k, v, c).expect("valid params"))
+        }),
+        (
+            prop::collection::vec(0i64..8, 1..5),
+            1i64..5,
+            0i64..5,
+            1usize..6
+        )
+            .prop_map(|(loads, own, future, agents)| GameSpec::ParallelLinks {
+                current_loads: loads.into_iter().map(|l| rat(l, 1)).collect(),
+                own_load: rat(own, 1),
+                expected_future_load: rat(future, 2),
+                expected_future_agents: agents,
+            }),
+    ]
+}
 
 fn arb_party() -> impl Strategy<Value = Party> {
     (0u64..1000, 0u8..4).prop_map(|(id, kind)| match kind {
@@ -458,6 +535,69 @@ proptest! {
         let _ = tampered;
         let rebuilt = LedgerProbe { records };
         prop_assert!(rebuilt.audit_fails(&key));
+    }
+
+    /// The spec digest is content-addressed and canonical: pooled and
+    /// fresh buffers encode identical bytes, the digest is exactly the
+    /// SHA-256 of those bytes, and a decode/re-digest round trip is a
+    /// fixed point.
+    #[test]
+    fn spec_digest_is_canonical_and_stable(spec in arb_game_spec()) {
+        let mut fresh = Vec::new();
+        spec.encode(&mut fresh);
+        let pooled = with_frame_scratch(|buf| {
+            spec.encode(buf);
+            buf.clone()
+        });
+        prop_assert_eq!(&pooled, &fresh, "pooled and fresh encodings differ");
+        prop_assert_eq!(spec_digest(&spec), sha256(&fresh));
+        prop_assert_eq!(sha256_wire(&spec), spec_digest(&spec));
+        let mut buf = spec.to_bytes();
+        let decoded = GameSpec::decode(&mut buf).expect("canonical bytes decode");
+        prop_assert_eq!(buf.len(), 0, "trailing bytes after decode");
+        prop_assert_eq!(spec_digest(&decoded), spec_digest(&spec));
+        prop_assert_eq!(decoded, spec);
+    }
+
+    /// A Replay-mode cache hit is observably identical to a cold
+    /// consultation: advice, certificate adoption, majority and advice
+    /// bytes all match what a cacheless twin authority produces for the
+    /// same consultation stream, for arbitrary specs of every family.
+    #[test]
+    fn replay_cache_hits_equal_cold_consultations(
+        spec in arb_game_spec(),
+        agents in 1u64..5,
+    ) {
+        let panel = [VerifierBehavior::Honest; 3];
+        let mut cold =
+            RationalityAuthority::new(Inventor::new(0, InventorBehavior::Honest), &panel);
+        let cache = Arc::new(CertCache::new(CertCacheConfig::replay(64)));
+        let mut warm =
+            RationalityAuthority::new(Inventor::new(0, InventorBehavior::Honest), &panel);
+        warm.set_cert_cache(Arc::clone(&cache));
+        // Prime the cache, then every later consult is a replay-mode hit
+        // (unless the inventor stayed silent — no advice, nothing cached).
+        let primed = warm.consult(0, &spec);
+        let reference = cold.consult(0, &spec);
+        prop_assert_eq!(primed.adopted, reference.adopted);
+        for agent in 1..=agents {
+            let hit = warm.consult(agent, &spec);
+            let fresh = cold.consult(agent, &spec);
+            if primed.advice.is_some() {
+                prop_assert!(hit.cached, "second consult of a cached spec must hit");
+                prop_assert_eq!(hit.session_bytes, 0, "hits ship zero bytes");
+            } else {
+                prop_assert!(!hit.cached, "silent outcomes are never cached");
+            }
+            prop_assert_eq!(&hit.advice, &fresh.advice);
+            prop_assert_eq!(hit.adopted, fresh.adopted);
+            prop_assert_eq!(&hit.majority, &fresh.majority);
+            prop_assert_eq!(hit.advice_bytes, fresh.advice_bytes);
+        }
+        prop_assert_eq!(
+            cache.stats().replay_failures, 0,
+            "honest kernel replays always agree with their stored verdict"
+        );
     }
 
     /// Bus byte accounting equals the sum of encoded message sizes.

@@ -19,6 +19,8 @@
 //! where `N` is the batch size (default 512; CI uses a small value) and
 //! `EVERY` the gossip epoch in consultations (default 32).
 
+use std::sync::Arc;
+
 use ra_authority::{
     GameSpec, InventorBehavior, Party, ReputationPolicy, ShardedAuthority, VerifierBehavior,
 };
@@ -30,14 +32,20 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// dissent on every shard; this bounds pathological routing).
 const EXCLUSION_CAP: u64 = 10_000;
 
-fn build_batch(n: u64) -> Vec<(u64, GameSpec)> {
+fn build_batch(n: u64) -> Vec<(u64, Arc<GameSpec>)> {
     let specs = [
         GameSpec::Strategic(prisoners_dilemma().to_strategic()),
         GameSpec::Bimatrix(battle_of_the_sexes()),
         GameSpec::Strategic(stag_hunt(3)),
-    ];
+    ]
+    .map(Arc::new);
     (0..n)
-        .map(|agent| (agent, specs[(agent % specs.len() as u64) as usize].clone()))
+        .map(|agent| {
+            (
+                agent,
+                Arc::clone(&specs[(agent % specs.len() as u64) as usize]),
+            )
+        })
         .collect()
 }
 

@@ -11,20 +11,28 @@
 //! Usage: `cargo run -p ra-bench --release --bin shard_throughput [-- N]`
 //! where `N` is the batch size (default 512; CI uses a small value).
 
+use std::sync::Arc;
+
 use ra_authority::{GameSpec, InventorBehavior, ShardedAuthority, VerifierBehavior};
 use ra_bench::{fmt_secs, timed, write_csv, write_json};
 use ra_games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn build_batch(n: u64) -> Vec<(u64, GameSpec)> {
+fn build_batch(n: u64) -> Vec<(u64, Arc<GameSpec>)> {
     let specs = [
         GameSpec::Strategic(prisoners_dilemma().to_strategic()),
         GameSpec::Bimatrix(battle_of_the_sexes()),
         GameSpec::Strategic(stag_hunt(3)),
-    ];
+    ]
+    .map(Arc::new);
     (0..n)
-        .map(|agent| (agent, specs[(agent % specs.len() as u64) as usize].clone()))
+        .map(|agent| {
+            (
+                agent,
+                Arc::clone(&specs[(agent % specs.len() as u64) as usize]),
+            )
+        })
         .collect()
 }
 

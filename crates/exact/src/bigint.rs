@@ -106,6 +106,18 @@ impl BigInt {
         }
     }
 
+    /// The magnitude as a `u64` when it fits in a single limb
+    /// (`Some(0)` for zero); `None` for larger values. Lets callers on
+    /// hot paths (e.g. wire encoders) take a machine-word shortcut
+    /// without giving up arbitrary precision in the general case.
+    pub fn magnitude_u64(&self) -> Option<u64> {
+        match *self.mag.as_slice() {
+            [] => Some(0),
+            [limb] => Some(limb),
+            _ => None,
+        }
+    }
+
     /// Number of bits in the magnitude (`0` for zero).
     pub fn bits(&self) -> u64 {
         match self.mag.last() {

@@ -110,6 +110,16 @@ impl StrategicGame {
         ProfileIter::new(self.strategy_counts.clone())
     }
 
+    /// Every profile's per-agent payoff vector, in
+    /// [`profiles`](StrategicGame::profiles) (odometer) order — the dense
+    /// storage order. Equivalent to calling
+    /// [`payoffs`](StrategicGame::payoffs) on each profile of
+    /// [`profiles`](StrategicGame::profiles) in turn, without
+    /// materializing or re-validating any profile.
+    pub fn payoff_rows(&self) -> impl Iterator<Item = &[Rational]> {
+        self.payoffs.iter().map(Vec::as_slice)
+    }
+
     fn flat_index(&self, profile: &StrategyProfile) -> usize {
         debug_assert!(profile.is_valid_for(&self.strategy_counts));
         let mut idx = 0usize;

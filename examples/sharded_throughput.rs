@@ -12,6 +12,8 @@
 //!
 //! Run with: `cargo run --example sharded_throughput`
 
+use std::sync::Arc;
+
 use rationality_authority::authority::{
     GameSpec, InventorBehavior, ShardedAuthority, VerifierBehavior,
 };
@@ -22,8 +24,9 @@ fn main() {
         GameSpec::Strategic(prisoners_dilemma().to_strategic()),
         GameSpec::Bimatrix(battle_of_the_sexes()),
     ];
-    let requests: Vec<(u64, GameSpec)> = (0..64u64)
-        .map(|agent| (agent, specs[(agent % 2) as usize].clone()))
+    let specs = specs.map(Arc::new);
+    let requests: Vec<(u64, Arc<GameSpec>)> = (0..64u64)
+        .map(|agent| (agent, Arc::clone(&specs[(agent % 2) as usize])))
         .collect();
 
     let engine = ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
@@ -62,7 +65,7 @@ fn main() {
         .iter()
         .zip(&outcomes)
         .all(|((agent, spec), batched)| {
-            sequential.consult(*agent, spec).adopted == batched.adopted
+            sequential.consult(*agent, spec.as_ref()).adopted == batched.adopted
         });
     println!("\nbatch == sequential routed calls: {all_match}");
     assert!(all_match);
