@@ -3,21 +3,38 @@
 //! An in-process stand-in for the distributed deployment of Fig. 1:
 //! parties register endpoints, messages are serialized to real bytes
 //! (so Lemma 1's communication claims are measured), delivered through
-//! unbounded channels, and logged centrally. Fault injection (drop rules)
+//! unbounded channels, and logged. Fault injection (drop rules)
 //! supports the dishonest-party experiments.
 //!
-//! Accounting queries (`total_bytes`, `message_count`, `bytes_between`)
-//! are O(1): the bus maintains running counters and a per-pair byte map
-//! alongside the append-only delivery log, instead of re-scanning the log
-//! on every query. The full log stays available via [`Bus::delivery_log`].
+//! The steady-state send path takes no global lock. Routing state
+//! (endpoints + drop rules) lives in a read-mostly [`Arc`] snapshot —
+//! rebuilt on `register`/`disconnect`/`drop_link`/`heal`, cloned with one
+//! short leaf lock per send, then consulted lock-free. Byte accounting is
+//! **striped**: running totals are atomics, and the append-only delivery
+//! log plus the per-pair byte map are partitioned across sender-keyed
+//! stripes so concurrent senders on different stripes never contend. The
+//! accessors (`total_bytes`, `delivered_bytes`, `bytes_between`,
+//! `delivery_log`, `message_count`) merge the stripes in a deterministic
+//! order (a global sequence number stamped at accounting time), so their
+//! results are observably identical to the old single-lock ledger: on a
+//! quiescent bus every accessor is exact, and under concurrency each
+//! accessor is individually consistent with some linearization of the
+//! accounted sends.
 
 use std::collections::{HashMap, HashSet};
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::messages::{Message, Party};
 use crate::wire::Wire;
+
+/// Number of ledger stripes. A power of two so the sender-hash maps to a
+/// stripe with a mask; 8 covers the worker parallelism the shard pool
+/// actually runs (one session driver per shard) without oversizing the
+/// merge that read accessors pay.
+const LEDGER_STRIPES: usize = 8;
 
 /// A delivery record for the audit log and byte accounting.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,13 +104,24 @@ impl Endpoint {
     }
 }
 
-/// The append-only audit log plus its running aggregates, kept consistent
-/// under one lock.
+/// The read-mostly routing snapshot: everything a send needs to decide
+/// where a message goes. Rebuilt (clone + mutate + `Arc` swap) on the
+/// rare topology operations; cloned out of its slot with one short leaf
+/// lock per send, then read lock-free.
 #[derive(Debug, Default)]
-struct Ledger {
-    records: Vec<DeliveryRecord>,
-    total_bytes: usize,
-    delivered_bytes: usize,
+struct Routing {
+    endpoints: HashMap<Party, Sender<(Party, Message)>>,
+    /// Fault injection: `(from, to)` pairs whose messages are dropped.
+    drop_rules: HashSet<(Party, Party)>,
+}
+
+/// One stripe of the decomposed ledger: a slice of the append-only audit
+/// log (records stamped with their global sequence number so reads can
+/// merge deterministically) plus the per-pair byte sums for the senders
+/// that hash to this stripe.
+#[derive(Debug, Default)]
+struct LedgerStripe {
+    records: Vec<(u64, DeliveryRecord)>,
     pair_bytes: HashMap<(Party, Party), usize>,
 }
 
@@ -117,10 +145,38 @@ struct Ledger {
 /// ```
 #[derive(Debug, Default)]
 pub struct Bus {
-    endpoints: Mutex<HashMap<Party, Sender<(Party, Message)>>>,
-    ledger: Mutex<Ledger>,
-    /// Fault injection: `(from, to)` pairs whose messages are dropped.
-    drop_rules: Mutex<HashSet<(Party, Party)>>,
+    /// Slot holding the current routing snapshot. The lock is held only
+    /// long enough to clone the `Arc` (sends) or swap in a rebuilt
+    /// snapshot (topology changes) — never across channel operations or
+    /// accounting.
+    routing: Mutex<Arc<Routing>>,
+    /// Sender-striped audit log + per-pair sums; see [`LedgerStripe`].
+    stripes: [Mutex<LedgerStripe>; LEDGER_STRIPES],
+    /// Global order of accounted records; stamped into each stripe entry
+    /// so `delivery_log` can merge stripes back into send order.
+    seq: AtomicU64,
+    /// Running totals mirrored out of the stripes so the O(1) accessors
+    /// stay lock-free.
+    total_bytes: AtomicUsize,
+    delivered_bytes: AtomicUsize,
+    record_count: AtomicUsize,
+}
+
+/// Deterministic sender-to-stripe hash (SplitMix64 finalizer over the
+/// party's variant tag and id). Independent of process randomness so a
+/// given traffic mix always lands in the same stripes.
+fn stripe_of(party: Party) -> usize {
+    let (tag, id) = match party {
+        Party::Inventor(i) => (0u64, i),
+        Party::Agent(i) => (1, i),
+        Party::Verifier(i) => (2, i),
+        Party::Shard(i) => (3, i),
+    };
+    let mut h = (tag << 56) ^ id ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h as usize) & (LEDGER_STRIPES - 1)
 }
 
 impl Bus {
@@ -129,21 +185,80 @@ impl Bus {
         Bus::default()
     }
 
+    /// Clones the current routing snapshot out of its slot: the only
+    /// lock a steady-state send takes besides its sender's ledger stripe.
+    fn routing_snapshot(&self) -> Arc<Routing> {
+        Arc::clone(&self.routing.lock().expect("bus lock poisoned"))
+    }
+
+    /// Rebuilds the routing snapshot: clone the current one, apply
+    /// `mutate`, swap the new `Arc` in. In-flight sends keep whatever
+    /// snapshot they already cloned — stale but never torn, exactly the
+    /// reputation-snapshot publication pattern.
+    fn update_routing(&self, mutate: impl FnOnce(&mut Routing)) {
+        let mut slot = self.routing.lock().expect("bus lock poisoned");
+        let mut next = Routing {
+            endpoints: slot.endpoints.clone(),
+            drop_rules: slot.drop_rules.clone(),
+        };
+        mutate(&mut next);
+        *slot = Arc::new(next);
+    }
+
     /// Registers a party; returns its receiving endpoint. Re-registering
     /// replaces the old endpoint: the previous one stops receiving.
     pub fn register(&self, party: Party) -> Endpoint {
         let (tx, rx) = channel();
-        self.endpoints
-            .lock()
-            .expect("bus lock poisoned")
-            .insert(party, tx);
+        self.update_routing(|r| {
+            r.endpoints.insert(party, tx);
+        });
         Endpoint {
             party,
             receiver: rx,
         }
     }
 
+    /// Removes `party`'s registration. Later sends to it fail with
+    /// [`BusError::UnknownParty`] (unaccounted, like any unknown
+    /// destination) until it registers again; its existing [`Endpoint`]
+    /// keeps any messages already queued. A no-op for unknown parties.
+    pub fn disconnect(&self, party: Party) {
+        self.update_routing(|r| {
+            r.endpoints.remove(&party);
+        });
+    }
+
+    /// Accounts one attempted send into the striped ledger. The caller
+    /// already decided `delivered`; this stamps the global sequence
+    /// number, bumps the atomic totals and appends to the sender's
+    /// stripe.
+    fn account(&self, from: Party, to: Party, bytes: usize, delivered: bool) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if delivered {
+            self.delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.record_count.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripes[stripe_of(from)]
+            .lock()
+            .expect("bus lock poisoned");
+        *stripe.pair_bytes.entry((from, to)).or_insert(0) += bytes;
+        stripe.records.push((
+            seq,
+            DeliveryRecord {
+                from,
+                to,
+                bytes,
+                delivered,
+            },
+        ));
+    }
+
     /// Sends `message` from `from` to `to`, accounting its serialized size.
+    ///
+    /// Lock-free on the steady-state path: routing decisions read the
+    /// current snapshot, and accounting touches only the sender's ledger
+    /// stripe plus atomic counters.
     ///
     /// # Errors
     ///
@@ -151,46 +266,35 @@ impl Bus {
     /// [`BusError::Disconnected`] if `to`'s endpoint was dropped.
     pub fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
         let bytes = message.encoded_len();
-        let dropped = self
-            .drop_rules
-            .lock()
-            .expect("bus lock poisoned")
-            .contains(&(from, to));
+        let routing = self.routing_snapshot();
+        let dropped = routing.drop_rules.contains(&(from, to));
         let result = if dropped {
             Ok(())
         } else {
-            let endpoints = self.endpoints.lock().expect("bus lock poisoned");
-            let tx = endpoints.get(&to).ok_or(BusError::UnknownParty(to))?;
+            let tx = routing
+                .endpoints
+                .get(&to)
+                .ok_or(BusError::UnknownParty(to))?;
             tx.send((from, message))
                 .map_err(|_| BusError::Disconnected(to))
         };
         let delivered = !dropped && result.is_ok();
-        let mut ledger = self.ledger.lock().expect("bus lock poisoned");
-        ledger.total_bytes += bytes;
-        if delivered {
-            ledger.delivered_bytes += bytes;
-        }
-        *ledger.pair_bytes.entry((from, to)).or_insert(0) += bytes;
-        ledger.records.push(DeliveryRecord {
-            from,
-            to,
-            bytes,
-            delivered,
-        });
+        self.account(from, to, bytes, delivered);
         result
     }
 
     /// Sends every `(from, to, message)` in `batch` — draining it, so
-    /// callers can reuse the buffer's allocation — taking each bus lock
-    /// once per call instead of once per message.
+    /// callers can reuse the buffer's allocation — resolving routing from
+    /// one snapshot and holding each ledger stripe across runs of
+    /// same-stripe senders (a verdict-request fan-out has one sender, so
+    /// it locks its stripe exactly once).
     ///
     /// Accounting is byte-identical to the equivalent sequence of
     /// [`Bus::send`] calls: the same [`DeliveryRecord`]s in the same
     /// order, the same running total/delivered counters, and the same
-    /// per-pair byte map, all updated in one critical section. Every send
-    /// is attempted (and accounted) even after an earlier one fails, which
-    /// is also what a loop of individual `send` calls does; the first
-    /// error is returned.
+    /// per-pair byte map. Every send is attempted (and accounted) even
+    /// after an earlier one fails, which is also what a loop of individual
+    /// `send` calls does; the first error is returned.
     ///
     /// # Errors
     ///
@@ -201,20 +305,18 @@ impl Bus {
             return Ok(());
         }
         let mut first_error = Ok(());
-        // Lock order matches the (non-overlapping) acquisition order of
-        // `send`; all three are leaf locks, so holding them together for
-        // the chunk cannot deadlock.
-        let drop_rules = self.drop_rules.lock().expect("bus lock poisoned");
-        let endpoints = self.endpoints.lock().expect("bus lock poisoned");
-        let mut ledger = self.ledger.lock().expect("bus lock poisoned");
-        ledger.records.reserve(batch.len());
+        let routing = self.routing_snapshot();
+        // The stripe guard is cached across consecutive same-stripe
+        // senders; ledger stripes are leaf locks taken one at a time, so
+        // this cannot deadlock against concurrent senders.
+        let mut held: Option<(usize, MutexGuard<'_, LedgerStripe>)> = None;
         for (from, to, message) in batch.drain(..) {
             let bytes = message.encoded_len();
-            let dropped = drop_rules.contains(&(from, to));
+            let dropped = routing.drop_rules.contains(&(from, to));
             let result = if dropped {
                 Ok(())
             } else {
-                match endpoints.get(&to) {
+                match routing.endpoints.get(&to) {
                     None => {
                         // `send` short-circuits before any accounting on an
                         // unknown party; mirror that so the ledger stays
@@ -235,54 +337,65 @@ impl Bus {
                     first_error = Err(e);
                 }
             }
-            ledger.total_bytes += bytes;
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
             if delivered {
-                ledger.delivered_bytes += bytes;
+                self.delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
             }
-            *ledger.pair_bytes.entry((from, to)).or_insert(0) += bytes;
-            ledger.records.push(DeliveryRecord {
-                from,
-                to,
-                bytes,
-                delivered,
-            });
+            self.record_count.fetch_add(1, Ordering::Relaxed);
+            let idx = stripe_of(from);
+            let stripe = match held {
+                Some((held_idx, ref mut guard)) if held_idx == idx => &mut **guard,
+                _ => {
+                    held = Some((idx, self.stripes[idx].lock().expect("bus lock poisoned")));
+                    let (_, ref mut guard) = held.as_mut().expect("just set");
+                    &mut **guard
+                }
+            };
+            *stripe.pair_bytes.entry((from, to)).or_insert(0) += bytes;
+            stripe.records.push((
+                seq,
+                DeliveryRecord {
+                    from,
+                    to,
+                    bytes,
+                    delivered,
+                },
+            ));
         }
         first_error
     }
 
     /// Injects a drop rule: all messages `from → to` are silently dropped.
     pub fn drop_link(&self, from: Party, to: Party) {
-        self.drop_rules
-            .lock()
-            .expect("bus lock poisoned")
-            .insert((from, to));
+        self.update_routing(|r| {
+            r.drop_rules.insert((from, to));
+        });
     }
 
     /// Removes all drop rules.
     pub fn heal(&self) {
-        self.drop_rules.lock().expect("bus lock poisoned").clear();
+        self.update_routing(|r| r.drop_rules.clear());
     }
 
-    /// Total bytes put on the wire (delivered or not). O(1).
+    /// Total bytes put on the wire (delivered or not). O(1), lock-free.
     pub fn total_bytes(&self) -> usize {
-        self.ledger.lock().expect("bus lock poisoned").total_bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// Bytes of messages that actually reached their endpoint — attempts
     /// dropped by fault injection or failed sends (undelivered per
     /// [`DeliveryRecord::delivered`]) are excluded. This is the figure
     /// Lemma 1 tables should cite for *communicated* bits; `total_bytes`
-    /// additionally counts wasted attempts. O(1).
+    /// additionally counts wasted attempts. O(1), lock-free.
     pub fn delivered_bytes(&self) -> usize {
-        self.ledger
-            .lock()
-            .expect("bus lock poisoned")
-            .delivered_bytes
+        self.delivered_bytes.load(Ordering::Relaxed)
     }
 
-    /// Bytes sent from `from` to `to`. O(1).
+    /// Bytes sent from `from` to `to`. O(1): per-pair sums live on the
+    /// sender's stripe, so this locks exactly one stripe.
     pub fn bytes_between(&self, from: Party, to: Party) -> usize {
-        self.ledger
+        self.stripes[stripe_of(from)]
             .lock()
             .expect("bus lock poisoned")
             .pair_bytes
@@ -291,18 +404,25 @@ impl Bus {
             .unwrap_or(0)
     }
 
-    /// A copy of the full delivery log.
+    /// A copy of the full delivery log, merged across stripes back into
+    /// global send order (each record carries the sequence number stamped
+    /// when it was accounted, so the merge is deterministic).
     pub fn delivery_log(&self) -> Vec<DeliveryRecord> {
-        self.ledger
-            .lock()
-            .expect("bus lock poisoned")
-            .records
-            .clone()
+        let mut tagged: Vec<(u64, DeliveryRecord)> = Vec::with_capacity(self.message_count());
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("bus lock poisoned");
+            tagged.extend(stripe.records.iter().cloned());
+        }
+        // Within a stripe records are already seq-ascending (appends hold
+        // the stripe lock), so an unstable sort cannot reorder equals —
+        // and seqs are unique anyway.
+        tagged.sort_unstable_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, record)| record).collect()
     }
 
-    /// Number of messages sent (delivered or dropped). O(1).
+    /// Number of messages sent (delivered or dropped). O(1), lock-free.
     pub fn message_count(&self) -> usize {
-        self.ledger.lock().expect("bus lock poisoned").records.len()
+        self.record_count.load(Ordering::Relaxed)
     }
 }
 
@@ -564,6 +684,36 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_unregisters_the_party() {
+        // `disconnect` removes the registration outright: later sends see
+        // UnknownParty (unaccounted), unlike a dropped Endpoint whose
+        // failed sends are accounted as undelivered. Re-registering
+        // restores delivery.
+        let bus = Bus::new();
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        bus.register(a);
+        let ep_b = bus.register(b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 1 })
+            .unwrap();
+        bus.disconnect(b);
+        assert_eq!(
+            bus.send(a, b, Message::AdviceRequest { game_id: 2 }),
+            Err(BusError::UnknownParty(b))
+        );
+        assert_eq!(bus.message_count(), 1, "unknown-party send unaccounted");
+        // The pre-disconnect message is still queued on the old endpoint.
+        assert_eq!(ep_b.drain().len(), 1);
+        let ep_b2 = bus.register(b);
+        bus.send(a, b, Message::AdviceRequest { game_id: 3 })
+            .unwrap();
+        assert_eq!(ep_b2.drain().len(), 1);
+        assert_eq!(bus.message_count(), 2);
+        // Disconnecting a never-registered party is a no-op.
+        bus.disconnect(Party::Verifier(42));
+    }
+
+    #[test]
     fn reregistration_replaces_old_endpoint() {
         let bus = Bus::new();
         let a = Party::Agent(1);
@@ -606,6 +756,149 @@ mod tests {
         bus.send(a, b, Message::AdviceRequest { game_id: 2 })
             .unwrap();
         assert!(ep_b.try_recv().is_some());
+    }
+
+    #[test]
+    fn stress_merged_ledger_accounts_every_thread() {
+        // 8 threads hammer `send` and `send_batch` against an always-live
+        // hub while a flaky party is concurrently disconnected and
+        // re-registered. Each thread classifies its own attempts by the
+        // returned result — Ok and Disconnected are accounted (the latter
+        // undelivered), UnknownParty is not — and the merged striped
+        // ledger must equal the per-thread sums exactly.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 60;
+        let bus = Arc::new(Bus::new());
+        let hub = Party::Verifier(0);
+        let flaky = Party::Verifier(1);
+        let hub_ep = bus.register(hub);
+        let _flaky_ep = bus.register(flaky);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let toggler = {
+            let bus = Arc::clone(&bus);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Keep re-registered endpoints alive so sends that land
+                // between register and the next disconnect deliver; the
+                // windows in between yield UnknownParty errors.
+                let mut keep = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    bus.disconnect(flaky);
+                    keep.push(bus.register(flaky));
+                    std::thread::yield_now();
+                }
+                keep
+            })
+        };
+
+        struct Tally {
+            accounted_msgs: usize,
+            accounted_bytes: usize,
+            delivered_msgs: usize,
+            delivered_bytes: usize,
+            hub_msgs: usize,
+        }
+        let mut workers = Vec::new();
+        for i in 0..THREADS {
+            let bus = Arc::clone(&bus);
+            workers.push(std::thread::spawn(move || {
+                let me = Party::Agent(i);
+                bus.register(me);
+                let mut tally = Tally {
+                    accounted_msgs: 0,
+                    accounted_bytes: 0,
+                    delivered_msgs: 0,
+                    delivered_bytes: 0,
+                    hub_msgs: 0,
+                };
+                let mut batch = Vec::new();
+                for g in 0..ROUNDS {
+                    let msg = Message::AdviceRequest { game_id: g };
+                    let bytes = msg.encoded_len();
+                    match g % 3 {
+                        // Single sends to the hub always deliver.
+                        0 => {
+                            bus.send(me, hub, msg).unwrap();
+                            tally.accounted_msgs += 1;
+                            tally.accounted_bytes += bytes;
+                            tally.delivered_msgs += 1;
+                            tally.delivered_bytes += bytes;
+                            tally.hub_msgs += 1;
+                        }
+                        // Batched fan-out to the hub: 3 frames, 1 stripe.
+                        1 => {
+                            batch.clear();
+                            for _ in 0..3 {
+                                batch.push((me, hub, msg.clone()));
+                            }
+                            bus.send_batch(&mut batch).unwrap();
+                            tally.accounted_msgs += 3;
+                            tally.accounted_bytes += 3 * bytes;
+                            tally.delivered_msgs += 3;
+                            tally.delivered_bytes += 3 * bytes;
+                            tally.hub_msgs += 3;
+                        }
+                        // Sends racing the disconnect/re-register toggler:
+                        // classify by result.
+                        _ => match bus.send(me, flaky, msg) {
+                            Ok(()) => {
+                                tally.accounted_msgs += 1;
+                                tally.accounted_bytes += bytes;
+                                tally.delivered_msgs += 1;
+                                tally.delivered_bytes += bytes;
+                            }
+                            Err(BusError::Disconnected(_)) => {
+                                tally.accounted_msgs += 1;
+                                tally.accounted_bytes += bytes;
+                            }
+                            Err(BusError::UnknownParty(_)) => {}
+                        },
+                    }
+                }
+                tally
+            }));
+        }
+        let tallies: Vec<Tally> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        let _keepalive = toggler.join().unwrap();
+
+        let accounted_msgs: usize = tallies.iter().map(|t| t.accounted_msgs).sum();
+        let accounted_bytes: usize = tallies.iter().map(|t| t.accounted_bytes).sum();
+        let delivered_msgs: usize = tallies.iter().map(|t| t.delivered_msgs).sum();
+        let delivered_bytes: usize = tallies.iter().map(|t| t.delivered_bytes).sum();
+        let hub_msgs: usize = tallies.iter().map(|t| t.hub_msgs).sum();
+
+        assert_eq!(bus.message_count(), accounted_msgs);
+        assert_eq!(bus.total_bytes(), accounted_bytes);
+        assert_eq!(bus.delivered_bytes(), delivered_bytes);
+        let log = bus.delivery_log();
+        assert_eq!(log.len(), accounted_msgs);
+        assert_eq!(
+            log.iter().filter(|r| r.delivered).count(),
+            delivered_msgs,
+            "delivery log length matches the delivered count"
+        );
+        assert_eq!(
+            log.iter().map(|r| r.bytes).sum::<usize>(),
+            accounted_bytes,
+            "merged log bytes equal the sum of per-thread sent bytes"
+        );
+        assert_eq!(hub_ep.drain().len(), hub_msgs);
+        // Per-pair sums survive the merge too.
+        for i in 0..THREADS {
+            let me = Party::Agent(i);
+            assert_eq!(
+                bus.bytes_between(me, hub),
+                log.iter()
+                    .filter(|r| r.from == me && r.to == hub)
+                    .map(|r| r.bytes)
+                    .sum::<usize>()
+            );
+        }
     }
 
     #[test]

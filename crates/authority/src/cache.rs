@@ -114,6 +114,10 @@ pub struct CacheStats {
     /// Replay-mode hits whose fresh kernel verdict contradicted the stored
     /// one (the hit is discarded and the full protocol re-runs).
     pub replay_failures: u64,
+    /// Replay-mode hits discarded because the trusted verifier panel
+    /// changed since the entry was cached (also counted under `misses`:
+    /// the full protocol re-runs and re-primes the entry).
+    pub stale: u64,
 }
 
 /// The memoized result of one full consultation, replayable on hits.
@@ -132,6 +136,11 @@ pub(crate) struct CachedConsultation {
     pub advice_bytes: usize,
     /// Per-verifier verdicts as reported in the cold session.
     pub verdict_details: Vec<(Party, bool, String)>,
+    /// The [`crate::ReputationSnapshot::panel_version`] the entry was
+    /// minted under. Replay-mode lookups compare it against the current
+    /// panel and treat a mismatch as a miss, so advice vouched for by a
+    /// since-excluded (or since-readmitted) panel is never served warm.
+    pub panel_version: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -254,6 +263,7 @@ pub struct CertCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     replay_failures: AtomicU64,
+    stale: AtomicU64,
 }
 
 impl std::fmt::Debug for CertCache {
@@ -298,6 +308,7 @@ impl CertCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             replay_failures: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
         }
     }
 
@@ -326,6 +337,7 @@ impl CertCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             replay_failures: self.replay_failures.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
         }
     }
 
@@ -334,12 +346,30 @@ impl CertCache {
         &self.shards[digest[0] as usize % self.shards.len()]
     }
 
-    pub(crate) fn lookup(&self, digest: &Digest) -> Option<Arc<CachedConsultation>> {
+    /// Looks up a digest. `current_panel` is the caller's current
+    /// [`crate::ReputationSnapshot::panel_version`] when hits must be
+    /// panel-checked (`Replay` mode): a hit minted under a different
+    /// panel is treated as a miss (counted under both `stale` and
+    /// `misses`), so the full protocol re-runs and re-primes the entry
+    /// under the current panel. Pass `None` to skip the check (`Trust`
+    /// mode serves the digest hit unconditionally).
+    pub(crate) fn lookup(
+        &self,
+        digest: &Digest,
+        current_panel: Option<u64>,
+    ) -> Option<Arc<CachedConsultation>> {
         let hit = self
             .shard_of(digest)
             .lock()
             .expect("cache shard lock")
             .lookup(digest);
+        let hit = match (hit, current_panel) {
+            (Some(entry), Some(panel)) if entry.panel_version != panel => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            (hit, _) => hit,
+        };
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -382,6 +412,7 @@ mod tests {
             adopted: true,
             advice_bytes: 3,
             verdict_details: Vec::new(),
+            panel_version: 0,
         }
     }
 
@@ -409,10 +440,10 @@ mod tests {
     #[test]
     fn hit_miss_counters_track_lookups() {
         let cache = CertCache::new(CertCacheConfig::replay(8));
-        assert!(cache.lookup(&digest(1)).is_none());
+        assert!(cache.lookup(&digest(1), None).is_none());
         cache.insert(digest(1), entry(1));
-        assert!(cache.lookup(&digest(1)).is_some());
-        assert!(cache.lookup(&digest(2)).is_none());
+        assert!(cache.lookup(&digest(1), None).is_some());
+        assert!(cache.lookup(&digest(2), None).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 2));
         assert_eq!(cache.len(), 1);
@@ -427,13 +458,16 @@ mod tests {
             cache.insert(digest(tag), entry(tag as u64));
         }
         // Touch 0 so 1 becomes the LRU victim.
-        assert!(cache.lookup(&digest(0)).is_some());
+        assert!(cache.lookup(&digest(0), None).is_some());
         cache.insert(digest(3), entry(3));
         assert_eq!(cache.stats().evictions, 1);
-        assert!(cache.lookup(&digest(1)).is_none(), "LRU entry evicted");
-        assert!(cache.lookup(&digest(0)).is_some());
-        assert!(cache.lookup(&digest(2)).is_some());
-        assert!(cache.lookup(&digest(3)).is_some());
+        assert!(
+            cache.lookup(&digest(1), None).is_none(),
+            "LRU entry evicted"
+        );
+        assert!(cache.lookup(&digest(0), None).is_some());
+        assert!(cache.lookup(&digest(2), None).is_some());
+        assert!(cache.lookup(&digest(3), None).is_some());
         assert_eq!(cache.len(), 3);
     }
 
@@ -444,7 +478,7 @@ mod tests {
         cache.insert(digest(1), entry(100));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().evictions, 0);
-        let hit = cache.lookup(&digest(1)).expect("refreshed entry");
+        let hit = cache.lookup(&digest(1), None).expect("refreshed entry");
         assert_eq!(
             hit.advice,
             Advice::Dominant {
@@ -482,6 +516,26 @@ mod tests {
             .count();
         assert_eq!(occupied, CertCache::SHARDS, "digest prefix spreads shards");
         assert_eq!(cache.len(), CertCache::SHARDS);
+    }
+
+    #[test]
+    fn panel_mismatch_is_a_miss_when_guarded() {
+        let cache = CertCache::new(CertCacheConfig::replay(8));
+        // The entry is minted under panel 0; unguarded (Trust-mode)
+        // lookups serve the hit regardless.
+        cache.insert(digest(1), entry(1));
+        assert!(cache.lookup(&digest(1), None).is_some());
+        // Guarded lookup under the same panel: a hit.
+        assert!(cache.lookup(&digest(1), Some(0)).is_some());
+        // Guarded lookup under a newer panel: stale, counted as a miss.
+        assert!(cache.lookup(&digest(1), Some(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stale), (2, 1, 1));
+        // Re-priming under the new panel makes it hit again.
+        let mut fresh = entry(1);
+        fresh.panel_version = 1;
+        cache.insert(digest(1), fresh);
+        assert!(cache.lookup(&digest(1), Some(1)).is_some());
     }
 
     #[test]

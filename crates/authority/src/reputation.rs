@@ -191,6 +191,7 @@ fn pooled_outcome(verdicts: &[(Party, bool)], stake_of: impl Fn(Party) -> i64) -
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReputationSnapshot {
     version: u64,
+    panel_version: u64,
     scores: HashMap<Party, i64>,
 }
 
@@ -199,6 +200,17 @@ impl ReputationSnapshot {
     /// republish, so readers can tell which of two snapshots is fresher.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Monotone *panel* counter: increases only when the trusted-verifier
+    /// set changes between consecutive publications — an exclusion
+    /// crossing [`EXCLUSION_THRESHOLD`] or a readmission — not on mere
+    /// score movement within the trusted band. The certificate cache
+    /// stamps entries with this, so a `Replay`-mode hit can tell when
+    /// cached advice was minted under an older verification panel while
+    /// ordinary honest-traffic score drift keeps hitting.
+    pub fn panel_version(&self) -> u64 {
+        self.panel_version
     }
 
     /// Score of a verifier in this view (unseen verifiers score
@@ -222,6 +234,19 @@ impl ReputationSnapshot {
     pub fn is_empty(&self) -> bool {
         self.scores.is_empty()
     }
+}
+
+/// Whether the trusted-verifier set differs between two score maps,
+/// compared over the union of their keys (a party absent from either map
+/// scores [`INITIAL_SCORE`], i.e. trusted — so decay-pruned parties are
+/// handled too). Drives [`ReputationSnapshot::panel_version`].
+fn trusted_set_changed(old: &HashMap<Party, i64>, new: &HashMap<Party, i64>) -> bool {
+    let trusted = |scores: &HashMap<Party, i64>, p: Party| {
+        scores.get(&p).copied().unwrap_or(INITIAL_SCORE) > EXCLUSION_THRESHOLD
+    };
+    old.keys()
+        .chain(new.keys())
+        .any(|&p| trusted(old, p) != trusted(new, p))
 }
 
 /// A reputation backend: where verifier trust scores live and how one
@@ -385,8 +410,14 @@ impl LocalReputation {
             .snapshot
             .lock()
             .expect("reputation snapshot lock poisoned");
+        let panel_version = if trusted_set_changed(&slot.scores, scores) {
+            slot.panel_version + 1
+        } else {
+            slot.panel_version
+        };
         *slot = Arc::new(ReputationSnapshot {
             version: slot.version + 1,
+            panel_version,
             scores: scores.clone(),
         });
     }
@@ -1134,8 +1165,14 @@ impl GossipReputation {
             .map(|p| (p, INITIAL_SCORE + local.decayed_value(p, self.decay)))
             .collect();
         let mut slot = self.snapshot.lock().expect("gossip snapshot lock poisoned");
+        let panel_version = if trusted_set_changed(&slot.scores, &scores) {
+            slot.panel_version + 1
+        } else {
+            slot.panel_version
+        };
         *slot = Arc::new(ReputationSnapshot {
             version: slot.version + 1,
+            panel_version,
             scores,
         });
     }

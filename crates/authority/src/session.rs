@@ -186,7 +186,15 @@ impl SessionDriver {
             return self.run_protocol(agent, game_id, spec);
         };
         let digest = spec_digest(spec);
-        if let Some(entry) = cache.lookup(&digest) {
+        // Replay hits are panel-guarded: an entry minted under a
+        // different trusted-verifier set (ReputationSnapshot
+        // panel_version) is treated as a miss, so exclusions invalidate
+        // warm advice. Trust mode serves the digest hit unconditionally.
+        let panel_guard = match cache.mode() {
+            CacheMode::Replay => Some(self.reputation.snapshot().panel_version()),
+            CacheMode::Trust => None,
+        };
+        if let Some(entry) = cache.lookup(&digest, panel_guard) {
             match cache.mode() {
                 CacheMode::Trust => return Self::outcome_from_cache(&entry),
                 CacheMode::Replay => {
@@ -213,6 +221,9 @@ impl SessionDriver {
                     adopted: outcome.adopted,
                     advice_bytes: outcome.advice_bytes,
                     verdict_details: outcome.verdict_details.clone(),
+                    // Stamped *after* run_protocol, so an exclusion caused
+                    // by this very consult is already reflected.
+                    panel_version: self.reputation.snapshot().panel_version(),
                 },
             );
         }
@@ -644,6 +655,76 @@ mod tests {
         let stats = authority.cert_cache().unwrap().stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.replay_failures, 0);
+    }
+
+    #[test]
+    fn exclusion_between_prime_and_probe_invalidates_replay_hits() {
+        // The PR 7 follow-up: a Replay-mode hit must not serve advice
+        // vouched for under an older verifier panel. Prime the cache on
+        // one spec, drive a saboteur below the exclusion threshold with
+        // *different* consultations, then probe the primed spec: the
+        // panel version moved, so the probe re-runs the full protocol
+        // (and re-primes the entry under the new panel).
+        use crate::cache::CertCacheConfig;
+        let primed = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let churn = GameSpec::Bimatrix(battle_of_the_sexes());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[
+                VerifierBehavior::Honest,
+                VerifierBehavior::Honest,
+                VerifierBehavior::AlwaysReject,
+            ],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::replay(64))));
+        let cold = authority.consult(0, &primed);
+        assert!(!cold.cached);
+        assert!(
+            authority.consult(1, &primed).cached,
+            "warm hit before the panel changes"
+        );
+        let panel_before = authority.reputation().snapshot().panel_version();
+        // Score churn alone (every cold consult republishes) must not
+        // invalidate: consult a different spec while the saboteur is
+        // still above threshold.
+        authority.consult(2, &churn);
+        assert!(
+            authority.consult(3, &primed).cached,
+            "score drift within the trusted band keeps hitting"
+        );
+        // Now drive the saboteur to exclusion with distinct cold specs
+        // (warm hits would skip the protocol and never move scores); the
+        // panel version moves exactly once, at the threshold crossing.
+        let saboteur = Party::Verifier(2);
+        let mut rounds: u64 = 0;
+        while authority.reputation().is_trusted(saboteur) {
+            let distinct = GameSpec::ParallelLinks {
+                current_loads: vec![ra_exact::rat(rounds as i64 + 1, 1)],
+                own_load: ra_exact::rat(1, 1),
+                expected_future_load: ra_exact::rat(1, 1),
+                expected_future_agents: 1,
+            };
+            authority.consult(100 + rounds, &distinct);
+            rounds += 1;
+            assert!(rounds < 50, "saboteur must be excluded eventually");
+        }
+        assert!(
+            authority.reputation().snapshot().panel_version() > panel_before,
+            "exclusion bumps the panel version"
+        );
+        let probe = authority.consult(999, &primed);
+        assert!(
+            !probe.cached,
+            "the stale hit is treated as a miss after the exclusion"
+        );
+        assert_eq!(
+            probe.verdict_details.len(),
+            2,
+            "the probe re-ran under the reduced panel"
+        );
+        assert!(authority.cert_cache().unwrap().stats().stale >= 1);
+        // The probe re-primed the entry under the new panel.
+        assert!(authority.consult(1000, &primed).cached);
     }
 
     #[test]

@@ -649,3 +649,196 @@ impl LedgerProbe {
         false
     }
 }
+
+// ---------------------------------------------------------------------------
+// Striped-vs-serial ledger equivalence (the PR 8 bus decomposition).
+// ---------------------------------------------------------------------------
+
+/// One bus operation in the model-based equivalence test. Party indices
+/// are drawn from a small universe (see [`universe_party`]) so traffic
+/// mixes routinely hit unknown parties, dropped links, replaced endpoints
+/// and disconnections.
+#[derive(Clone, Debug)]
+enum BusOp {
+    /// Register (or re-register) a party.
+    Register(u64),
+    /// Remove a party's registration via `Bus::disconnect`.
+    Disconnect(u64),
+    /// Drop a party's `Endpoint` handle while leaving it registered, so
+    /// later sends fail with `Disconnected` (accounted, undelivered).
+    DropEndpoint(u64),
+    /// Inject a fault-drop rule `from → to`.
+    DropLink(u64, u64),
+    /// Clear all drop rules.
+    Heal,
+    /// One `Bus::send`.
+    Send(u64, u64, u64),
+    /// One `Bus::send_batch` of `(from, to, game_id)` frames.
+    SendBatch(Vec<(u64, u64, u64)>),
+}
+
+/// Maps a universe index to a concrete party, mixing variants so the
+/// stripe hash sees different tags.
+fn universe_party(idx: u64) -> Party {
+    match idx % 6 {
+        0 => Party::Agent(0),
+        1 => Party::Agent(1),
+        2 => Party::Agent(2),
+        3 => Party::Verifier(0),
+        4 => Party::Verifier(1),
+        _ => Party::Inventor(0),
+    }
+}
+
+fn arb_bus_op() -> impl Strategy<Value = BusOp> {
+    prop_oneof![
+        (0u64..6).prop_map(BusOp::Register),
+        (0u64..6).prop_map(BusOp::Disconnect),
+        (0u64..6).prop_map(BusOp::DropEndpoint),
+        ((0u64..6), (0u64..6)).prop_map(|(f, t)| BusOp::DropLink(f, t)),
+        Just(BusOp::Heal),
+        ((0u64..6), (0u64..6), any::<u64>()).prop_map(|(f, t, g)| BusOp::Send(f, t, g)),
+        prop::collection::vec(((0u64..6), (0u64..6), any::<u64>()), 0..6)
+            .prop_map(BusOp::SendBatch),
+    ]
+}
+
+/// The pre-stripe serial ledger, replayed as a reference model: one
+/// record vector, running totals and a pair map updated exactly as the
+/// old single-`Mutex<Ledger>` bus did — unknown parties short-circuit
+/// before accounting, fault-dropped and dead-endpoint sends are
+/// accounted as undelivered.
+#[derive(Default)]
+struct SerialLedgerModel {
+    records: Vec<ra_authority::DeliveryRecord>,
+    total_bytes: usize,
+    delivered_bytes: usize,
+    pair_bytes: std::collections::HashMap<(Party, Party), usize>,
+    registered: std::collections::HashSet<Party>,
+    dead_endpoints: std::collections::HashSet<Party>,
+    drop_rules: std::collections::HashSet<(Party, Party)>,
+}
+
+impl SerialLedgerModel {
+    /// Replays one send; returns what the real bus must return for it.
+    fn send(&mut self, from: Party, to: Party, bytes: usize) -> Result<(), ra_authority::BusError> {
+        let dropped = self.drop_rules.contains(&(from, to));
+        let result = if dropped {
+            Ok(())
+        } else if !self.registered.contains(&to) {
+            // Unknown party: short-circuit before any accounting.
+            return Err(ra_authority::BusError::UnknownParty(to));
+        } else if self.dead_endpoints.contains(&to) {
+            Err(ra_authority::BusError::Disconnected(to))
+        } else {
+            Ok(())
+        };
+        let delivered = !dropped && result.is_ok();
+        self.total_bytes += bytes;
+        if delivered {
+            self.delivered_bytes += bytes;
+        }
+        *self.pair_bytes.entry((from, to)).or_insert(0) += bytes;
+        self.records.push(ra_authority::DeliveryRecord {
+            from,
+            to,
+            bytes,
+            delivered,
+        });
+        result
+    }
+}
+
+proptest! {
+    /// The tentpole equivalence: for arbitrary operation sequences —
+    /// registration churn, disconnects, dead endpoints, drop rules and
+    /// mixed `send`/`send_batch` traffic — the striped ledger's accessors
+    /// are field-equal to the serial single-lock ledger replayed as a
+    /// model: same delivery log, same totals, same per-pair bytes, same
+    /// errors.
+    #[test]
+    fn striped_ledger_matches_serial_model(
+        ops in prop::collection::vec(arb_bus_op(), 1..40),
+    ) {
+        let bus = Bus::new();
+        let mut model = SerialLedgerModel::default();
+        // Endpoints held here stay connected; removing one kills its
+        // channel while the registration stays (the Disconnected case).
+        let mut live_endpoints: std::collections::HashMap<u64, ra_authority::Endpoint> =
+            std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                BusOp::Register(idx) => {
+                    let p = universe_party(idx);
+                    live_endpoints.insert(idx, bus.register(p));
+                    model.registered.insert(p);
+                    model.dead_endpoints.remove(&p);
+                }
+                BusOp::Disconnect(idx) => {
+                    let p = universe_party(idx);
+                    bus.disconnect(p);
+                    live_endpoints.remove(&idx);
+                    model.registered.remove(&p);
+                    model.dead_endpoints.remove(&p);
+                }
+                BusOp::DropEndpoint(idx) => {
+                    let p = universe_party(idx);
+                    live_endpoints.remove(&idx);
+                    if model.registered.contains(&p) {
+                        model.dead_endpoints.insert(p);
+                    }
+                }
+                BusOp::DropLink(f, t) => {
+                    let (f, t) = (universe_party(f), universe_party(t));
+                    bus.drop_link(f, t);
+                    model.drop_rules.insert((f, t));
+                }
+                BusOp::Heal => {
+                    bus.heal();
+                    model.drop_rules.clear();
+                }
+                BusOp::Send(f, t, game_id) => {
+                    let (f, t) = (universe_party(f), universe_party(t));
+                    let msg = Message::AdviceRequest { game_id };
+                    let bytes = msg.encoded_len();
+                    prop_assert_eq!(bus.send(f, t, msg), model.send(f, t, bytes));
+                }
+                BusOp::SendBatch(frames) => {
+                    let mut batch: Vec<(Party, Party, Message)> = frames
+                        .iter()
+                        .map(|&(f, t, g)| {
+                            (
+                                universe_party(f),
+                                universe_party(t),
+                                Message::AdviceRequest { game_id: g },
+                            )
+                        })
+                        .collect();
+                    let mut first_error = Ok(());
+                    for (f, t, msg) in &batch {
+                        let result = model.send(*f, *t, msg.encoded_len());
+                        if first_error.is_ok() {
+                            first_error = result;
+                        }
+                    }
+                    prop_assert_eq!(bus.send_batch(&mut batch), first_error);
+                }
+            }
+        }
+        // Field equality of every accounting view.
+        prop_assert_eq!(bus.delivery_log(), model.records);
+        prop_assert_eq!(bus.total_bytes(), model.total_bytes);
+        prop_assert_eq!(bus.delivered_bytes(), model.delivered_bytes);
+        prop_assert_eq!(bus.message_count(), bus.delivery_log().len());
+        for f in 0..6u64 {
+            for t in 0..6u64 {
+                let pair = (universe_party(f), universe_party(t));
+                prop_assert_eq!(
+                    bus.bytes_between(pair.0, pair.1),
+                    model.pair_bytes.get(&pair).copied().unwrap_or(0),
+                    "pair {} -> {}", pair.0, pair.1
+                );
+            }
+        }
+    }
+}
