@@ -1,108 +1,38 @@
-//! The simulated network bus.
+//! The synchronous in-memory bus — the canonical [`Transport`] backend.
 //!
 //! An in-process stand-in for the distributed deployment of Fig. 1:
 //! parties register endpoints, messages are serialized to real bytes
 //! (so Lemma 1's communication claims are measured), delivered through
 //! unbounded channels, and logged. Fault injection (drop rules)
-//! supports the dishonest-party experiments.
+//! supports the dishonest-party experiments. Delivery is synchronous —
+//! a sent frame is immediately visible to its destination endpoint —
+//! so [`Transport::settle`] is a no-op here; the simulated lossy
+//! alternative lives in [`crate::SimNet`].
 //!
 //! The steady-state send path takes no global lock. Routing state
 //! (endpoints + drop rules) lives in a read-mostly [`Arc`] snapshot —
 //! rebuilt on `register`/`disconnect`/`drop_link`/`heal`, cloned with one
-//! short leaf lock per send, then consulted lock-free. Byte accounting is
-//! **striped**: running totals are atomics, and the append-only delivery
-//! log plus the per-pair byte map are partitioned across sender-keyed
-//! stripes so concurrent senders on different stripes never contend. The
-//! accessors (`total_bytes`, `delivered_bytes`, `bytes_between`,
-//! `delivery_log`, `message_count`) merge the stripes in a deterministic
-//! order (a global sequence number stamped at accounting time), so their
-//! results are observably identical to the old single-lock ledger: on a
-//! quiescent bus every accessor is exact, and under concurrency each
-//! accessor is individually consistent with some linearization of the
-//! accounted sends.
+//! short leaf lock per send, then consulted lock-free. Byte accounting
+//! lives in the striped [`Ledger`](crate::transport) shared with every
+//! other transport backend: running totals are atomics, and the
+//! append-only delivery log plus the per-pair byte map are partitioned
+//! across sender-keyed stripes so concurrent senders on different stripes
+//! never contend. The accessors (`total_bytes`, `delivered_bytes`,
+//! `bytes_between`, `delivery_log`, `message_count`) merge the stripes in
+//! a deterministic order (a global sequence number stamped at accounting
+//! time), so their results are observably identical to the old
+//! single-lock ledger: on a quiescent bus every accessor is exact, and
+//! under concurrency each accessor is individually consistent with some
+//! linearization of the accounted sends.
 
 use std::collections::{HashMap, HashSet};
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
 
 use crate::messages::{Message, Party};
+use crate::transport::{BusError, DeliveryRecord, Endpoint, Ledger, Transport};
 use crate::wire::Wire;
-
-/// Number of ledger stripes. A power of two so the sender-hash maps to a
-/// stripe with a mask; 8 covers the worker parallelism the shard pool
-/// actually runs (one session driver per shard) without oversizing the
-/// merge that read accessors pay.
-const LEDGER_STRIPES: usize = 8;
-
-/// A delivery record for the audit log and byte accounting.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DeliveryRecord {
-    /// Sender.
-    pub from: Party,
-    /// Recipient.
-    pub to: Party,
-    /// Serialized size in bytes.
-    pub bytes: usize,
-    /// Whether the message was actually delivered (or dropped by fault
-    /// injection).
-    pub delivered: bool,
-}
-
-/// Errors from bus operations.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BusError {
-    /// The destination party has no registered endpoint.
-    UnknownParty(Party),
-    /// The destination endpoint was dropped.
-    Disconnected(Party),
-}
-
-impl std::fmt::Display for BusError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BusError::UnknownParty(p) => write!(f, "no endpoint registered for {p}"),
-            BusError::Disconnected(p) => write!(f, "endpoint for {p} disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for BusError {}
-
-/// A receiving endpoint handed to a registered party.
-#[derive(Debug)]
-pub struct Endpoint {
-    /// The party this endpoint belongs to.
-    pub party: Party,
-    receiver: Receiver<(Party, Message)>,
-}
-
-impl Endpoint {
-    /// Receives the next message if one is queued: `(sender, message)`.
-    pub fn try_recv(&self) -> Option<(Party, Message)> {
-        self.receiver.try_recv().ok()
-    }
-
-    /// Drains all queued messages.
-    pub fn drain(&self) -> Vec<(Party, Message)> {
-        let mut out = Vec::new();
-        self.drain_into(&mut out);
-        out
-    }
-
-    /// Drains all queued messages, appending them to `out`; returns how
-    /// many were appended. Receive loops that run per consultation reuse
-    /// one buffer across calls instead of allocating a fresh `Vec` per
-    /// drain — the [`crate::SessionDriver`] hot path does exactly that.
-    pub fn drain_into(&self, out: &mut Vec<(Party, Message)>) -> usize {
-        let before = out.len();
-        while let Some(m) = self.try_recv() {
-            out.push(m);
-        }
-        out.len() - before
-    }
-}
 
 /// The read-mostly routing snapshot: everything a send needs to decide
 /// where a message goes. Rebuilt (clone + mutate + `Arc` swap) on the
@@ -115,17 +45,7 @@ struct Routing {
     drop_rules: HashSet<(Party, Party)>,
 }
 
-/// One stripe of the decomposed ledger: a slice of the append-only audit
-/// log (records stamped with their global sequence number so reads can
-/// merge deterministically) plus the per-pair byte sums for the senders
-/// that hash to this stripe.
-#[derive(Debug, Default)]
-struct LedgerStripe {
-    records: Vec<(u64, DeliveryRecord)>,
-    pair_bytes: HashMap<(Party, Party), usize>,
-}
-
-/// The simulated network.
+/// The synchronous in-memory network.
 ///
 /// # Examples
 ///
@@ -150,33 +70,8 @@ pub struct Bus {
     /// snapshot (topology changes) — never across channel operations or
     /// accounting.
     routing: Mutex<Arc<Routing>>,
-    /// Sender-striped audit log + per-pair sums; see [`LedgerStripe`].
-    stripes: [Mutex<LedgerStripe>; LEDGER_STRIPES],
-    /// Global order of accounted records; stamped into each stripe entry
-    /// so `delivery_log` can merge stripes back into send order.
-    seq: AtomicU64,
-    /// Running totals mirrored out of the stripes so the O(1) accessors
-    /// stay lock-free.
-    total_bytes: AtomicUsize,
-    delivered_bytes: AtomicUsize,
-    record_count: AtomicUsize,
-}
-
-/// Deterministic sender-to-stripe hash (SplitMix64 finalizer over the
-/// party's variant tag and id). Independent of process randomness so a
-/// given traffic mix always lands in the same stripes.
-fn stripe_of(party: Party) -> usize {
-    let (tag, id) = match party {
-        Party::Inventor(i) => (0u64, i),
-        Party::Agent(i) => (1, i),
-        Party::Verifier(i) => (2, i),
-        Party::Shard(i) => (3, i),
-    };
-    let mut h = (tag << 56) ^ id ^ 0x9E37_79B9_7F4A_7C15;
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-    h ^= h >> 33;
-    (h as usize) & (LEDGER_STRIPES - 1)
+    /// The striped Lemma 1 ledger shared with every transport backend.
+    ledger: Ledger,
 }
 
 impl Bus {
@@ -228,32 +123,6 @@ impl Bus {
         });
     }
 
-    /// Accounts one attempted send into the striped ledger. The caller
-    /// already decided `delivered`; this stamps the global sequence
-    /// number, bumps the atomic totals and appends to the sender's
-    /// stripe.
-    fn account(&self, from: Party, to: Party, bytes: usize, delivered: bool) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-        if delivered {
-            self.delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
-        }
-        self.record_count.fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.stripes[stripe_of(from)]
-            .lock()
-            .expect("bus lock poisoned");
-        *stripe.pair_bytes.entry((from, to)).or_insert(0) += bytes;
-        stripe.records.push((
-            seq,
-            DeliveryRecord {
-                from,
-                to,
-                bytes,
-                delivered,
-            },
-        ));
-    }
-
     /// Sends `message` from `from` to `to`, accounting its serialized size.
     ///
     /// Lock-free on the steady-state path: routing decisions read the
@@ -279,7 +148,7 @@ impl Bus {
                 .map_err(|_| BusError::Disconnected(to))
         };
         let delivered = !dropped && result.is_ok();
-        self.account(from, to, bytes, delivered);
+        self.ledger.account(from, to, bytes, delivered);
         result
     }
 
@@ -309,7 +178,7 @@ impl Bus {
         // The stripe guard is cached across consecutive same-stripe
         // senders; ledger stripes are leaf locks taken one at a time, so
         // this cannot deadlock against concurrent senders.
-        let mut held: Option<(usize, MutexGuard<'_, LedgerStripe>)> = None;
+        let mut held = None;
         for (from, to, message) in batch.drain(..) {
             let bytes = message.encoded_len();
             let dropped = routing.drop_rules.contains(&(from, to));
@@ -337,31 +206,8 @@ impl Bus {
                     first_error = Err(e);
                 }
             }
-            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-            self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-            if delivered {
-                self.delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
-            }
-            self.record_count.fetch_add(1, Ordering::Relaxed);
-            let idx = stripe_of(from);
-            let stripe = match held {
-                Some((held_idx, ref mut guard)) if held_idx == idx => &mut **guard,
-                _ => {
-                    held = Some((idx, self.stripes[idx].lock().expect("bus lock poisoned")));
-                    let (_, ref mut guard) = held.as_mut().expect("just set");
-                    &mut **guard
-                }
-            };
-            *stripe.pair_bytes.entry((from, to)).or_insert(0) += bytes;
-            stripe.records.push((
-                seq,
-                DeliveryRecord {
-                    from,
-                    to,
-                    bytes,
-                    delivered,
-                },
-            ));
+            self.ledger
+                .account_cached(&mut held, from, to, bytes, delivered);
         }
         first_error
     }
@@ -380,7 +226,7 @@ impl Bus {
 
     /// Total bytes put on the wire (delivered or not). O(1), lock-free.
     pub fn total_bytes(&self) -> usize {
-        self.total_bytes.load(Ordering::Relaxed)
+        self.ledger.total_bytes()
     }
 
     /// Bytes of messages that actually reached their endpoint — attempts
@@ -389,40 +235,75 @@ impl Bus {
     /// Lemma 1 tables should cite for *communicated* bits; `total_bytes`
     /// additionally counts wasted attempts. O(1), lock-free.
     pub fn delivered_bytes(&self) -> usize {
-        self.delivered_bytes.load(Ordering::Relaxed)
+        self.ledger.delivered_bytes()
     }
 
     /// Bytes sent from `from` to `to`. O(1): per-pair sums live on the
     /// sender's stripe, so this locks exactly one stripe.
     pub fn bytes_between(&self, from: Party, to: Party) -> usize {
-        self.stripes[stripe_of(from)]
-            .lock()
-            .expect("bus lock poisoned")
-            .pair_bytes
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(0)
+        self.ledger.bytes_between(from, to)
     }
 
     /// A copy of the full delivery log, merged across stripes back into
     /// global send order (each record carries the sequence number stamped
     /// when it was accounted, so the merge is deterministic).
     pub fn delivery_log(&self) -> Vec<DeliveryRecord> {
-        let mut tagged: Vec<(u64, DeliveryRecord)> = Vec::with_capacity(self.message_count());
-        for stripe in &self.stripes {
-            let stripe = stripe.lock().expect("bus lock poisoned");
-            tagged.extend(stripe.records.iter().cloned());
-        }
-        // Within a stripe records are already seq-ascending (appends hold
-        // the stripe lock), so an unstable sort cannot reorder equals —
-        // and seqs are unique anyway.
-        tagged.sort_unstable_by_key(|(seq, _)| *seq);
-        tagged.into_iter().map(|(_, record)| record).collect()
+        self.ledger.delivery_log()
     }
 
     /// Number of messages sent (delivered or dropped). O(1), lock-free.
     pub fn message_count(&self) -> usize {
-        self.record_count.load(Ordering::Relaxed)
+        self.ledger.message_count()
+    }
+}
+
+/// The canonical backend: every trait method delegates to the inherent
+/// one, and [`Transport::settle`] is free because delivery is synchronous.
+impl Transport for Bus {
+    fn register(&self, party: Party) -> Endpoint {
+        Bus::register(self, party)
+    }
+
+    fn disconnect(&self, party: Party) {
+        Bus::disconnect(self, party);
+    }
+
+    fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
+        Bus::send(self, from, to, message)
+    }
+
+    fn send_batch(&self, batch: &mut Vec<(Party, Party, Message)>) -> Result<(), BusError> {
+        Bus::send_batch(self, batch)
+    }
+
+    fn drop_link(&self, from: Party, to: Party) {
+        Bus::drop_link(self, from, to);
+    }
+
+    fn heal(&self) {
+        Bus::heal(self);
+    }
+
+    fn settle(&self) {}
+
+    fn total_bytes(&self) -> usize {
+        Bus::total_bytes(self)
+    }
+
+    fn delivered_bytes(&self) -> usize {
+        Bus::delivered_bytes(self)
+    }
+
+    fn bytes_between(&self, from: Party, to: Party) -> usize {
+        Bus::bytes_between(self, from, to)
+    }
+
+    fn delivery_log(&self) -> Vec<DeliveryRecord> {
+        Bus::delivery_log(self)
+    }
+
+    fn message_count(&self) -> usize {
+        Bus::message_count(self)
     }
 }
 

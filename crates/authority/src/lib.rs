@@ -5,8 +5,13 @@
 //! consumers) and **verifiers** (trusted-by-reputation procedure
 //! providers), wired together over a byte-accounted message bus.
 //!
-//! * [`Bus`] / [`Message`] / [`Wire`] — the simulated network with exact
-//!   wire encodings (Lemma 1's bits are measured, not asserted);
+//! * [`Transport`] / [`Bus`] / [`SimNet`] / [`Message`] / [`Wire`] — the
+//!   pluggable network boundary with exact wire encodings (Lemma 1's bits
+//!   are measured, not asserted): [`Bus`] is the canonical perfect
+//!   backend, [`SimNet`] a deterministic seeded lossy network (per-link
+//!   latency windows, drop probabilities, scripted partition/heal
+//!   schedules on a virtual clock) that is byte-identical to the bus when
+//!   configured lossless;
 //! * [`Inventor`] / [`VerifierService`] — honest and faulty behaviours for
 //!   every case study of the paper;
 //! * [`ReputationBackend`] — the pluggable reputation plane: majority
@@ -58,11 +63,13 @@ mod private_session;
 mod reputation;
 mod session;
 mod shard;
+mod simnet;
+mod transport;
 mod verifier;
 mod wire;
 
 pub use audit::{AuditError, StatisticsLedger, StatisticsRecord};
-pub use bus::{Bus, BusError, DeliveryRecord, Endpoint};
+pub use bus::Bus;
 pub use cache::{spec_digest, CacheMode, CacheStats, CertCache, CertCacheConfig};
 pub use crypto::{
     hmac_sha256, sha256, sha256_wire, to_hex, Commitment, Digest, Signature, SigningKey,
@@ -76,7 +83,9 @@ pub use reputation::{
     VersionVector, VoteRule, EXCLUSION_THRESHOLD, GOSSIP_HUB, INITIAL_SCORE,
 };
 pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
-pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority};
+pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority, TransportSite};
+pub use simnet::{LinkProfile, NetEvent, SimNet, SimNetConfig};
+pub use transport::{BusError, DeliveryRecord, Endpoint, Transport};
 pub use verifier::{kernel_check, VerifierBehavior, VerifierService};
 pub use wire::{
     frame_pool_misses, get_varint, put_varint, with_frame_scratch, Wire, WireBytes, WireError,

@@ -14,8 +14,8 @@ use rand::Rng;
 use ra_games::{BimatrixGame, MixedProfile};
 use ra_proofs::{P2Advice, P2Rejection};
 
-use crate::bus::Bus;
 use crate::messages::{Advice, Message, Party};
+use crate::transport::Transport;
 use crate::wire::Wire;
 
 /// The inventor's secret state for a P2 session: the full equilibrium.
@@ -82,7 +82,7 @@ pub struct P2SessionOutcome {
 ///
 /// Panics if bus endpoints cannot be registered (never, in-process).
 pub fn run_p2_session(
-    bus: &Bus,
+    bus: &dyn Transport,
     game: &BimatrixGame,
     prover: &P2Prover,
     agent_id: u64,
@@ -108,6 +108,7 @@ pub fn run_p2_session(
         },
     )
     .expect("agent registered");
+    bus.settle();
     let Some((_, Message::AdviceWithProof { advice, .. })) = agent_ep.try_recv() else {
         panic!("advice delivery is synchronous in-process");
     };
@@ -143,7 +144,9 @@ pub fn run_p2_session(
                 Message::SupportQuery { game_id, index: j },
             )
             .expect("prover registered");
-            // Prover end: answer the queued query.
+            // Prover end: answer the queued query (settle first so a
+            // latency transport has landed the frame).
+            bus.settle();
             for (from, msg) in prover_ep.drain() {
                 if let Message::SupportQuery { index, .. } = msg {
                     let reply = Message::SupportAnswer {
@@ -156,6 +159,7 @@ pub fn run_p2_session(
                 }
             }
             // Agent end: receive the answer.
+            bus.settle();
             for (_, msg) in agent_ep.drain() {
                 if let Message::SupportAnswer {
                     index, in_support, ..
@@ -196,6 +200,7 @@ pub fn run_p2_session(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bus::Bus;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -56,8 +56,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
-use crate::bus::{Bus, Endpoint};
+use crate::bus::Bus;
 use crate::messages::{Message, Party};
+use crate::transport::{Endpoint, Transport};
 
 /// Starting reputation score for a verifier never seen before.
 pub const INITIAL_SCORE: i64 = 10;
@@ -924,10 +925,11 @@ pub struct GossipPlane {
     transport: Option<GossipTransport>,
 }
 
-/// The bus wiring of a [`GossipPlane::over_bus`] plane.
+/// The transport wiring of a [`GossipPlane::over_bus`] /
+/// [`GossipPlane::over_transport_with`] plane.
 #[derive(Debug)]
 struct GossipTransport {
-    bus: Bus,
+    bus: Arc<dyn Transport>,
     hub: Mutex<Endpoint>,
     shard_endpoints: Mutex<HashMap<u64, Endpoint>>,
 }
@@ -965,13 +967,23 @@ impl GossipPlane {
     /// Pruning only drops generations [`DecayingPnCounterMap::decayed_value`]
     /// already ignores, so no observable score changes.
     pub fn over_bus_with(decay: ReputationDecay) -> GossipPlane {
-        let bus = Bus::new();
-        let hub = bus.register(GOSSIP_HUB);
+        GossipPlane::over_transport_with(decay, Arc::new(Bus::new()))
+    }
+
+    /// Like [`GossipPlane::over_bus_with`], but over an explicit
+    /// [`Transport`] — this is how a [`crate::SimNet`] gets under the
+    /// control plane, so gossip frames can be delayed, dropped, or cut off
+    /// by a partition schedule like any other traffic.
+    pub fn over_transport_with(
+        decay: ReputationDecay,
+        transport: Arc<dyn Transport>,
+    ) -> GossipPlane {
+        let hub = transport.register(GOSSIP_HUB);
         GossipPlane {
             hub: Mutex::new(HubState::default()),
             decay,
             transport: Some(GossipTransport {
-                bus,
+                bus: transport,
                 hub: Mutex::new(hub),
                 shard_endpoints: Mutex::new(HashMap::new()),
             }),
@@ -981,8 +993,8 @@ impl GossipPlane {
     /// The inter-shard gossip bus, if this plane was built with
     /// [`GossipPlane::over_bus`] — byte accounting and fault injection for
     /// the control plane.
-    pub fn gossip_bus(&self) -> Option<&Bus> {
-        self.transport.as_ref().map(|t| &t.bus)
+    pub fn gossip_bus(&self) -> Option<&dyn Transport> {
+        self.transport.as_ref().map(|t| &*t.bus)
     }
 
     /// Joins `delta` (normally a shard's
@@ -1012,6 +1024,9 @@ impl GossipPlane {
                         },
                     )
                     .expect("gossip hub endpoint registered");
+                // Land any latency-delayed frames before the hub drains
+                // (no-op on the perfect bus).
+                transport.bus.settle();
                 let endpoint = transport.hub.lock().expect("gossip hub lock poisoned");
                 let mut hub = self.hub.lock().expect("gossip plane lock poisoned");
                 for (_, message) in endpoint.drain() {
@@ -1071,6 +1086,7 @@ impl GossipPlane {
                         Message::Gossip { delta, versions },
                     )
                     .expect("gossip shard endpoint registered");
+                transport.bus.settle();
                 let endpoints = transport
                     .shard_endpoints
                     .lock()

@@ -33,11 +33,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::bus::{Bus, Endpoint};
+use crate::bus::Bus;
 use crate::cache::{spec_digest, CacheMode, CachedConsultation, CertCache};
 use crate::inventor::{GameSpec, Inventor};
 use crate::messages::{Advice, Message, Party};
 use crate::reputation::{LocalReputation, MajorityOutcome, ReputationBackend};
+use crate::transport::{Endpoint, Transport};
 use crate::verifier::{kernel_check, VerifierService};
 use crate::wire::Wire;
 
@@ -77,7 +78,7 @@ pub struct SessionOutcome {
 /// [`ReputationBackend`] — a gossiping one, say — without the protocol
 /// changing at all.
 pub struct SessionDriver {
-    bus: Bus,
+    bus: Arc<dyn Transport>,
     reputation: Arc<dyn ReputationBackend>,
     inventor: Inventor,
     verifiers: Vec<VerifierService>,
@@ -116,7 +117,24 @@ impl SessionDriver {
         verifier_behaviors: &[crate::verifier::VerifierBehavior],
         reputation: Arc<dyn ReputationBackend>,
     ) -> SessionDriver {
-        let bus = Bus::new();
+        SessionDriver::with_transport(
+            inventor,
+            verifier_behaviors,
+            reputation,
+            Arc::new(Bus::new()),
+        )
+    }
+
+    /// Assembles a driver over an explicit [`Transport`] — the perfect
+    /// [`Bus`], a lossy [`crate::SimNet`], or anything else implementing
+    /// the trait. The protocol itself is transport-agnostic; only the
+    /// fate of its frames changes.
+    pub fn with_transport(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+        reputation: Arc<dyn ReputationBackend>,
+        bus: Arc<dyn Transport>,
+    ) -> SessionDriver {
         let mut endpoints = HashMap::new();
         endpoints.insert(inventor.id, bus.register(inventor.id));
         let verifiers: Vec<VerifierService> = verifier_behaviors
@@ -156,9 +174,9 @@ impl SessionDriver {
         &*self.reputation
     }
 
-    /// The underlying bus (byte accounting, fault injection).
-    pub fn bus(&self) -> &Bus {
-        &self.bus
+    /// The underlying transport (byte accounting, fault injection).
+    pub fn bus(&self) -> &dyn Transport {
+        &*self.bus
     }
 
     /// Registers the agent's endpoint on first contact; later calls reuse
@@ -255,7 +273,10 @@ impl SessionDriver {
             .send(agent, self.inventor.id, Message::AdviceRequest { game_id })
             .expect("inventor registered");
         // Inventor processes its queue. Drains reuse `recv_buf` so the
-        // steady state allocates no inbox Vec per hop.
+        // steady state allocates no inbox Vec per hop. Every drain is
+        // preceded by a settle so latency-delayed frames land first (a
+        // no-op on the perfect bus).
+        self.bus.settle();
         self.recv_buf.clear();
         self.endpoints[&self.inventor.id].drain_into(&mut self.recv_buf);
         let mut advice: Option<Advice> = None;
@@ -281,6 +302,7 @@ impl SessionDriver {
                 .expect("agent registered");
         }
         // Agent receives.
+        self.bus.settle();
         self.recv_buf.clear();
         self.endpoints[&agent].drain_into(&mut self.recv_buf);
         let received = self.recv_buf.drain(..).find_map(|(_, m)| match m {
@@ -329,6 +351,7 @@ impl SessionDriver {
             .expect("verifier registered");
         // Each verifier processes its queue; the replies batch the same
         // way back to the agent.
+        self.bus.settle();
         let mut verdict_details = Vec::new();
         for verifier in &self.verifiers {
             if !reputation_view.is_trusted(verifier.id) {
@@ -356,6 +379,7 @@ impl SessionDriver {
             .send_batch(&mut self.send_buf)
             .expect("agent registered");
         // Agent collects verdicts.
+        self.bus.settle();
         let mut verdicts: Vec<(Party, bool)> = Vec::new();
         self.recv_buf.clear();
         self.endpoints[&agent].drain_into(&mut self.recv_buf);
@@ -454,8 +478,27 @@ impl RationalityAuthority {
         self.driver.reputation()
     }
 
-    /// The underlying bus (byte accounting, fault injection).
-    pub fn bus(&self) -> &Bus {
+    /// Builds the infrastructure over an explicit [`Transport`] (see
+    /// [`SessionDriver::with_transport`]).
+    pub fn with_transport(
+        inventor: Inventor,
+        verifier_behaviors: &[crate::verifier::VerifierBehavior],
+        reputation: Arc<dyn ReputationBackend>,
+        transport: Arc<dyn Transport>,
+    ) -> RationalityAuthority {
+        RationalityAuthority {
+            driver: SessionDriver::with_transport(
+                inventor,
+                verifier_behaviors,
+                reputation,
+                transport,
+            ),
+            next_game_id: 1,
+        }
+    }
+
+    /// The underlying transport (byte accounting, fault injection).
+    pub fn bus(&self) -> &dyn Transport {
         self.driver.bus()
     }
 

@@ -63,6 +63,7 @@ use crate::reputation::{
     GossipPlane, GossipReputation, LocalReputation, ReputationDecay, VoteRule,
 };
 use crate::session::{RationalityAuthority, SessionOutcome};
+use crate::transport::Transport;
 use crate::verifier::VerifierBehavior;
 use crate::wire;
 
@@ -343,6 +344,18 @@ pub struct ShardedAuthority {
     pool: ShardPool,
 }
 
+/// Which internal network a [`ShardedAuthority::with_transports`] factory
+/// is being asked to produce: the engine calls the factory once per site,
+/// so distinct sites can get distinct fault configurations (say, a lossy
+/// gossip hub under perfect session buses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportSite {
+    /// The per-shard session bus of shard `s` (Fig. 1 traffic).
+    Shard(usize),
+    /// The inter-shard gossip hub's bus (control-plane traffic).
+    GossipHub,
+}
+
 impl ShardedAuthority {
     /// Builds an engine with `shards` independent shards under
     /// [`ReputationPolicy::Isolated`], each serving the given inventor
@@ -449,10 +462,43 @@ impl ShardedAuthority {
         config: ReputationConfig,
         cache: CertCacheConfig,
     ) -> ShardedAuthority {
+        ShardedAuthority::with_transports(
+            shards,
+            inventor_behavior,
+            verifier_behaviors,
+            config,
+            cache,
+            &|_| Arc::new(Bus::new()),
+        )
+    }
+
+    /// The most general constructor: like
+    /// [`ShardedAuthority::with_cert_cache`], but every internal network —
+    /// each shard's session bus and the inter-shard gossip hub — is
+    /// produced by `transport_for`, keyed by [`TransportSite`]. Passing
+    /// `&|_| Arc::new(Bus::new())` reproduces the default engine exactly;
+    /// passing [`crate::SimNet`]s puts the whole engine, control plane
+    /// included, under simulated loss, latency and partitions.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedAuthority::with_config`], plus if `cache.enabled` with
+    /// zero capacity.
+    pub fn with_transports(
+        shards: usize,
+        inventor_behavior: InventorBehavior,
+        verifier_behaviors: &[VerifierBehavior],
+        config: ReputationConfig,
+        cache: CertCacheConfig,
+        transport_for: &dyn Fn(TransportSite) -> Arc<dyn Transport>,
+    ) -> ShardedAuthority {
         assert!(shards > 0, "at least one shard");
         let cert_cache = cache.enabled.then(|| Arc::new(CertCache::new(cache)));
         let gossip = config.policy.cadence().map(|(every, check_every, burst)| {
-            let plane = Arc::new(GossipPlane::over_bus_with(config.decay));
+            let plane = Arc::new(GossipPlane::over_transport_with(
+                config.decay,
+                transport_for(TransportSite::GossipHub),
+            ));
             GossipController {
                 every,
                 check_every,
@@ -480,18 +526,16 @@ impl ShardedAuthority {
             (0..shards)
                 .map(|s| {
                     let inventor = Inventor::new(s as u64, inventor_behavior);
-                    let mut authority = match &gossip {
-                        None => RationalityAuthority::with_reputation(
-                            inventor,
-                            verifier_behaviors,
-                            Arc::new(LocalReputation::with_rule(config.vote_rule)),
-                        ),
-                        Some(g) => RationalityAuthority::with_reputation(
-                            inventor,
-                            verifier_behaviors,
-                            g.backends[s].clone(),
-                        ),
+                    let backend: Arc<dyn crate::ReputationBackend> = match &gossip {
+                        None => Arc::new(LocalReputation::with_rule(config.vote_rule)),
+                        Some(g) => g.backends[s].clone(),
                     };
+                    let mut authority = RationalityAuthority::with_transport(
+                        inventor,
+                        verifier_behaviors,
+                        backend,
+                        transport_for(TransportSite::Shard(s)),
+                    );
                     if let Some(c) = &cert_cache {
                         authority.set_cert_cache(Arc::clone(c));
                     }
@@ -527,7 +571,7 @@ impl ShardedAuthority {
     /// The inter-shard gossip bus (byte accounting and fault injection
     /// for the control plane), or `None` under
     /// [`ReputationPolicy::Isolated`].
-    pub fn gossip_bus(&self) -> Option<&Bus> {
+    pub fn gossip_bus(&self) -> Option<&dyn Transport> {
         self.gossip.as_ref().and_then(|g| g.plane.gossip_bus())
     }
 
@@ -562,11 +606,8 @@ impl ShardedAuthority {
     /// The shard serving `agent_id`: a deterministic (SplitMix64) hash of
     /// the agent id, so routing is stable across processes and runs.
     pub fn shard_of(&self, agent_id: u64) -> usize {
-        let mut z = agent_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z % self.shards.len() as u64) as usize
+        let mut state = agent_id;
+        (rand::splitmix64(&mut state) % self.shards.len() as u64) as usize
     }
 
     /// Runs one consultation, routed to the agent's shard. Under gossip,
@@ -887,6 +928,22 @@ mod tests {
     }
 
     #[test]
+    fn routing_stream_is_pinned() {
+        // The exact routes produced by the inlined SplitMix64 hash before
+        // it was deduplicated into `rand::splitmix64`. Any drift here
+        // re-homes agents (and their per-shard game-id streams) across a
+        // version bump, so these constants must never change.
+        let four =
+            ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let eight =
+            ShardedAuthority::new(8, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
+        let route4: Vec<usize> = (0..16u64).map(|a| four.shard_of(a)).collect();
+        let route8: Vec<usize> = (0..16u64).map(|a| eight.shard_of(a)).collect();
+        assert_eq!(route4, [3, 1, 2, 1, 2, 2, 0, 3, 2, 0, 2, 1, 3, 3, 2, 1]);
+        assert_eq!(route8, [7, 1, 6, 5, 2, 2, 0, 7, 6, 4, 2, 5, 3, 7, 6, 5]);
+    }
+
+    #[test]
     fn repeat_consultations_stay_on_one_shard() {
         let engine =
             ShardedAuthority::new(4, InventorBehavior::Honest, &[VerifierBehavior::Honest; 3]);
@@ -1031,7 +1088,7 @@ mod tests {
         // boundary; every shard is now up to date.
         engine.sync_reputation();
         let bus = engine.gossip_bus().expect("gossip engine has a bus");
-        let pull_bytes = |bus: &crate::bus::Bus| {
+        let pull_bytes = |bus: &dyn Transport| {
             (0..4)
                 .map(|s| bus.bytes_between(crate::reputation::GOSSIP_HUB, Party::Shard(s)))
                 .sum::<usize>()
@@ -1064,9 +1121,8 @@ mod tests {
         engine.consult_batch(&batch(64));
         engine.sync_reputation();
         let bus = engine.gossip_bus().expect("gossip engine has a bus");
-        let shard0_pulls = |bus: &crate::bus::Bus| {
-            bus.bytes_between(crate::reputation::GOSSIP_HUB, Party::Shard(0))
-        };
+        let shard0_pulls =
+            |bus: &dyn Transport| bus.bytes_between(crate::reputation::GOSSIP_HUB, Party::Shard(0));
         // One consultation on a foreign shard, then shard 0 re-syncs.
         let away = (0..1000u64)
             .find(|&a| engine.shard_of(a) != 0)

@@ -1,0 +1,831 @@
+//! The simulated lossy network — a deterministic [`Transport`] backend.
+//!
+//! [`SimNet`] puts a fault-injectable, latency-shaped network under the
+//! unchanged Fig. 1 protocol: per-link latency windows and drop
+//! probabilities ([`LinkProfile`]), scripted partition/heal schedules
+//! ([`NetEvent`]), and a **virtual clock** in abstract ticks. Sends do
+//! not advance the clock; a frame with sampled latency `d` is queued to
+//! land at `now + d`, and [`Transport::settle`] (or
+//! [`SimNet::advance_to`]) flushes due frames in `(deliver_at, send
+//! order)` order, advancing `now`. Two frames on links with overlapping
+//! latency windows can therefore arrive in either order — the reordering
+//! window is the jitter interval itself.
+//!
+//! Everything is **seeded and deterministic**: loss and latency are
+//! sampled from one SplitMix64 stream (the shared [`rand::splitmix64`]
+//! step) in send order under the state lock, so the same seed and the
+//! same traffic always produce the same deliveries, the same ledger and
+//! the same virtual timestamps.
+//!
+//! **Byte identity with [`Bus`](crate::Bus):** under the default
+//! [`LinkProfile`] (zero latency, zero loss) a send samples *nothing* —
+//! the RNG is untouched — and delivers synchronously through exactly the
+//! accounting path the bus uses (the shared striped
+//! [`Ledger`](crate::transport) — same records, same totals, same
+//! per-pair sums, and even the same `Disconnected` detection). The
+//! equivalence proptest in `tests/proptests.rs` replays arbitrary
+//! adversarial traffic over both backends and asserts field equality.
+//!
+//! Accounting happens at **send time**: a frame lost to sampling or a
+//! partition is accounted undelivered immediately (the sender paid for
+//! the bytes; Lemma 1's `delivered_bytes` excludes them), and a
+//! latency-delayed frame is accounted delivered when it is queued — its
+//! destination channel is captured at send time, so a party that
+//! re-registers or disconnects mid-flight still receives nothing on its
+//! *new* endpoint while the ledger keeps the optimistic delivered mark
+//! (the simulation's one divergence from an infinitely observant wire,
+//! and only reachable with non-zero latency).
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
+
+use crate::messages::{Message, Party};
+use crate::transport::{BusError, DeliveryRecord, Endpoint, Ledger, StripeGuard, Transport};
+use crate::wire::Wire;
+
+/// The latency/loss shape of one directed link (or of every link, as
+/// [`SimNetConfig::default_link`]).
+///
+/// Latency is a uniform window `[latency_min, latency_max]` in virtual
+/// ticks; `latency_max > latency_min` creates jitter, which is also the
+/// reordering window. `drop_prob` is sampled per frame. The default is
+/// the perfect link: zero ticks, zero loss — and, deliberately, zero RNG
+/// draws, so a fully-default `SimNet` is byte-identical to a `Bus`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Minimum one-way latency in virtual ticks.
+    pub latency_min: u64,
+    /// Maximum one-way latency in virtual ticks (inclusive).
+    pub latency_max: u64,
+    /// Per-frame loss probability in `[0, 1]`.
+    pub drop_prob: f64,
+}
+
+impl Default for LinkProfile {
+    fn default() -> LinkProfile {
+        LinkProfile {
+            latency_min: 0,
+            latency_max: 0,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl LinkProfile {
+    /// The perfect link: zero latency, zero loss (the default).
+    pub fn lossless() -> LinkProfile {
+        LinkProfile::default()
+    }
+
+    /// A link with a uniform latency window and no loss.
+    pub fn with_latency(min: u64, max: u64) -> LinkProfile {
+        LinkProfile {
+            latency_min: min,
+            latency_max: max,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// A zero-latency link that loses each frame with probability `p`.
+    pub fn lossy(p: f64) -> LinkProfile {
+        LinkProfile {
+            latency_min: 0,
+            latency_max: 0,
+            drop_prob: p,
+        }
+    }
+
+    /// Validates the profile's invariants.
+    fn check(&self) {
+        assert!(
+            self.latency_min <= self.latency_max,
+            "latency window inverted: [{}, {}]",
+            self.latency_min,
+            self.latency_max
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.drop_prob),
+            "drop probability {} outside [0, 1]",
+            self.drop_prob
+        );
+    }
+}
+
+/// One entry of a scripted fault schedule, applied when the virtual clock
+/// first reaches `at` (during a [`Transport::settle`] or
+/// [`SimNet::advance_to`] — sends themselves never advance the clock).
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// Partition the network: every frame between a party on `left` and a
+    /// party on `right` (either direction) is dropped until healed.
+    Split {
+        /// Virtual tick at which the partition starts.
+        at: u64,
+        /// One side of the cut.
+        left: Vec<Party>,
+        /// The other side.
+        right: Vec<Party>,
+    },
+    /// Heal every active partition and drop rule.
+    Heal {
+        /// Virtual tick at which the network heals.
+        at: u64,
+    },
+}
+
+impl NetEvent {
+    /// The virtual tick this event fires at.
+    fn at(&self) -> u64 {
+        match self {
+            NetEvent::Split { at, .. } | NetEvent::Heal { at } => *at,
+        }
+    }
+}
+
+/// Construction parameters for a [`SimNet`].
+#[derive(Clone, Debug, Default)]
+pub struct SimNetConfig {
+    /// Seed of the deterministic loss/latency stream.
+    pub seed: u64,
+    /// Profile of every link without an explicit override.
+    pub default_link: LinkProfile,
+    /// Per-link overrides, directed: `(from, to, profile)`.
+    pub links: Vec<(Party, Party, LinkProfile)>,
+    /// Scripted partition/heal events, applied as the clock crosses their
+    /// timestamps (any order; sorted at construction).
+    pub schedule: Vec<NetEvent>,
+}
+
+/// A frame in flight: delivery channel captured at send time, ordered by
+/// `(deliver_at, seq)` so the pending queue pops in virtual-time order
+/// with send order breaking ties.
+#[derive(Debug)]
+struct PendingFrame {
+    deliver_at: u64,
+    seq: u64,
+    from: Party,
+    tx: Sender<(Party, Message)>,
+    message: Message,
+}
+
+impl PartialEq for PendingFrame {
+    fn eq(&self, other: &PendingFrame) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl Eq for PendingFrame {}
+
+impl PartialOrd for PendingFrame {
+    fn partial_cmp(&self, other: &PendingFrame) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingFrame {
+    /// Reversed comparison: `BinaryHeap` is a max-heap, so the earliest
+    /// `(deliver_at, seq)` must compare greatest.
+    fn cmp(&self, other: &PendingFrame) -> std::cmp::Ordering {
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// Everything mutable behind the one state lock: routing, fault state,
+/// the in-flight queue, the clock and the RNG. One lock keeps the sampled
+/// stream strictly in send order, which is what makes runs replayable.
+#[derive(Debug)]
+struct SimState {
+    endpoints: HashMap<Party, Sender<(Party, Message)>>,
+    drop_rules: HashSet<(Party, Party)>,
+    partitions: Vec<(HashSet<Party>, HashSet<Party>)>,
+    links: HashMap<(Party, Party), LinkProfile>,
+    pending: BinaryHeap<PendingFrame>,
+    now: u64,
+    rng: u64,
+    frame_seq: u64,
+    /// Sorted by [`NetEvent::at`]; `next_event` indexes the first not yet
+    /// applied.
+    schedule: Vec<NetEvent>,
+    next_event: usize,
+}
+
+impl SimState {
+    /// Whether an active partition separates `from` and `to`.
+    fn partitioned(&self, from: Party, to: Party) -> bool {
+        self.partitions.iter().any(|(left, right)| {
+            (left.contains(&from) && right.contains(&to))
+                || (right.contains(&from) && left.contains(&to))
+        })
+    }
+
+    /// The effective profile of the `from → to` link.
+    fn link(&self, from: Party, to: Party, default: LinkProfile) -> LinkProfile {
+        self.links.get(&(from, to)).copied().unwrap_or(default)
+    }
+
+    /// A uniform draw from `[0, 1)`, same mapping as the rand shim's
+    /// `random_bool`.
+    fn random_unit(&mut self) -> f64 {
+        (rand::splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[0, n)` for `n > 0`.
+    fn random_below(&mut self, n: u64) -> u64 {
+        rand::splitmix64(&mut self.rng) % n
+    }
+
+    /// Delivers every pending frame due at or before `target`, advances
+    /// the clock to `target`, and applies schedule events the clock
+    /// crossed. Delivery failures (receiver dropped mid-flight) are
+    /// swallowed: the frame was accounted at send time.
+    fn run_until(&mut self, target: u64) {
+        while self
+            .pending
+            .peek()
+            .is_some_and(|frame| frame.deliver_at <= target)
+        {
+            let frame = self.pending.pop().expect("peeked");
+            let _ = frame.tx.send((frame.from, frame.message));
+        }
+        self.now = self.now.max(target);
+        while self.next_event < self.schedule.len()
+            && self.schedule[self.next_event].at() <= self.now
+        {
+            match self.schedule[self.next_event].clone() {
+                NetEvent::Split { left, right, .. } => {
+                    self.partitions
+                        .push((left.into_iter().collect(), right.into_iter().collect()));
+                }
+                NetEvent::Heal { .. } => {
+                    self.partitions.clear();
+                    self.drop_rules.clear();
+                }
+            }
+            self.next_event += 1;
+        }
+    }
+}
+
+/// The deterministic simulated network.
+///
+/// # Examples
+///
+/// A lossless `SimNet` behaves exactly like a [`Bus`](crate::Bus):
+///
+/// ```
+/// use ra_authority::{Message, Party, SimNet, Transport};
+///
+/// let net = SimNet::lossless(42);
+/// let a = Party::Agent(1);
+/// let b = Party::Agent(2);
+/// net.register(a);
+/// let ep = net.register(b);
+/// net.send(a, b, Message::AdviceRequest { game_id: 1 }).unwrap();
+/// // Zero latency: already delivered, settle is a formality.
+/// assert!(ep.try_recv().is_some());
+/// assert_eq!(net.total_bytes(), net.delivered_bytes());
+/// ```
+///
+/// With latency, frames are in flight until the clock advances:
+///
+/// ```
+/// use ra_authority::{LinkProfile, Message, Party, SimNet, SimNetConfig, Transport};
+///
+/// let net = SimNet::new(SimNetConfig {
+///     seed: 7,
+///     default_link: LinkProfile::with_latency(100, 250),
+///     ..SimNetConfig::default()
+/// });
+/// let a = Party::Agent(1);
+/// let b = Party::Agent(2);
+/// net.register(a);
+/// let ep = net.register(b);
+/// net.send(a, b, Message::AdviceRequest { game_id: 1 }).unwrap();
+/// assert!(ep.try_recv().is_none(), "still in flight");
+/// net.settle();
+/// assert!(ep.try_recv().is_some());
+/// assert!((100..=250).contains(&net.now()), "clock advanced by one RTT leg");
+/// ```
+#[derive(Debug)]
+pub struct SimNet {
+    default_link: LinkProfile,
+    state: Mutex<SimState>,
+    ledger: Ledger,
+}
+
+impl SimNet {
+    /// Builds a network from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`LinkProfile`] has an inverted latency window or a
+    /// loss probability outside `[0, 1]`.
+    pub fn new(config: SimNetConfig) -> SimNet {
+        config.default_link.check();
+        let mut links = HashMap::new();
+        for (from, to, profile) in config.links {
+            profile.check();
+            links.insert((from, to), profile);
+        }
+        let mut schedule = config.schedule;
+        schedule.sort_by_key(NetEvent::at);
+        SimNet {
+            default_link: config.default_link,
+            state: Mutex::new(SimState {
+                endpoints: HashMap::new(),
+                drop_rules: HashSet::new(),
+                partitions: Vec::new(),
+                links,
+                pending: BinaryHeap::new(),
+                now: 0,
+                rng: config.seed,
+                frame_seq: 0,
+                schedule,
+                next_event: 0,
+            }),
+            ledger: Ledger::default(),
+        }
+    }
+
+    /// A perfect network: zero latency, zero loss, no schedule — sends
+    /// never touch the RNG, so this is byte-identical to a
+    /// [`Bus`](crate::Bus) (the seed only matters if lossy links are
+    /// added later).
+    pub fn lossless(seed: u64) -> SimNet {
+        SimNet::new(SimNetConfig {
+            seed,
+            ..SimNetConfig::default()
+        })
+    }
+
+    /// The current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.state.lock().expect("simnet lock poisoned").now
+    }
+
+    /// Number of frames sent but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .pending
+            .len()
+    }
+
+    /// Advances the virtual clock to `tick` (if ahead of it), delivering
+    /// every frame due on the way and applying schedule events the clock
+    /// crosses.
+    pub fn advance_to(&self, tick: u64) {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .run_until(tick);
+    }
+
+    /// Manually partitions the network: frames between `left` and `right`
+    /// (either direction) drop until [`SimNet::heal_partitions`] or a
+    /// trait-level [`Transport::heal`].
+    pub fn split(&self, left: &[Party], right: &[Party]) {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .partitions
+            .push((
+                left.iter().copied().collect(),
+                right.iter().copied().collect(),
+            ));
+    }
+
+    /// Removes every active partition (drop rules stay).
+    pub fn heal_partitions(&self) {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .partitions
+            .clear();
+    }
+
+    /// Overrides the profile of the directed `from → to` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid (see [`SimNet::new`]).
+    pub fn set_link(&self, from: Party, to: Party, profile: LinkProfile) {
+        profile.check();
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .links
+            .insert((from, to), profile);
+    }
+
+    /// Registers a party; returns its receiving endpoint. Re-registering
+    /// replaces the old endpoint (frames already in flight keep the
+    /// channel they captured at send time).
+    pub fn register(&self, party: Party) -> Endpoint {
+        let (tx, rx) = channel();
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .endpoints
+            .insert(party, tx);
+        Endpoint {
+            party,
+            receiver: rx,
+        }
+    }
+
+    /// Removes `party`'s registration (see [`Transport::disconnect`]).
+    pub fn disconnect(&self, party: Party) {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .endpoints
+            .remove(&party);
+    }
+
+    /// Sends one message (see [`Transport::send`]): loss, partition and
+    /// latency are decided here, at send time, from the seeded stream.
+    pub fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
+        let mut state = self.state.lock().expect("simnet lock poisoned");
+        let mut held = None;
+        let result = self.transmit(&mut state, &mut held, from, to, message);
+        drop(held);
+        result
+    }
+
+    /// Sends a batch (see [`Transport::send_batch`]): one state lock, one
+    /// cached ledger stripe across same-stripe senders — byte-identical
+    /// to N sequential sends, exactly like the bus.
+    pub fn send_batch(&self, batch: &mut Vec<(Party, Party, Message)>) -> Result<(), BusError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().expect("simnet lock poisoned");
+        let mut held = None;
+        let mut first_error = Ok(());
+        for (from, to, message) in batch.drain(..) {
+            let result = self.transmit(&mut state, &mut held, from, to, message);
+            if first_error.is_ok() {
+                first_error = result;
+            }
+        }
+        drop(held);
+        first_error
+    }
+
+    /// The one send path: decides fate (unknown / blocked / lost /
+    /// immediate / in-flight), accounts it, and samples the RNG only when
+    /// the link actually has loss or jitter — a perfect link leaves the
+    /// stream untouched.
+    fn transmit<'a>(
+        &'a self,
+        state: &mut SimState,
+        held: &mut StripeGuard<'a>,
+        from: Party,
+        to: Party,
+        message: Message,
+    ) -> Result<(), BusError> {
+        let bytes = message.encoded_len();
+        // Unknown destination short-circuits before any accounting,
+        // mirroring `Bus::send`.
+        if state.drop_rules.contains(&(from, to)) || state.partitioned(from, to) {
+            self.ledger.account_cached(held, from, to, bytes, false);
+            return Ok(());
+        }
+        let Some(tx) = state.endpoints.get(&to).cloned() else {
+            return Err(BusError::UnknownParty(to));
+        };
+        let profile = state.link(from, to, self.default_link);
+        if profile.drop_prob > 0.0 && state.random_unit() < profile.drop_prob {
+            self.ledger.account_cached(held, from, to, bytes, false);
+            return Ok(());
+        }
+        let delay = if profile.latency_max > profile.latency_min {
+            profile.latency_min + state.random_below(profile.latency_max - profile.latency_min + 1)
+        } else {
+            profile.latency_min
+        };
+        if delay == 0 {
+            // Immediate delivery: the exact Bus path, including the
+            // Disconnected probe through the live channel.
+            let result = tx
+                .send((from, message))
+                .map_err(|_| BusError::Disconnected(to));
+            self.ledger
+                .account_cached(held, from, to, bytes, result.is_ok());
+            return result;
+        }
+        state.frame_seq += 1;
+        let frame = PendingFrame {
+            deliver_at: state.now + delay,
+            seq: state.frame_seq,
+            from,
+            tx,
+            message,
+        };
+        state.pending.push(frame);
+        // Accounted delivered at send time (see the module docs): loss was
+        // already decided above, so the frame will land at settle.
+        self.ledger.account_cached(held, from, to, bytes, true);
+        Ok(())
+    }
+
+    /// Delivers everything in flight (see [`Transport::settle`]): the
+    /// clock jumps to the latest pending delivery time, so per-phase
+    /// virtual elapsed time is the *max* of the fan-out's latencies.
+    pub fn settle(&self) {
+        let mut state = self.state.lock().expect("simnet lock poisoned");
+        let target = state
+            .pending
+            .iter()
+            .map(|frame| frame.deliver_at)
+            .max()
+            .unwrap_or(state.now)
+            .max(state.now);
+        state.run_until(target);
+    }
+}
+
+impl Transport for SimNet {
+    fn register(&self, party: Party) -> Endpoint {
+        SimNet::register(self, party)
+    }
+
+    fn disconnect(&self, party: Party) {
+        SimNet::disconnect(self, party);
+    }
+
+    fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
+        SimNet::send(self, from, to, message)
+    }
+
+    fn send_batch(&self, batch: &mut Vec<(Party, Party, Message)>) -> Result<(), BusError> {
+        SimNet::send_batch(self, batch)
+    }
+
+    fn drop_link(&self, from: Party, to: Party) {
+        self.state
+            .lock()
+            .expect("simnet lock poisoned")
+            .drop_rules
+            .insert((from, to));
+    }
+
+    fn heal(&self) {
+        let mut state = self.state.lock().expect("simnet lock poisoned");
+        state.drop_rules.clear();
+        state.partitions.clear();
+    }
+
+    fn settle(&self) {
+        SimNet::settle(self);
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.ledger.total_bytes()
+    }
+
+    fn delivered_bytes(&self) -> usize {
+        self.ledger.delivered_bytes()
+    }
+
+    fn bytes_between(&self, from: Party, to: Party) -> usize {
+        self.ledger.bytes_between(from, to)
+    }
+
+    fn delivery_log(&self) -> Vec<DeliveryRecord> {
+        self.ledger.delivery_log()
+    }
+
+    fn message_count(&self) -> usize {
+        self.ledger.message_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(game_id: u64) -> Message {
+        Message::AdviceRequest { game_id }
+    }
+
+    #[test]
+    fn lossless_simnet_is_rng_free_and_synchronous() {
+        let net = SimNet::lossless(123);
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        for g in 0..10 {
+            net.send(a, b, msg(g)).unwrap();
+        }
+        // Delivered without any settle, like the bus.
+        assert_eq!(ep.drain().len(), 10);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.now(), 0, "zero-latency sends never move the clock");
+        // The RNG stream was never touched.
+        assert_eq!(
+            net.state.lock().unwrap().rng,
+            123,
+            "perfect links sample nothing"
+        );
+        assert_eq!(net.total_bytes(), net.delivered_bytes());
+    }
+
+    #[test]
+    fn latency_holds_frames_until_settle() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 1,
+            default_link: LinkProfile::with_latency(10, 10),
+            ..SimNetConfig::default()
+        });
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        net.send(a, b, msg(1)).unwrap();
+        net.send(a, b, msg(2)).unwrap();
+        assert_eq!(net.in_flight(), 2);
+        assert!(ep.try_recv().is_none());
+        // Fixed latency: no sampling, the clock lands exactly on 10.
+        net.settle();
+        assert_eq!(net.now(), 10);
+        let got = ep.drain();
+        assert_eq!(
+            got.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>(),
+            vec![msg(1), msg(2)],
+            "equal delivery times preserve send order"
+        );
+        // Accounted as delivered at send time.
+        assert_eq!(net.delivered_bytes(), net.total_bytes());
+    }
+
+    #[test]
+    fn jitter_can_reorder_across_links() {
+        // a→c slow, b→c fast: b's later frame overtakes a's.
+        let c = Party::Verifier(0);
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        let net = SimNet::new(SimNetConfig {
+            seed: 5,
+            links: vec![
+                (a, c, LinkProfile::with_latency(100, 100)),
+                (b, c, LinkProfile::with_latency(1, 1)),
+            ],
+            ..SimNetConfig::default()
+        });
+        net.register(a);
+        net.register(b);
+        let ep = net.register(c);
+        net.send(a, c, msg(1)).unwrap();
+        net.send(b, c, msg(2)).unwrap();
+        net.settle();
+        let got: Vec<Party> = ep.drain().into_iter().map(|(from, _)| from).collect();
+        assert_eq!(got, vec![b, a], "the fast link's frame arrives first");
+        assert_eq!(net.now(), 100);
+    }
+
+    #[test]
+    fn loss_is_sampled_and_accounted_undelivered() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 99,
+            default_link: LinkProfile::lossy(0.5),
+            ..SimNetConfig::default()
+        });
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        let sends = 400u64;
+        for g in 0..sends {
+            net.send(a, b, msg(g)).unwrap();
+        }
+        net.settle();
+        let arrived = ep.drain().len();
+        assert!(
+            (120..=280).contains(&arrived),
+            "~half of {sends} frames should land, got {arrived}"
+        );
+        assert!(net.delivered_bytes() < net.total_bytes());
+        let log = net.delivery_log();
+        assert_eq!(log.len(), sends as usize);
+        assert_eq!(log.iter().filter(|r| r.delivered).count(), arrived);
+    }
+
+    #[test]
+    fn same_seed_same_fate() {
+        let run = |seed: u64| {
+            let net = SimNet::new(SimNetConfig {
+                seed,
+                default_link: LinkProfile {
+                    latency_min: 1,
+                    latency_max: 50,
+                    drop_prob: 0.3,
+                },
+                ..SimNetConfig::default()
+            });
+            let a = Party::Agent(1);
+            let b = Party::Agent(2);
+            net.register(a);
+            let ep = net.register(b);
+            for g in 0..64 {
+                net.send(a, b, msg(g)).unwrap();
+            }
+            net.settle();
+            (net.delivery_log(), ep.drain(), net.now())
+        };
+        assert_eq!(run(7), run(7), "identical seeds replay identically");
+        let (log_a, ..) = run(7);
+        let (log_b, ..) = run(8);
+        assert_ne!(log_a, log_b, "different seeds shuffle the fates");
+    }
+
+    #[test]
+    fn scheduled_partition_blocks_and_heals() {
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        let net = SimNet::new(SimNetConfig {
+            seed: 0,
+            schedule: vec![
+                NetEvent::Split {
+                    at: 100,
+                    left: vec![a],
+                    right: vec![b],
+                },
+                NetEvent::Heal { at: 200 },
+            ],
+            ..SimNetConfig::default()
+        });
+        net.register(a);
+        let ep = net.register(b);
+        net.send(a, b, msg(1)).unwrap();
+        assert_eq!(ep.drain().len(), 1, "before the split: delivered");
+        net.advance_to(100);
+        net.send(a, b, msg(2)).unwrap();
+        net.send(b, a, msg(3)).unwrap();
+        assert!(ep.try_recv().is_none(), "partitioned: both directions cut");
+        net.advance_to(200);
+        net.send(a, b, msg(4)).unwrap();
+        assert_eq!(ep.drain().len(), 1, "healed: delivery resumes");
+        // The partitioned attempts are accounted, undelivered.
+        let log = net.delivery_log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.iter().filter(|r| !r.delivered).count(), 2);
+    }
+
+    #[test]
+    fn manual_split_and_trait_heal() {
+        let net = SimNet::lossless(0);
+        let a = Party::Agent(1);
+        let hub = Party::Shard(0);
+        net.register(a);
+        let ep = net.register(hub);
+        net.split(&[a], &[hub]);
+        net.send(a, hub, msg(1)).unwrap();
+        assert!(ep.try_recv().is_none());
+        Transport::heal(&net);
+        net.send(a, hub, msg(2)).unwrap();
+        assert_eq!(ep.drain().len(), 1);
+    }
+
+    #[test]
+    fn unknown_party_unaccounted_and_disconnect_detected() {
+        let net = SimNet::lossless(0);
+        let a = Party::Agent(1);
+        net.register(a);
+        assert_eq!(
+            net.send(a, Party::Verifier(9), msg(1)),
+            Err(BusError::UnknownParty(Party::Verifier(9)))
+        );
+        assert_eq!(net.message_count(), 0, "unknown-party send unaccounted");
+        let b = Party::Agent(2);
+        let ep = net.register(b);
+        drop(ep);
+        assert_eq!(net.send(a, b, msg(2)), Err(BusError::Disconnected(b)));
+        assert_eq!(net.message_count(), 1, "failed send accounted undelivered");
+        assert_eq!(net.delivered_bytes(), 0);
+    }
+
+    #[test]
+    fn settle_is_idempotent_and_advance_is_monotonic() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 3,
+            default_link: LinkProfile::with_latency(5, 5),
+            ..SimNetConfig::default()
+        });
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        net.send(a, b, msg(1)).unwrap();
+        net.settle();
+        net.settle();
+        assert_eq!(net.now(), 5);
+        net.advance_to(3);
+        assert_eq!(net.now(), 5, "the clock never runs backwards");
+        assert_eq!(ep.drain().len(), 1);
+    }
+}

@@ -10,7 +10,7 @@ use ra_authority::{
     frame_pool_misses, sha256, sha256_wire, spec_digest, with_frame_scratch, Advice, Bus,
     CertCache, CertCacheConfig, DecayingPnCounterMap, GameSpec, GossipPlane, Inventor,
     InventorBehavior, Message, Party, RationalityAuthority, ReputationDecay, ReputationStore,
-    SigningKey, StatisticsLedger, VerifierBehavior, VersionVector, Wire,
+    SigningKey, SimNet, StatisticsLedger, Transport, VerifierBehavior, VersionVector, Wire,
 };
 use ra_exact::{rat, Matrix, Rational};
 use ra_games::{BimatrixGame, StrategicGame};
@@ -840,5 +840,110 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bus vs lossless SimNet equivalence (the PR 9 transport boundary).
+// ---------------------------------------------------------------------------
+
+/// Replays an operation sequence over any [`Transport`] and returns every
+/// observable: per-op results, the full delivery log, the counters, the
+/// per-pair matrix, and what each still-live endpoint actually received.
+#[allow(clippy::type_complexity)]
+fn replay_ops(
+    transport: &dyn Transport,
+    ops: &[BusOp],
+) -> (
+    Vec<Result<(), ra_authority::BusError>>,
+    Vec<ra_authority::DeliveryRecord>,
+    usize,
+    usize,
+    Vec<usize>,
+    Vec<(u64, Vec<(Party, Message)>)>,
+) {
+    let mut results = Vec::new();
+    let mut live_endpoints: std::collections::HashMap<u64, ra_authority::Endpoint> =
+        std::collections::HashMap::new();
+    for op in ops {
+        match op {
+            BusOp::Register(idx) => {
+                live_endpoints.insert(*idx, transport.register(universe_party(*idx)));
+            }
+            BusOp::Disconnect(idx) => {
+                transport.disconnect(universe_party(*idx));
+                live_endpoints.remove(idx);
+            }
+            BusOp::DropEndpoint(idx) => {
+                live_endpoints.remove(idx);
+            }
+            BusOp::DropLink(f, t) => {
+                transport.drop_link(universe_party(*f), universe_party(*t));
+            }
+            BusOp::Heal => transport.heal(),
+            BusOp::Send(f, t, game_id) => {
+                results.push(transport.send(
+                    universe_party(*f),
+                    universe_party(*t),
+                    Message::AdviceRequest { game_id: *game_id },
+                ));
+            }
+            BusOp::SendBatch(frames) => {
+                let mut batch: Vec<(Party, Party, Message)> = frames
+                    .iter()
+                    .map(|&(f, t, g)| {
+                        (
+                            universe_party(f),
+                            universe_party(t),
+                            Message::AdviceRequest { game_id: g },
+                        )
+                    })
+                    .collect();
+                results.push(transport.send_batch(&mut batch));
+            }
+        }
+    }
+    transport.settle();
+    let pair_matrix: Vec<usize> = (0..6u64)
+        .flat_map(|f| (0..6u64).map(move |t| (f, t)))
+        .map(|(f, t)| transport.bytes_between(universe_party(f), universe_party(t)))
+        .collect();
+    let mut inboxes: Vec<(u64, Vec<(Party, Message)>)> = live_endpoints
+        .iter()
+        .map(|(&idx, ep)| (idx, ep.drain()))
+        .collect();
+    inboxes.sort_by_key(|(idx, _)| *idx);
+    (
+        results,
+        transport.delivery_log(),
+        transport.total_bytes(),
+        transport.delivered_bytes(),
+        pair_matrix,
+        inboxes,
+    )
+}
+
+proptest! {
+    /// The PR 9 equivalence: over arbitrary traffic mixes — registration
+    /// churn, dead endpoints, drop rules, mixed send/send_batch — a
+    /// lossless zero-latency [`SimNet`] is byte-identical to the [`Bus`]
+    /// at the [`Transport`] boundary: same per-op results, same delivery
+    /// log (field-equal records in the same order), same totals, same
+    /// per-pair bytes, and the same frames in every inbox.
+    #[test]
+    fn lossless_simnet_is_byte_identical_to_bus(
+        ops in prop::collection::vec(arb_bus_op(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let bus = Bus::new();
+        let sim = SimNet::lossless(seed);
+        let over_bus = replay_ops(&bus, &ops);
+        let over_sim = replay_ops(&sim, &ops);
+        prop_assert_eq!(&over_bus.0, &over_sim.0, "per-op results diverged");
+        prop_assert_eq!(&over_bus.1, &over_sim.1, "delivery logs diverged");
+        prop_assert_eq!(over_bus.2, over_sim.2, "total_bytes diverged");
+        prop_assert_eq!(over_bus.3, over_sim.3, "delivered_bytes diverged");
+        prop_assert_eq!(&over_bus.4, &over_sim.4, "per-pair bytes diverged");
+        prop_assert_eq!(&over_bus.5, &over_sim.5, "delivered inboxes diverged");
     }
 }

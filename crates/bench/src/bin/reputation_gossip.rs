@@ -240,7 +240,7 @@ fn main() {
     // with nothing, so the delta must be exactly zero.
     gossip_engine.sync_reputation();
     let bus = gossip_engine.gossip_bus().expect("gossip engine has a bus");
-    let pull_bytes = |bus: &ra_authority::Bus| {
+    let pull_bytes = |bus: &dyn ra_authority::Transport| {
         (0..8)
             .map(|s| bus.bytes_between(ra_authority::GOSSIP_HUB, Party::Shard(s)))
             .sum::<usize>()

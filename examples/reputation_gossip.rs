@@ -116,7 +116,7 @@ fn main() {
     // the engine has converged, a re-sync costs the (tiny, unchanged)
     // push frames and *zero* pull bytes — no snapshot re-framing.
     let bus = engine.gossip_bus().expect("gossip engine has a bus");
-    let pull_bytes = |bus: &rationality_authority::authority::Bus| {
+    let pull_bytes = |bus: &dyn rationality_authority::authority::Transport| {
         (0..engine.shard_count() as u64)
             .map(|s| {
                 bus.bytes_between(

@@ -1,0 +1,682 @@
+//! The fault-injection scenario campaign: the unchanged Fig. 1 protocol
+//! and Lemma 1 accounting exercised over [`SimNet`] — loss, latency,
+//! reordering, scripted partitions and shard failure — next to the
+//! byte-identity guarantee that a lossless `SimNet` engine is
+//! indistinguishable from the canonical [`Bus`] engine.
+//!
+//! Every scenario is seeded and deterministic. The seed comes from
+//! `RA_SCENARIO_SEED` (decimal) when set, so CI can pin it and a failing
+//! run can be replayed locally; every assertion message carries the seed.
+
+use std::sync::Arc;
+
+use rationality_authority::authority::{
+    Bus, CertCacheConfig, DecayingPnCounterMap, GameSpec, GossipPlane, InventorBehavior, Party,
+    ReputationConfig, ReputationDecay, ReputationPolicy, ShardStats, ShardedAuthority, SimNet,
+    Transport, TransportSite, VerifierBehavior, VersionVector, GOSSIP_HUB,
+};
+use rationality_authority::exact::rat;
+use rationality_authority::games::named::{battle_of_the_sexes, prisoners_dilemma, stag_hunt};
+use rationality_authority::solvers::ParticipationParams;
+
+/// The campaign seed: `RA_SCENARIO_SEED` when set (CI pins it and echoes
+/// it on failure), a fixed default otherwise.
+fn scenario_seed() -> u64 {
+    std::env::var("RA_SCENARIO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDEC0DE)
+}
+
+/// A panel with a persistent saboteur, so reputation evolves and panel
+/// churn (exclusion) is reachable in every scenario.
+fn saboteur_panel() -> [VerifierBehavior; 3] {
+    [
+        VerifierBehavior::Honest,
+        VerifierBehavior::Honest,
+        VerifierBehavior::AlwaysReject,
+    ]
+}
+
+const SABOTEUR: Party = Party::Verifier(2);
+
+fn specs() -> Vec<Arc<GameSpec>> {
+    vec![
+        Arc::new(GameSpec::Strategic(prisoners_dilemma().to_strategic())),
+        Arc::new(GameSpec::Strategic(stag_hunt(3))),
+        Arc::new(GameSpec::Bimatrix(battle_of_the_sexes())),
+        Arc::new(GameSpec::Participation(ParticipationParams::paper_example())),
+        Arc::new(GameSpec::ParallelLinks {
+            current_loads: vec![rat(4, 1), rat(0, 1), rat(9, 2)],
+            own_load: rat(7, 2),
+            expected_future_load: rat(2, 1),
+            expected_future_agents: 5,
+        }),
+    ]
+}
+
+fn batch_requests(n: u64) -> Vec<(u64, Arc<GameSpec>)> {
+    let specs = specs();
+    (0..n)
+        .map(|agent| {
+            (
+                agent,
+                Arc::clone(&specs[(agent % specs.len() as u64) as usize]),
+            )
+        })
+        .collect()
+}
+
+/// Strips the execution-shape-dependent pool gauge so stats can be
+/// compared across engines.
+fn comparable(mut stats: ShardStats) -> ShardStats {
+    stats.frame_pool_misses = 0;
+    stats
+}
+
+fn gossip_config(every: usize) -> ReputationConfig {
+    ReputationConfig {
+        policy: ReputationPolicy::Gossip { every },
+        ..ReputationConfig::default()
+    }
+}
+
+/// Bytes the hub actually delivered to `shard` as pull frames — the
+/// partition scenarios need delivered-only sums, which `bytes_between`
+/// (accounted bytes, delivered or not) deliberately does not give.
+fn delivered_pull_bytes(transport: &dyn Transport, shard: u64) -> usize {
+    transport
+        .delivery_log()
+        .iter()
+        .filter(|r| r.delivered && r.from == GOSSIP_HUB && r.to == Party::Shard(shard))
+        .map(|r| r.bytes)
+        .sum()
+}
+
+fn saboteur_scores(engine: &ShardedAuthority) -> Vec<i64> {
+    (0..engine.shard_count())
+        .map(|s| engine.with_shard(s, |a| a.reputation().score(SABOTEUR)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity: lossless SimNet engine == Bus engine, end to end.
+// ---------------------------------------------------------------------------
+
+/// The tentpole acceptance criterion: an engine whose every network —
+/// four session buses and the gossip hub — is a lossless [`SimNet`] is
+/// byte-identical to the default [`Bus`] engine across a full mixed
+/// batch: same adoption decisions, same per-shard delivery logs, same
+/// gossip-plane delivery log, same stats.
+#[test]
+fn lossless_simnet_engine_is_byte_identical_to_bus_engine() {
+    let seed = scenario_seed();
+    let requests = batch_requests(64);
+    let over_bus = ShardedAuthority::with_transports(
+        4,
+        InventorBehavior::Honest,
+        &saboteur_panel(),
+        gossip_config(8),
+        CertCacheConfig::default(),
+        &|_| Arc::new(Bus::new()),
+    );
+    let over_sim = ShardedAuthority::with_transports(
+        4,
+        InventorBehavior::Honest,
+        &saboteur_panel(),
+        gossip_config(8),
+        CertCacheConfig::default(),
+        &|site| {
+            let salt = match site {
+                TransportSite::Shard(s) => s as u64,
+                TransportSite::GossipHub => u64::MAX,
+            };
+            Arc::new(SimNet::lossless(seed ^ salt)) as Arc<dyn Transport>
+        },
+    );
+
+    let bus_outcomes = over_bus.consult_batch(&requests);
+    let sim_outcomes = over_sim.consult_batch(&requests);
+    let decisions = |outcomes: &[rationality_authority::authority::SessionOutcome]| {
+        outcomes.iter().map(|o| o.adopted).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        decisions(&bus_outcomes),
+        decisions(&sim_outcomes),
+        "adoption decisions diverged between Bus and lossless SimNet (seed {seed})"
+    );
+    assert_eq!(
+        comparable(over_bus.shard_stats()),
+        comparable(over_sim.shard_stats()),
+        "engine stats diverged (seed {seed})"
+    );
+    for s in 0..4 {
+        let bus_log = over_bus.with_shard(s, |a| a.bus().delivery_log());
+        let sim_log = over_sim.with_shard(s, |a| a.bus().delivery_log());
+        assert_eq!(
+            bus_log, sim_log,
+            "shard {s} session delivery logs diverged (seed {seed})"
+        );
+    }
+    let bus_gossip = over_bus.gossip_bus().expect("gossip engine").delivery_log();
+    let sim_gossip = over_sim.gossip_bus().expect("gossip engine").delivery_log();
+    assert_eq!(
+        bus_gossip, sim_gossip,
+        "gossip-plane delivery logs diverged (seed {seed})"
+    );
+}
+
+/// Batch == sequential determinism holds over SimNet exactly as it does
+/// over the bus (the existing determinism suite's core property, replayed
+/// at the trait boundary).
+#[test]
+fn batch_matches_sequential_over_simnet() {
+    let seed = scenario_seed();
+    let requests = batch_requests(48);
+    let engine_factory = |salt: u64| {
+        ShardedAuthority::with_transports(
+            4,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            gossip_config(8),
+            CertCacheConfig::default(),
+            &|site| {
+                let site_salt = match site {
+                    TransportSite::Shard(s) => s as u64,
+                    TransportSite::GossipHub => u64::MAX,
+                };
+                Arc::new(SimNet::lossless(seed ^ salt ^ site_salt)) as Arc<dyn Transport>
+            },
+        )
+    };
+    let batched = engine_factory(1);
+    let sequential = engine_factory(2);
+    let batch_outcomes = batched.consult_batch(&requests);
+    let sequential_outcomes: Vec<_> = requests
+        .iter()
+        .map(|(agent, spec)| sequential.consult(*agent, spec.as_ref()))
+        .collect();
+    assert_eq!(
+        batch_outcomes.iter().map(|o| o.adopted).collect::<Vec<_>>(),
+        sequential_outcomes
+            .iter()
+            .map(|o| o.adopted)
+            .collect::<Vec<_>>(),
+        "batched and sequential runs diverged over SimNet (seed {seed})"
+    );
+    assert_eq!(
+        comparable(batched.shard_stats()),
+        comparable(sequential.shard_stats()),
+        "stats diverged between batched and sequential SimNet runs (seed {seed})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Partition / heal: gossip exclusion propagates by version-vector
+// reconciliation, idle pulls stay free, and no full snapshot is re-shipped.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gossip_exclusion_propagates_across_a_healed_partition() {
+    let seed = scenario_seed();
+    let hub_net = Arc::new(SimNet::lossless(seed));
+    let hub_for_engine = Arc::clone(&hub_net);
+    let engine = ShardedAuthority::with_transports(
+        4,
+        InventorBehavior::Honest,
+        &saboteur_panel(),
+        gossip_config(4),
+        CertCacheConfig::default(),
+        &move |site| match site {
+            TransportSite::GossipHub => Arc::clone(&hub_for_engine) as Arc<dyn Transport>,
+            TransportSite::Shard(_) => Arc::new(Bus::new()) as Arc<dyn Transport>,
+        },
+    );
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    let hub = engine.gossip_bus().expect("gossip engine");
+
+    // Phase A: healthy cluster, kept short enough that the saboteur is
+    // still trusted everywhere (8 dissents against INITIAL_SCORE = 10).
+    // Every shard converges on the same — still positive — score.
+    for agent in 0..8u64 {
+        engine.consult(agent, &spec);
+    }
+    engine.sync_reputation();
+    let converged = saboteur_scores(&engine);
+    assert!(
+        converged.windows(2).all(|w| w[0] == w[1]),
+        "healthy cluster must converge, got {converged:?} (seed {seed})"
+    );
+    assert!(
+        engine.with_shard(0, |a| a.reputation().is_trusted(SABOTEUR)),
+        "phase A must leave the saboteur trusted, got {converged:?} (seed {seed})"
+    );
+    assert!(
+        delivered_pull_bytes(hub, 0) > 0,
+        "phase A produced pull traffic (seed {seed})"
+    );
+
+    // Phase B: cut shard 0 off the hub. Consultations keep landing on the
+    // other shards until the saboteur is excluded there; shard 0 sees
+    // nothing of it.
+    hub_net.split(&[Party::Shard(0)], &[GOSSIP_HUB]);
+    let mut driven = 0u64;
+    for agent in 8..2048u64 {
+        if engine.shard_of(agent) != 0 {
+            engine.consult(agent, &spec);
+            driven += 1;
+        }
+        if driven >= 24 {
+            break;
+        }
+    }
+    engine.sync_reputation();
+    let partitioned = saboteur_scores(&engine);
+    assert!(
+        !engine.with_shard(1, |a| a.reputation().is_trusted(SABOTEUR)),
+        "connected shards exclude the saboteur, got {partitioned:?} (seed {seed})"
+    );
+    assert!(
+        engine.with_shard(0, |a| a.reputation().is_trusted(SABOTEUR)),
+        "partitioned shard 0 must still hold the stale panel (seed {seed})"
+    );
+
+    // During the partition, idle pulls to up-to-date connected shards stay
+    // zero-byte, and nothing is delivered to shard 0 at all.
+    let idle_before: Vec<usize> = (0..4).map(|s| delivered_pull_bytes(hub, s)).collect();
+    engine.sync_reputation();
+    let idle_after: Vec<usize> = (0..4).map(|s| delivered_pull_bytes(hub, s)).collect();
+    assert_eq!(
+        idle_before, idle_after,
+        "idle pulls must ship zero bytes during the partition (seed {seed})"
+    );
+
+    // Phase C: heal. The next sync reconciles shard 0 through its stalled
+    // version vector — it receives exactly the slots it missed, not the
+    // full merged snapshot — and adopts the exclusion.
+    hub_net.heal_partitions();
+    let before_heal_pull = delivered_pull_bytes(hub, 0);
+    engine.sync_reputation();
+    let reconciliation = delivered_pull_bytes(hub, 0) - before_heal_pull;
+    assert!(
+        reconciliation > 0,
+        "the healed shard must receive the missed deltas (seed {seed})"
+    );
+    let healed = saboteur_scores(&engine);
+    assert!(
+        healed.windows(2).all(|w| w[0] == w[1]),
+        "exclusion must propagate to the healed shard, got {healed:?} (seed {seed})"
+    );
+    assert!(
+        !engine.with_shard(0, |a| a.reputation().is_trusted(SABOTEUR)),
+        "shard 0 must exclude the saboteur after reconciliation (seed {seed})"
+    );
+}
+
+#[test]
+fn shard_failure_and_rejoin_recovers_watermarks() {
+    let seed = scenario_seed();
+    let hub_net = Arc::new(SimNet::lossless(seed ^ 0xF417));
+    let hub_for_engine = Arc::clone(&hub_net);
+    let engine = ShardedAuthority::with_transports(
+        4,
+        InventorBehavior::Honest,
+        &saboteur_panel(),
+        gossip_config(4),
+        CertCacheConfig::default(),
+        &move |site| match site {
+            TransportSite::GossipHub => Arc::clone(&hub_for_engine) as Arc<dyn Transport>,
+            TransportSite::Shard(_) => Arc::new(Bus::new()) as Arc<dyn Transport>,
+        },
+    );
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    let hub = engine.gossip_bus().expect("gossip engine");
+
+    // Short healthy phase: every shard converges, saboteur still trusted.
+    for agent in 0..8u64 {
+        engine.consult(agent, &spec);
+    }
+    engine.sync_reputation();
+
+    // "Fail" shard 2's gossip uplink in both directions: its publishes
+    // are lost and its pulls never arrive — the watermark stalls. Traffic
+    // is steered away from shard 2, so everything it should know about
+    // the saboteur's slide to exclusion happens elsewhere.
+    hub.drop_link(Party::Shard(2), GOSSIP_HUB);
+    hub.drop_link(GOSSIP_HUB, Party::Shard(2));
+    let mut driven = 0u64;
+    for agent in 8..2048u64 {
+        if engine.shard_of(agent) != 2 {
+            engine.consult(agent, &spec);
+            driven += 1;
+        }
+        if driven >= 24 {
+            break;
+        }
+    }
+    engine.sync_reputation();
+    let during = saboteur_scores(&engine);
+    assert_ne!(
+        during[2], during[1],
+        "the failed shard must fall behind while cut off (seed {seed})"
+    );
+
+    // Rejoin: heal the links and sync. The shard re-publishes its full
+    // replica slice (publishes are idempotent joins) and its stalled
+    // watermark pulls everything it missed.
+    hub.heal();
+    engine.sync_reputation();
+    let after = saboteur_scores(&engine);
+    assert!(
+        after.windows(2).all(|w| w[0] == w[1]),
+        "rejoin must restore convergence, got {after:?} (seed {seed})"
+    );
+
+    // Watermarks are fully recovered: one more sync is an idle sync, and
+    // idle pulls ship zero bytes to every shard.
+    let idle_before: Vec<usize> = (0..4).map(|s| delivered_pull_bytes(hub, s)).collect();
+    engine.sync_reputation();
+    let idle_after: Vec<usize> = (0..4).map(|s| delivered_pull_bytes(hub, s)).collect();
+    assert_eq!(
+        idle_before, idle_after,
+        "recovered watermarks make the next sync free (seed {seed})"
+    );
+}
+
+/// The precise half of the reconciliation guarantee, measured at the
+/// plane level: after a heal, a stalled shard's pull ships exactly the
+/// version-vector slots it missed — more than nothing, but strictly less
+/// than the full-snapshot pull a fresh (empty-watermark) shard needs for
+/// the same hub state.
+#[test]
+fn healed_partition_reconciliation_ships_only_unseen_slots() {
+    let seed = scenario_seed();
+    let net = Arc::new(SimNet::lossless(seed ^ 0x5107));
+    let plane = GossipPlane::over_transport_with(
+        ReputationDecay::None,
+        Arc::clone(&net) as Arc<dyn Transport>,
+    );
+
+    let mut states: Vec<DecayingPnCounterMap> =
+        (0..3).map(|_| DecayingPnCounterMap::new()).collect();
+    let mut seens: Vec<VersionVector> = (0..3).map(|_| VersionVector::new()).collect();
+
+    // Phase A: every shard records one observation, publishes its replica
+    // slice, and pulls — the cluster converges and watermarks advance.
+    for shard in 0..3u64 {
+        let s = shard as usize;
+        states[s].record(shard, Party::Verifier(shard), true);
+        plane.publish_from(shard, states[s].replica_slice(shard));
+    }
+    for shard in 0..3u64 {
+        let s = shard as usize;
+        plane.pull_into(shard, &mut states[s], &mut seens[s]);
+    }
+
+    // Phase B: shard 2 loses the hub. Shards 0 and 1 keep recording
+    // genuinely new slots (new verifiers) and publishing them.
+    net.split(&[Party::Shard(2)], &[GOSSIP_HUB]);
+    for round in 0..4u64 {
+        for shard in 0..2u64 {
+            let s = shard as usize;
+            states[s].record(
+                shard,
+                Party::Verifier(10 + round * 2 + shard),
+                round % 2 == 0,
+            );
+            plane.publish_from(shard, states[s].replica_slice(shard));
+        }
+    }
+    // The partitioned shard's pull frame is accounted but dropped: no
+    // delivered bytes, and — critically — the watermark stays put, so the
+    // missed delta is still owed.
+    let dropped_watermark = seens[2].clone();
+    let before = delivered_pull_bytes(&*net, 2);
+    plane.pull_into(2, &mut states[2], &mut seens[2]);
+    assert_eq!(
+        delivered_pull_bytes(&*net, 2),
+        before,
+        "a partitioned pull must deliver nothing (seed {seed})"
+    );
+    assert_eq!(
+        seens[2], dropped_watermark,
+        "a dropped pull frame must leave the watermark untouched (seed {seed})"
+    );
+
+    // Heal: the reconciliation pull ships only the slots shard 2 missed.
+    net.heal_partitions();
+    plane.pull_into(2, &mut states[2], &mut seens[2]);
+    let reconciliation = delivered_pull_bytes(&*net, 2) - before;
+    assert!(
+        reconciliation > 0,
+        "reconciliation must ship the missed slots (seed {seed})"
+    );
+
+    // A fresh shard with an empty watermark needs the full snapshot —
+    // strictly more bytes than the incremental reconciliation.
+    let mut fresh_state = DecayingPnCounterMap::new();
+    let mut fresh_seen = VersionVector::new();
+    plane.pull_into(9, &mut fresh_state, &mut fresh_seen);
+    let full_snapshot = delivered_pull_bytes(&*net, 9);
+    assert!(
+        reconciliation < full_snapshot,
+        "reconciliation ({reconciliation} B) must be strictly smaller than a \
+         full-snapshot pull ({full_snapshot} B) (seed {seed})"
+    );
+
+    // The healed shard converged to exactly the fresh shard's view.
+    for verifier in (0..3).chain(10..18).map(Party::Verifier) {
+        assert_eq!(
+            states[2].value(verifier),
+            fresh_state.value(verifier),
+            "healed and fresh shards must agree on {verifier:?} (seed {seed})"
+        );
+    }
+
+    // And now that the watermark is recovered, the next pull is free.
+    let after = delivered_pull_bytes(&*net, 2);
+    plane.pull_into(2, &mut states[2], &mut seens[2]);
+    assert_eq!(
+        delivered_pull_bytes(&*net, 2),
+        after,
+        "an up-to-date pull after reconciliation must ship zero bytes (seed {seed})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Replay-mode cache soundness when panel changes race message loss.
+// ---------------------------------------------------------------------------
+
+/// Under a lossy gossip plane, shards learn of the saboteur's exclusion
+/// at different times. The Replay-mode cache must never let a stale
+/// cached consultation resurrect an excluded verifier: once a shard's
+/// panel has dropped the saboteur, no consultation served by that shard —
+/// cached or fresh — may carry a saboteur verdict.
+#[test]
+fn replay_cache_stays_sound_when_panel_churn_races_loss() {
+    let seed = scenario_seed();
+    let engine = ShardedAuthority::with_transports(
+        2,
+        InventorBehavior::Honest,
+        &saboteur_panel(),
+        gossip_config(2),
+        CertCacheConfig::replay(256),
+        &|site| match site {
+            TransportSite::GossipHub => {
+                // 40% gossip loss: exclusion news reaches the shards
+                // erratically, racing the cached entries' panel versions.
+                let net = SimNet::lossless(seed ^ 0xCAFE);
+                net.set_link(
+                    GOSSIP_HUB,
+                    Party::Shard(0),
+                    rationality_authority::authority::LinkProfile::lossy(0.4),
+                );
+                net.set_link(
+                    GOSSIP_HUB,
+                    Party::Shard(1),
+                    rationality_authority::authority::LinkProfile::lossy(0.4),
+                );
+                Arc::new(net) as Arc<dyn Transport>
+            }
+            TransportSite::Shard(_) => Arc::new(Bus::new()) as Arc<dyn Transport>,
+        },
+    );
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    // A family of pairwise-distinct specs, so phase B's consultations all
+    // miss the cache and run the full protocol — each one a fresh dissent
+    // pushing the saboteur towards exclusion.
+    let fresh_spec = |i: u64| GameSpec::ParallelLinks {
+        current_loads: vec![rat((i % 5) as i64, 1), rat(((i / 5) % 7) as i64, 2)],
+        own_load: rat((i % 3) as i64 + 1, 1),
+        expected_future_load: rat(2, 1),
+        expected_future_agents: 3 + (i % 4) as usize,
+    };
+
+    // Phase A: prime the cache with one spec while the panel is intact.
+    // The cached entries remember the pre-exclusion panel version.
+    for agent in 0..16u64 {
+        assert!(
+            engine.consult(agent, &spec).adopted,
+            "honest advice adopted (seed {seed})"
+        );
+    }
+    // Phase B: distinct specs force full protocol runs; the saboteur's
+    // dissents accumulate while lossy gossip spreads the news erratically.
+    for agent in 16..80u64 {
+        engine.consult(agent, &fresh_spec(agent));
+    }
+    engine.sync_reputation();
+    // Phase C: the primed spec again, now against a changed panel. Every
+    // hit must be invalidated (`stale`) and re-run — no consultation on a
+    // shard that has excluded the saboteur may carry its verdict.
+    for agent in 80..112u64 {
+        let shard = engine.shard_of(agent);
+        let excluded_before = !engine.with_shard(shard, |a| a.reputation().is_trusted(SABOTEUR));
+        let outcome = engine.consult(agent, &spec);
+        if excluded_before {
+            assert!(
+                !outcome
+                    .verdict_details
+                    .iter()
+                    .any(|(party, _, _)| *party == SABOTEUR),
+                "agent {agent} on shard {shard} saw an excluded verifier's \
+                 verdict (cached: {}) (seed {seed})",
+                outcome.cached
+            );
+        }
+        assert!(outcome.adopted, "honest advice adopted (seed {seed})");
+    }
+
+    let stats = engine.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "the campaign must actually exercise the cache (seed {seed}, {stats:?})"
+    );
+    assert!(
+        stats.stale > 0,
+        "panel churn must invalidate stale entries (seed {seed}, {stats:?})"
+    );
+    let hub = engine.gossip_bus().expect("gossip engine");
+    assert!(
+        hub.delivered_bytes() < hub.total_bytes(),
+        "the lossy plane must actually drop gossip frames (seed {seed})"
+    );
+    assert!(
+        !engine.with_shard(0, |a| a.reputation().is_trusted(SABOTEUR))
+            || !engine.with_shard(1, |a| a.reputation().is_trusted(SABOTEUR)),
+        "phase B's dissents must exclude the saboteur somewhere (seed {seed})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scripted schedules and seed determinism.
+// ---------------------------------------------------------------------------
+
+/// A scripted partition/heal schedule fires as the virtual clock crosses
+/// its timestamps, without any manual split/heal calls.
+#[test]
+fn scripted_schedule_drives_partition_and_heal() {
+    use rationality_authority::authority::{LinkProfile, NetEvent, SimNetConfig};
+    let seed = scenario_seed();
+    let a = Party::Agent(1);
+    let b = Party::Agent(2);
+    let net = SimNet::new(SimNetConfig {
+        seed,
+        default_link: LinkProfile::with_latency(10, 10),
+        schedule: vec![
+            NetEvent::Split {
+                at: 50,
+                left: vec![a],
+                right: vec![b],
+            },
+            NetEvent::Heal { at: 100 },
+        ],
+        ..SimNetConfig::default()
+    });
+    net.register(a);
+    let ep = net.register(b);
+    let msg = |g| rationality_authority::authority::Message::AdviceRequest { game_id: g };
+
+    net.send(a, b, msg(1)).unwrap();
+    net.settle();
+    assert_eq!(ep.drain().len(), 1, "pre-split delivery (seed {seed})");
+
+    net.advance_to(60);
+    net.send(a, b, msg(2)).unwrap();
+    net.settle();
+    assert!(
+        ep.try_recv().is_none(),
+        "the scripted split must cut the link (seed {seed})"
+    );
+
+    net.advance_to(120);
+    net.send(a, b, msg(3)).unwrap();
+    net.settle();
+    assert_eq!(ep.drain().len(), 1, "post-heal delivery (seed {seed})");
+    assert!(net.delivered_bytes() < net.total_bytes());
+}
+
+/// Replaying the lossy cache campaign with the same seed produces the
+/// same gossip delivery log; a different seed produces a different one.
+/// This is the property that makes `RA_SCENARIO_SEED` a replay handle.
+#[test]
+fn lossy_campaign_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let engine = ShardedAuthority::with_transports(
+            2,
+            InventorBehavior::Honest,
+            &saboteur_panel(),
+            gossip_config(2),
+            CertCacheConfig::default(),
+            &|site| match site {
+                TransportSite::GossipHub => {
+                    let net = SimNet::new(rationality_authority::authority::SimNetConfig {
+                        seed,
+                        default_link: rationality_authority::authority::LinkProfile::lossy(0.3),
+                        ..Default::default()
+                    });
+                    Arc::new(net) as Arc<dyn Transport>
+                }
+                TransportSite::Shard(_) => Arc::new(Bus::new()) as Arc<dyn Transport>,
+            },
+        );
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        for agent in 0..48u64 {
+            engine.consult(agent, &spec);
+        }
+        engine.sync_reputation();
+        let hub = engine.gossip_bus().expect("gossip engine");
+        (hub.delivery_log(), saboteur_scores(&engine))
+    };
+    let seed = scenario_seed();
+    assert_eq!(
+        run(seed),
+        run(seed),
+        "same seed must replay identically (seed {seed})"
+    );
+    assert_ne!(
+        run(seed).0,
+        run(seed ^ 1).0,
+        "different seeds must sample different fates (seed {seed})"
+    );
+}
