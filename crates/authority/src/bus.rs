@@ -135,6 +135,7 @@ impl Bus {
     /// [`BusError::Disconnected`] if `to`'s endpoint was dropped.
     pub fn send(&self, from: Party, to: Party, message: Message) -> Result<(), BusError> {
         let bytes = message.encoded_len();
+        let retransmit = message.is_retransmit();
         let routing = self.routing_snapshot();
         let dropped = routing.drop_rules.contains(&(from, to));
         let result = if dropped {
@@ -148,7 +149,7 @@ impl Bus {
                 .map_err(|_| BusError::Disconnected(to))
         };
         let delivered = !dropped && result.is_ok();
-        self.ledger.account(from, to, bytes, delivered);
+        self.ledger.account(from, to, bytes, delivered, retransmit);
         result
     }
 
@@ -181,6 +182,7 @@ impl Bus {
         let mut held = None;
         for (from, to, message) in batch.drain(..) {
             let bytes = message.encoded_len();
+            let retransmit = message.is_retransmit();
             let dropped = routing.drop_rules.contains(&(from, to));
             let result = if dropped {
                 Ok(())
@@ -207,7 +209,7 @@ impl Bus {
                 }
             }
             self.ledger
-                .account_cached(&mut held, from, to, bytes, delivered);
+                .account_cached(&mut held, from, to, bytes, delivered, retransmit);
         }
         first_error
     }
@@ -254,6 +256,18 @@ impl Bus {
     /// Number of messages sent (delivered or dropped). O(1), lock-free.
     pub fn message_count(&self) -> usize {
         self.ledger.message_count()
+    }
+
+    /// Bytes attributable to protocol retransmissions (resilient
+    /// envelopes with `attempt > 0`). O(1), lock-free.
+    pub fn retransmit_bytes(&self) -> usize {
+        self.ledger.retransmit_bytes()
+    }
+
+    /// First-attempt protocol bytes: `total_bytes - retransmit_bytes`.
+    /// O(1), lock-free.
+    pub fn goodput_bytes(&self) -> usize {
+        self.ledger.total_bytes() - self.ledger.retransmit_bytes()
     }
 }
 
@@ -304,6 +318,14 @@ impl Transport for Bus {
 
     fn message_count(&self) -> usize {
         Bus::message_count(self)
+    }
+
+    fn retransmit_bytes(&self) -> usize {
+        Bus::retransmit_bytes(self)
+    }
+
+    fn goodput_bytes(&self) -> usize {
+        Bus::goodput_bytes(self)
     }
 }
 

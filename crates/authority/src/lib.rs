@@ -82,7 +82,10 @@ pub use reputation::{
     PnCounter, ReputationBackend, ReputationDecay, ReputationSnapshot, ReputationStore,
     VersionVector, VoteRule, EXCLUSION_THRESHOLD, GOSSIP_HUB, INITIAL_SCORE,
 };
-pub use session::{RationalityAuthority, SessionDriver, SessionOutcome};
+pub use session::{
+    BackoffConfig, ConsultError, ConsultResult, ConsultStage, PanelOutcome, RationalityAuthority,
+    ResilienceConfig, SessionDriver, SessionOutcome,
+};
 pub use shard::{ReputationConfig, ReputationPolicy, ShardStats, ShardedAuthority, TransportSite};
 pub use simnet::{LinkProfile, NetEvent, SimNet, SimNetConfig};
 pub use transport::{BusError, DeliveryRecord, Endpoint, Transport};

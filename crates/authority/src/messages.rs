@@ -196,6 +196,34 @@ pub enum Message {
         /// on a pull (the puller's new watermark), empty on a push.
         versions: VersionVector,
     },
+    /// A resilient-session envelope around any other protocol message.
+    ///
+    /// The loss-tolerant consultation path wraps its sends in this frame
+    /// so receivers can dedup retries idempotently: `session` identifies
+    /// the consultation (the game id, unique per driver) and `attempt` is
+    /// the 0-based retransmission sequence number for this hop. Replies
+    /// echo the request's `attempt`, so the ledger can classify both
+    /// directions of a retry (`attempt > 0`) as retransmit bytes. The
+    /// envelope never nests: `inner` holding another `Resilient` frame is
+    /// a decode error, rejected before recursing.
+    Resilient {
+        /// Consultation id the frame belongs to.
+        session: u64,
+        /// 0-based retransmission sequence number; 0 is the first try.
+        attempt: u32,
+        /// The wrapped protocol message.
+        inner: Box<Message>,
+    },
+}
+
+impl Message {
+    /// Whether this frame is a retransmission (a resilient envelope with
+    /// a non-zero attempt number, or a reply echoing one). Transports
+    /// call this at their accounting sites to split retransmit bytes from
+    /// goodput; every non-enveloped message is goodput by definition.
+    pub fn is_retransmit(&self) -> bool {
+        matches!(self, Message::Resilient { attempt, .. } if *attempt > 0)
+    }
 }
 
 // ---- Wire impls for foreign certificate types -------------------------------
@@ -995,6 +1023,16 @@ impl Wire for Message {
                 delta.encode(buf);
                 versions.encode(buf);
             }
+            Message::Resilient {
+                session,
+                attempt,
+                inner,
+            } => {
+                buf.push(9);
+                session.encode(buf);
+                u64::from(*attempt).encode(buf);
+                inner.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut WireBytes) -> Result<Message, WireError> {
@@ -1041,6 +1079,28 @@ impl Wire for Message {
                 delta: DecayingPnCounterMap::decode(buf)?,
                 versions: VersionVector::decode(buf)?,
             },
+            9 => {
+                let session = u64::decode(buf)?;
+                let attempt = u32::try_from(u64::decode(buf)?)
+                    .map_err(|_| WireError::Malformed("attempt exceeds u32".to_string()))?;
+                // Reject a nested envelope *before* recursing: a hostile
+                // byte chain of repeated tag-9 frames must fail with a
+                // decode error, not a stack overflow.
+                match buf.peek_u8() {
+                    None => return Err(WireError::UnexpectedEnd),
+                    Some(9) => {
+                        return Err(WireError::Malformed(
+                            "nested resilient envelope".to_string(),
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                Message::Resilient {
+                    session,
+                    attempt,
+                    inner: Box::new(Message::decode(buf)?),
+                }
+            }
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1147,6 +1207,70 @@ mod tests {
                 "prefix of {cut} bytes decoded successfully"
             );
         }
+    }
+
+    #[test]
+    fn resilient_envelope_round_trips_and_flags_retransmits() {
+        let first = Message::Resilient {
+            session: 7,
+            attempt: 0,
+            inner: Box::new(Message::AdviceRequest { game_id: 7 }),
+        };
+        assert!(!first.is_retransmit(), "attempt 0 is the first try");
+        assert!(!Message::AdviceRequest { game_id: 7 }.is_retransmit());
+        let size = round_trip(first);
+        // The envelope adds a tag byte plus two varints to the inner
+        // frame: single-digit overhead, so Lemma 1 tables stay honest.
+        assert!(size < 16, "tiny envelope, got {size} bytes");
+        let retry = Message::Resilient {
+            session: u64::MAX,
+            attempt: 3,
+            inner: Box::new(Message::Verdict {
+                game_id: 9,
+                accepted: true,
+                detail: String::new(),
+            }),
+        };
+        assert!(retry.is_retransmit());
+        round_trip(retry);
+    }
+
+    #[test]
+    fn truncated_resilient_envelope_rejected() {
+        let msg = Message::Resilient {
+            session: 3,
+            attempt: 1,
+            inner: Box::new(Message::SupportAnswer {
+                game_id: 3,
+                index: 2,
+                in_support: true,
+            }),
+        };
+        let bytes = msg.to_bytes();
+        for cut in 1..bytes.len() {
+            let mut truncated = bytes.slice(0..cut);
+            assert!(
+                Message::decode(&mut truncated).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_resilient_envelope_rejected_without_recursing() {
+        // A hostile chain of envelope tags must fail with a decode error
+        // on the *first* nesting, long before the stack could overflow.
+        let mut attack = Vec::new();
+        for _ in 0..1_000_000 {
+            attack.push(9u8); // Message::Resilient tag
+            put_varint(&mut attack, 1); // session
+            put_varint(&mut attack, 0); // attempt
+        }
+        let mut buf = WireBytes::from(attack);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use crate::inventor::GameSpec;
-use crate::session::{RationalityAuthority, SessionOutcome};
+use crate::session::{ConsultResult, RationalityAuthority};
 use crate::wire;
 
 /// The work routed to one shard for one chunk: `(result slot, agent id,
@@ -52,7 +52,7 @@ pub(crate) type ShardRequests = Vec<(usize, u64, Arc<GameSpec>)>;
 /// dispatching chunk.
 struct ShardJob {
     requests: ShardRequests,
-    reply: Sender<Vec<(usize, SessionOutcome)>>,
+    reply: Sender<Vec<(usize, ConsultResult)>>,
 }
 
 /// A parked worker: its job queue, its thread handle (joined on drop),
@@ -129,7 +129,7 @@ impl ShardPool {
     pub(crate) fn run(
         &self,
         chunk: Vec<(usize, ShardRequests)>,
-        results: &mut [Option<SessionOutcome>],
+        results: &mut [Option<ConsultResult>],
     ) {
         let workers = self.workers();
         let (reply, done) = channel();
@@ -184,7 +184,7 @@ fn worker_loop(shard: &Mutex<RationalityAuthority>, queue: Receiver<ShardJob>, m
             let mut shard = shard.lock().expect("shard lock poisoned");
             requests
                 .into_iter()
-                .map(|(slot, agent, spec)| (slot, shard.consult(agent, spec.as_ref())))
+                .map(|(slot, agent, spec)| (slot, shard.try_consult(agent, spec.as_ref())))
                 .collect()
         };
         misses.store(wire::frame_pool_misses(), Ordering::Relaxed);

@@ -303,6 +303,14 @@ pub trait ReputationBackend: Send + Sync {
     /// sorted for determinism.
     fn trusted_verifiers(&self) -> Vec<Party>;
 
+    /// Records an *unresponsive* observation — distinct from dissent —
+    /// against each listed verifier: a resilient session closed its panel
+    /// vote degraded and these members never answered within the budget.
+    /// Persistent silence costs trust exactly like persistent dissent
+    /// (one point per missed panel), so a dead verifier is eventually
+    /// excluded and consultations stop waiting on it.
+    fn report_unresponsive(&self, silent: &[Party]);
+
     /// The most recently published immutable score view.
     ///
     /// One short lock to clone the `Arc`; all subsequent reads off the
@@ -423,6 +431,21 @@ impl LocalReputation {
         });
     }
 
+    /// Records an unresponsive observation (−1, like a dissent) against
+    /// each listed verifier, republishing the snapshot under the same
+    /// lock so the panel version moves as soon as a silent verifier
+    /// crosses the exclusion threshold.
+    pub fn report_unresponsive(&self, silent: &[Party]) {
+        if silent.is_empty() {
+            return;
+        }
+        let mut scores = self.scores.lock().expect("reputation lock poisoned");
+        for &verifier in silent {
+            *scores.entry(verifier).or_insert(Self::INITIAL) -= 1;
+        }
+        self.republish(&scores);
+    }
+
     /// All verifiers currently trusted, sorted for determinism.
     pub fn trusted_verifiers(&self) -> Vec<Party> {
         let scores = self.scores.lock().expect("reputation lock poisoned");
@@ -447,6 +470,10 @@ impl ReputationBackend for LocalReputation {
 
     fn trusted_verifiers(&self) -> Vec<Party> {
         LocalReputation::trusted_verifiers(self)
+    }
+
+    fn report_unresponsive(&self, silent: &[Party]) {
+        LocalReputation::report_unresponsive(self, silent);
     }
 
     fn snapshot(&self) -> Arc<ReputationSnapshot> {
@@ -1291,6 +1318,20 @@ impl ReputationBackend for GossipReputation {
             .collect()
     }
 
+    fn report_unresponsive(&self, silent: &[Party]) {
+        if silent.is_empty() {
+            return;
+        }
+        let mut local = self.local.lock().expect("gossip local lock poisoned");
+        for &verifier in silent {
+            // Mechanically a decrement on the CRDT — the same tally a
+            // dissent pays — so the observation gossips to every shard
+            // with the ordinary epoch merges.
+            local.record(self.shard, verifier, false);
+        }
+        self.republish(&local);
+    }
+
     fn snapshot(&self) -> Arc<ReputationSnapshot> {
         Arc::clone(&self.snapshot.lock().expect("gossip snapshot lock poisoned"))
     }
@@ -1737,6 +1778,43 @@ mod tests {
         store.pool_verdicts(&[(v(2), false), (v(0), true)]);
         assert_eq!(after.score(v(2)), INITIAL_SCORE - 1, "stale view unchanged");
         assert_eq!(store.snapshot().score(v(2)), INITIAL_SCORE);
+    }
+
+    #[test]
+    fn unresponsive_reports_cost_one_point_and_republish() {
+        let store = LocalReputation::new();
+        store.report_unresponsive(&[v(1), v(2)]);
+        assert_eq!(store.score(v(1)), INITIAL_SCORE - 1);
+        assert_eq!(store.score(v(2)), INITIAL_SCORE - 1);
+        let published = store.snapshot();
+        assert_eq!(published.score(v(1)), INITIAL_SCORE - 1);
+        // An empty report is a no-op: no lock churn, no version bump.
+        let version = published.version();
+        store.report_unresponsive(&[]);
+        assert_eq!(store.snapshot().version(), version);
+        // Repeated silence drives the verifier below the threshold and
+        // moves the panel version, exactly like repeated dissent.
+        let panel_before = store.snapshot().panel_version();
+        for _ in 0..INITIAL_SCORE {
+            store.report_unresponsive(&[v(1)]);
+        }
+        assert!(!store.is_trusted(v(1)));
+        assert!(store.snapshot().panel_version() > panel_before);
+    }
+
+    #[test]
+    fn unresponsive_reports_gossip_like_dissent() {
+        // The observation is a plain CRDT decrement, so an epoch merge
+        // carries it to every other shard.
+        let plane = Arc::new(GossipPlane::new());
+        let reporter = GossipReputation::new(0, Arc::clone(&plane));
+        let observer = GossipReputation::new(1, Arc::clone(&plane));
+        reporter.report_unresponsive(&[v(5)]);
+        assert_eq!(reporter.score(v(5)), INITIAL_SCORE - 1);
+        assert_eq!(observer.score(v(5)), INITIAL_SCORE, "not merged yet");
+        reporter.sync();
+        observer.sync();
+        assert_eq!(observer.score(v(5)), INITIAL_SCORE - 1);
     }
 
     #[test]

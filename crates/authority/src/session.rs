@@ -30,7 +30,7 @@
 //! [`crate::ReputationSnapshot`] taken at the top of the
 //! fan-out instead of locking the backend per verifier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::bus::Bus;
@@ -41,6 +41,188 @@ use crate::reputation::{LocalReputation, MajorityOutcome, ReputationBackend};
 use crate::transport::{Endpoint, Transport};
 use crate::verifier::{kernel_check, VerifierService};
 use crate::wire::Wire;
+
+/// How much of the verifier panel a consultation's verdict pool heard
+/// from before closing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum PanelOutcome {
+    /// Every trusted verifier's verdict arrived (always the case when
+    /// resilience is off: whatever arrived *is* the panel the legacy
+    /// protocol pools).
+    #[default]
+    Full,
+    /// The vote closed at quorum after the deadline budget ran out; the
+    /// listed verifiers never responded and were reported to the
+    /// reputation plane as unresponsive.
+    Degraded {
+        /// Trusted verifiers that never answered, in panel order.
+        missing: Vec<Party>,
+    },
+}
+
+/// Which protocol stage a resilient consultation was in when its
+/// deadline budget ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsultStage {
+    /// Waiting for the inventor's advice-with-proof.
+    Advice,
+    /// Waiting for verifier verdicts.
+    Panel,
+}
+
+impl std::fmt::Display for ConsultStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsultStage::Advice => write!(f, "advice"),
+            ConsultStage::Panel => write!(f, "panel"),
+        }
+    }
+}
+
+/// A typed consultation failure — what a resilient session returns
+/// instead of a silently half-empty [`SessionOutcome`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsultError {
+    /// The deadline budget (or retry budget) ran out before the stage
+    /// could complete.
+    Deadline {
+        /// The stage that starved.
+        stage: ConsultStage,
+        /// Retransmitted frames spent before giving up.
+        attempts: u64,
+        /// Virtual ticks elapsed since the session started.
+        elapsed: u64,
+        /// Responses received in the starved stage.
+        received: usize,
+        /// The quorum the stage needed.
+        quorum: usize,
+        /// Parties that never responded, in panel order.
+        missing: Vec<Party>,
+    },
+}
+
+impl std::fmt::Display for ConsultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsultError::Deadline {
+                stage,
+                attempts,
+                elapsed,
+                received,
+                quorum,
+                missing,
+            } => write!(
+                f,
+                "{stage} stage deadline: {received}/{quorum} responses after \
+                 {attempts} retransmits and {elapsed} ticks ({} silent)",
+                missing.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsultError {}
+
+/// Result type of a resilient consultation.
+pub type ConsultResult = Result<SessionOutcome, ConsultError>;
+
+/// Exponential-backoff shape for resilient retransmissions: the k-th
+/// retry waits `min(cap, base * factor^k) + U[0, jitter]` virtual ticks
+/// (drawn from the driver's seeded stream, so runs are replayable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First retry interval in virtual ticks (≥ 1).
+    pub base: u64,
+    /// Multiplier applied per successive retry (≥ 1).
+    pub factor: u64,
+    /// Ceiling on the un-jittered interval.
+    pub cap: u64,
+    /// Maximum additive jitter in ticks (0 disables the draw).
+    pub jitter: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            base: 4,
+            factor: 2,
+            cap: 256,
+            jitter: 3,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The wait before retry `attempt` (0-based): exponential growth,
+    /// capped, plus a seeded jitter draw.
+    fn rto(&self, attempt: u32, rng: &mut u64) -> u64 {
+        let mut interval = self.base;
+        for _ in 0..attempt {
+            if interval >= self.cap {
+                break;
+            }
+            interval = interval.saturating_mul(self.factor);
+        }
+        interval = interval.min(self.cap);
+        if self.jitter > 0 {
+            interval += rand::splitmix64(rng) % (self.jitter + 1);
+        }
+        interval
+    }
+
+    /// Validates the shape's invariants.
+    fn check(&self) {
+        assert!(self.base >= 1, "backoff base must be at least one tick");
+        assert!(self.factor >= 1, "backoff factor must be at least 1");
+        assert!(self.cap >= self.base, "backoff cap below base");
+    }
+}
+
+/// Per-consultation resilience budget: deadlines, retransmission and
+/// quorum degradation for the Fig. 1 flow. Attach with
+/// [`SessionDriver::set_resilience`] /
+/// [`RationalityAuthority::set_resilience`]; the default (no config) is
+/// the legacy fire-and-forget protocol, bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Total virtual-tick budget per consultation; when the transport's
+    /// clock passes it, the current stage closes (at quorum or with a
+    /// [`ConsultError::Deadline`]). On a clockless synchronous transport
+    /// only `max_attempts` bounds the retries.
+    pub deadline: u64,
+    /// Minimum trusted-verifier responses for a degraded panel close
+    /// (clamped to the live panel size; ≥ 1).
+    pub quorum: usize,
+    /// Maximum sends per hop, first try included (≥ 1).
+    pub max_attempts: u32,
+    /// Retry backoff shape.
+    pub backoff: BackoffConfig,
+    /// Seed of the driver-local jitter stream (kept separate from any
+    /// transport seed so retry timing is reproducible on its own).
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            deadline: 4096,
+            quorum: 1,
+            max_attempts: 8,
+            backoff: BackoffConfig::default(),
+            seed: 0x5EED_0FBA_C0FF,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Validates the budget's invariants.
+    fn check(&self) {
+        assert!(self.deadline >= 1, "deadline must be at least one tick");
+        assert!(self.quorum >= 1, "quorum must be at least one verifier");
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+        self.backoff.check();
+    }
+}
 
 /// Outcome of one consultation.
 #[derive(Clone, Debug)]
@@ -62,6 +244,12 @@ pub struct SessionOutcome {
     /// `verdict_details` replay the cold session's, and the reputation
     /// plane was not touched).
     pub cached: bool,
+    /// Whether the panel vote closed full or degraded (always
+    /// [`PanelOutcome::Full`] when resilience is off or on a cache hit).
+    pub panel: PanelOutcome,
+    /// Retransmitted frames this session spent (0 when resilience is off
+    /// or on a cache hit).
+    pub attempts: u64,
 }
 
 /// The reusable per-consultation protocol: one bus, one inventor, one
@@ -94,6 +282,12 @@ pub struct SessionDriver {
     /// Optional content-addressed certificate cache, shared across drivers
     /// (`None` — the default — leaves the protocol bit-for-bit unchanged).
     cert_cache: Option<Arc<CertCache>>,
+    /// Optional resilience budget (`None` — the default — leaves the
+    /// protocol bit-for-bit unchanged: no envelopes, no retries).
+    resilience: Option<ResilienceConfig>,
+    /// Driver-local jitter stream for retry backoff, seeded from
+    /// [`ResilienceConfig::seed`] so resilient runs are replayable.
+    jitter_rng: u64,
 }
 
 impl SessionDriver {
@@ -154,7 +348,32 @@ impl SessionDriver {
             recv_buf: Vec::new(),
             send_buf: Vec::new(),
             cert_cache: None,
+            resilience: None,
+            jitter_rng: 0,
         }
+    }
+
+    /// Attaches (or with `None` removes) a resilience budget: subsequent
+    /// sessions run the loss-tolerant protocol — enveloped frames with
+    /// deadlines, retransmit/backoff and quorum degradation — via
+    /// [`SessionDriver::try_run`]. Without one, the legacy
+    /// fire-and-forget flow runs unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config violates its invariants (zero deadline,
+    /// quorum, attempts or backoff base).
+    pub fn set_resilience(&mut self, config: Option<ResilienceConfig>) {
+        if let Some(cfg) = &config {
+            cfg.check();
+            self.jitter_rng = cfg.seed;
+        }
+        self.resilience = config;
+    }
+
+    /// The attached resilience budget, if any.
+    pub fn resilience(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref()
     }
 
     /// Attaches a shared certificate cache: subsequent [`SessionDriver::run`]
@@ -200,8 +419,20 @@ impl SessionDriver {
     /// falls back to the full protocol). Misses run the protocol and
     /// memoize the result.
     pub fn run(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> SessionOutcome {
+        match self.try_run(agent, game_id, spec) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("resilient consultation failed ({e}); use try_run to handle errors"),
+        }
+    }
+
+    /// [`SessionDriver::run`] with typed failure: the resilient protocol
+    /// (when a [`ResilienceConfig`] is attached) returns
+    /// [`ConsultError::Deadline`] when a stage's budget runs out instead
+    /// of a half-empty outcome. Without a config this never errors — it
+    /// runs exactly the legacy flow.
+    pub fn try_run(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> ConsultResult {
         let Some(cache) = self.cert_cache.clone() else {
-            return self.run_protocol(agent, game_id, spec);
+            return self.dispatch(agent, game_id, spec);
         };
         let digest = spec_digest(spec);
         // Replay hits are panel-guarded: an entry minted under a
@@ -214,18 +445,21 @@ impl SessionDriver {
         };
         if let Some(entry) = cache.lookup(&digest, panel_guard) {
             match cache.mode() {
-                CacheMode::Trust => return Self::outcome_from_cache(&entry),
+                CacheMode::Trust => return Ok(Self::outcome_from_cache(&entry)),
                 CacheMode::Replay => {
                     let (kernel_accepts, _) = kernel_check(spec, &entry.advice);
                     if kernel_accepts == entry.kernel_accepts {
-                        return Self::outcome_from_cache(&entry);
+                        return Ok(Self::outcome_from_cache(&entry));
                     }
                     cache.note_replay_failure();
                 }
             }
         }
-        let outcome = self.run_protocol(agent, game_id, spec);
-        if let Some(advice) = &outcome.advice {
+        let outcome = self.dispatch(agent, game_id, spec)?;
+        // Degraded closes are never memoized: their majority was pooled
+        // over a partial panel, so serving them warm would replay a
+        // quorum vote as if the full panel had vouched for it.
+        if let (Some(advice), PanelOutcome::Full) = (&outcome.advice, &outcome.panel) {
             // Record the kernel's own verdict once, so replay hits compare
             // kernel-to-kernel (deterministic) rather than against the
             // panel's — possibly corrupt — adoption decision.
@@ -245,7 +479,7 @@ impl SessionDriver {
                 },
             );
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Materializes a cache hit: the stored session's result with zero
@@ -259,6 +493,18 @@ impl SessionDriver {
             session_bytes: 0,
             verdict_details: entry.verdict_details.clone(),
             cached: true,
+            panel: PanelOutcome::Full,
+            attempts: 0,
+        }
+    }
+
+    /// Routes a consultation to the legacy fire-and-forget flow (no
+    /// resilience attached — infallible, bit-for-bit the pre-resilience
+    /// protocol) or to the loss-tolerant enveloped flow.
+    fn dispatch(&mut self, agent: Party, game_id: u64, spec: &GameSpec) -> ConsultResult {
+        match self.resilience {
+            None => Ok(self.run_protocol(agent, game_id, spec)),
+            Some(cfg) => self.run_resilient(agent, game_id, spec, cfg),
         }
     }
 
@@ -318,6 +564,8 @@ impl SessionDriver {
                 session_bytes: self.bus.total_bytes() - bytes_before,
                 verdict_details: Vec::new(),
                 cached: false,
+                panel: PanelOutcome::Full,
+                attempts: 0,
             };
         };
 
@@ -407,8 +655,394 @@ impl SessionDriver {
             session_bytes: self.bus.total_bytes() - bytes_before,
             verdict_details,
             cached: false,
+            panel: PanelOutcome::Full,
+            attempts: 0,
         }
     }
+
+    /// The loss-tolerant Fig. 1 flow. Every frame ships inside a
+    /// [`Message::Resilient`] envelope carrying the session id and an
+    /// attempt sequence number; the agent retransmits on the configured
+    /// exponential backoff (driven through the transport's virtual clock)
+    /// until the stage completes, `max_attempts` sends are spent, or the
+    /// deadline budget runs out. Responders answer each distinct attempt
+    /// exactly once — duplicates from at-least-once links are dropped —
+    /// and compute their advice/verdict a single time per session; replies
+    /// echo the request's attempt number, so the Lemma 1 ledger classifies
+    /// all retry traffic (both directions) as retransmit bytes.
+    ///
+    /// The panel stage closes *full* when every trusted verifier answers,
+    /// or *degraded* at `quorum` responses once the budget is spent — in
+    /// which case the silent verifiers are reported to the reputation
+    /// plane as unresponsive. Sub-quorum exhaustion (and a starved advice
+    /// stage) returns [`ConsultError::Deadline`] without punishing anyone:
+    /// with no responding majority there is no evidence the silence was
+    /// the verifiers' fault rather than the network's.
+    ///
+    /// On a clockless transport (the perfect [`Bus`], whose `now()` never
+    /// moves) each attempt gets exactly one service pass and only
+    /// `max_attempts` bounds the loop.
+    fn run_resilient(
+        &mut self,
+        agent: Party,
+        game_id: u64,
+        spec: &GameSpec,
+        cfg: ResilienceConfig,
+    ) -> ConsultResult {
+        self.ensure_agent(agent);
+        let bytes_before = self.bus.total_bytes();
+        let started = self.bus.now();
+        let deadline_at = started.saturating_add(cfg.deadline);
+        let mut st = ResilientState::default();
+
+        // Stage 1: advice, at-least-once.
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > 0 {
+                st.retransmits += 1;
+            }
+            self.bus
+                .send(
+                    agent,
+                    self.inventor.id,
+                    Message::Resilient {
+                        session: game_id,
+                        attempt,
+                        inner: Box::new(Message::AdviceRequest { game_id }),
+                    },
+                )
+                .expect("inventor registered");
+            let wait_until = self.wait_until(attempt, &cfg, deadline_at);
+            loop {
+                self.bus.settle();
+                self.serve_inventor(&mut st, spec, agent, game_id);
+                self.bus.settle();
+                self.collect_agent(&mut st, agent, game_id);
+                if st.agent_advice.is_some() || self.bus.now() >= wait_until {
+                    break;
+                }
+                let before = self.bus.now();
+                self.bus.advance(1);
+                if self.bus.now() == before {
+                    // Clockless transport: one service pass per attempt.
+                    break;
+                }
+            }
+            if st.agent_advice.is_some() {
+                break;
+            }
+            attempt += 1;
+            if attempt >= cfg.max_attempts || self.bus.now() >= deadline_at {
+                return Err(ConsultError::Deadline {
+                    stage: ConsultStage::Advice,
+                    attempts: st.retransmits,
+                    elapsed: self.bus.now().saturating_sub(started),
+                    received: 0,
+                    quorum: 1,
+                    missing: vec![self.inventor.id],
+                });
+            }
+        }
+        let received_advice = st.agent_advice.take().expect("advice stage completed");
+
+        // Stage 2: panel fan-out, closing full or at quorum. Trust checks
+        // read one immutable snapshot, exactly like the legacy flow.
+        let reputation_view = self.reputation.snapshot();
+        let panel: Vec<Party> = self
+            .verifiers
+            .iter()
+            .map(|v| v.id)
+            .filter(|&v| reputation_view.is_trusted(v))
+            .collect();
+        let advice_payload = Arc::new(received_advice);
+        let quorum = cfg.quorum.min(panel.len());
+        let mut panel_outcome = PanelOutcome::Full;
+        if !panel.is_empty() {
+            let mut attempt: u32 = 0;
+            loop {
+                self.send_buf.clear();
+                for &verifier in &panel {
+                    if st.agent_verdicts.contains_key(&verifier) {
+                        continue;
+                    }
+                    if attempt > 0 {
+                        st.retransmits += 1;
+                    }
+                    self.send_buf.push((
+                        agent,
+                        verifier,
+                        Message::Resilient {
+                            session: game_id,
+                            attempt,
+                            inner: Box::new(Message::VerdictRequest {
+                                game_id,
+                                advice: Arc::clone(&advice_payload),
+                            }),
+                        },
+                    ));
+                }
+                self.bus
+                    .send_batch(&mut self.send_buf)
+                    .expect("verifier registered");
+                let wait_until = self.wait_until(attempt, &cfg, deadline_at);
+                loop {
+                    self.bus.settle();
+                    self.serve_verifiers(&mut st, spec, game_id);
+                    self.bus.settle();
+                    self.collect_agent(&mut st, agent, game_id);
+                    if st.agent_verdicts.len() == panel.len() || self.bus.now() >= wait_until {
+                        break;
+                    }
+                    let before = self.bus.now();
+                    self.bus.advance(1);
+                    if self.bus.now() == before {
+                        break;
+                    }
+                }
+                if st.agent_verdicts.len() == panel.len() {
+                    break;
+                }
+                attempt += 1;
+                if attempt >= cfg.max_attempts || self.bus.now() >= deadline_at {
+                    let missing: Vec<Party> = panel
+                        .iter()
+                        .copied()
+                        .filter(|v| !st.agent_verdicts.contains_key(v))
+                        .collect();
+                    if st.agent_verdicts.len() >= quorum {
+                        // A responding quorum evidences a live network, so
+                        // the silent rest pays: close degraded and report
+                        // them to the reputation plane.
+                        self.reputation.report_unresponsive(&missing);
+                        panel_outcome = PanelOutcome::Degraded { missing };
+                        break;
+                    }
+                    return Err(ConsultError::Deadline {
+                        stage: ConsultStage::Panel,
+                        attempts: st.retransmits,
+                        elapsed: self.bus.now().saturating_sub(started),
+                        received: st.agent_verdicts.len(),
+                        quorum,
+                        missing,
+                    });
+                }
+            }
+        }
+
+        // Stage 3: majority + reputation update, pooled in panel order so
+        // resilient runs are deterministic regardless of arrival order.
+        let mut verdicts: Vec<(Party, bool)> = Vec::new();
+        let mut verdict_details = Vec::new();
+        for &verifier in &panel {
+            if let Some((accepted, detail)) = st.agent_verdicts.get(&verifier) {
+                verdicts.push((verifier, *accepted));
+                verdict_details.push((verifier, *accepted, detail.clone()));
+            }
+        }
+        let majority = if verdicts.is_empty() {
+            None
+        } else {
+            Some(self.reputation.pool_verdicts(&verdicts))
+        };
+        let adopted = majority.as_ref().is_some_and(|m| m.accepted);
+        let received_advice = Arc::try_unwrap(advice_payload).unwrap_or_else(|a| (*a).clone());
+        Ok(SessionOutcome {
+            advice: Some(received_advice),
+            majority,
+            adopted,
+            advice_bytes: st.advice_bytes,
+            session_bytes: self.bus.total_bytes() - bytes_before,
+            verdict_details,
+            cached: false,
+            panel: panel_outcome,
+            attempts: st.retransmits,
+        })
+    }
+
+    /// The virtual-clock instant at which attempt `attempt`'s wait window
+    /// closes: the backoff interval from now, clamped to the deadline —
+    /// except for the final permitted attempt, which spends whatever
+    /// remains of the whole budget.
+    fn wait_until(&mut self, attempt: u32, cfg: &ResilienceConfig, deadline_at: u64) -> u64 {
+        if attempt + 1 >= cfg.max_attempts {
+            deadline_at
+        } else {
+            self.bus
+                .now()
+                .saturating_add(cfg.backoff.rto(attempt, &mut self.jitter_rng))
+                .min(deadline_at)
+        }
+    }
+
+    /// Inventor-side service pass: answers each distinct `(session,
+    /// attempt)` advice request exactly once — duplicated frames are
+    /// dropped — computing the advice a single time per session. Replies
+    /// echo the request's attempt, so retries classify as retransmit
+    /// bytes in the ledger.
+    fn serve_inventor(
+        &mut self,
+        st: &mut ResilientState,
+        spec: &GameSpec,
+        agent: Party,
+        game_id: u64,
+    ) {
+        self.recv_buf.clear();
+        self.endpoints[&self.inventor.id].drain_into(&mut self.recv_buf);
+        for (from, msg) in self.recv_buf.drain(..) {
+            let Message::Resilient {
+                session,
+                attempt,
+                inner,
+            } = msg
+            else {
+                continue;
+            };
+            if session != game_id || from != agent {
+                continue;
+            }
+            let Message::AdviceRequest { .. } = *inner else {
+                continue;
+            };
+            if !st.served_advice.insert(attempt) {
+                continue;
+            }
+            if !st.advice_computed {
+                st.advice_computed = true;
+                st.inventor_advice = self.inventor.advise(spec);
+            }
+            // A Silent inventor never answers; the agent's budget starves
+            // and the session fails loudly with a Deadline error.
+            let Some(advice) = st.inventor_advice.clone() else {
+                continue;
+            };
+            let payload = Message::AdviceWithProof {
+                game_id,
+                advice: Box::new(advice),
+            };
+            if st.advice_bytes == 0 {
+                st.advice_bytes = payload.encoded_len();
+            }
+            self.bus
+                .send(
+                    self.inventor.id,
+                    from,
+                    Message::Resilient {
+                        session: game_id,
+                        attempt,
+                        inner: Box::new(payload),
+                    },
+                )
+                .expect("agent registered");
+        }
+    }
+
+    /// Verifier-side service pass: each panel member answers each distinct
+    /// `(session, attempt)` verdict request once, memoizing its verdict so
+    /// retries never re-verify. Replies batch back to the agent in one
+    /// accounting critical section.
+    fn serve_verifiers(&mut self, st: &mut ResilientState, spec: &GameSpec, game_id: u64) {
+        for i in 0..self.verifiers.len() {
+            let vid = self.verifiers[i].id;
+            self.recv_buf.clear();
+            self.endpoints[&vid].drain_into(&mut self.recv_buf);
+            for (from, msg) in self.recv_buf.drain(..) {
+                let Message::Resilient {
+                    session,
+                    attempt,
+                    inner,
+                } = msg
+                else {
+                    continue;
+                };
+                if session != game_id {
+                    continue;
+                }
+                let Message::VerdictRequest { advice, .. } = *inner else {
+                    continue;
+                };
+                if !st.served_verdicts.insert((vid, attempt)) {
+                    continue;
+                }
+                let (accepted, detail) = match st.verifier_verdicts.get(&vid) {
+                    Some(memoized) => memoized.clone(),
+                    // Not `entry().or_insert_with(..)`: the closure would
+                    // capture `self` alongside the live `recv_buf` drain.
+                    None => {
+                        let computed = self.verifiers[i].verify(spec, &advice);
+                        st.verifier_verdicts.insert(vid, computed.clone());
+                        computed
+                    }
+                };
+                self.send_buf.push((
+                    vid,
+                    from,
+                    Message::Resilient {
+                        session: game_id,
+                        attempt,
+                        inner: Box::new(Message::Verdict {
+                            game_id,
+                            accepted,
+                            detail,
+                        }),
+                    },
+                ));
+            }
+        }
+        self.bus
+            .send_batch(&mut self.send_buf)
+            .expect("agent registered");
+    }
+
+    /// Agent-side collection pass: takes the first advice-with-proof and
+    /// the first verdict per verifier for this session, dropping
+    /// duplicates (idempotent receive) and frames from other sessions.
+    fn collect_agent(&mut self, st: &mut ResilientState, agent: Party, game_id: u64) {
+        self.recv_buf.clear();
+        self.endpoints[&agent].drain_into(&mut self.recv_buf);
+        for (from, msg) in self.recv_buf.drain(..) {
+            let Message::Resilient { session, inner, .. } = msg else {
+                continue;
+            };
+            if session != game_id {
+                continue;
+            }
+            match *inner {
+                Message::AdviceWithProof { advice, .. } if st.agent_advice.is_none() => {
+                    st.agent_advice = Some(*advice);
+                }
+                Message::Verdict {
+                    accepted, detail, ..
+                } => {
+                    st.agent_verdicts.entry(from).or_insert((accepted, detail));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Scratch state for one resilient session: the responders' dedup sets
+/// and memoized answers, plus what the agent has collected so far.
+#[derive(Default)]
+struct ResilientState {
+    /// Advice-request attempts the inventor has already answered.
+    served_advice: HashSet<u32>,
+    /// Whether the inventor has computed (or declined) its advice.
+    advice_computed: bool,
+    /// The inventor's memoized advice for this session.
+    inventor_advice: Option<Advice>,
+    /// `(verifier, attempt)` verdict requests already answered.
+    served_verdicts: HashSet<(Party, u32)>,
+    /// Verifier-side memoized verdicts.
+    verifier_verdicts: HashMap<Party, (bool, String)>,
+    /// The first advice-with-proof the agent received.
+    agent_advice: Option<Advice>,
+    /// First verdict per verifier collected by the agent.
+    agent_verdicts: HashMap<Party, (bool, String)>,
+    /// Driver-side retransmitted request frames.
+    retransmits: u64,
+    /// Encoded length of the advice-with-proof payload (Lemma 1).
+    advice_bytes: usize,
 }
 
 /// The assembled single-bus infrastructure: one [`SessionDriver`] plus
@@ -502,11 +1136,41 @@ impl RationalityAuthority {
         self.driver.bus()
     }
 
+    /// Attaches (or with `None` removes) a resilience budget (see
+    /// [`SessionDriver::set_resilience`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config violates its invariants.
+    pub fn set_resilience(&mut self, config: Option<ResilienceConfig>) {
+        self.driver.set_resilience(config);
+    }
+
+    /// The attached resilience budget, if any.
+    pub fn resilience(&self) -> Option<&ResilienceConfig> {
+        self.driver.resilience()
+    }
+
     /// Runs one full consultation for agent `agent_id` about `spec`.
+    ///
+    /// # Panics
+    ///
+    /// With a resilience budget attached, panics if the consultation's
+    /// budget runs out — use [`RationalityAuthority::try_consult`] to
+    /// handle [`ConsultError`] instead. Without one this never panics.
     pub fn consult(&mut self, agent_id: u64, spec: &GameSpec) -> SessionOutcome {
         let game_id = self.next_game_id;
         self.next_game_id += 1;
         self.driver.run(Party::Agent(agent_id), game_id, spec)
+    }
+
+    /// [`RationalityAuthority::consult`] with typed failure: resilient
+    /// sessions whose deadline budget starves return
+    /// [`ConsultError::Deadline`]. The game id is consumed either way.
+    pub fn try_consult(&mut self, agent_id: u64, spec: &GameSpec) -> ConsultResult {
+        let game_id = self.next_game_id;
+        self.next_game_id += 1;
+        self.driver.try_run(Party::Agent(agent_id), game_id, spec)
     }
 }
 
@@ -861,5 +1525,389 @@ mod tests {
             driver.bus().bytes_between(agent, Party::Inventor(0)),
             2 * Message::AdviceRequest { game_id: 100 }.encoded_len()
         );
+    }
+
+    // ---- session resilience -------------------------------------------
+
+    use crate::simnet::{LinkProfile, SimNet, SimNetConfig};
+
+    fn resilient_authority(
+        inventor: InventorBehavior,
+        panel: &[VerifierBehavior],
+        transport: Arc<dyn Transport>,
+        cfg: ResilienceConfig,
+    ) -> RationalityAuthority {
+        let mut authority = RationalityAuthority::with_transport(
+            Inventor::new(0, inventor),
+            panel,
+            Arc::new(LocalReputation::new()),
+            transport,
+        );
+        authority.set_resilience(Some(cfg));
+        authority
+    }
+
+    #[test]
+    fn resilient_over_perfect_bus_matches_legacy_outcome() {
+        for spec in all_specs() {
+            let mut legacy = RationalityAuthority::new(
+                Inventor::new(0, InventorBehavior::Honest),
+                &[VerifierBehavior::Honest; 3],
+            );
+            let mut resilient = RationalityAuthority::new(
+                Inventor::new(0, InventorBehavior::Honest),
+                &[VerifierBehavior::Honest; 3],
+            );
+            resilient.set_resilience(Some(ResilienceConfig::default()));
+            let want = legacy.consult(0, &spec);
+            let got = resilient.try_consult(0, &spec).expect("perfect bus");
+            assert_eq!(got.advice, want.advice, "spec {spec:?}");
+            assert_eq!(got.majority, want.majority);
+            assert_eq!(got.adopted, want.adopted);
+            assert_eq!(got.verdict_details, want.verdict_details);
+            assert_eq!(got.panel, PanelOutcome::Full);
+            assert_eq!(got.attempts, 0, "perfect bus needs no retries");
+            assert_eq!(resilient.bus().retransmit_bytes(), 0);
+            // The envelope costs bytes; goodput still accounts them all.
+            assert!(got.session_bytes > want.session_bytes);
+            assert_eq!(
+                resilient.bus().goodput_bytes(),
+                resilient.bus().total_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_off_is_byte_identical_to_legacy() {
+        // The legacy protocol must not pay for the feature it didn't ask
+        // for: a driver with no config attached moves exactly the same
+        // bytes as before the resilience layer existed.
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut a = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        let mut b = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        b.set_resilience(Some(ResilienceConfig::default()));
+        b.set_resilience(None);
+        let want = a.consult(0, &spec);
+        let got = b.consult(0, &spec);
+        assert_eq!(got.session_bytes, want.session_bytes);
+        assert_eq!(got.attempts, 0);
+        assert_eq!(b.bus().retransmit_bytes(), 0);
+    }
+
+    #[test]
+    fn retransmits_recover_a_lossy_network() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let net = Arc::new(SimNet::new(SimNetConfig {
+            seed: 7,
+            default_link: LinkProfile::lossy(0.4),
+            ..SimNetConfig::default()
+        }));
+        let mut authority = resilient_authority(
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            net,
+            ResilienceConfig::default(),
+        );
+        let mut total_attempts = 0;
+        for round in 0..20 {
+            let outcome = authority
+                .try_consult(round, &spec)
+                .expect("budget generous enough for 40% loss");
+            assert!(outcome.adopted);
+            total_attempts += outcome.attempts;
+        }
+        assert!(
+            total_attempts > 0,
+            "40% loss over 20 consults must force at least one retry"
+        );
+        let bus = authority.bus();
+        assert!(bus.retransmit_bytes() > 0);
+        assert_eq!(
+            bus.total_bytes(),
+            bus.goodput_bytes() + bus.retransmit_bytes()
+        );
+    }
+
+    #[test]
+    fn legacy_lossy_link_pins_quiet_minority_vote() {
+        // The documented legacy hazard this PR's quorum layer fixes:
+        // with resilience off, dropping the request links to two of three
+        // verifiers silently shrinks the panel vote to a single voice.
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(1));
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(2));
+        let outcome = authority.consult(0, &spec);
+        assert!(outcome.adopted, "one verdict is quietly pooled as if full");
+        assert_eq!(outcome.majority.unwrap().accept_votes, 1);
+        assert_eq!(outcome.panel, PanelOutcome::Full);
+    }
+
+    #[test]
+    fn sub_quorum_exhaustion_is_a_typed_error_not_a_minority_vote() {
+        // Same fault as above, resilience on with quorum 2: the session
+        // fails loudly instead of pooling a quiet minority vote.
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_resilience(Some(ResilienceConfig {
+            quorum: 2,
+            max_attempts: 3,
+            ..ResilienceConfig::default()
+        }));
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(1));
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(2));
+        let err = authority.try_consult(0, &spec).unwrap_err();
+        let ConsultError::Deadline {
+            stage,
+            received,
+            quorum,
+            missing,
+            ..
+        } = err;
+        assert_eq!(stage, ConsultStage::Panel);
+        assert_eq!(received, 1);
+        assert_eq!(quorum, 2);
+        assert_eq!(missing, vec![Party::Verifier(1), Party::Verifier(2)]);
+        // Sub-quorum silence is not punished: there is no responding
+        // majority to evidence the network was fine.
+        assert_eq!(
+            authority.reputation().score(Party::Verifier(1)),
+            LocalReputation::INITIAL
+        );
+    }
+
+    #[test]
+    fn quorum_close_is_degraded_and_punishes_the_silent() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_resilience(Some(ResilienceConfig {
+            quorum: 2,
+            max_attempts: 3,
+            ..ResilienceConfig::default()
+        }));
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(2));
+        let silent = Party::Verifier(2);
+        let before = authority.reputation().score(silent);
+        let outcome = authority.try_consult(0, &spec).expect("quorum of 2 met");
+        assert!(outcome.adopted);
+        assert_eq!(
+            outcome.panel,
+            PanelOutcome::Degraded {
+                missing: vec![silent]
+            }
+        );
+        assert_eq!(outcome.majority.as_ref().unwrap().accept_votes, 2);
+        assert_eq!(outcome.verdict_details.len(), 2);
+        assert_eq!(
+            authority.reputation().score(silent),
+            before - 1,
+            "unresponsiveness costs one point, like dissent"
+        );
+    }
+
+    #[test]
+    fn persistent_silence_excludes_and_bumps_the_panel_version() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_resilience(Some(ResilienceConfig {
+            quorum: 2,
+            max_attempts: 2,
+            ..ResilienceConfig::default()
+        }));
+        let silent = Party::Verifier(2);
+        authority.bus().drop_link(Party::Agent(0), silent);
+        let version_before = authority.reputation().snapshot().panel_version();
+        let mut round = 0;
+        while authority.reputation().is_trusted(silent) {
+            // Always agent 0: the dropped link is directed from it.
+            let outcome = authority.try_consult(0, &spec).expect("quorum met");
+            assert!(matches!(outcome.panel, PanelOutcome::Degraded { .. }));
+            round += 1;
+            assert!(round < 64, "exclusion must happen within the budget");
+        }
+        assert!(
+            authority.reputation().snapshot().panel_version() > version_before,
+            "losing a panel member bumps the version"
+        );
+        // With the dead verifier excluded, sessions close full again.
+        let outcome = authority.try_consult(99, &spec).expect("live panel");
+        assert_eq!(outcome.panel, PanelOutcome::Full);
+        assert_eq!(outcome.verdict_details.len(), 2);
+    }
+
+    #[test]
+    fn silent_inventor_starves_the_advice_stage() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Silent),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_resilience(Some(ResilienceConfig {
+            max_attempts: 3,
+            ..ResilienceConfig::default()
+        }));
+        let err = authority.try_consult(0, &spec).unwrap_err();
+        let ConsultError::Deadline {
+            stage,
+            attempts,
+            missing,
+            ..
+        } = err;
+        assert_eq!(stage, ConsultStage::Advice);
+        assert_eq!(attempts, 2, "three sends, two of them retransmits");
+        assert_eq!(missing, vec![Party::Inventor(0)]);
+    }
+
+    #[test]
+    fn duplicated_traffic_is_outcome_identical_to_lossless() {
+        // The dedup half of at-least-once delivery: a link that delivers
+        // every frame twice must produce exactly the outcome of a clean
+        // one — same advice, same vote, no spurious retries.
+        for spec in all_specs() {
+            let clean = Arc::new(SimNet::lossless(11));
+            let doubled = Arc::new(SimNet::new(SimNetConfig {
+                seed: 11,
+                default_link: LinkProfile::duplicating(1.0),
+                ..SimNetConfig::default()
+            }));
+            let cfg = ResilienceConfig::default();
+            let mut a = resilient_authority(
+                InventorBehavior::Honest,
+                &[VerifierBehavior::Honest; 3],
+                clean,
+                cfg,
+            );
+            let mut b = resilient_authority(
+                InventorBehavior::Honest,
+                &[VerifierBehavior::Honest; 3],
+                doubled,
+                cfg,
+            );
+            let want = a.try_consult(0, &spec).expect("lossless");
+            let got = b.try_consult(0, &spec).expect("duplicates never starve");
+            assert_eq!(got.advice, want.advice, "spec {spec:?}");
+            assert_eq!(got.majority, want.majority);
+            assert_eq!(got.adopted, want.adopted);
+            assert_eq!(got.verdict_details, want.verdict_details);
+            assert_eq!(got.panel, want.panel);
+            assert_eq!(got.attempts, want.attempts);
+            assert_eq!(got.attempts, 0, "duplication alone never forces a retry");
+        }
+    }
+
+    #[test]
+    fn latency_only_networks_complete_within_the_clock_budget() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let net = Arc::new(SimNet::new(SimNetConfig {
+            seed: 3,
+            default_link: LinkProfile::with_latency(2, 6),
+            ..SimNetConfig::default()
+        }));
+        let transport: Arc<dyn Transport> = Arc::clone(&net) as Arc<dyn Transport>;
+        let mut authority = resilient_authority(
+            InventorBehavior::Honest,
+            &[VerifierBehavior::Honest; 3],
+            transport,
+            ResilienceConfig {
+                backoff: BackoffConfig {
+                    base: 16,
+                    ..BackoffConfig::default()
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        let outcome = authority.try_consult(0, &spec).expect("no loss");
+        assert!(outcome.adopted);
+        assert_eq!(outcome.panel, PanelOutcome::Full);
+        assert_eq!(outcome.attempts, 0, "RTO above RTT never fires spuriously");
+        assert!(net.now() > 0, "the driver drove the virtual clock forward");
+        assert_eq!(authority.bus().retransmit_bytes(), 0);
+    }
+
+    #[test]
+    fn degraded_outcomes_are_never_memoized() {
+        use crate::cache::CertCacheConfig;
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let mut authority = RationalityAuthority::new(
+            Inventor::new(0, InventorBehavior::Honest),
+            &[VerifierBehavior::Honest; 3],
+        );
+        authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::replay(64))));
+        authority.set_resilience(Some(ResilienceConfig {
+            quorum: 1,
+            max_attempts: 2,
+            ..ResilienceConfig::default()
+        }));
+        authority
+            .bus()
+            .drop_link(Party::Agent(0), Party::Verifier(2));
+        let degraded = authority.try_consult(0, &spec).expect("quorum met");
+        assert!(matches!(degraded.panel, PanelOutcome::Degraded { .. }));
+        let probe = authority.try_consult(1, &spec).expect("quorum met");
+        assert!(
+            !probe.cached,
+            "a quorum vote must not be replayed as if the full panel vouched"
+        );
+    }
+
+    #[test]
+    fn resilient_jitter_stream_is_seed_deterministic() {
+        let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+        let run = |seed: u64| {
+            let net = Arc::new(SimNet::new(SimNetConfig {
+                seed: 99,
+                default_link: LinkProfile {
+                    latency_min: 1,
+                    latency_max: 4,
+                    drop_prob: 0.3,
+                    duplicate_probability: 0.0,
+                },
+                ..SimNetConfig::default()
+            }));
+            let mut authority = resilient_authority(
+                InventorBehavior::Honest,
+                &[VerifierBehavior::Honest; 3],
+                net,
+                ResilienceConfig {
+                    seed,
+                    ..ResilienceConfig::default()
+                },
+            );
+            (0..10)
+                .map(|round| {
+                    let o = authority.try_consult(round, &spec).expect("budget");
+                    (o.attempts, o.session_bytes, o.adopted)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1), "same seeds, same retry trace");
     }
 }

@@ -62,7 +62,7 @@ use crate::pool::ShardPool;
 use crate::reputation::{
     GossipPlane, GossipReputation, LocalReputation, ReputationDecay, VoteRule,
 };
-use crate::session::{RationalityAuthority, SessionOutcome};
+use crate::session::{ConsultResult, RationalityAuthority, ResilienceConfig, SessionOutcome};
 use crate::transport::Transport;
 use crate::verifier::VerifierBehavior;
 use crate::wire;
@@ -182,6 +182,11 @@ impl From<ReputationPolicy> for ReputationConfig {
 pub struct ShardStats {
     /// Total wire bytes across every shard's bus (consultation plane).
     pub total_bytes: usize,
+    /// Retransmit wire bytes across every shard's bus — the resilient
+    /// protocol's retry traffic, already included in `total_bytes` (zero
+    /// when resilience is off). `total_bytes - retransmit_bytes` is the
+    /// engine-wide goodput figure Lemma 1 tables cite.
+    pub retransmit_bytes: usize,
     /// Total messages across every shard's bus (consultation plane).
     pub message_count: usize,
     /// Per-shard wire-byte totals (index = shard).
@@ -624,6 +629,46 @@ impl ShardedAuthority {
         outcome
     }
 
+    /// [`ShardedAuthority::consult`] with typed failure: resilient
+    /// sessions whose deadline budget starves return
+    /// [`crate::ConsultError::Deadline`] instead of panicking. Failed
+    /// consultations still advance the engine-wide gossip counters (they
+    /// consumed a stream slot) but contribute no dissents — no verdict
+    /// was pooled.
+    pub fn try_consult(&self, agent_id: u64, spec: &GameSpec) -> ConsultResult {
+        let result = self.shards[self.shard_of(agent_id)]
+            .lock()
+            .expect("shard lock poisoned")
+            .try_consult(agent_id, spec);
+        let dissents = result.as_ref().map(dissent_votes).unwrap_or(0);
+        self.note_consultations(1, dissents);
+        result
+    }
+
+    /// Attaches (or with `None` removes) a resilience budget on every
+    /// shard. Each shard's jitter stream is reseeded by mixing the
+    /// config's seed with the shard index, so retry timing is
+    /// decorrelated across shards yet fully determined by the one seed —
+    /// batch and sequential runs stay equal with resilience on, because
+    /// each shard consumes its own stream in request order either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config violates its invariants.
+    pub fn set_resilience(&self, config: Option<ResilienceConfig>) {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let per_shard = config.map(|mut cfg| {
+                let mut state = cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                cfg.seed = rand::splitmix64(&mut state);
+                cfg
+            });
+            shard
+                .lock()
+                .expect("shard lock poisoned")
+                .set_resilience(per_shard);
+        }
+    }
+
     /// Fans a batch of consultations across the shards over the
     /// persistent worker pool — one long-lived thread pinned per shard,
     /// spun up lazily on the first multi-shard chunk and reused across
@@ -645,7 +690,26 @@ impl ShardedAuthority {
     /// Requests carry `Arc<GameSpec>` so fanning a spec out to a worker
     /// bumps a reference count instead of deep-cloning payoff tables.
     pub fn consult_batch(&self, requests: &[(u64, Arc<GameSpec>)]) -> Vec<SessionOutcome> {
-        let mut results: Vec<Option<SessionOutcome>> = Vec::new();
+        self.try_consult_batch(requests)
+            .into_iter()
+            .map(|result| match result {
+                Ok(outcome) => outcome,
+                Err(e) => panic!(
+                    "resilient consultation failed ({e}); use try_consult_batch to handle errors"
+                ),
+            })
+            .collect()
+    }
+
+    /// [`ShardedAuthority::consult_batch`] with typed failure per
+    /// request: a resilient session whose budget starves yields
+    /// [`crate::ConsultError::Deadline`] at its slot without disturbing
+    /// the rest of the batch. Determinism is unchanged — errors occupy
+    /// their request slots, and each shard's jitter stream advances in
+    /// request order exactly as sequential [`ShardedAuthority::try_consult`]
+    /// calls would.
+    pub fn try_consult_batch(&self, requests: &[(u64, Arc<GameSpec>)]) -> Vec<ConsultResult> {
+        let mut results: Vec<Option<ConsultResult>> = Vec::new();
         results.resize_with(requests.len(), || None);
         match &self.gossip {
             None => self.run_chunk(requests, 0, requests.len(), &mut results),
@@ -659,6 +723,7 @@ impl ShardedAuthority {
                     let dissents = results[start..end]
                         .iter()
                         .flatten()
+                        .filter_map(|r| r.as_ref().ok())
                         .map(dissent_votes)
                         .sum::<u64>();
                     self.note_consultations((end - start) as u64, dissents);
@@ -702,7 +767,7 @@ impl ShardedAuthority {
         requests: &[(u64, Arc<GameSpec>)],
         start: usize,
         end: usize,
-        results: &mut [Option<SessionOutcome>],
+        results: &mut [Option<ConsultResult>],
     ) {
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (offset, &(agent_id, _)) in requests[start..end].iter().enumerate() {
@@ -719,7 +784,7 @@ impl ShardedAuthority {
             let mut shard = shard.lock().expect("shard lock poisoned");
             for &i in indices {
                 let (agent_id, spec) = &requests[i];
-                results[i] = Some(shard.consult(*agent_id, spec.as_ref()));
+                results[i] = Some(shard.try_consult(*agent_id, spec.as_ref()));
             }
         }
     }
@@ -733,7 +798,7 @@ impl ShardedAuthority {
         &self,
         requests: &[(u64, Arc<GameSpec>)],
         by_shard: &[Vec<usize>],
-        results: &mut [Option<SessionOutcome>],
+        results: &mut [Option<ConsultResult>],
     ) -> bool {
         let chunk = by_shard
             .iter()
@@ -761,7 +826,7 @@ impl ShardedAuthority {
         &self,
         _requests: &[(u64, Arc<GameSpec>)],
         _by_shard: &[Vec<usize>],
-        _results: &mut [Option<SessionOutcome>],
+        _results: &mut [Option<ConsultResult>],
     ) -> bool {
         false
     }
@@ -805,6 +870,7 @@ impl ShardedAuthority {
             let shard = shard.lock().expect("shard lock poisoned");
             let bytes = shard.bus().total_bytes();
             stats.total_bytes += bytes;
+            stats.retransmit_bytes += shard.bus().retransmit_bytes();
             stats.message_count += shard.bus().message_count();
             stats.shard_bytes.push(bytes);
         }
@@ -884,6 +950,81 @@ mod tests {
             VerifierBehavior::Honest,
             VerifierBehavior::AlwaysReject,
         ]
+    }
+
+    #[test]
+    fn resilient_batch_matches_sequential_over_lossy_simnet() {
+        use crate::session::ResilienceConfig;
+        use crate::simnet::{LinkProfile, SimNet, SimNetConfig};
+        // Seed-deterministic resilience: two engines with identical
+        // transport seeds and the same resilience seed must agree —
+        // batched against sequential — on every outcome, every retry
+        // count and every ledger figure, even at 20% per-link loss.
+        let requests = batch(32);
+        let factory = |site: TransportSite| -> Arc<dyn Transport> {
+            let salt = match site {
+                TransportSite::Shard(s) => s as u64,
+                TransportSite::GossipHub => u64::MAX,
+            };
+            Arc::new(SimNet::new(SimNetConfig {
+                seed: 0xC0FFEE ^ salt,
+                default_link: LinkProfile::lossy(0.2),
+                ..SimNetConfig::default()
+            }))
+        };
+        let config = ReputationConfig::from(ReputationPolicy::Gossip { every: 8 });
+        let build = || {
+            let engine = ShardedAuthority::with_transports(
+                4,
+                InventorBehavior::Honest,
+                &saboteur_panel(),
+                config,
+                CertCacheConfig::default(),
+                &factory,
+            );
+            engine.set_resilience(Some(ResilienceConfig::default()));
+            engine
+        };
+        let batched = build();
+        let sequential = build();
+        let from_batch = batched.try_consult_batch(&requests);
+        let from_seq: Vec<ConsultResult> = requests
+            .iter()
+            .map(|(agent, spec)| sequential.try_consult(*agent, spec.as_ref()))
+            .collect();
+        assert_eq!(from_batch.len(), from_seq.len());
+        for (b, s) in from_batch.iter().zip(&from_seq) {
+            match (b, s) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.adopted, s.adopted);
+                    assert_eq!(b.majority, s.majority);
+                    assert_eq!(b.session_bytes, s.session_bytes);
+                    assert_eq!(b.attempts, s.attempts);
+                    assert_eq!(b.panel, s.panel);
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s),
+                other => panic!("batch/sequential divergence: {other:?}"),
+            }
+        }
+        let batched_stats = comparable(batched.shard_stats());
+        assert_eq!(batched_stats, comparable(sequential.shard_stats()));
+        assert!(
+            batched_stats.retransmit_bytes > 0,
+            "20% loss across 32 consults must force retransmits"
+        );
+        assert!(batched_stats.retransmit_bytes < batched_stats.total_bytes);
+    }
+
+    #[test]
+    fn resilience_off_batch_stats_are_unchanged() {
+        // The default engine never pays for the resilience layer: stats
+        // report zero retransmit bytes and the determinism suite's
+        // equalities keep holding (they run elsewhere in this module).
+        let engine = ShardedAuthority::new(4, InventorBehavior::Honest, &saboteur_panel());
+        let _ = engine.consult_batch(&batch(16));
+        let stats = engine.shard_stats();
+        assert_eq!(stats.retransmit_bytes, 0);
+        assert!(stats.total_bytes > 0);
     }
 
     fn assert_batch_matches_sequential(config: ReputationConfig, n: u64) {

@@ -49,9 +49,13 @@ use crate::wire::Wire;
 ///
 /// Latency is a uniform window `[latency_min, latency_max]` in virtual
 /// ticks; `latency_max > latency_min` creates jitter, which is also the
-/// reordering window. `drop_prob` is sampled per frame. The default is
-/// the perfect link: zero ticks, zero loss — and, deliberately, zero RNG
-/// draws, so a fully-default `SimNet` is byte-identical to a `Bus`.
+/// reordering window. `drop_prob` is sampled per frame, and a frame that
+/// survives loss is *duplicated* with probability
+/// `duplicate_probability` (the other half of at-least-once delivery:
+/// the copy shares the original's sampled delay and is accounted as its
+/// own delivered record). The default is the perfect link: zero ticks,
+/// zero loss, zero duplication — and, deliberately, zero RNG draws, so a
+/// fully-default `SimNet` is byte-identical to a `Bus`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkProfile {
     /// Minimum one-way latency in virtual ticks.
@@ -60,6 +64,8 @@ pub struct LinkProfile {
     pub latency_max: u64,
     /// Per-frame loss probability in `[0, 1]`.
     pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a surviving frame is delivered twice.
+    pub duplicate_probability: f64,
 }
 
 impl Default for LinkProfile {
@@ -68,6 +74,7 @@ impl Default for LinkProfile {
             latency_min: 0,
             latency_max: 0,
             drop_prob: 0.0,
+            duplicate_probability: 0.0,
         }
     }
 }
@@ -83,16 +90,26 @@ impl LinkProfile {
         LinkProfile {
             latency_min: min,
             latency_max: max,
-            drop_prob: 0.0,
+            ..LinkProfile::default()
         }
     }
 
     /// A zero-latency link that loses each frame with probability `p`.
     pub fn lossy(p: f64) -> LinkProfile {
         LinkProfile {
-            latency_min: 0,
-            latency_max: 0,
             drop_prob: p,
+            ..LinkProfile::default()
+        }
+    }
+
+    /// A zero-latency, zero-loss link that duplicates each frame with
+    /// probability `p` — at-least-once delivery without the losses, for
+    /// pinning that receiver-side dedup makes duplicated traffic
+    /// outcome-identical to lossless traffic.
+    pub fn duplicating(p: f64) -> LinkProfile {
+        LinkProfile {
+            duplicate_probability: p,
+            ..LinkProfile::default()
         }
     }
 
@@ -108,6 +125,11 @@ impl LinkProfile {
             (0.0..=1.0).contains(&self.drop_prob),
             "drop probability {} outside [0, 1]",
             self.drop_prob
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_probability),
+            "duplicate probability {} outside [0, 1]",
+            self.duplicate_probability
         );
     }
 }
@@ -476,9 +498,9 @@ impl SimNet {
     }
 
     /// The one send path: decides fate (unknown / blocked / lost /
-    /// immediate / in-flight), accounts it, and samples the RNG only when
-    /// the link actually has loss or jitter — a perfect link leaves the
-    /// stream untouched.
+    /// immediate / in-flight, possibly duplicated), accounts it, and
+    /// samples the RNG only when the link actually has loss, jitter or
+    /// duplication — a perfect link leaves the stream untouched.
     fn transmit<'a>(
         &'a self,
         state: &mut SimState,
@@ -488,10 +510,12 @@ impl SimNet {
         message: Message,
     ) -> Result<(), BusError> {
         let bytes = message.encoded_len();
+        let retransmit = message.is_retransmit();
         // Unknown destination short-circuits before any accounting,
         // mirroring `Bus::send`.
         if state.drop_rules.contains(&(from, to)) || state.partitioned(from, to) {
-            self.ledger.account_cached(held, from, to, bytes, false);
+            self.ledger
+                .account_cached(held, from, to, bytes, false, retransmit);
             return Ok(());
         }
         let Some(tx) = state.endpoints.get(&to).cloned() else {
@@ -499,7 +523,8 @@ impl SimNet {
         };
         let profile = state.link(from, to, self.default_link);
         if profile.drop_prob > 0.0 && state.random_unit() < profile.drop_prob {
-            self.ledger.account_cached(held, from, to, bytes, false);
+            self.ledger
+                .account_cached(held, from, to, bytes, false, retransmit);
             return Ok(());
         }
         let delay = if profile.latency_max > profile.latency_min {
@@ -507,6 +532,11 @@ impl SimNet {
         } else {
             profile.latency_min
         };
+        // At-least-once duplication, decided after loss so only surviving
+        // frames can double up; the copy shares the sampled delay.
+        let duplicate = profile.duplicate_probability > 0.0
+            && state.random_unit() < profile.duplicate_probability;
+        let dup_payload = duplicate.then(|| (message.clone(), tx.clone()));
         if delay == 0 {
             // Immediate delivery: the exact Bus path, including the
             // Disconnected probe through the live channel.
@@ -514,7 +544,12 @@ impl SimNet {
                 .send((from, message))
                 .map_err(|_| BusError::Disconnected(to));
             self.ledger
-                .account_cached(held, from, to, bytes, result.is_ok());
+                .account_cached(held, from, to, bytes, result.is_ok(), retransmit);
+            if let Some((copy, dup_tx)) = dup_payload {
+                let dup_ok = dup_tx.send((from, copy)).is_ok();
+                self.ledger
+                    .account_cached(held, from, to, bytes, dup_ok, retransmit);
+            }
             return result;
         }
         state.frame_seq += 1;
@@ -528,7 +563,20 @@ impl SimNet {
         state.pending.push(frame);
         // Accounted delivered at send time (see the module docs): loss was
         // already decided above, so the frame will land at settle.
-        self.ledger.account_cached(held, from, to, bytes, true);
+        self.ledger
+            .account_cached(held, from, to, bytes, true, retransmit);
+        if let Some((copy, dup_tx)) = dup_payload {
+            state.frame_seq += 1;
+            state.pending.push(PendingFrame {
+                deliver_at: state.now + delay,
+                seq: state.frame_seq,
+                from,
+                tx: dup_tx,
+                message: copy,
+            });
+            self.ledger
+                .account_cached(held, from, to, bytes, true, retransmit);
+        }
         Ok(())
     }
 
@@ -601,6 +649,23 @@ impl Transport for SimNet {
 
     fn message_count(&self) -> usize {
         self.ledger.message_count()
+    }
+
+    fn retransmit_bytes(&self) -> usize {
+        self.ledger.retransmit_bytes()
+    }
+
+    fn goodput_bytes(&self) -> usize {
+        self.ledger.total_bytes() - self.ledger.retransmit_bytes()
+    }
+
+    fn now(&self) -> u64 {
+        SimNet::now(self)
+    }
+
+    fn advance(&self, ticks: u64) {
+        let target = SimNet::now(self).saturating_add(ticks);
+        SimNet::advance_to(self, target);
     }
 }
 
@@ -724,6 +789,7 @@ mod tests {
                     latency_min: 1,
                     latency_max: 50,
                     drop_prob: 0.3,
+                    duplicate_probability: 0.1,
                 },
                 ..SimNetConfig::default()
             });
@@ -741,6 +807,74 @@ mod tests {
         let (log_a, ..) = run(7);
         let (log_b, ..) = run(8);
         assert_ne!(log_a, log_b, "different seeds shuffle the fates");
+    }
+
+    #[test]
+    fn duplicates_are_sampled_delivered_and_accounted() {
+        let net = SimNet::new(SimNetConfig {
+            seed: 21,
+            default_link: LinkProfile::duplicating(0.5),
+            ..SimNetConfig::default()
+        });
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        let sends = 200u64;
+        for g in 0..sends {
+            net.send(a, b, msg(g)).unwrap();
+        }
+        net.settle();
+        let got = ep.drain();
+        let arrived = got.len() as u64;
+        assert!(
+            (sends + 40..=sends + 160).contains(&arrived),
+            "~half of {sends} frames should double up, got {arrived}"
+        );
+        // Every frame (original or copy) is its own delivered record, so
+        // the ledger sees the duplicated traffic Lemma 1 must pay for.
+        assert_eq!(net.message_count(), arrived as usize);
+        assert_eq!(net.delivered_bytes(), net.total_bytes());
+        // Copies are byte-identical to their originals, arrive adjacent
+        // on a zero-latency link, and every original still lands exactly
+        // once or twice — never zero, never three times.
+        let mut counts = vec![0u64; sends as usize];
+        for (from, m) in &got {
+            assert_eq!(*from, a);
+            let Message::AdviceRequest { game_id } = m else {
+                panic!("unexpected frame {m:?}");
+            };
+            counts[*game_id as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1 || c == 2));
+    }
+
+    #[test]
+    fn duplicated_latency_frames_share_their_delay() {
+        // Probability 1 duplication over a fixed-latency link: both
+        // copies are in flight until the shared delivery tick.
+        let net = SimNet::new(SimNetConfig {
+            seed: 4,
+            default_link: LinkProfile {
+                latency_min: 10,
+                latency_max: 10,
+                drop_prob: 0.0,
+                duplicate_probability: 1.0,
+            },
+            ..SimNetConfig::default()
+        });
+        let a = Party::Agent(1);
+        let b = Party::Agent(2);
+        net.register(a);
+        let ep = net.register(b);
+        net.send(a, b, msg(1)).unwrap();
+        assert_eq!(net.in_flight(), 2, "original + copy queued");
+        assert!(ep.try_recv().is_none());
+        net.settle();
+        assert_eq!(net.now(), 10);
+        let got = ep.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], got[1], "the copy is byte-identical");
     }
 
     #[test]

@@ -163,6 +163,11 @@ pub(crate) struct Ledger {
     total_bytes: AtomicUsize,
     delivered_bytes: AtomicUsize,
     record_count: AtomicUsize,
+    /// Bytes attributable to protocol retransmissions (resilient envelopes
+    /// with a non-zero attempt number, and the replies they provoke).
+    /// Subtracting this from `total_bytes` yields the goodput figure a
+    /// Lemma 1 table should cite for first-attempt protocol traffic.
+    retransmit_bytes: AtomicUsize,
 }
 
 /// A cached stripe guard for batched accounting: consecutive same-stripe
@@ -172,11 +177,18 @@ pub(crate) type StripeGuard<'a> = Option<(usize, MutexGuard<'a, LedgerStripe>)>;
 
 impl Ledger {
     /// Accounts one attempted send. The caller already decided
-    /// `delivered`; this stamps the global sequence number, bumps the
-    /// atomic totals and appends to the sender's stripe.
-    pub(crate) fn account(&self, from: Party, to: Party, bytes: usize, delivered: bool) {
+    /// `delivered` and `retransmit`; this stamps the global sequence
+    /// number, bumps the atomic totals and appends to the sender's stripe.
+    pub(crate) fn account(
+        &self,
+        from: Party,
+        to: Party,
+        bytes: usize,
+        delivered: bool,
+        retransmit: bool,
+    ) {
         let mut held = None;
-        self.account_cached(&mut held, from, to, bytes, delivered);
+        self.account_cached(&mut held, from, to, bytes, delivered, retransmit);
     }
 
     /// [`Ledger::account`] with a caller-held stripe guard cached across
@@ -190,11 +202,15 @@ impl Ledger {
         to: Party,
         bytes: usize,
         delivered: bool,
+        retransmit: bool,
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         if delivered {
             self.delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        if retransmit {
+            self.retransmit_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
         self.record_count.fetch_add(1, Ordering::Relaxed);
         let idx = stripe_of(from);
@@ -227,6 +243,11 @@ impl Ledger {
     /// lock-free.
     pub(crate) fn delivered_bytes(&self) -> usize {
         self.delivered_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes attributable to retransmissions. O(1), lock-free.
+    pub(crate) fn retransmit_bytes(&self) -> usize {
+        self.retransmit_bytes.load(Ordering::Relaxed)
     }
 
     /// Bytes sent from `from` to `to`. O(1): per-pair sums live on the
@@ -372,6 +393,33 @@ pub trait Transport: std::fmt::Debug + Send + Sync {
 
     /// Number of messages sent (delivered or dropped).
     fn message_count(&self) -> usize;
+
+    /// Bytes attributable to protocol retransmissions: resilient
+    /// envelopes carrying a non-zero attempt number, and replies echoing
+    /// one. Zero on any run that never retransmits, regardless of loss.
+    fn retransmit_bytes(&self) -> usize;
+
+    /// First-attempt protocol bytes: [`Transport::total_bytes`] minus
+    /// [`Transport::retransmit_bytes`]. The ledger maintains the identity
+    /// `total_bytes == goodput_bytes + retransmit_bytes` by construction,
+    /// so Lemma 1 tables can split communicated bits from retry overhead.
+    fn goodput_bytes(&self) -> usize {
+        self.total_bytes() - self.retransmit_bytes()
+    }
+
+    /// The backend's virtual clock, in ticks. A synchronous backend has
+    /// no clock and reports 0 forever; a [`SimNet`](crate::SimNet)
+    /// reports the tick its last `settle`/`advance` reached. Resilient
+    /// session drivers read this to deplete deadline budgets.
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// Advances the virtual clock by `ticks`, delivering every in-flight
+    /// frame that comes due — the hook a retransmit loop uses to wait out
+    /// a backoff interval. A no-op on a synchronous backend (where every
+    /// send already settled and waiting cannot change anything).
+    fn advance(&self, _ticks: u64) {}
 }
 
 #[cfg(test)]
@@ -406,11 +454,12 @@ mod tests {
         let ledger = Ledger::default();
         let a = Party::Agent(1);
         let b = Party::Verifier(2);
-        ledger.account(a, b, 10, true);
-        ledger.account(b, a, 7, false);
-        ledger.account(a, b, 5, true);
+        ledger.account(a, b, 10, true, false);
+        ledger.account(b, a, 7, false, false);
+        ledger.account(a, b, 5, true, true);
         assert_eq!(ledger.total_bytes(), 22);
         assert_eq!(ledger.delivered_bytes(), 15);
+        assert_eq!(ledger.retransmit_bytes(), 5);
         assert_eq!(ledger.message_count(), 3);
         assert_eq!(ledger.bytes_between(a, b), 15);
         assert_eq!(ledger.bytes_between(b, a), 7);
@@ -429,18 +478,23 @@ mod tests {
         let cached = Ledger::default();
         let a = Party::Agent(1);
         let b = Party::Agent(2);
-        let traffic = [(a, b, 4, true), (a, b, 9, false), (b, a, 2, true)];
-        for (from, to, bytes, delivered) in traffic {
-            serial.account(from, to, bytes, delivered);
+        let traffic = [
+            (a, b, 4, true, false),
+            (a, b, 9, false, true),
+            (b, a, 2, true, false),
+        ];
+        for (from, to, bytes, delivered, retransmit) in traffic {
+            serial.account(from, to, bytes, delivered, retransmit);
         }
         let mut held = None;
-        for (from, to, bytes, delivered) in traffic {
-            cached.account_cached(&mut held, from, to, bytes, delivered);
+        for (from, to, bytes, delivered, retransmit) in traffic {
+            cached.account_cached(&mut held, from, to, bytes, delivered, retransmit);
         }
         drop(held);
         assert_eq!(serial.delivery_log(), cached.delivery_log());
         assert_eq!(serial.total_bytes(), cached.total_bytes());
         assert_eq!(serial.delivered_bytes(), cached.delivered_bytes());
+        assert_eq!(serial.retransmit_bytes(), cached.retransmit_bytes());
         assert_eq!(serial.bytes_between(a, b), cached.bytes_between(a, b));
     }
 }

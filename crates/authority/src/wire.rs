@@ -114,6 +114,19 @@ impl WireBytes {
         !self.is_empty()
     }
 
+    /// Returns the next byte without consuming it, or `None` if the
+    /// window is empty. Decoders of non-recursive envelope types use this
+    /// to reject an illegally nested inner tag *before* recursing, so a
+    /// hostile chain of envelope tags errors out instead of exhausting
+    /// the stack.
+    pub fn peek_u8(&self) -> Option<u8> {
+        if self.has_remaining() {
+            Some(self.data[self.start])
+        } else {
+            None
+        }
+    }
+
     /// Consumes and returns the next byte.
     ///
     /// # Panics

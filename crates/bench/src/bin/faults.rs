@@ -272,6 +272,7 @@ fn main() {
                 latency_min: lo,
                 latency_max: hi,
                 drop_prob: loss,
+                duplicate_probability: 0.0,
             };
             let cell = run_rtt_cell(name, link, exchanges, seed ^ ((ci * 8 + ri) as u64));
             println!(

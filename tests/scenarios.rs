@@ -680,3 +680,142 @@ fn lossy_campaign_is_seed_deterministic() {
         "different seeds must sample different fates (seed {seed})"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Session resilience: quorum degradation and unresponsiveness churn.
+// ---------------------------------------------------------------------------
+
+/// A scripted partition cuts one verifier off mid-session; the resilient
+/// consult retries until its budget is spent, closes degraded at quorum,
+/// and — once the partition heals after the deadline — the next consult
+/// closes full again on the same network.
+#[test]
+fn midsession_partition_degrades_then_heals_to_full() {
+    use rationality_authority::authority::{
+        Inventor, LinkProfile, LocalReputation, NetEvent, PanelOutcome, RationalityAuthority,
+        ResilienceConfig, SimNetConfig, INITIAL_SCORE,
+    };
+    let seed = scenario_seed();
+    let agent = Party::Agent(0);
+    let cut = Party::Verifier(2);
+    // Exact 2-tick links make the session's schedule predictable: the
+    // advice stage completes around tick 4, so a split at tick 5 lands
+    // squarely inside the panel stage — a genuinely mid-session cut.
+    let net = Arc::new(SimNet::new(SimNetConfig {
+        seed,
+        default_link: LinkProfile::with_latency(2, 2),
+        schedule: vec![NetEvent::Split {
+            at: 5,
+            left: vec![agent],
+            right: vec![cut],
+        }],
+        ..SimNetConfig::default()
+    }));
+    let mut authority = RationalityAuthority::with_transport(
+        Inventor::new(0, InventorBehavior::Honest),
+        &[VerifierBehavior::Honest; 3],
+        Arc::new(LocalReputation::new()),
+        Arc::clone(&net) as Arc<dyn Transport>,
+    );
+    authority.set_resilience(Some(ResilienceConfig {
+        deadline: 512,
+        quorum: 2,
+        max_attempts: 4,
+        ..ResilienceConfig::default()
+    }));
+    let spec = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    let degraded = authority
+        .try_consult(0, &spec)
+        .unwrap_or_else(|e| panic!("quorum of 2 was reachable ({e}, seed {seed})"));
+    assert!(degraded.adopted, "seed {seed}");
+    assert_eq!(
+        degraded.panel,
+        PanelOutcome::Degraded { missing: vec![cut] },
+        "seed {seed}"
+    );
+    assert!(
+        degraded.attempts > 0,
+        "the cut forced retries (seed {seed})"
+    );
+    assert!(
+        authority.bus().retransmit_bytes() > 0,
+        "retries billed as retransmit bytes (seed {seed})"
+    );
+    assert_eq!(
+        authority.reputation().score(cut),
+        INITIAL_SCORE - 1,
+        "one unresponsive observation (seed {seed})"
+    );
+    // The partition outlived the session's whole deadline budget; heal it
+    // and the very next consult closes full on the same transport.
+    net.heal_partitions();
+    let healed = authority
+        .try_consult(0, &spec)
+        .unwrap_or_else(|e| panic!("healed network completes ({e}, seed {seed})"));
+    assert_eq!(healed.panel, PanelOutcome::Full, "seed {seed}");
+    assert_eq!(healed.verdict_details.len(), 3, "seed {seed}");
+    assert!(healed.adopted, "seed {seed}");
+}
+
+/// Persistent unresponsiveness is a trust event: a verifier that stops
+/// answering is bled one point per degraded close until excluded, the
+/// exclusion bumps the panel version, and the bump invalidates every
+/// Replay-cache entry minted under the old panel.
+#[test]
+fn unresponsive_verifier_excluded_and_replay_cache_invalidated() {
+    use rationality_authority::authority::{
+        CertCache, Inventor, PanelOutcome, RationalityAuthority, ResilienceConfig,
+    };
+    let seed = scenario_seed();
+    let primed = GameSpec::Strategic(prisoners_dilemma().to_strategic());
+    let churn = GameSpec::Bimatrix(battle_of_the_sexes());
+    let silent = Party::Verifier(2);
+    let mut authority = RationalityAuthority::new(
+        Inventor::new(0, InventorBehavior::Honest),
+        &[VerifierBehavior::Honest; 3],
+    );
+    authority.set_cert_cache(Arc::new(CertCache::new(CertCacheConfig::replay(64))));
+    authority.set_resilience(Some(ResilienceConfig {
+        quorum: 2,
+        max_attempts: 2,
+        ..ResilienceConfig::default()
+    }));
+    // Prime under the full, healthy panel.
+    let cold = authority.try_consult(0, &primed).expect("healthy panel");
+    assert_eq!(cold.panel, PanelOutcome::Full, "seed {seed}");
+    assert!(
+        authority.try_consult(0, &primed).expect("warm").cached,
+        "warm hit before the panel churns (seed {seed})"
+    );
+    // The verifier goes dark: every churn consult closes degraded and
+    // costs it one point, until it crosses the exclusion threshold.
+    authority.bus().drop_link(Party::Agent(0), silent);
+    let version_before = authority.reputation().snapshot().panel_version();
+    let mut rounds = 0;
+    while authority.reputation().is_trusted(silent) {
+        let outcome = authority
+            .try_consult(0, &churn)
+            .expect("quorum of 2 still met");
+        assert!(
+            matches!(outcome.panel, PanelOutcome::Degraded { .. }) || outcome.cached,
+            "seed {seed}"
+        );
+        rounds += 1;
+        assert!(
+            rounds < 64,
+            "exclusion within the trust budget (seed {seed})"
+        );
+    }
+    assert!(
+        authority.reputation().snapshot().panel_version() > version_before,
+        "exclusion bumps the panel version (seed {seed})"
+    );
+    // The primed entry was minted under the old panel: the probe is a
+    // stale miss, and the re-run closes full on the surviving panel.
+    let probe = authority.try_consult(0, &primed).expect("live panel");
+    assert!(!probe.cached, "stale entries are not served (seed {seed})");
+    assert_eq!(probe.panel, PanelOutcome::Full, "seed {seed}");
+    assert_eq!(probe.verdict_details.len(), 2, "seed {seed}");
+    let stats = authority.cert_cache().expect("cache attached").stats();
+    assert!(stats.stale >= 1, "panel-guard miss recorded (seed {seed})");
+}
